@@ -1,0 +1,74 @@
+"""Ablation: Merkle-tree vs flat per-layer diffing (design choice, §3.2).
+
+The PUA finds changed layers through a Merkle tree.  This ablation sweeps
+layer counts and changed-layer fractions and reports hash comparisons and
+wall-clock time for both strategies, confirming the paper's claim that the
+benefit grows with model depth and update sparsity (7 vs 8 comparisons at
+8 layers; 13 vs 64 at 64; 15 vs 128 at 128).
+"""
+
+import hashlib
+import time
+
+import pytest
+
+from repro.core import MerkleTree
+
+from conftest import Report
+
+
+def make_tree(num_layers: int, changed: set[int] = frozenset()) -> MerkleTree:
+    names = [f"layer{i}" for i in range(num_layers)]
+    hashes = [
+        hashlib.sha256(f"{i}-{'b' if i in changed else 'a'}".encode()).hexdigest()
+        for i in range(num_layers)
+    ]
+    return MerkleTree(names, hashes)
+
+
+def test_merkle_ablation_report(benchmark):
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def _report():
+    report = Report("ablation_merkle", "Merkle vs flat layer diffing (§3.2 design choice)")
+    rows = []
+    for num_layers in (8, 64, 128, 512):
+        for changed_count in (2, num_layers // 4, num_layers):
+            changed = set(range(num_layers - changed_count, num_layers))
+            base = make_tree(num_layers)
+            derived = make_tree(num_layers, changed)
+            merkle = base.diff(derived)
+            flat = base.flat_diff(derived)
+            assert merkle.changed_layers == flat.changed_layers
+            rows.append(
+                [
+                    num_layers,
+                    changed_count,
+                    merkle.comparisons,
+                    flat.comparisons,
+                    f"{flat.comparisons / merkle.comparisons:.2f}x"
+                    if merkle.comparisons <= flat.comparisons
+                    else f"{merkle.comparisons / flat.comparisons:.2f}x worse",
+                ]
+            )
+    report.table(
+        ["#layers", "#changed (trailing)", "merkle cmp", "flat cmp", "merkle advantage"],
+        rows,
+    )
+
+    # the paper's example numbers
+    assert make_tree(8).diff(make_tree(8, {6, 7})).comparisons == 7
+    assert make_tree(64).diff(make_tree(64, {62, 63})).comparisons == 13
+    assert make_tree(128).diff(make_tree(128, {126, 127})).comparisons == 15
+    report.line("Paper's example counts confirmed: 8->7, 64->13, 128->15 comparisons.")
+    report.write()
+
+
+@pytest.mark.parametrize("use_merkle", [True, False], ids=["merkle", "flat"])
+def test_diff_time_sparse_change(benchmark, use_merkle):
+    """Wall-clock diff cost, 512 layers, 2 changed (tree build excluded)."""
+    base = make_tree(512)
+    derived = make_tree(512, {510, 511})
+    fn = base.diff if use_merkle else base.flat_diff
+    benchmark(lambda: fn(derived))

@@ -1,0 +1,114 @@
+"""Section 4.7: the adaptive approach selector over representative scenarios.
+
+The paper sketches per-scenario recommendations (BA for TTR-priority, PUA
+for big-dataset/partial-update regimes, MPA for NLP-shaped workloads or
+externally managed datasets).  This bench evaluates the cost-model selector
+on those scenarios and validates its picks against the measured behaviour
+of the real services on a small chain.
+"""
+
+import pytest
+
+from repro.core import (
+    APPROACH_BASELINE,
+    APPROACH_PARAM_UPDATE,
+    APPROACH_PROVENANCE,
+    ScenarioProfile,
+    recommend_approach,
+    select_approach,
+)
+from repro.core.schema import APPROACHES
+from repro.distsim import STANDARD, SharedStores, run_evaluation_flow
+
+from conftest import Report, chain_config, get_chain
+
+SCENARIOS = [
+    (
+        "vision, partial updates (BMS fleet)",
+        ScenarioProfile(
+            model_bytes=240_000_000,
+            dataset_bytes=70_000_000,
+            updated_fraction=0.034,
+            train_seconds=600,
+        ),
+        APPROACH_PARAM_UPDATE,
+    ),
+    (
+        "vision, full updates, big dataset",
+        ScenarioProfile(
+            model_bytes=14_000_000,
+            dataset_bytes=6_300_000_000,
+            updated_fraction=1.0,
+            train_seconds=3600,
+        ),
+        APPROACH_BASELINE,
+    ),
+    (
+        "NLP: huge model, small dataset, short fine-tune",
+        ScenarioProfile(
+            model_bytes=1_300_000_000,
+            dataset_bytes=5_000_000,
+            updated_fraction=1.0,
+            train_seconds=120,
+        ),
+        APPROACH_PROVENANCE,
+    ),
+    (
+        "externally managed dataset",
+        ScenarioProfile(
+            model_bytes=100_000_000,
+            dataset_bytes=10_000_000_000,
+            updated_fraction=0.5,
+            train_seconds=1800,
+            dataset_externally_managed=True,
+        ),
+        APPROACH_PROVENANCE,
+    ),
+]
+
+
+def test_adaptive_heuristic_report(benchmark, bench_workdir):
+    benchmark.pedantic(lambda: _report(bench_workdir), rounds=1, iterations=1)
+
+
+def _report(bench_workdir):
+    report = Report("adaptive", "Adaptive approach selection (paper §4.7)")
+    rows = []
+    for label, profile, expected in SCENARIOS:
+        simple = recommend_approach(profile)
+        constrained = select_approach(profile, chain_depth=4)
+        rows.append([label, simple, constrained.approach, expected])
+        assert simple == expected, f"{label}: expected {expected}, got {simple}"
+    report.table(["scenario", "ratio heuristic", "cost model", "paper §4.7"], rows)
+
+    # TTR-priority always picks the baseline
+    ttr_choice = select_approach(
+        SCENARIOS[0][1],
+        chain_depth=10,
+        storage_weight=0.0,
+        recover_weight=1.0,
+    )
+    assert ttr_choice.approach != APPROACH_PROVENANCE
+    report.line(f"TTR-priority pick: {ttr_choice.approach} (paper: BA preferred)")
+    report.line()
+
+    # validate the partial-update recommendation against measured storage
+    chain = get_chain(chain_config("mobilenetv2", "partially_updated"))
+    measured = {}
+    for approach in APPROACHES:
+        stores = SharedStores.at(bench_workdir / f"adaptive-{approach}")
+        metrics = run_evaluation_flow(
+            approach, chain, STANDARD, stores, measure_recover=False
+        )
+        storage = metrics.storage()
+        measured[approach] = sum(v for u, v in storage.items() if u.startswith("U_3"))
+    best_measured = min(measured, key=measured.get)
+    report.table(
+        ["approach", "measured U_3 storage (bytes)"],
+        [[a, f"{int(v):,}"] for a, v in measured.items()],
+    )
+    report.line(f"measured best for partial-update vision scenario: {best_measured}")
+    assert best_measured == APPROACH_PARAM_UPDATE, (
+        "the heuristic's partial-update recommendation must match measurement"
+    )
+    report.write()

@@ -1,0 +1,103 @@
+"""Table 3 + Figures 14/15 + Section 4.6: distributed evaluation flows.
+
+Runs the DIST-N evaluation flows (fully updated MobileNetV2, CO-512) and
+reports per-use-case median TTS/TTR across nodes plus storage.  Expected
+results (Section 4.6):
+
+* model counts per flow match Table 3 (102 / 202 / 402);
+* storage per use case is constant across flows and nodes;
+* TTS is flat across use cases; BA ~= PUA (fully updated), MPA higher
+  (it persists the dataset);
+* TTR: BA flat, PUA/MPA staircases with resets at U_2 — the same trends as
+  the standard flow, i.e. all approaches scale.
+
+DIST-5 always runs; DIST-10/20 only with ``MMLIB_BENCH_FULL=1`` (the trends
+are identical, as the paper also observes).
+"""
+
+import pytest
+
+from repro.core.schema import APPROACHES
+from repro.distsim import DIST_5, DIST_10, DIST_20, SharedStores, run_evaluation_flow
+
+from conftest import FULL_RUN, Report, chain_config, fmt_mb, fmt_ms, get_chain
+
+FLOWS = (DIST_5, DIST_10, DIST_20) if FULL_RUN else (DIST_5,)
+
+
+def dist_chain():
+    return get_chain(
+        chain_config("mobilenetv2", "fully_updated", iterations=10, batches_per_epoch=2)
+    )
+
+
+def test_table3_model_counts(benchmark):
+    def run():
+        report = Report("table3", "Distributed evaluation flows (paper Table 3)")
+        report.table(
+            ["flow", "#nodes", "#models", "paper #models"],
+            [
+                ["STANDARD", 1, 10, 10],
+                ["DIST-5", DIST_5.num_nodes, DIST_5.model_count, 102],
+                ["DIST-10", DIST_10.num_nodes, DIST_10.model_count, 202],
+                ["DIST-20", DIST_20.num_nodes, DIST_20.model_count, 402],
+            ],
+        )
+        assert DIST_5.model_count == 102
+        assert DIST_10.model_count == 202
+        assert DIST_20.model_count == 402
+        report.write()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_dist_flows_report(benchmark, bench_workdir):
+    benchmark.pedantic(lambda: _report(bench_workdir), rounds=1, iterations=1)
+
+
+def _report(bench_workdir):
+    report = Report(
+        "fig14_15_dist", "Distributed flows: TTS (Fig. 14), TTR (Fig. 15), storage (§4.6)"
+    )
+    chain = dist_chain()
+    storage_by_flow = {}
+    for flow in FLOWS:
+        for approach in APPROACHES:
+            stores = SharedStores.at(bench_workdir / f"dist-{flow.name}-{approach}")
+            metrics = run_evaluation_flow(approach, chain, flow, stores)
+            assert metrics.model_count == flow.model_count
+            tts, ttr, storage = metrics.median_tts(), metrics.median_ttr(), metrics.storage()
+            storage_by_flow.setdefault(approach, {})[flow.name] = storage
+            report.line(f"{flow.name} / {approach} ({metrics.model_count} models)")
+            report.table(
+                ["use case", "median TTS", "median TTR", "storage"],
+                [
+                    [u, fmt_ms(tts[u]), fmt_ms(ttr[u]), fmt_mb(storage[u])]
+                    for u in metrics.use_cases()
+                ],
+            )
+
+            use_cases = metrics.use_cases()
+            # TTS flat across U_3 iterations (Fig. 14)
+            u3_tts = [tts[u] for u in use_cases if u.startswith("U_3")]
+            assert max(u3_tts) < 3 * min(u3_tts), "TTS must stay ~flat across use cases"
+            # TTR shapes (Fig. 15)
+            if approach == "baseline":
+                ttr_values = [ttr[u] for u in use_cases]
+                assert max(ttr_values) < 3 * min(ttr_values), "BA TTR must stay flat"
+            else:
+                assert ttr["U_3-1-10"] > ttr["U_3-1-1"], f"{approach} TTR must staircase"
+                assert ttr["U_2"] < ttr["U_3-1-10"], "TTR must reset at U_2"
+
+    # §4.6: storage constant across evaluation flows
+    if len(FLOWS) > 1:
+        for approach, flows in storage_by_flow.items():
+            reference = flows[FLOWS[0].name]
+            for flow_name, storage in flows.items():
+                for use_case, value in storage.items():
+                    assert value == pytest.approx(reference[use_case], rel=0.01), (
+                        f"storage for {use_case} must be constant across flows "
+                        f"({approach}, {flow_name})"
+                    )
+        report.line("Storage per use case is constant across DIST-5/10/20 flows.")
+    report.write()

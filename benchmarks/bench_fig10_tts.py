@@ -1,0 +1,84 @@
+"""Figure 10: median time-to-save (TTS) across approaches.
+
+Panels: (a)/(c) fully updated and (b)/(d) partially updated MobileNetV2 /
+ResNet-152 versions on CO-512.  Expected shapes (Section 4.3):
+
+* BA TTS tracks the parameter count (hash + serialize + persist);
+* PUA ~= BA for fully updated versions, clearly faster for partially
+  updated versions (paper: up to -28.5% MobileNetV2, -51.7% ResNet-152);
+* MPA can beat both when its storage is smaller (large model / small
+  dataset) and loses badly in the opposite regime.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.core.schema import APPROACHES
+from repro.distsim import STANDARD, SharedStores, run_evaluation_flow
+
+from conftest import FULL_RUN, Report, chain_config, fmt_ms, get_chain
+
+REPETITIONS = 5 if FULL_RUN else 3
+PANELS = [
+    ("a", "mobilenetv2", "fully_updated"),
+    ("b", "mobilenetv2", "partially_updated"),
+    ("c", "resnet152", "fully_updated"),
+    ("d", "resnet152", "partially_updated"),
+]
+
+
+def measure_panel(workdir, architecture: str, relation: str):
+    chain = get_chain(chain_config(architecture, relation, u3_dataset="co512"))
+    panel = {}
+    for approach in APPROACHES:
+        merged = None
+        for repetition in range(REPETITIONS):
+            stores = SharedStores.at(
+                workdir / f"fig10-{architecture}-{relation}-{approach}-{repetition}"
+            )
+            metrics = run_evaluation_flow(
+                approach,
+                chain,
+                STANDARD,
+                stores,
+                measure_recover=False,
+                # image data is JPEG-like (incompressible): the stored codec
+                # matches how a production MPA would archive it — see
+                # bench_ablation_compression
+                dataset_codec="stored",
+            )
+            merged = metrics if merged is None else merged.merge(metrics)
+        panel[approach] = merged.median_tts()
+    return panel
+
+
+def test_fig10_tts_report(benchmark, bench_workdir):
+    benchmark.pedantic(lambda: _report(bench_workdir), rounds=1, iterations=1)
+
+
+def _report(bench_workdir):
+    report = Report("fig10", "Median time-to-save across approaches (paper Fig. 10)")
+    for panel_id, architecture, relation in PANELS:
+        panel = measure_panel(bench_workdir, architecture, relation)
+        use_cases = [u for u in panel["baseline"] if u != "U_2"]
+        report.line(f"({panel_id}) {relation} {architecture}, CO-512 (median of {REPETITIONS} runs)")
+        report.table(
+            ["use case"] + list(APPROACHES),
+            [[u] + [fmt_ms(panel[a][u]) for a in APPROACHES] for u in use_cases],
+        )
+
+        derived = [u for u in use_cases if u != "U_1"]
+        ba = statistics.median(panel["baseline"][u] for u in derived)
+        pua = statistics.median(panel["param_update"][u] for u in derived)
+        mpa = statistics.median(panel["provenance"][u] for u in derived)
+        report.line(
+            f"    derived-model medians: BA {fmt_ms(ba)}, "
+            f"PUA {fmt_ms(pua)} ({(pua - ba) / ba:+.1%}), "
+            f"MPA {fmt_ms(mpa)} ({(mpa - ba) / ba:+.1%})"
+        )
+        report.line()
+        if relation == "partially_updated":
+            assert pua < ba, "PUA must save partially updated versions faster than BA"
+    report.write()

@@ -1,0 +1,75 @@
+"""Figure 7: storage consumption per use case across approaches.
+
+Four panels: (a) fully and (b) partially updated MobileNetV2, (c) fully and
+(d) partially updated ResNet-152, trained on CF-512.  Expected shapes
+(paper Section 4.2):
+
+* BA storage constant across use cases and relations;
+* PUA ~= BA for fully updated versions, dramatically lower for partially
+  updated versions (paper: -63.7% MobileNetV2, -95.6% ResNet-152);
+* MPA constant at ~dataset size: above BA for MobileNetV2, below BA for
+  ResNet-152 at full scale (crossover driven by the dataset/model ratio).
+"""
+
+import pytest
+
+from repro.core.schema import APPROACHES
+from repro.distsim import SharedStores, make_service
+
+from conftest import Report, chain_config, fmt_mb, get_chain, save_chain_through
+
+PANELS = [
+    ("a", "mobilenetv2", "fully_updated"),
+    ("b", "mobilenetv2", "partially_updated"),
+    ("c", "resnet152", "fully_updated"),
+    ("d", "resnet152", "partially_updated"),
+]
+
+
+def measure_panel(workdir, architecture: str, relation: str) -> dict:
+    chain = get_chain(chain_config(architecture, relation, u3_dataset="cf512"))
+    panel = {}
+    for approach in APPROACHES:
+        stores = SharedStores.at(workdir / f"fig7-{architecture}-{relation}-{approach}")
+        service = make_service(approach, stores)
+        ids = save_chain_through(service, chain, approach)
+        panel[approach] = {
+            use_case: service.model_save_size(model_id).total
+            for use_case, model_id in ids.items()
+        }
+    return panel
+
+
+def test_fig7_storage_report(benchmark, bench_workdir):
+    benchmark.pedantic(lambda: _report(bench_workdir), rounds=1, iterations=1)
+
+
+def _report(bench_workdir):
+    report = Report("fig7", "Storage consumption across approaches (paper Fig. 7)")
+    for panel_id, architecture, relation in PANELS:
+        panel = measure_panel(bench_workdir, architecture, relation)
+        use_cases = [u for u in panel["baseline"] if u != "U_2"]  # as in the paper
+        report.line(f"({panel_id}) {relation} {architecture}, CF-512")
+        report.table(
+            ["use case"] + list(APPROACHES),
+            [[u] + [fmt_mb(panel[a][u]) for a in APPROACHES] for u in use_cases],
+        )
+
+        ba = panel["baseline"]
+        pua = panel["param_update"]
+        mpa = panel["provenance"]
+        derived = [u for u in use_cases if u != "U_1"]
+        pua_saving = 1 - sum(pua[u] for u in derived) / sum(ba[u] for u in derived)
+        report.line(f"    PUA saving vs BA over derived models: {pua_saving:+.1%}")
+        mpa_ratio = sum(mpa[u] for u in derived) / sum(ba[u] for u in derived)
+        report.line(f"    MPA/BA storage ratio over derived models: {mpa_ratio:.2f}x")
+        report.line()
+
+        # paper claims, shape-checked at bench scale
+        ba_values = [ba[u] for u in use_cases]
+        assert max(ba_values) / min(ba_values) < 1.05, "BA storage must be constant"
+        if relation == "partially_updated":
+            assert pua_saving > 0.5, "partial updates must save >50% vs BA"
+        else:
+            assert abs(pua_saving) < 0.1, "full updates: PUA ~= BA"
+    report.write()

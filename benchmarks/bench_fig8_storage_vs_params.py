@@ -1,0 +1,59 @@
+"""Figure 8: baseline storage consumption and #parameters per model.
+
+The paper shows BA storage growing proportionally with the parameter
+count across the five architectures.
+"""
+
+import pytest
+
+from repro.core import ModelSaveInfo
+from repro.distsim import SharedStores, make_service
+from repro.nn.models import MODEL_REGISTRY, create_model, list_models
+from repro.core.save_info import ArchitectureRef
+
+from conftest import MODEL_SCALE, NUM_CLASSES, Report, fmt_mb
+
+
+def _save_one(workdir, name: str):
+    stores = SharedStores.at(workdir / f"fig8-{name}")
+    service = make_service("baseline", stores)
+    model = create_model(name, num_classes=NUM_CLASSES, scale=MODEL_SCALE, seed=0)
+    spec = MODEL_REGISTRY[name]
+    arch = ArchitectureRef.from_factory(
+        spec.factory.__module__,
+        spec.factory.__name__,
+        {"num_classes": NUM_CLASSES, "scale": MODEL_SCALE},
+    )
+    model_id = service.save_model(ModelSaveInfo(model, arch))
+    return model.num_parameters(), service.model_save_size(model_id).total
+
+
+def test_fig8_report(benchmark, bench_workdir):
+    benchmark.pedantic(lambda: _report(bench_workdir), rounds=1, iterations=1)
+
+
+def _report(bench_workdir):
+    report = Report(
+        "fig8", "BA storage consumption vs number of parameters (paper Fig. 8)"
+    )
+    rows = []
+    measurements = []
+    for name in list_models():
+        params, storage = _save_one(bench_workdir, name)
+        measurements.append((name, params, storage))
+        rows.append([name, f"{params:,}", fmt_mb(storage), f"{storage / params:.2f}"])
+    report.table(["model", "#params", "BA storage", "bytes/param"], rows)
+
+    # shape check: storage ordered by and proportional to parameter count
+    measurements.sort(key=lambda m: m[1])
+    storages = [m[2] for m in measurements]
+    assert storages == sorted(storages), "storage must grow with #params"
+    bytes_per_param = [m[2] / m[1] for m in measurements]
+    assert max(bytes_per_param) / min(bytes_per_param) < 1.5, (
+        "storage must be roughly proportional to #params (4 bytes each + overhead)"
+    )
+    report.line(
+        "Storage grows proportionally with the parameter count "
+        "(~4 bytes/param + buffers and metadata), as in the paper."
+    )
+    report.write()

@@ -1,0 +1,71 @@
+"""Figure 9: MPA storage consumption across datasets and architectures.
+
+The paper compares MobileNetV2 and ResNet-152 provenance chains trained on
+CF-512 vs CO-512 and finds: per-use-case storage is nearly identical across
+the two architectures (the dataset dominates, >99.9% of MPA storage), the
+CF-512 runs cost ~23 MB more than CO-512 runs (the datasets' size gap), and
+U_2 always peaks at the mINet_val size.
+"""
+
+import pytest
+
+from repro.distsim import SharedStores, make_service
+
+from conftest import DATASET_SCALE, Report, chain_config, fmt_mb, get_chain, save_chain_through
+
+
+def measure(workdir, architecture: str, dataset: str) -> dict[str, int]:
+    chain = get_chain(chain_config(architecture, u3_dataset=dataset))
+    stores = SharedStores.at(workdir / f"fig9-{architecture}-{dataset}")
+    service = make_service("provenance", stores)
+    ids = save_chain_through(service, chain, "provenance")
+    return {u: service.model_save_size(mid).total for u, mid in ids.items()}
+
+
+def test_fig9_report(benchmark, bench_workdir):
+    benchmark.pedantic(lambda: _report(bench_workdir), rounds=1, iterations=1)
+
+
+def _report(bench_workdir):
+    report = Report("fig9", "MPA storage across datasets (paper Fig. 9)")
+    panels = {}
+    for architecture in ("mobilenetv2", "resnet152"):
+        for dataset in ("cf512", "co512"):
+            panels[(architecture, dataset)] = measure(bench_workdir, architecture, dataset)
+
+    use_cases = list(panels[("mobilenetv2", "cf512")])
+    for architecture in ("mobilenetv2", "resnet152"):
+        report.line(f"{architecture} (MPA)")
+        report.table(
+            ["use case", "CF-512", "CO-512"],
+            [
+                [u, fmt_mb(panels[(architecture, "cf512")][u]), fmt_mb(panels[(architecture, "co512")][u])]
+                for u in use_cases
+            ],
+        )
+
+    # shape checks from Section 4.2
+    derived_u3 = [u for u in use_cases if u.startswith("U_3")]
+    mobile_cf = sum(panels[("mobilenetv2", "cf512")][u] for u in derived_u3)
+    resnet_cf = sum(panels[("resnet152", "cf512")][u] for u in derived_u3)
+    assert mobile_cf == pytest.approx(resnet_cf, rel=0.02), (
+        "MPA storage must be (almost) independent of the architecture"
+    )
+
+    gap = (
+        panels[("mobilenetv2", "cf512")]["U_3-1-1"]
+        - panels[("mobilenetv2", "co512")]["U_3-1-1"]
+    )
+    expected_gap = (94_300_000 - 71_600_000) * DATASET_SCALE
+    assert gap == pytest.approx(expected_gap, rel=0.35), (
+        "the CF/CO storage gap must track the datasets' size difference"
+    )
+    for architecture in ("mobilenetv2", "resnet152"):
+        panel = panels[(architecture, "cf512")]
+        assert panel["U_2"] > panel["U_3-1-1"], "U_2 must peak (mINet_val is larger)"
+
+    report.line(
+        f"CF-512 vs CO-512 per-save gap: {fmt_mb(gap)} "
+        f"(scaled dataset size difference: {fmt_mb(expected_gap)})"
+    )
+    report.write()

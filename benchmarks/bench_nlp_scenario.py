@@ -1,0 +1,136 @@
+"""Section 4.7 validation: the NLP regime where the MPA dominates.
+
+"If we work in a domain with large models, but small datasets (for
+example, natural language processing) ... the MPA is the best approach for
+storage consumption and TTS."  This bench builds that workload for real —
+a text classifier whose embedding table dominates its parameters, trained
+on a small token corpus — and measures all three approaches end to end.
+"""
+
+import time
+
+import pytest
+
+import repro.nn as nn
+from repro.core import ArchitectureRef, ModelSaveInfo
+from repro.distsim import SharedStores, make_service
+from repro.nn.models import text_classifier
+from repro.workloads import generate_text_corpus
+from repro.workloads.relations import TrainingRun
+
+from conftest import CACHE_DIR, Report, fmt_mb, fmt_ms
+
+MODEL_KWARGS = {
+    "vocab_size": 50_000,
+    "embedding_dim": 64,
+    "hidden_dim": 64,
+    "num_classes": 4,
+}
+DERIVED_MODELS = 4
+
+
+def build_workload():
+    corpus = generate_text_corpus(
+        CACHE_DIR / "text", num_documents=2_000, sequence_length=32,
+        vocab_size=MODEL_KWARGS["vocab_size"],
+    )
+    nn.manual_seed(0)
+    base = text_classifier(**MODEL_KWARGS)
+    arch = ArchitectureRef.from_factory(
+        "repro.nn.models", "text_classifier", MODEL_KWARGS
+    )
+    # pre-train the derivation chain once (like the evaluation flows)
+    states = [base.state_dict()]
+    runs = []
+    for index in range(DERIVED_MODELS):
+        model = text_classifier(**MODEL_KWARGS)
+        model.load_state_dict(states[-1])
+        run = TrainingRun(
+            dataset_dir=corpus,
+            number_epochs=1,
+            number_batches=2,
+            seed=100 + index,
+            batch_size=64,
+            dataset_class="repro.workloads.text_data.SyntheticTextCorpus",
+            dataset_kwargs={"vocab_size": MODEL_KWARGS["vocab_size"]},
+        )
+        run.execute(model)
+        states.append(model.state_dict())
+        runs.append(run)
+    return corpus, arch, states, runs
+
+
+def test_nlp_scenario_report(benchmark, bench_workdir):
+    benchmark.pedantic(lambda: _report(bench_workdir), rounds=1, iterations=1)
+
+
+def _report(bench_workdir):
+    report = Report("nlp_scenario", "NLP regime: large model, small dataset (§4.7)")
+    corpus, arch, states, runs = build_workload()
+    model_bytes = sum(v.nbytes for v in states[0].values())
+    corpus_bytes = sum(p.stat().st_size for p in corpus.rglob("*") if p.is_file())
+    report.line(
+        f"model: {fmt_mb(model_bytes)} parameters (embedding-dominated); "
+        f"corpus: {fmt_mb(corpus_bytes)} — model/dataset ratio "
+        f"{model_bytes / corpus_bytes:.0f}x"
+    )
+    report.line()
+
+    rows = []
+    totals = {}
+    for approach in ("baseline", "param_update", "provenance"):
+        stores = SharedStores.at(bench_workdir / f"nlp-{approach}")
+        service = make_service(approach, stores, dataset_codec="stored")
+        nn.manual_seed(0)
+        base = text_classifier(**MODEL_KWARGS)
+        base.load_state_dict(states[0])
+        base_id = service.save_model(ModelSaveInfo(base, arch, use_case="U_1"))
+        save_seconds = 0.0
+        storage = 0
+        previous = base_id
+        for index, run in enumerate(runs):
+            model = text_classifier(**MODEL_KWARGS)
+            model.load_state_dict(states[index + 1])
+            started = time.perf_counter()
+            if approach == "provenance":
+                model_id = service.save_model(
+                    run.to_provenance_info(previous, trained_model=model)
+                )
+            else:
+                model_id = service.save_model(
+                    ModelSaveInfo(model, arch, base_model_id=previous)
+                )
+            save_seconds += time.perf_counter() - started
+            storage += service.model_save_size(model_id).total
+            previous = model_id
+        # recover the deepest model once (TTR context for the tradeoff)
+        started = time.perf_counter()
+        recovered = service.recover_model(previous)
+        ttr = time.perf_counter() - started
+        assert recovered.verified is not False
+        totals[approach] = (storage, save_seconds, ttr)
+        rows.append(
+            [
+                approach,
+                fmt_mb(storage),
+                fmt_ms(save_seconds / DERIVED_MODELS),
+                fmt_ms(ttr),
+            ]
+        )
+    report.table(
+        ["approach", f"storage ({DERIVED_MODELS} derived)", "mean TTS", "TTR (deepest)"],
+        rows,
+    )
+
+    # §4.7 claims for the NLP regime
+    ba_storage, ba_tts, ba_ttr = totals["baseline"]
+    mpa_storage, mpa_tts, mpa_ttr = totals["provenance"]
+    assert mpa_storage < 0.25 * ba_storage, "MPA must dominate storage for NLP"
+    assert mpa_tts < ba_tts, "MPA must dominate TTS for NLP"
+    assert mpa_ttr > ba_ttr, "the price: MPA recovery replays training"
+    report.line(
+        f"MPA saves {1 - mpa_storage / ba_storage:.0%} storage and "
+        f"{1 - mpa_tts / ba_tts:.0%} TTS vs BA, at {mpa_ttr / ba_ttr:.1f}x the TTR "
+        "— the paper's storage-retraining tradeoff in its best MPA regime."
+    )
+    report.write()

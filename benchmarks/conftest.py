@@ -1,0 +1,139 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and writes a
+plain-text report to ``benchmarks/results/``.  Reports hold the same rows /
+series the paper shows; EXPERIMENTS.md records the paper-vs-measured
+comparison.
+
+Scaling knobs (environment variables):
+
+``MMLIB_BENCH_SCALE``
+    Model width scale (default 0.25).  ``1.0`` gives the paper's exact
+    architectures (Table 2 always uses 1.0 regardless).
+``MMLIB_BENCH_DATASET_SCALE``
+    Fraction of the paper's dataset bytes (default 1/64).
+``MMLIB_BENCH_FULL``
+    Set to ``1`` to run the heavy variants (DIST-10/20 flows).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import ModelSaveInfo
+from repro.core.schema import APPROACH_PROVENANCE
+from repro.workloads import ChainConfig, build_chain
+
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+CACHE_DIR = BENCH_DIR / ".cache"
+
+MODEL_SCALE = float(os.environ.get("MMLIB_BENCH_SCALE", "0.25"))
+# Model parameter bytes shrink roughly with MODEL_SCALE^2; matching the
+# dataset scale to that factor keeps the paper's dataset-bytes /
+# model-bytes ratios — and therefore the MPA-vs-BA crossovers — in place.
+DATASET_SCALE = float(
+    os.environ.get("MMLIB_BENCH_DATASET_SCALE", str(max(MODEL_SCALE**2, 1 / 256)))
+)
+FULL_RUN = os.environ.get("MMLIB_BENCH_FULL", "0") == "1"
+
+#: Evaluation classifier width (paper: 1000 ImageNet classes).  Scaled-down
+#: benches use fewer classes to keep the classifier in proportion.
+NUM_CLASSES = 1000 if MODEL_SCALE >= 1.0 else 100
+
+
+def chain_config(
+    architecture: str,
+    relation: str = "fully_updated",
+    u3_dataset: str = "co512",
+    iterations: int = 4,
+    batches_per_epoch: int = 2,
+) -> ChainConfig:
+    """Benchmark-scaled chain configuration for one experiment."""
+    return ChainConfig(
+        architecture=architecture,
+        relation=relation,
+        u3_dataset=u3_dataset,
+        iterations=iterations,
+        u2_epochs=1,
+        u3_epochs=1,
+        batches_per_epoch=batches_per_epoch,
+        scale=MODEL_SCALE,
+        num_classes=NUM_CLASSES,
+        dataset_scale=DATASET_SCALE,
+        image_size=32,
+    )
+
+
+def get_chain(config: ChainConfig):
+    """Build (or reuse from the bench cache) a pre-trained model chain."""
+    return build_chain(CACHE_DIR, config)
+
+
+def save_chain_through(service, chain, approach: str) -> dict[str, str]:
+    """Save every chain snapshot through a service; use case -> model id."""
+    arch = chain.config.architecture_ref()
+    ids: dict[str, str] = {}
+    for step in chain.steps:
+        base_id = (
+            ids[chain.steps[step.base_index].use_case]
+            if step.base_index is not None
+            else None
+        )
+        model = chain.build_model(step.use_case)
+        if approach == APPROACH_PROVENANCE and step.run is not None:
+            info = step.run.to_provenance_info(
+                base_id, trained_model=model, use_case=step.use_case
+            )
+        else:
+            info = ModelSaveInfo(
+                model=model, architecture=arch, base_model_id=base_id, use_case=step.use_case
+            )
+        ids[step.use_case] = service.save_model(info)
+    return ids
+
+
+class Report:
+    """Accumulates one experiment's output and writes it to results/."""
+
+    def __init__(self, experiment: str, title: str):
+        self.experiment = experiment
+        self.lines = [f"# {experiment}: {title}", ""]
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [
+            max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+            for i in range(len(headers))
+        ]
+        self.line("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+        self.line("  ".join("-" * w for w in widths))
+        for row in rows:
+            self.line("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        self.line()
+
+    def write(self) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{self.experiment}.txt"
+        content = "\n".join(self.lines) + "\n"
+        path.write_text(content)
+        print(f"\n{content}")
+        return path
+
+
+@pytest.fixture(scope="session")
+def bench_workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("bench-stores")
+
+
+def fmt_mb(num_bytes: float) -> str:
+    return f"{num_bytes / 1e6:.2f} MB"
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f} ms"

@@ -1,0 +1,96 @@
+"""Choosing a save approach per workload (paper §4.7).
+
+Three teams share one model-management deployment:
+
+* a *vision* team fine-tuning the last layer of big CNNs on large image
+  dumps (partial updates, dataset >> update);
+* an *NLP* team fully fine-tuning a large model on small text corpora for a
+  few minutes at a time (model >> dataset);
+* a *streaming* team whose datasets already live in a managed data lake
+  (nothing to archive).
+
+The example profiles each scenario, lets the cost-model selector pick an
+approach under a storage budget and a recovery deadline, and prints the
+paper's storage-retraining tradeoff for each.
+
+Run with::
+
+    python examples/approach_selection.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CostModel, ScenarioProfile, recommend_approach, select_approach
+
+SCENARIOS = {
+    "vision / partial fine-tune": ScenarioProfile(
+        model_bytes=240_000_000,  # ResNet-152-class model
+        dataset_bytes=95_000_000,  # CF-512-class image dump
+        updated_fraction=0.034,  # only the classifier changes
+        train_seconds=1800,
+        recovers_per_save=0.01,
+    ),
+    "NLP / full fine-tune": ScenarioProfile(
+        model_bytes=1_300_000_000,  # large language model
+        dataset_bytes=4_000_000,  # small instruction corpus
+        updated_fraction=1.0,
+        train_seconds=300,
+        recovers_per_save=0.01,
+    ),
+    "streaming / managed data lake": ScenarioProfile(
+        model_bytes=50_000_000,
+        dataset_bytes=20_000_000_000,
+        updated_fraction=0.8,
+        train_seconds=2400,
+        dataset_externally_managed=True,
+        recovers_per_save=0.05,
+    ),
+}
+
+
+def main() -> None:
+    cost_model = CostModel()
+    for label, profile in SCENARIOS.items():
+        print(f"== {label}")
+        print(
+            f"   model {profile.model_bytes / 1e6:.0f} MB, "
+            f"dataset {profile.dataset_bytes / 1e6:.0f} MB"
+            f"{' (externally managed)' if profile.dataset_externally_managed else ''}, "
+            f"{profile.updated_fraction:.0%} of parameters change per update"
+        )
+
+        for estimate in cost_model.estimate(profile, chain_depth=5):
+            print(
+                f"   {estimate.approach:<13} storage {estimate.storage_bytes / 1e6:8.1f} MB   "
+                f"TTS {estimate.save_seconds:6.2f} s   TTR {estimate.recover_seconds:8.1f} s"
+            )
+
+        simple = recommend_approach(profile)
+        print(f"   ratio heuristic picks: {simple}")
+
+        # constrained selection: storage budget and a recovery deadline
+        budget = select_approach(
+            profile,
+            chain_depth=5,
+            max_storage_bytes=0.2 * profile.model_bytes,
+            max_recover_seconds=None,
+        )
+        print(f"   under a 20%-of-model storage budget: {budget.approach}")
+        try:
+            strict = select_approach(
+                profile,
+                chain_depth=5,
+                max_storage_bytes=0.2 * profile.model_bytes,
+                max_recover_seconds=30.0,
+            )
+            print(f"   …and a 30 s recovery deadline:      {strict.approach}")
+        except ValueError:
+            print(
+                "   …and a 30 s recovery deadline:      infeasible — the "
+                "storage-retraining tradeoff has no free lunch; relax one bound"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — a full reproduction of MMlib (EDBT 2022).
+
+"Efficiently Managing Deep Learning Models in a Distributed Environment"
+(Strassenburg, Tolovski, Rabl): three approaches for saving and recovering
+exact deep-learning models — baseline snapshots, parameter updates, and
+model provenance — rebuilt from scratch on a numpy deep-learning substrate
+with a document store, shared file store, and distributed-environment
+simulator.
+
+Subpackages
+-----------
+``repro.nn``        numpy DL substrate (tensors, autograd, models, optim)
+``repro.docstore``  MongoDB-substitute document database (+ TCP server)
+``repro.filestore`` shared file storage (+ simulated network links)
+``repro.core``      MMlib itself: BA / PUA / MPA, probe tool, heuristics
+``repro.distsim``   server/node simulation and evaluation flows
+``repro.workloads`` synthetic datasets, model relations, chain pretraining
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,421 @@
+"""``mmlib`` command-line interface.
+
+Operates a model-management deployment from the shell: inspect the
+catalog, walk lineage, recover models to state files, delete and garbage
+collect, probe reproducibility, and dump the environment snapshot.
+
+Every command takes ``--docs`` and ``--files`` (the shared document and
+file store directories).  Examples::
+
+    mmlib --docs db --files blobs list
+    mmlib --docs db --files blobs inspect model-0123…
+    mmlib --docs db --files blobs lineage model-0123…
+    mmlib --docs db --files blobs recover model-0123… --out model.state
+    mmlib --docs db --files blobs save --factory repro.nn.models:resnet18 \\
+          --factory-kwargs '{"num_classes": 10, "scale": 0.25}' \\
+          --state model.state --approach baseline
+    mmlib --docs db --files blobs delete model-0123… --force
+    mmlib --docs db --files blobs gc
+    mmlib probe --factory repro.nn.models:resnet18 \\
+          --factory-kwargs '{"num_classes": 10, "scale": 0.25}'
+    mmlib env
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser", "CliError"]
+
+
+class CliError(Exception):
+    """User-facing CLI failure (bad arguments, missing stores)."""
+
+
+def _split_factory(spec: str):
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise CliError(f"--factory must look like 'package.module:callable', got {spec!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError as exc:
+        raise CliError(f"{module_name!r} has no attribute {attr!r}") from exc
+
+
+def _open_manager(args):
+    from repro.core import ModelManager
+    from repro.core.baseline import BaselineSaveService
+    from repro.docstore import DocumentStore
+    from repro.filestore import FileStore
+
+    if not args.docs or not args.files:
+        raise CliError("this command requires --docs and --files store directories")
+    service = BaselineSaveService(DocumentStore(args.docs), FileStore(args.files))
+    return ModelManager(service)
+
+
+def _service_for(args, approach: str):
+    from repro.core import (
+        AdaptiveSaveService,
+        BaselineSaveService,
+        ParameterUpdateSaveService,
+        ProvenanceSaveService,
+    )
+    from repro.docstore import DocumentStore
+    from repro.filestore import FileStore
+
+    services = {
+        "baseline": BaselineSaveService,
+        "param_update": ParameterUpdateSaveService,
+        "provenance": ProvenanceSaveService,
+        "adaptive": AdaptiveSaveService,
+    }
+    if approach not in services:
+        raise CliError(f"unknown approach {approach!r}; options: {sorted(services)}")
+    return services[approach](DocumentStore(args.docs), FileStore(args.files))
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_list(args) -> int:
+    """List the catalog, optionally filtered by use case / approach."""
+    manager = _open_manager(args)
+    query = {}
+    if args.use_case:
+        query["use_case"] = args.use_case
+    if args.approach:
+        query["approach"] = args.approach
+    records = manager.list_models(query or None)
+    if not records:
+        print("no models saved")
+        return 0
+    print(f"{'model id':<40} {'approach':<13} {'use case':<10} {'base':<10} derived")
+    for record in records:
+        base = (record.base_model_id or "-")[:10]
+        print(
+            f"{record.model_id:<40} {record.approach:<13} "
+            f"{(record.use_case or '-'):<10} {base:<10} {len(record.derived_model_ids)}"
+        )
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Print one model's metadata and storage breakdown."""
+    manager = _open_manager(args)
+    record = manager.get(args.model_id)
+    breakdown = manager.service.model_save_size(args.model_id)
+    print(f"model:     {record.model_id}")
+    print(f"approach:  {record.approach}")
+    print(f"use case:  {record.use_case or '-'}")
+    print(f"base:      {record.base_model_id or '- (root model)'}")
+    print(f"derived:   {len(record.derived_model_ids)} model(s)")
+    print(f"storage:   {breakdown.total:,} bytes "
+          f"(documents {breakdown.documents:,} + files {breakdown.file_bytes:,})")
+    for role, size in sorted(breakdown.files.items()):
+        print(f"  {role:<12} {size:,} bytes")
+    return 0
+
+
+def cmd_lineage(args) -> int:
+    """Print the recovery chain from a model up to its root."""
+    manager = _open_manager(args)
+    chain = manager.lineage(args.model_id)
+    print("recovery chain (model -> root):")
+    for depth, record in enumerate(chain):
+        print(f"  {'  ' * depth}{record.model_id} [{record.approach}] {record.use_case or '-'}")
+    return 0
+
+
+def cmd_tree(args) -> int:
+    """Print the derivation tree rooted at a model."""
+    manager = _open_manager(args)
+    print(manager.lineage_tree(args.model_id))
+    return 0
+
+
+def cmd_storage(args) -> int:
+    """Print per-model and total storage consumption."""
+    manager = _open_manager(args)
+    report = manager.storage_report()
+    total = 0
+    for model_id, breakdown in report.items():
+        total += breakdown.total
+        print(f"{model_id:<40} {breakdown.approach:<13} {breakdown.total:>14,} bytes")
+    print(f"{'TOTAL':<54} {total:>14,} bytes over {len(report)} model(s)")
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """Recover a model and write its parameters to a state file."""
+    from repro.nn import serialization
+
+    manager = _open_manager(args)
+    recovered = manager.recover(
+        args.model_id, check_env=args.check_env, verify=not args.no_verify
+    )
+    out = Path(args.out)
+    serialization.save(recovered.model.state_dict(), out)
+    print(
+        f"recovered {recovered.model_id} "
+        f"(approach={recovered.approach}, depth={recovered.recovery_depth}, "
+        f"verified={recovered.verified}) -> {out}"
+    )
+    for phase, seconds in recovered.timings.items():
+        print(f"  {phase:<10} {seconds * 1e3:8.1f} ms")
+    return 0
+
+
+def cmd_save(args) -> int:
+    """Save a model snapshot built by a factory (optionally from a state file)."""
+    from repro.core import ArchitectureRef, ModelSaveInfo
+    from repro.nn import serialization
+
+    factory = _split_factory(args.factory)
+    kwargs = json.loads(args.factory_kwargs) if args.factory_kwargs else {}
+    model = factory(**kwargs)
+    if args.state:
+        model.load_state_dict(serialization.load(args.state))
+    module_name, _, attr = args.factory.partition(":")
+    architecture = ArchitectureRef.from_factory(module_name, attr, kwargs)
+    service = _service_for(args, args.approach)
+    model_id = service.save_model(
+        ModelSaveInfo(
+            model=model,
+            architecture=architecture,
+            base_model_id=args.base,
+            use_case=args.use_case,
+        )
+    )
+    print(model_id)
+    return 0
+
+
+def cmd_delete(args) -> int:
+    """Delete a model and the documents/files only it references."""
+    manager = _open_manager(args)
+    manager.delete_model(args.model_id, force=args.force)
+    print(f"deleted {args.model_id}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Recover and checksum-verify every model in the catalog."""
+    manager = _open_manager(args)
+    results = manager.verify_catalog(use_cache=not args.no_cache)
+    failures = [mid for mid, ok in results.items() if ok is False]
+    for model_id, ok in results.items():
+        status = {True: "verified", None: "no checksums", False: "FAILED"}[ok]
+        print(f"{model_id:<40} {status}")
+    print(f"{len(results)} model(s) checked, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def cmd_squash(args) -> int:
+    """Promote a model to a snapshot; optionally drop exclusive ancestors."""
+    manager = _open_manager(args)
+    if args.promote_only:
+        manager.promote_to_snapshot(args.model_id)
+        print(f"promoted {args.model_id} to a self-contained snapshot")
+        return 0
+    deleted = manager.squash_chain(args.model_id)
+    print(
+        f"promoted {args.model_id} and deleted {deleted} exclusive ancestor(s)"
+    )
+    return 0
+
+
+def cmd_gc(args) -> int:
+    """Remove files in the blob store that no document references."""
+    manager = _open_manager(args)
+    stats = manager.garbage_collect()
+    print(f"removed {stats['files_removed']} orphaned file(s), "
+          f"freed {stats['bytes_freed']:,} bytes")
+    return 0
+
+
+def cmd_probe(args) -> int:
+    """Probe a model's training reproducibility (optionally save/compare)."""
+    from repro.core import ProbeSummary, probe_reproducibility, probe_training
+    from repro.nn import manual_seed, randn, rng
+
+    factory = _split_factory(args.factory)
+    kwargs = json.loads(args.factory_kwargs) if args.factory_kwargs else {}
+    manual_seed(args.seed)
+    model = factory(**kwargs)
+    images = randn(args.batch_size, 3, args.image_size, args.image_size)
+    labels = np.arange(args.batch_size, dtype=np.int64) % 2
+
+    if args.compare:
+        with rng.deterministic_mode(True):
+            with rng.fork_rng(args.seed):
+                summary = probe_training(model, images, labels)
+        reference = ProbeSummary.load(args.compare)
+        comparison = reference.compare(summary)
+        print(f"reproducible vs {args.compare}: {comparison.reproducible}")
+        if not comparison.reproducible:
+            print(f"first divergence: {comparison.first_divergence}")
+            return 1
+        return 0
+
+    result = probe_reproducibility(model, images, labels, seed=args.seed, training=True)
+    print(f"training reproducible: {result.reproducible} "
+          f"({result.record_count} records)")
+    if not result.reproducible:
+        print(f"first divergence: {result.first_divergence}")
+    if args.save:
+        with rng.deterministic_mode(True):
+            with rng.fork_rng(args.seed):
+                probe_training(model, images, labels).save(args.save)
+        print(f"probe summary written to {args.save}")
+    return 0 if result.reproducible else 1
+
+
+def cmd_env(args) -> int:
+    """Print, lock, or check the current environment snapshot."""
+    from repro.core import collect_environment
+    from repro.core.environment import check_lockfile, write_lockfile
+
+    if args.check:
+        from repro.core import EnvironmentMismatchError
+
+        try:
+            check_lockfile(args.check)
+        except EnvironmentMismatchError as exc:
+            print(f"environment drift detected: {exc}", file=sys.stderr)
+            return 1
+        print(f"environment matches lockfile {args.check}")
+        return 0
+    if args.lock:
+        write_lockfile(args.lock)
+        print(f"environment lockfile written to {args.lock}")
+        return 0
+    info = collect_environment()
+    payload = info.to_dict()
+    if not args.full:
+        payload["libraries"] = f"<{len(payload['libraries'])} packages>"
+    print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``mmlib`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="mmlib", description="MMlib model management (EDBT 2022 reproduction)"
+    )
+    parser.add_argument("--docs", help="document store directory")
+    parser.add_argument("--files", help="file store directory")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="list saved models")
+    list_parser.add_argument("--use-case")
+    list_parser.add_argument("--approach")
+    list_parser.set_defaults(func=cmd_list)
+
+    inspect_parser = commands.add_parser("inspect", help="show one model's details")
+    inspect_parser.add_argument("model_id")
+    inspect_parser.set_defaults(func=cmd_inspect)
+
+    lineage_parser = commands.add_parser("lineage", help="show a model's recovery chain")
+    lineage_parser.add_argument("model_id")
+    lineage_parser.set_defaults(func=cmd_lineage)
+
+    tree_parser = commands.add_parser("tree", help="show the derivation tree under a model")
+    tree_parser.add_argument("model_id")
+    tree_parser.set_defaults(func=cmd_tree)
+
+    storage_parser = commands.add_parser("storage", help="per-model storage report")
+    storage_parser.set_defaults(func=cmd_storage)
+
+    recover_parser = commands.add_parser("recover", help="recover a model to a state file")
+    recover_parser.add_argument("model_id")
+    recover_parser.add_argument("--out", required=True, help="output state-file path")
+    recover_parser.add_argument("--check-env", action="store_true")
+    recover_parser.add_argument("--no-verify", action="store_true")
+    recover_parser.set_defaults(func=cmd_recover)
+
+    save_parser = commands.add_parser("save", help="save a model snapshot")
+    save_parser.add_argument("--factory", required=True, help="'module:callable' building the model")
+    save_parser.add_argument("--factory-kwargs", help="JSON kwargs for the factory")
+    save_parser.add_argument("--state", help="state file with the parameters to save")
+    save_parser.add_argument("--base", help="base model id for derived models")
+    save_parser.add_argument("--use-case", help="use-case tag, e.g. U_3-1-1")
+    save_parser.add_argument(
+        "--approach",
+        default="baseline",
+        help="baseline | param_update | provenance | adaptive",
+    )
+    save_parser.set_defaults(func=cmd_save)
+
+    delete_parser = commands.add_parser("delete", help="delete a model and its files")
+    delete_parser.add_argument("model_id")
+    delete_parser.add_argument("--force", action="store_true",
+                               help="delete even if derived models depend on it")
+    delete_parser.set_defaults(func=cmd_delete)
+
+    gc_parser = commands.add_parser("gc", help="remove orphaned files from the file store")
+    gc_parser.set_defaults(func=cmd_gc)
+
+    verify_parser = commands.add_parser(
+        "verify", help="recover + checksum-verify every model in the catalog"
+    )
+    verify_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the chain-prefix recovery cache",
+    )
+    verify_parser.set_defaults(func=cmd_verify)
+
+    squash_parser = commands.add_parser(
+        "squash", help="promote a model to a snapshot and drop exclusive ancestors"
+    )
+    squash_parser.add_argument("model_id")
+    squash_parser.add_argument(
+        "--promote-only", action="store_true",
+        help="make the model self-contained but keep its ancestors",
+    )
+    squash_parser.set_defaults(func=cmd_squash)
+
+    probe_parser = commands.add_parser("probe", help="probe a model's reproducibility")
+    probe_parser.add_argument("--factory", required=True)
+    probe_parser.add_argument("--factory-kwargs")
+    probe_parser.add_argument("--seed", type=int, default=0)
+    probe_parser.add_argument("--batch-size", type=int, default=2)
+    probe_parser.add_argument("--image-size", type=int, default=32)
+    probe_parser.add_argument("--save", help="write the probe summary JSON here")
+    probe_parser.add_argument("--compare", help="compare against a saved summary JSON")
+    probe_parser.set_defaults(func=cmd_probe)
+
+    env_parser = commands.add_parser("env", help="print/lock/check the environment")
+    env_parser.add_argument("--full", action="store_true", help="include the package list")
+    env_parser.add_argument("--lock", help="write an environment lockfile to this path")
+    env_parser.add_argument("--check", help="verify this machine against a lockfile")
+    env_parser.set_defaults(func=cmd_env)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # CLI boundary: print, don't traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

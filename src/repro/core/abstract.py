@@ -1,0 +1,422 @@
+"""Save-service interface and the shared recovery engine.
+
+The three approaches differ in *how they save* a model; recovery is driven
+entirely by what a model document contains, so the logic lives here once:
+
+* a document with a ``parameters_file`` is a full snapshot — rebuild the
+  architecture and load the parameters (baseline logic);
+* a ``param_update`` document recovers its base model first, then merges
+  the saved parameter update layer-wise, prioritizing the update
+  (Section 3.2);
+* a ``provenance`` document recovers its base model first, then reproduces
+  the recorded training (Section 3.3).
+
+Recovery is therefore recursive for derived models, matching the paper's
+description, while the baseline "explicitly excludes loading documents
+holding base model information" — its documents simply never reference any
+during recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from ..nn import rng, serialization
+from ..nn.modules import Module
+from .dataset_manager import DatasetManager
+from .environment import EnvironmentInfo, check_environment, collect_environment
+from .errors import ModelNotFoundError, RecoveryError, VerificationError
+from .cache import RecoveryCache
+from .hashing import state_dict_hashes
+from .ids import new_model_id
+from .merkle import MerkleTree
+from .recover import RecoveredModelInfo, StorageBreakdown
+from .save_info import ArchitectureRef, TrainRunSpec
+from .schema import (
+    APPROACH_PARAM_UPDATE,
+    APPROACH_PROVENANCE,
+    ENVIRONMENTS,
+    MODELS,
+    TRAIN_INFO,
+    WRAPPERS,
+)
+from .train_service import load_train_service
+
+__all__ = ["AbstractSaveService"]
+
+
+class AbstractSaveService:
+    """Common persistence plumbing for all three approaches.
+
+    ``document_store`` needs a ``collection(name)`` method (the embedded
+    :class:`~repro.docstore.DocumentStore` and the TCP client both qualify);
+    ``file_store`` is a :class:`~repro.filestore.FileStore` or compatible.
+    """
+
+    #: Set by subclasses; stored in every model document they save.
+    approach: str = "abstract"
+
+    def __init__(
+        self,
+        document_store,
+        file_store,
+        scratch_dir: str | Path | None = None,
+        dataset_codec: str | None = None,
+    ):
+        self.documents = document_store
+        self.files = file_store
+        # the MPA archives datasets to a single file; the codec is a policy
+        # knob (see bench_ablation_compression: deflate buys <10% on image
+        # data while costing CPU, so "stored" suits JPEG-like datasets)
+        if dataset_codec is None:
+            self.dataset_manager = DatasetManager(file_store)
+        else:
+            self.dataset_manager = DatasetManager(file_store, codec=dataset_codec)
+        self._scratch_dir = Path(scratch_dir) if scratch_dir else None
+
+    # ------------------------------------------------------------------
+    # save (subclass responsibility)
+    # ------------------------------------------------------------------
+
+    def save_model(self, save_info) -> str:
+        raise NotImplementedError
+
+    # -- shared save helpers ----------------------------------------------
+
+    def _save_environment(self) -> str:
+        info = collect_environment()
+        return self.documents.collection(ENVIRONMENTS).insert_one(info.to_dict())
+
+    def _save_architecture(self, architecture: ArchitectureRef) -> dict:
+        code_file_id = self.files.save_bytes(architecture.source.encode(), suffix=".py")
+        payload = architecture.to_dict()
+        payload["code_file_id"] = code_file_id
+        return payload
+
+    def _save_parameters(self, model: Module) -> tuple[str, "OrderedDict[str, str]", str]:
+        """Serialize a full snapshot; returns (file id, layer hashes, root)."""
+        state = model.state_dict()
+        file_id = self.files.save_bytes(serialization.dumps(state), suffix=".params")
+        hashes = state_dict_hashes(state)
+        root = MerkleTree.from_layer_hashes(hashes).root_hash
+        return file_id, hashes, root
+
+    def _insert_model_document(self, document: dict) -> str:
+        model_id = new_model_id()
+        document = dict(document)
+        document["_id"] = model_id
+        document["approach"] = document.get("approach", self.approach)
+        document["saved_at"] = time.time()
+        self.documents.collection(MODELS).insert_one(document)
+        return model_id
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def _get_model_document(self, model_id: str) -> dict:
+        try:
+            return self.documents.collection(MODELS).get(model_id)
+        except KeyError as exc:
+            raise ModelNotFoundError(f"no saved model with id {model_id!r}") from exc
+
+    def model_exists(self, model_id: str) -> bool:
+        try:
+            self._get_model_document(model_id)
+            return True
+        except ModelNotFoundError:
+            return False
+
+    def saved_model_ids(self) -> list[str]:
+        return sorted(d["_id"] for d in self.documents.collection(MODELS).find())
+
+    def base_chain(self, model_id: str) -> list[str]:
+        """Ids from ``model_id`` up to (and including) its root base model."""
+        chain = []
+        seen = set()
+        current: str | None = model_id
+        while current is not None:
+            if current in seen:
+                raise RecoveryError(f"cycle in base-model chain at {current!r}")
+            seen.add(current)
+            chain.append(current)
+            current = self._get_model_document(current).get("base_model")
+        return chain
+
+    # ------------------------------------------------------------------
+    # recover
+    # ------------------------------------------------------------------
+
+    def recover_model(
+        self,
+        model_id: str,
+        check_env: bool = False,
+        verify: bool = True,
+        execution_env: dict | None = None,
+        cache: RecoveryCache | None = None,
+    ) -> RecoveredModelInfo:
+        """Recover the exact model saved under ``model_id``.
+
+        ``check_env`` compares the stored environment snapshot against the
+        current one and raises on mismatch.  ``verify`` re-hashes the
+        recovered parameters against the stored Merkle root.
+        ``execution_env`` passes extra restore-time refs to train services
+        (e.g. an externally managed dataset's location).  Passing a shared
+        :class:`RecoveryCache` across calls memoizes chain prefixes, so
+        recovering many models of one chain does O(n) instead of O(n²)
+        base recoveries.
+        """
+        timings = {"load": 0.0, "recover": 0.0, "check_env": 0.0, "check_hash": 0.0}
+        document = self._get_model_document(model_id)
+        # recovery rebuilds architectures and may replay training; none of
+        # that must disturb the caller's RNG stream or determinism setting
+        caller_rng = rng.get_rng_state()
+        caller_det = rng.deterministic_algorithms_enabled()
+        try:
+            model, depth = self._recover_from_document(
+                document, timings, execution_env or {}, cache
+            )
+        finally:
+            rng.set_rng_state(caller_rng)
+            rng.use_deterministic_algorithms(caller_det)
+
+        if check_env:
+            started = time.perf_counter()
+            saved_env = EnvironmentInfo.from_dict(
+                self.documents.collection(ENVIRONMENTS).get(document["environment_id"])
+            )
+            check_environment(saved_env)
+            timings["check_env"] = time.perf_counter() - started
+
+        verified: bool | None = None
+        if verify:
+            started = time.perf_counter()
+            stored_root = document.get("merkle_root")
+            if stored_root is not None:
+                actual_root = MerkleTree.from_state_dict(model.state_dict()).root_hash
+                if actual_root != stored_root:
+                    raise VerificationError(
+                        f"recovered model {model_id} fails checksum verification: "
+                        f"{actual_root} != stored {stored_root}"
+                    )
+                verified = True
+            timings["check_hash"] = time.perf_counter() - started
+
+        return RecoveredModelInfo(
+            model_id=model_id,
+            model=model,
+            approach=document.get("approach", "unknown"),
+            base_model_id=document.get("base_model"),
+            use_case=document.get("use_case"),
+            timings=timings,
+            verified=verified,
+            recovery_depth=depth,
+        )
+
+    # -- per-document recovery ---------------------------------------------
+
+    def _recover_from_document(
+        self,
+        document: dict,
+        timings: dict,
+        execution_env: dict,
+        cache: RecoveryCache | None = None,
+    ) -> tuple[Module, int]:
+        doc_id = document.get("_id")
+        if cache is not None and doc_id is not None:
+            hit = cache.get(doc_id)
+            if hit is not None:
+                return hit
+
+        architecture: ArchitectureRef | None = None
+        if document.get("parameters_file"):
+            architecture = self._load_architecture(document, timings)
+            model, depth = self._recover_snapshot(document, timings, architecture), 0
+        else:
+            approach = document.get("approach")
+            if approach == APPROACH_PARAM_UPDATE:
+                model, depth = self._recover_param_update(
+                    document, timings, execution_env, cache
+                )
+            elif approach == APPROACH_PROVENANCE:
+                model, depth = self._recover_provenance(
+                    document, timings, execution_env, cache
+                )
+            else:
+                raise RecoveryError(
+                    f"model document {doc_id} has neither parameters nor a "
+                    f"recoverable approach (approach={approach!r})"
+                )
+            if cache is not None:
+                # derived models share their base's architecture (the
+                # relations the paper covers keep the architecture fixed)
+                architecture = cache.architecture_of(document.get("base_model"))
+
+        if cache is not None and doc_id is not None and architecture is not None:
+            cache.put(doc_id, model, architecture, depth)
+        return model, depth
+
+    def _load_architecture(self, document: dict, timings: dict) -> ArchitectureRef:
+        started = time.perf_counter()
+        payload = document["architecture"]
+        source = self.files.recover_bytes(payload["code_file_id"]).decode()
+        timings["load"] += time.perf_counter() - started
+        return ArchitectureRef.from_dict(payload, source=source)
+
+    def _recover_snapshot(
+        self, document: dict, timings: dict, architecture: ArchitectureRef | None = None
+    ) -> Module:
+        if architecture is None:
+            architecture = self._load_architecture(document, timings)
+        started = time.perf_counter()
+        state_bytes = self.files.recover_bytes(document["parameters_file"])
+        timings["load"] += time.perf_counter() - started
+
+        started = time.perf_counter()
+        model = architecture.build()
+        model.load_state_dict(serialization.loads(state_bytes))
+        timings["recover"] += time.perf_counter() - started
+        return model
+
+    def _recover_base(
+        self,
+        document: dict,
+        timings: dict,
+        execution_env: dict,
+        cache: RecoveryCache | None = None,
+    ) -> tuple[Module, int]:
+        base_id = document.get("base_model")
+        if not base_id:
+            raise RecoveryError(
+                f"derived model document {document.get('_id')} lacks a base model ref"
+            )
+        base_document = self._get_model_document(base_id)
+        return self._recover_from_document(base_document, timings, execution_env, cache)
+
+    def _recover_param_update(
+        self,
+        document: dict,
+        timings: dict,
+        execution_env: dict,
+        cache: RecoveryCache | None = None,
+    ) -> tuple[Module, int]:
+        model, depth = self._recover_base(document, timings, execution_env, cache)
+
+        started = time.perf_counter()
+        update_bytes = self.files.recover_bytes(document["update_file"])
+        timings["load"] += time.perf_counter() - started
+
+        started = time.perf_counter()
+        update_state = serialization.loads(update_bytes)
+        # merge layer-wise, prioritizing the derived model's parameters
+        merged = model.state_dict()
+        merged.update(update_state)
+        model.load_state_dict(merged)
+        timings["recover"] += time.perf_counter() - started
+        return model, depth + 1
+
+    def _recover_provenance(
+        self,
+        document: dict,
+        timings: dict,
+        execution_env: dict,
+        cache: RecoveryCache | None = None,
+    ) -> tuple[Module, int]:
+        model, depth = self._recover_base(document, timings, execution_env, cache)
+
+        started = time.perf_counter()
+        train_info_id = document["train_info_id"]
+        train_document = self.documents.collection(TRAIN_INFO).get(train_info_id)
+        provenance = document["provenance"]
+        refs = dict(execution_env)
+        refs["model"] = model
+        if provenance.get("dataset_file_id"):
+            scratch = self._scratch_dir or Path(tempfile.gettempdir()) / "mmlib-scratch"
+            target = Path(tempfile.mkdtemp(prefix="dataset-", dir=_ensure_dir(scratch)))
+            self.dataset_manager.recover_dataset(provenance["dataset_file_id"], target)
+            refs["dataset_root"] = str(target)
+        elif provenance.get("dataset_reference"):
+            if "dataset_root" not in refs:
+                raise RecoveryError(
+                    "model was saved against externally managed dataset "
+                    f"{provenance['dataset_reference']!r}; pass its location via "
+                    "execution_env={'dataset_root': ...}"
+                )
+        timings["load"] += time.perf_counter() - started
+
+        started = time.perf_counter()
+        spec = TrainRunSpec.from_dict(provenance["train_spec"])
+        service = load_train_service(train_info_id, self.documents, self.files, refs)
+        previous_rng = rng.get_rng_state()
+        previous_det = rng.deterministic_algorithms_enabled()
+        try:
+            rng.set_rng_state(provenance["rng_state"])
+            rng.use_deterministic_algorithms(spec.deterministic)
+            service.train(
+                model,
+                number_epochs=spec.number_epochs,
+                number_batches=spec.number_batches,
+            )
+        finally:
+            rng.set_rng_state(previous_rng)
+            rng.use_deterministic_algorithms(previous_det)
+        timings["recover"] += time.perf_counter() - started
+        return model, depth + 1
+
+    # ------------------------------------------------------------------
+    # storage accounting
+    # ------------------------------------------------------------------
+
+    def model_save_size(self, model_id: str) -> StorageBreakdown:
+        """Bytes consumed by ``model_id`` itself (base models excluded)."""
+        document = self._get_model_document(model_id)
+        doc_bytes = _json_size(document)
+        files: dict[str, int] = {}
+
+        if document.get("environment_id"):
+            env_doc = self.documents.collection(ENVIRONMENTS).get(document["environment_id"])
+            doc_bytes += _json_size(env_doc)
+        architecture = document.get("architecture")
+        if architecture and architecture.get("code_file_id"):
+            files["code"] = self.files.size(architecture["code_file_id"])
+        if document.get("parameters_file"):
+            files["parameters"] = self.files.size(document["parameters_file"])
+        if document.get("update_file"):
+            files["parameters"] = self.files.size(document["update_file"])
+
+        if document.get("train_info_id"):
+            train_document = self.documents.collection(TRAIN_INFO).get(
+                document["train_info_id"]
+            )
+            doc_bytes += _json_size(train_document)
+            for key in ("dataset_wrapper", "optimizer_wrapper"):
+                wrapper_id = train_document.get(key)
+                if wrapper_id:
+                    wrapper_doc = self.documents.collection(WRAPPERS).get(wrapper_id)
+                    doc_bytes += _json_size(wrapper_doc)
+                    if wrapper_doc.get("state_file_id"):
+                        files["state"] = files.get("state", 0) + self.files.size(
+                            wrapper_doc["state_file_id"]
+                        )
+            provenance = document.get("provenance", {})
+            if provenance.get("dataset_file_id"):
+                files["dataset"] = self.files.size(provenance["dataset_file_id"])
+
+        return StorageBreakdown(
+            model_id=model_id,
+            approach=document.get("approach", "unknown"),
+            documents=doc_bytes,
+            files=files,
+        )
+
+
+def _json_size(document: dict) -> int:
+    return len(json.dumps(document, sort_keys=True))
+
+
+def _ensure_dir(path: Path) -> Path:
+    path.mkdir(parents=True, exist_ok=True)
+    return path

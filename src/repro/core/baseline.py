@@ -1,0 +1,40 @@
+"""Baseline approach (BA): complete, independent model snapshots (§3.1).
+
+Every model is saved with its metadata (environment, base reference,
+optional checksums), its architecture (code file + factory reference), and
+a full serialization of its parameters.  Recovery never touches base-model
+documents.
+"""
+
+from __future__ import annotations
+
+from .abstract import AbstractSaveService
+from .save_info import ModelSaveInfo
+from .schema import APPROACH_BASELINE
+
+__all__ = ["BaselineSaveService"]
+
+
+class BaselineSaveService(AbstractSaveService):
+    """Save/recover service implementing the baseline approach."""
+
+    approach = APPROACH_BASELINE
+
+    def save_model(self, save_info: ModelSaveInfo) -> str:
+        """Save a complete snapshot; returns the new model id."""
+        save_info.validate()
+        environment_id = self._save_environment()
+        architecture = self._save_architecture(save_info.architecture)
+        parameters_file, layer_hashes, root = self._save_parameters(save_info.model)
+
+        document = {
+            "base_model": save_info.base_model_id,
+            "use_case": save_info.use_case,
+            "environment_id": environment_id,
+            "architecture": architecture,
+            "parameters_file": parameters_file,
+        }
+        if save_info.store_checksums:
+            document["layer_hashes"] = [[k, v] for k, v in layer_hashes.items()]
+            document["merkle_root"] = root
+        return self._insert_model_document(document)

@@ -1,0 +1,73 @@
+"""Chain recovery cache: reuse shared recovery prefixes.
+
+The PUA's and MPA's recursive recovery (paper §3.2/§3.3) makes recovering
+a model at chain depth *d* cost *d* base recoveries, so recovering a whole
+chain — the server's U_4 "monitor every model" role, or an integrity sweep
+— costs O(n²) base recoveries.  A :class:`RecoveryCache` passed to
+``recover_model`` memoizes each recovered model's parameters (and the
+chain's architecture reference), turning a chain sweep into O(n) work:
+every base model is materialized exactly once.
+
+The cache stores copied state dicts, so recovered models never alias each
+other; entries are keyed by model id and capped by ``max_entries`` (FIFO
+eviction — chain sweeps touch ids in order, so FIFO keeps the hot prefix).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..nn.modules import Module
+from .save_info import ArchitectureRef
+
+__all__ = ["RecoveryCache"]
+
+
+class RecoveryCache:
+    """Memoized recovered models for chain-sweep recoveries."""
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._states: "OrderedDict[str, tuple[dict, ArchitectureRef, int]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, model_id: str) -> bool:
+        return model_id in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def get(self, model_id: str) -> tuple[Module, int] | None:
+        """Materialize a cached model (fresh instance, copied parameters)."""
+        entry = self._states.get(model_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        state, architecture, depth = entry
+        model = architecture.build()
+        model.load_state_dict(state)
+        return model, depth
+
+    def put(self, model_id: str, model: Module, architecture: ArchitectureRef, depth: int) -> None:
+        """Store a recovered model's parameters for later reuse."""
+        state = {key: value.copy() for key, value in model.state_dict().items()}
+        self._states[model_id] = (state, architecture, depth)
+        while len(self._states) > self.max_entries:
+            self._states.popitem(last=False)
+
+    def architecture_of(self, model_id: str) -> ArchitectureRef | None:
+        entry = self._states.get(model_id)
+        return entry[1] if entry else None
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._states.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {"entries": len(self._states), "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,72 @@
+"""Dataset persistence for the model provenance approach.
+
+"MMlib compresses datasets to a file, saves the file, and references it in
+the provenance data" (Section 3.3).  When a dedicated external system
+manages the dataset instead, only a reference string is stored.
+
+Datasets are directories; they are zipped (deflate by default) into a
+single archive whose byte size is what the MPA's storage accounting
+reports.  The codec choice is ablated by ``bench_ablation_compression``.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from pathlib import Path
+
+from ..filestore.store import FileStore
+
+__all__ = ["DatasetManager", "CODEC_DEFLATE", "CODEC_STORED"]
+
+CODEC_DEFLATE = "deflate"
+CODEC_STORED = "stored"
+
+_CODECS = {
+    CODEC_DEFLATE: zipfile.ZIP_DEFLATED,
+    CODEC_STORED: zipfile.ZIP_STORED,
+}
+
+
+class DatasetManager:
+    """Compress, store, and recover training datasets."""
+
+    def __init__(self, file_store: FileStore, codec: str = CODEC_DEFLATE):
+        if codec not in _CODECS:
+            raise ValueError(f"unknown codec {codec!r}; options: {sorted(_CODECS)}")
+        self.file_store = file_store
+        self.codec = codec
+
+    def compress(self, dataset_dir: str | Path) -> bytes:
+        """Zip a dataset directory into a single in-memory archive."""
+        dataset_dir = Path(dataset_dir)
+        if not dataset_dir.is_dir():
+            raise NotADirectoryError(f"dataset directory not found: {dataset_dir}")
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w", compression=_CODECS[self.codec]) as archive:
+            for path in sorted(dataset_dir.rglob("*")):
+                if path.is_file():
+                    archive.write(path, path.relative_to(dataset_dir).as_posix())
+        return buffer.getvalue()
+
+    def save_dataset(self, dataset_dir: str | Path) -> str:
+        """Compress and persist a dataset; returns the archive's file id."""
+        return self.file_store.save_bytes(self.compress(dataset_dir), suffix=".zip")
+
+    def recover_dataset(self, file_id: str, target_dir: str | Path) -> Path:
+        """Extract a stored dataset archive into ``target_dir``."""
+        target_dir = Path(target_dir)
+        target_dir.mkdir(parents=True, exist_ok=True)
+        data = self.file_store.recover_bytes(file_id)
+        with zipfile.ZipFile(io.BytesIO(data)) as archive:
+            for member in archive.namelist():
+                # refuse path traversal out of the target directory
+                destination = (target_dir / member).resolve()
+                if not str(destination).startswith(str(target_dir.resolve())):
+                    raise ValueError(f"archive member escapes target dir: {member}")
+            archive.extractall(target_dir)
+        return target_dir
+
+    def dataset_size(self, file_id: str) -> int:
+        """Stored (compressed) size of a saved dataset in bytes."""
+        return self.file_store.size(file_id)

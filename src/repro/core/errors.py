@@ -1,0 +1,41 @@
+"""Exception hierarchy for MMlib."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MMLibError",
+    "ModelNotFoundError",
+    "EnvironmentMismatchError",
+    "VerificationError",
+    "RecoveryError",
+    "SaveError",
+]
+
+
+class MMLibError(Exception):
+    """Base class for all MMlib errors."""
+
+
+class ModelNotFoundError(MMLibError):
+    """Raised when a requested model id is unknown to the save service."""
+
+
+class EnvironmentMismatchError(MMLibError):
+    """Raised when the current environment differs from the saved one.
+
+    Recovering a model in a different environment cannot guarantee exact
+    reproduction (paper Section 2.3: floating-point behaviour may differ
+    across software/hardware stacks).
+    """
+
+
+class VerificationError(MMLibError):
+    """Raised when a recovered model fails its checksum verification."""
+
+
+class RecoveryError(MMLibError):
+    """Raised when model recovery fails structurally (bad refs, cycles)."""
+
+
+class SaveError(MMLibError):
+    """Raised when a model cannot be saved (bad save info, missing base)."""

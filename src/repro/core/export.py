@@ -1,0 +1,130 @@
+"""Framework-independent model exchange (paper §2.2 context).
+
+The paper notes that "framework independent formats like PMML, PFA, or
+ONNX do not capture the model in a level of detail needed to reproduce
+model training".  This module provides exactly such a neutral format —
+useful for *inference interchange* — and makes its limitation explicit:
+
+* :func:`export_neutral` captures the architecture outline (layer names,
+  types, shapes) and the parameter values;
+* it deliberately has no slot for training code, optimizer state, RNG
+  state, or dataset references, so a neutral export can never serve as MPA
+  provenance — :func:`assert_sufficient_for_training` raises for any
+  neutral payload, and the tests pin that behaviour down.
+
+Format: the substrate's deterministic binary serialization of
+``{"format", "version", "layers": [...], "parameters": {...}}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..nn import serialization
+from ..nn.modules import Module
+from .errors import MMLibError
+
+__all__ = [
+    "NEUTRAL_FORMAT",
+    "NeutralModel",
+    "export_neutral",
+    "load_neutral",
+    "assert_sufficient_for_training",
+    "InsufficientProvenanceError",
+]
+
+NEUTRAL_FORMAT = "repro-neutral"
+_VERSION = 1
+
+
+class InsufficientProvenanceError(MMLibError):
+    """Raised when data cannot support exact training reproduction."""
+
+
+@dataclass
+class NeutralModel:
+    """A loaded neutral-format model: structure outline + parameters."""
+
+    layers: list[dict]
+    parameters: dict
+
+    def apply_to(self, model: Module) -> Module:
+        """Load the exported parameters into a compatible module."""
+        model.load_state_dict(self.parameters)
+        return model
+
+    def summary(self) -> str:
+        """Human-readable outline of the exported structure."""
+        lines = [f"{len(self.layers)} modules, {len(self.parameters)} tensors"]
+        for layer in self.layers:
+            lines.append(f"  {layer['name'] or '<root>'}: {layer['type']}")
+        return "\n".join(lines)
+
+
+def export_neutral(model: Module, path: str | Path) -> int:
+    """Write a model in the neutral exchange format; returns bytes written.
+
+    Captures what PMML/PFA/ONNX-style formats capture — computational
+    structure and weights — and nothing else.
+    """
+    layers = [
+        {"name": name, "type": type(module).__name__}
+        for name, module in model.named_modules()
+    ]
+    payload = {
+        "format": NEUTRAL_FORMAT,
+        "version": _VERSION,
+        "layers": layers,
+        "parameters": model.state_dict(),
+    }
+    return serialization.save(payload, path)
+
+
+def load_neutral(path: str | Path) -> NeutralModel:
+    """Load a neutral-format export."""
+    payload = serialization.load(path)
+    if not isinstance(payload, dict) or payload.get("format") != NEUTRAL_FORMAT:
+        raise MMLibError(f"{path} is not a {NEUTRAL_FORMAT} export")
+    if payload.get("version") != _VERSION:
+        raise MMLibError(
+            f"unsupported {NEUTRAL_FORMAT} version {payload.get('version')}"
+        )
+    return NeutralModel(layers=list(payload["layers"]), parameters=payload["parameters"])
+
+
+#: Everything an exact training reproduction needs (paper §2.3/§3.3) that a
+#: neutral inference format has no representation for.
+_TRAINING_REQUIREMENTS = (
+    "training source code / train service",
+    "optimizer type and internal state",
+    "loss function",
+    "hyper-parameters (epochs, batch size, learning rate)",
+    "PRNG seeds and generator state",
+    "training dataset (or a managed reference)",
+    "environment specification",
+)
+
+
+def assert_sufficient_for_training(payload) -> None:
+    """Check whether data could drive an exact training reproduction.
+
+    Neutral exports never can (by construction); this function exists so
+    callers hit a clear, documented error instead of silently recovering
+    an *approximate* model — the distinction the paper draws between
+    recoverability from snapshots/provenance and interchange formats.
+    """
+    if isinstance(payload, NeutralModel) or (
+        isinstance(payload, dict) and payload.get("format") == NEUTRAL_FORMAT
+    ):
+        missing = "; ".join(_TRAINING_REQUIREMENTS)
+        raise InsufficientProvenanceError(
+            "neutral exchange formats capture architecture and weights only "
+            f"and cannot reproduce model training — missing: {missing}. "
+            "Use the model provenance approach (ProvenanceSaveService) for "
+            "training reproduction."
+        )
+    raise InsufficientProvenanceError(
+        f"cannot assess training sufficiency of {type(payload).__name__}; "
+        "only MMlib provenance records support exact training reproduction"
+    )

@@ -1,0 +1,51 @@
+"""Hashing of tensors and state dicts.
+
+The paper generates checksums "by hashing the tensor objects" (Section 3.1)
+and, for the PUA, keeps one hash per layer so that changed layers can be
+identified without recovering the base model's parameters (Section 3.2).
+
+A *layer* is a state-dict entry; hashes cover dtype + shape + raw bytes so
+that two tensors hash equal iff they are bitwise identical arrays of the
+same type and shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["tensor_hash", "state_dict_hashes", "combine_hashes", "state_dict_root_hash"]
+
+
+def tensor_hash(array: np.ndarray) -> str:
+    """SHA-256 hex digest of one tensor (dtype, shape, and contents)."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(array.dtype.str.encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def state_dict_hashes(state_dict: Mapping[str, np.ndarray]) -> "OrderedDict[str, str]":
+    """Per-layer hashes for a state dict, preserving layer order."""
+    return OrderedDict((name, tensor_hash(array)) for name, array in state_dict.items())
+
+
+def combine_hashes(left: str, right: str) -> str:
+    """Parent hash of two child hashes (Merkle inner-node rule)."""
+    return hashlib.sha256((left + right).encode()).hexdigest()
+
+
+def state_dict_root_hash(state_dict: Mapping[str, np.ndarray]) -> str:
+    """Single hash covering the whole model's parameters.
+
+    Computed through the same Merkle construction the PUA uses, so a root
+    stored at save time can later be compared against a recovered model.
+    """
+    from .merkle import MerkleTree
+
+    return MerkleTree.from_state_dict(state_dict).root_hash

@@ -1,0 +1,22 @@
+"""Identifier helpers for models and related documents."""
+
+from __future__ import annotations
+
+import uuid
+
+__all__ = ["new_model_id", "is_model_id", "MODEL_ID_PREFIX"]
+
+MODEL_ID_PREFIX = "model-"
+
+
+def new_model_id() -> str:
+    """Generate a fresh model identifier (``model-<32 hex chars>``)."""
+    return MODEL_ID_PREFIX + uuid.uuid4().hex
+
+
+def is_model_id(value: str) -> bool:
+    """Check whether a string is syntactically a model identifier."""
+    if not isinstance(value, str) or not value.startswith(MODEL_ID_PREFIX):
+        return False
+    suffix = value[len(MODEL_ID_PREFIX) :]
+    return len(suffix) == 32 and all(c in "0123456789abcdef" for c in suffix)

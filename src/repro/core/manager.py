@@ -1,0 +1,318 @@
+"""High-level model management: catalog, lineage, retention.
+
+The paper's server "has to monitor every model that exists and has to be
+able to losslessly recover it when requested" (use case U_4).
+:class:`ModelManager` is that server-side façade over the shared stores:
+it lists and queries the model catalog, walks lineage in both directions,
+reports storage, and deletes models safely (refusing to orphan derived
+models, cleaning up every referenced document and file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .abstract import AbstractSaveService
+from .errors import MMLibError, ModelNotFoundError
+from .recover import RecoveredModelInfo, StorageBreakdown
+from .schema import ENVIRONMENTS, MODELS, TRAIN_INFO, WRAPPERS
+
+__all__ = ["ModelRecord", "ModelManager", "DependentModelsError"]
+
+
+class DependentModelsError(MMLibError):
+    """Raised when deleting a model that other models are derived from."""
+
+
+@dataclass
+class ModelRecord:
+    """Catalog view of one saved model."""
+
+    model_id: str
+    approach: str
+    base_model_id: str | None
+    use_case: str | None
+    saved_at: float
+    derived_model_ids: list[str] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.base_model_id is None
+
+
+class ModelManager:
+    """Catalog and retention operations over a save service's stores."""
+
+    def __init__(self, service: AbstractSaveService):
+        self.service = service
+        self.documents = service.documents
+        self.files = service.files
+
+    # -- catalog -------------------------------------------------------------
+
+    def _record(self, document: dict, derived_index: dict | None = None) -> ModelRecord:
+        model_id = document["_id"]
+        if derived_index is None:
+            derived_index = self._derived_index()
+        return ModelRecord(
+            model_id=model_id,
+            approach=document.get("approach", "unknown"),
+            base_model_id=document.get("base_model"),
+            use_case=document.get("use_case"),
+            saved_at=document.get("saved_at", 0.0),
+            derived_model_ids=sorted(derived_index.get(model_id, [])),
+        )
+
+    def _derived_index(self) -> dict[str, list[str]]:
+        index: dict[str, list[str]] = {}
+        for document in self.documents.collection(MODELS).find():
+            base = document.get("base_model")
+            if base:
+                index.setdefault(base, []).append(document["_id"])
+        return index
+
+    def list_models(self, query: dict | None = None) -> list[ModelRecord]:
+        """All saved models (optionally filtered by a document query)."""
+        derived_index = self._derived_index()
+        documents = self.documents.collection(MODELS).find(query)
+        records = [self._record(d, derived_index) for d in documents]
+        return sorted(records, key=lambda r: r.saved_at)
+
+    def get(self, model_id: str) -> ModelRecord:
+        try:
+            document = self.documents.collection(MODELS).get(model_id)
+        except KeyError as exc:
+            raise ModelNotFoundError(f"no saved model with id {model_id!r}") from exc
+        return self._record(document)
+
+    def find_by_use_case(self, use_case: str) -> list[ModelRecord]:
+        return self.list_models({"use_case": use_case})
+
+    # -- lineage ---------------------------------------------------------------------
+
+    def lineage(self, model_id: str) -> list[ModelRecord]:
+        """Records from ``model_id`` up to its chain root (inclusive)."""
+        return [self.get(mid) for mid in self.service.base_chain(model_id)]
+
+    def descendants(self, model_id: str) -> list[ModelRecord]:
+        """Every model transitively derived from ``model_id``."""
+        derived_index = self._derived_index()
+        found: list[str] = []
+        frontier = list(derived_index.get(model_id, []))
+        while frontier:
+            current = frontier.pop()
+            found.append(current)
+            frontier.extend(derived_index.get(current, []))
+        return [self.get(mid) for mid in sorted(found)]
+
+    def lineage_tree(self, model_id: str) -> str:
+        """Human-readable derivation tree rooted at ``model_id``."""
+        derived_index = self._derived_index()
+        lines: list[str] = []
+
+        def walk(current: str, depth: int) -> None:
+            record = self.get(current)
+            label = record.use_case or "-"
+            lines.append(f"{'  ' * depth}{current}  [{record.approach}] {label}")
+            for child in sorted(derived_index.get(current, [])):
+                walk(child, depth + 1)
+
+        walk(model_id, 0)
+        return "\n".join(lines)
+
+    # -- storage ------------------------------------------------------------------------
+
+    def storage_report(self) -> dict[str, StorageBreakdown]:
+        """Per-model storage breakdowns for the whole catalog."""
+        return {
+            record.model_id: self.service.model_save_size(record.model_id)
+            for record in self.list_models()
+        }
+
+    def total_storage_bytes(self) -> int:
+        return sum(b.total for b in self.storage_report().values())
+
+    # -- recovery (delegation) ------------------------------------------------------------
+
+    def recover(self, model_id: str, **kwargs) -> RecoveredModelInfo:
+        return self.service.recover_model(model_id, **kwargs)
+
+    def verify_catalog(self, use_cache: bool = True) -> dict[str, bool | None]:
+        """Integrity sweep: recover and checksum-verify every model.
+
+        With ``use_cache`` (default) a shared :class:`RecoveryCache` makes
+        the sweep O(n) base recoveries instead of O(n²) — chain prefixes
+        are recovered once and reused.  Returns model id -> verified flag
+        (``None`` when a model was saved without checksums).
+        """
+        from .cache import RecoveryCache
+
+        cache = RecoveryCache(max_entries=256) if use_cache else None
+        results: dict[str, bool | None] = {}
+        for record in self.list_models():
+            recovered = self.service.recover_model(record.model_id, cache=cache)
+            results[record.model_id] = recovered.verified
+        return results
+
+    # -- retention: squashing chains ---------------------------------------------------------
+
+    def promote_to_snapshot(self, model_id: str) -> None:
+        """Convert a derived model into a self-contained snapshot in place.
+
+        Recovers the model, persists its full parameters, and rewrites its
+        document to the baseline layout (keeping its id, use case, and
+        derived references intact).  Afterwards the model no longer depends
+        on its ancestors — the standard retention move before deleting old
+        chain prefixes: promote the oldest model you must keep, then delete
+        everything above it.
+        """
+        document = self.documents.collection(MODELS).get(model_id)
+        if document.get("parameters_file"):
+            return  # already a snapshot
+        recovered = self.service.recover_model(model_id, verify=True)
+
+        # the architecture lives at the chain root; copy it — including its
+        # code file's bytes, so deleting the ancestors later cannot orphan
+        # the promoted document's architecture
+        architecture = None
+        for ancestor in self.service.base_chain(model_id):
+            ancestor_document = self.documents.collection(MODELS).get(ancestor)
+            if ancestor_document.get("architecture"):
+                architecture = dict(ancestor_document["architecture"])
+                break
+        if architecture is None:
+            raise MMLibError(
+                f"no architecture found along the chain of {model_id!r}; "
+                "cannot promote to a snapshot"
+            )
+        code_bytes = self.files.recover_bytes(architecture["code_file_id"])
+        architecture["code_file_id"] = self.files.save_bytes(code_bytes, suffix=".py")
+
+        parameters_file, layer_hashes, root = self.service._save_parameters(
+            recovered.model
+        )
+        # drop the old derived-representation payloads
+        for key in ("update_file",):
+            if document.get(key):
+                self.files.delete(document[key])
+        document.pop("update_file", None)
+        document.pop("updated_layers", None)
+        if document.get("train_info_id"):
+            train_document = self.documents.collection(TRAIN_INFO).get(
+                document["train_info_id"]
+            )
+            self._delete_wrappers(train_document)
+            self.documents.collection(TRAIN_INFO).delete_one(document["train_info_id"])
+            provenance = document.get("provenance") or {}
+            if provenance.get("dataset_file_id"):
+                self.files.delete(provenance["dataset_file_id"])
+        document.pop("train_info_id", None)
+        document.pop("provenance", None)
+
+        document["parameters_file"] = parameters_file
+        document["architecture"] = architecture
+        document["layer_hashes"] = [[k, v] for k, v in layer_hashes.items()]
+        document["merkle_root"] = root
+        document["base_model"] = None
+        document["promoted_from"] = recovered.base_model_id
+        self.documents.collection(MODELS).replace_one(model_id, document)
+
+    def squash_chain(self, model_id: str) -> int:
+        """Promote ``model_id`` to a snapshot and delete its exclusive
+        ancestors; returns how many ancestor models were deleted.
+
+        Ancestors still referenced by *other* chains (e.g. U_1 under both
+        branches of the evaluation flow) are kept.
+        """
+        ancestors = self.service.base_chain(model_id)[1:]
+        self.promote_to_snapshot(model_id)
+        deleted = 0
+        for ancestor in ancestors:  # walk from the model towards the root
+            record = self.get(ancestor)
+            if record.derived_model_ids:
+                break  # still needed by another chain
+            self.delete_model(ancestor)
+            deleted += 1
+        return deleted
+
+    # -- deletion & garbage collection ------------------------------------------------------
+
+    def _referenced_files(self, document: dict) -> set[str]:
+        files: set[str] = set()
+        architecture = document.get("architecture")
+        if architecture and architecture.get("code_file_id"):
+            files.add(architecture["code_file_id"])
+        for key in ("parameters_file", "update_file"):
+            if document.get(key):
+                files.add(document[key])
+        provenance = document.get("provenance")
+        if provenance and provenance.get("dataset_file_id"):
+            files.add(provenance["dataset_file_id"])
+        return files
+
+    def _referenced_documents(self, document: dict) -> dict[str, set[str]]:
+        refs: dict[str, set[str]] = {ENVIRONMENTS: set(), TRAIN_INFO: set(), WRAPPERS: set()}
+        if document.get("environment_id"):
+            refs[ENVIRONMENTS].add(document["environment_id"])
+        train_info_id = document.get("train_info_id")
+        if train_info_id:
+            refs[TRAIN_INFO].add(train_info_id)
+        return refs
+
+    def delete_model(self, model_id: str, force: bool = False) -> None:
+        """Delete one model and everything only it references.
+
+        Refuses to delete a model that derived models still depend on
+        unless ``force`` is given — deleting such a model would make its
+        descendants unrecoverable.
+        """
+        record = self.get(model_id)
+        if record.derived_model_ids and not force:
+            raise DependentModelsError(
+                f"model {model_id} has {len(record.derived_model_ids)} derived "
+                f"model(s) ({record.derived_model_ids[:3]}…); deleting it would "
+                "break their recovery — pass force=True to delete anyway"
+            )
+        document = self.documents.collection(MODELS).get(model_id)
+
+        for file_id in self._referenced_files(document):
+            self.files.delete(file_id)
+        for collection_name, doc_ids in self._referenced_documents(document).items():
+            collection = self.documents.collection(collection_name)
+            for doc_id in doc_ids:
+                if collection_name == TRAIN_INFO:
+                    train_document = collection.get(doc_id)
+                    self._delete_wrappers(train_document)
+                collection.delete_one(doc_id)
+        self.documents.collection(MODELS).delete_one(model_id)
+
+    def _delete_wrappers(self, train_document: dict) -> None:
+        wrappers = self.documents.collection(WRAPPERS)
+        for key, value in train_document.items():
+            if not (isinstance(value, str) and key.endswith("_wrapper")):
+                continue
+            try:
+                wrapper_document = wrappers.get(value)
+            except KeyError:
+                continue
+            state_file = wrapper_document.get("state_file_id")
+            if state_file:
+                self.files.delete(state_file)
+            wrappers.delete_one(value)
+
+    def garbage_collect(self) -> dict[str, int]:
+        """Remove stored files no document references; returns statistics."""
+        referenced: set[str] = set()
+        for document in self.documents.collection(MODELS).find():
+            referenced |= self._referenced_files(document)
+        for wrapper in self.documents.collection(WRAPPERS).find():
+            if wrapper.get("state_file_id"):
+                referenced.add(wrapper["state_file_id"])
+        removed = 0
+        freed = 0
+        for file_id in self.files.file_ids():
+            if file_id not in referenced:
+                freed += self.files.size(file_id)
+                self.files.delete(file_id)
+                removed += 1
+        return {"files_removed": removed, "bytes_freed": freed}

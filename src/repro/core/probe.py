@@ -1,0 +1,200 @@
+"""Model reproducibility probing tool (paper Section 2.4).
+
+Executes a model on fixed data and records, layer by layer, hashes and
+summary statistics of the forward outputs and (optionally) the parameter
+gradients of a backward pass.  Running the probe twice — on one machine or
+on two — and comparing the summaries tells you whether inference and
+training of the model are reproducible, and if not, at which layer the
+executions first diverge.
+
+Summaries contain only hashes and floats, so they serialize to small JSON
+files that can be moved across machines (the paper's cross-machine
+verification workflow).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import rng
+from ..nn.modules import Module
+from ..nn.tensor import Tensor
+from .hashing import tensor_hash
+
+__all__ = ["LayerRecord", "ProbeSummary", "ProbeComparison", "probe_inference", "probe_training", "probe_reproducibility"]
+
+
+@dataclass
+class LayerRecord:
+    """Hash + statistics for one tensor observed during a probe run."""
+
+    name: str
+    kind: str  # "forward" or "grad"
+    tensor_hash: str
+    shape: list[int]
+    mean: float
+    std: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "tensor_hash": self.tensor_hash,
+            "shape": self.shape,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LayerRecord":
+        return cls(**payload)
+
+    @classmethod
+    def of(cls, name: str, kind: str, array: np.ndarray) -> "LayerRecord":
+        return cls(
+            name=name,
+            kind=kind,
+            tensor_hash=tensor_hash(array),
+            shape=list(array.shape),
+            mean=float(array.mean()),
+            std=float(array.std()),
+        )
+
+
+@dataclass
+class ProbeSummary:
+    """Ordered layer records for one probe execution."""
+
+    records: list[LayerRecord] = field(default_factory=list)
+
+    def save(self, path: str | Path) -> None:
+        payload = [record.to_dict() for record in self.records]
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProbeSummary":
+        payload = json.loads(Path(path).read_text())
+        return cls(records=[LayerRecord.from_dict(entry) for entry in payload])
+
+    def compare(self, other: "ProbeSummary") -> "ProbeComparison":
+        """Layer-wise comparison; reproducible iff all hashes match.
+
+        Records are matched by (name, kind, occurrence): modules that run
+        several times per forward pass (e.g. a ReLU shared across a
+        residual block) produce one record per invocation, and the i-th
+        invocation is compared against the other run's i-th invocation.
+        """
+        mismatches: list[tuple[LayerRecord, LayerRecord | None]] = []
+        other_by_key: dict[tuple[str, str], list[LayerRecord]] = {}
+        for record in other.records:
+            other_by_key.setdefault((record.name, record.kind), []).append(record)
+        occurrence: dict[tuple[str, str], int] = {}
+        matched = 0
+        for record in self.records:
+            key = (record.name, record.kind)
+            index = occurrence.get(key, 0)
+            occurrence[key] = index + 1
+            counterparts = other_by_key.get(key, [])
+            counterpart = counterparts[index] if index < len(counterparts) else None
+            if counterpart is not None:
+                matched += 1
+            if counterpart is None or counterpart.tensor_hash != record.tensor_hash:
+                mismatches.append((record, counterpart))
+        extra_in_other = len(other.records) - matched
+        return ProbeComparison(
+            reproducible=not mismatches and extra_in_other == 0,
+            mismatches=mismatches,
+            record_count=len(self.records),
+        )
+
+
+@dataclass
+class ProbeComparison:
+    """Result of comparing two probe summaries."""
+
+    reproducible: bool
+    mismatches: list
+    record_count: int
+
+    @property
+    def first_divergence(self) -> str | None:
+        """Name of the first layer whose outputs differ, if any."""
+        if not self.mismatches:
+            return None
+        record, _ = self.mismatches[0]
+        return f"{record.name} ({record.kind})"
+
+
+def _to_array(output) -> np.ndarray | None:
+    if isinstance(output, Tensor):
+        return output.data
+    if isinstance(output, tuple) and output and isinstance(output[0], Tensor):
+        return output[0].data
+    return None
+
+
+def probe_inference(model: Module, inputs: Tensor) -> ProbeSummary:
+    """Run one forward pass capturing every module's output."""
+    summary = ProbeSummary()
+    handles = []
+    for name, module in model.named_modules():
+        if not name:  # skip the root; its output is the last record anyway
+            continue
+
+        def hook(module, args, output, name=name):
+            array = _to_array(output)
+            if array is not None:
+                summary.records.append(LayerRecord.of(name, "forward", array))
+
+        handles.append(module.register_forward_hook(hook))
+    try:
+        output = model(inputs)
+        array = _to_array(output)
+        if array is not None:
+            summary.records.append(LayerRecord.of("<model>", "forward", array))
+    finally:
+        for handle in handles:
+            handle.remove()
+    return summary
+
+
+def probe_training(model: Module, inputs: Tensor, labels) -> ProbeSummary:
+    """Forward + backward pass, capturing outputs and parameter gradients."""
+    summary = probe_inference(model, inputs)
+    model.zero_grad()
+    output = model(inputs)
+    logits = output[0] if isinstance(output, tuple) else output
+    loss = F.cross_entropy(logits, labels)
+    loss.backward()
+    for name, parameter in model.named_parameters():
+        if parameter.grad is not None:
+            summary.records.append(LayerRecord.of(name, "grad", parameter.grad))
+    return summary
+
+
+def probe_reproducibility(
+    model: Module,
+    inputs: Tensor,
+    labels,
+    seed: int = 0,
+    training: bool = True,
+) -> ProbeComparison:
+    """Execute a model twice with identical data and compare layer-wise.
+
+    Runs under deterministic kernels with a pinned seed, the setup under
+    which the paper found most models reproducible; models using layers
+    with no deterministic implementation (e.g.
+    :class:`~repro.nn.LegacyDropout`) still diverge and are flagged.
+    """
+    probe = probe_training if training else probe_inference
+    with rng.deterministic_mode(True):
+        with rng.fork_rng(seed):
+            first = probe(model, inputs, labels) if training else probe(model, inputs)
+        with rng.fork_rng(seed):
+            second = probe(model, inputs, labels) if training else probe(model, inputs)
+    return first.compare(second)

@@ -1,0 +1,154 @@
+"""Save-info containers: everything a save service needs to persist a model."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..nn.modules import Module
+from .errors import SaveError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .train_service import TrainService
+
+__all__ = ["ArchitectureRef", "ModelSaveInfo", "ProvenanceSaveInfo", "TrainRunSpec"]
+
+
+@dataclass(frozen=True)
+class ArchitectureRef:
+    """How to rebuild a model's architecture: code + factory reference.
+
+    ``source`` carries the defining module's source text, persisted as the
+    model's *code file* (the paper saves the architecture "by its
+    implementation in code").  Reconstruction imports ``module`` and calls
+    ``factory(**kwargs)``.
+    """
+
+    module: str
+    factory: str
+    kwargs: dict
+    source: str = ""
+
+    @classmethod
+    def from_factory(cls, module: str, factory: str, kwargs: dict | None = None) -> "ArchitectureRef":
+        """Build a ref, capturing the defining module's source code."""
+        imported = importlib.import_module(module)
+        if not hasattr(imported, factory):
+            raise SaveError(f"module {module!r} has no factory {factory!r}")
+        try:
+            source = inspect.getsource(imported)
+        except (OSError, TypeError):
+            source = ""
+        return cls(module=module, factory=factory, kwargs=dict(kwargs or {}), source=source)
+
+    def build(self) -> Module:
+        """Instantiate the architecture (parameters are loaded separately)."""
+        imported = importlib.import_module(self.module)
+        factory = getattr(imported, self.factory)
+        model = factory(**self.kwargs)
+        if not isinstance(model, Module):
+            raise SaveError(
+                f"{self.module}.{self.factory} returned {type(model).__name__}, "
+                "expected a Module"
+            )
+        return model
+
+    def to_dict(self) -> dict:
+        return {"module": self.module, "factory": self.factory, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, payload: dict, source: str = "") -> "ArchitectureRef":
+        return cls(
+            module=payload["module"],
+            factory=payload["factory"],
+            kwargs=dict(payload.get("kwargs", {})),
+            source=source,
+        )
+
+
+@dataclass
+class ModelSaveInfo:
+    """Input to :meth:`AbstractSaveService.save_model` for snapshot saves.
+
+    ``base_model_id`` links derived models to their base (paper Fig. 1);
+    ``use_case`` is an optional evaluation tag like ``"U_3-1-2"``.
+    """
+
+    model: Module
+    architecture: ArchitectureRef
+    base_model_id: str | None = None
+    use_case: str | None = None
+    store_checksums: bool = True
+
+    def validate(self) -> None:
+        if not isinstance(self.model, Module):
+            raise SaveError("ModelSaveInfo.model must be a repro.nn Module")
+        if not isinstance(self.architecture, ArchitectureRef):
+            raise SaveError("ModelSaveInfo.architecture must be an ArchitectureRef")
+
+
+@dataclass(frozen=True)
+class TrainRunSpec:
+    """The hyper-parameters of one recorded training run.
+
+    ``number_epochs``/``number_batches`` bound the replay (the paper's MPA
+    evaluation replays 2 epochs x 2 batches); ``seed`` and
+    ``deterministic`` pin the PRNG and kernel behaviour so the replay is
+    exact.
+    """
+
+    number_epochs: int
+    number_batches: int | None
+    seed: int
+    deterministic: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "number_epochs": self.number_epochs,
+            "number_batches": self.number_batches,
+            "seed": self.seed,
+            "deterministic": self.deterministic,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainRunSpec":
+        return cls(
+            number_epochs=payload["number_epochs"],
+            number_batches=payload.get("number_batches"),
+            seed=payload["seed"],
+            deterministic=payload.get("deterministic", True),
+        )
+
+
+@dataclass
+class ProvenanceSaveInfo:
+    """Input to the MPA's save: provenance instead of parameters.
+
+    Consists of the four parts from Section 3.3: (1) the training process
+    (``train_service`` + ``train_spec`` + pre-training RNG state), (2) the
+    environment (collected by the service), (3) the training data (either a
+    directory to compress or an external-system reference), and (4) the
+    base model reference.
+    """
+
+    base_model_id: str
+    train_service: "TrainService"
+    train_spec: TrainRunSpec
+    rng_state: dict
+    dataset_dir: Path | None = None
+    dataset_reference: str | None = None
+    use_case: str | None = None
+    store_checksums: bool = True
+    expected_model: Module | None = None
+
+    def validate(self) -> None:
+        if not self.base_model_id:
+            raise SaveError("provenance saves require a base model reference")
+        if (self.dataset_dir is None) == (self.dataset_reference is None):
+            raise SaveError(
+                "provide exactly one of dataset_dir (managed by MMlib) or "
+                "dataset_reference (externally managed dataset)"
+            )

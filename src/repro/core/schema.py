@@ -1,0 +1,32 @@
+"""Document schema: collection names and document layout constants.
+
+MMlib persists metadata as JSON documents organized hierarchically
+(Section 3.1): a *model* document references an *environment* document, a
+*train-info* document (MPA), and *wrapper* documents, plus file ids into
+the shared file store.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MODELS",
+    "ENVIRONMENTS",
+    "TRAIN_INFO",
+    "WRAPPERS",
+    "APPROACH_BASELINE",
+    "APPROACH_PARAM_UPDATE",
+    "APPROACH_PROVENANCE",
+    "APPROACHES",
+]
+
+# collection names
+MODELS = "models"
+ENVIRONMENTS = "environments"
+TRAIN_INFO = "train_info"
+WRAPPERS = "wrappers"
+
+# approach identifiers stored in model documents
+APPROACH_BASELINE = "baseline"
+APPROACH_PARAM_UPDATE = "param_update"
+APPROACH_PROVENANCE = "provenance"
+APPROACHES = (APPROACH_BASELINE, APPROACH_PARAM_UPDATE, APPROACH_PROVENANCE)

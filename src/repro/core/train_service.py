@@ -1,0 +1,215 @@
+"""Training services: recordable, replayable training logic (Section 3.3).
+
+A :class:`TrainService` defines how a model is trained in its ``train``
+method and references every relevant object through restorable wrappers.
+The MPA serializes a train service (class reference + wrapper documents +
+hyper-parameters) and later rebuilds it to reproduce the training that
+created a model.
+
+:class:`ImageClassificationTrainService` is the concrete service used by
+the evaluation — the equivalent of the paper's ``ImageNetTrainService``
+(Fig. 5): a stateless dataloader wrapper, a stateful optimizer wrapper, and
+a train loop over cross-entropy batches.
+"""
+
+from __future__ import annotations
+
+import importlib
+from ..nn import functional as F
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from .errors import RecoveryError, SaveError
+from .schema import TRAIN_INFO
+from .wrappers import (
+    RestorableObjectWrapper,
+    StateFileRestorableObjectWrapper,
+    load_wrapper,
+)
+
+__all__ = ["TrainService", "ImageClassificationTrainService", "load_train_service"]
+
+
+class TrainService:
+    """Interface for recordable training logic."""
+
+    def train(
+        self,
+        model: Module,
+        number_epochs: int = 1,
+        number_batches: int | None = None,
+    ) -> Module:
+        """Train ``model`` in place and return it."""
+        raise NotImplementedError
+
+    def save(self, collections, file_store) -> str:
+        """Persist this service; returns its train-info document id."""
+        raise NotImplementedError
+
+    @classmethod
+    def restore(cls, payload: dict, collections, file_store, refs: dict) -> "TrainService":
+        """Rebuild a service from its persisted payload."""
+        raise NotImplementedError
+
+
+def _class_path(obj) -> str:
+    cls = type(obj) if not isinstance(obj, type) else obj
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def load_train_service(doc_id: str, collections, file_store, refs: dict) -> TrainService:
+    """Load any persisted train service by its train-info document id."""
+    payload = collections.collection(TRAIN_INFO).get(doc_id)
+    class_path = payload["service_class"]
+    module_name, _, class_name = class_path.rpartition(".")
+    module = importlib.import_module(module_name)
+    try:
+        service_cls = getattr(module, class_name)
+    except AttributeError as exc:
+        raise RecoveryError(f"cannot import train service {class_path!r}") from exc
+    if not issubclass(service_cls, TrainService):
+        raise RecoveryError(f"{class_path!r} is not a TrainService")
+    return service_cls.restore(payload, collections, file_store, refs)
+
+
+class ImageClassificationTrainService(TrainService):
+    """Supervised image-classification training with SGD-style updates.
+
+    Construct either directly from live objects (node side, about to
+    train) or via :meth:`restore` (server side, reproducing training).
+
+    ``freeze_mode="partial"`` reproduces the paper's *partially updated
+    model version* workflow: every layer except the final classifier is
+    frozen and kept in eval mode so only classifier parameters change.
+    """
+
+    def __init__(
+        self,
+        dataset_wrapper: RestorableObjectWrapper,
+        optimizer_wrapper: StateFileRestorableObjectWrapper,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        freeze_mode: str = "none",
+        loss_fn: str = "cross_entropy",
+        scheduler_wrapper: StateFileRestorableObjectWrapper | None = None,
+    ):
+        if freeze_mode not in ("none", "partial"):
+            raise SaveError(f"freeze_mode must be 'none' or 'partial', got {freeze_mode!r}")
+        if not hasattr(F, loss_fn):
+            raise SaveError(f"unknown loss function {loss_fn!r}")
+        self.dataset_wrapper = dataset_wrapper
+        self.optimizer_wrapper = optimizer_wrapper
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.freeze_mode = freeze_mode
+        self.loss_fn = loss_fn
+        # optional learning-rate scheduler: another stateful wrapped object
+        # (paper Fig. 5 shows multiple wrappers per train service)
+        self.scheduler_wrapper = scheduler_wrapper
+
+    # -- training -----------------------------------------------------------
+
+    def _prepare_model(self, model: Module) -> None:
+        model.train()
+        if self.freeze_mode == "partial":
+            from ..nn.models import freeze_for_partial_update
+
+            freeze_for_partial_update(model)
+            # keep frozen layers' BN statistics fixed: eval everywhere,
+            # train mode only on the classifier being updated
+            model.eval()
+            model.final_classifier().train()
+
+    def train(
+        self,
+        model: Module,
+        number_epochs: int = 1,
+        number_batches: int | None = None,
+    ) -> Module:
+        """Run the training loop (epochs x batches) over the wrapped objects."""
+        if self.dataset_wrapper.instance is None:
+            raise RecoveryError("dataset wrapper has no live instance; restore it first")
+        dataset = self.dataset_wrapper.instance
+        self._prepare_model(model)
+        if self.optimizer_wrapper.instance is None:
+            raise RecoveryError("optimizer wrapper has no live instance; restore it first")
+        optimizer = self.optimizer_wrapper.instance
+        loss_fn = getattr(F, self.loss_fn)
+        loader = DataLoader(
+            dataset, batch_size=self.batch_size, shuffle=self.shuffle, drop_last=False
+        )
+        scheduler = (
+            self.scheduler_wrapper.instance if self.scheduler_wrapper is not None else None
+        )
+        for _ in range(number_epochs):
+            for batch_index, (images, labels) in enumerate(loader):
+                if number_batches is not None and batch_index >= number_batches:
+                    break
+                optimizer.zero_grad()
+                output = model(images)
+                logits = output[0] if isinstance(output, tuple) else output
+                loss = loss_fn(logits, labels)
+                loss.backward()
+                optimizer.step()
+            if scheduler is not None:
+                scheduler.step()
+        return model
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, collections, file_store) -> str:
+        """Persist the service + wrapper documents; returns the train-info id."""
+        dataset_doc = self.dataset_wrapper.save(collections, file_store)
+        optimizer_doc = self.optimizer_wrapper.save(collections, file_store)
+        payload = {
+            "service_class": _class_path(self),
+            "dataset_wrapper": dataset_doc,
+            "optimizer_wrapper": optimizer_doc,
+            "batch_size": self.batch_size,
+            "shuffle": self.shuffle,
+            "freeze_mode": self.freeze_mode,
+            "loss_fn": self.loss_fn,
+        }
+        if self.scheduler_wrapper is not None:
+            payload["scheduler_wrapper"] = self.scheduler_wrapper.save(
+                collections, file_store
+            )
+        return collections.collection(TRAIN_INFO).insert_one(payload)
+
+    @classmethod
+    def restore(
+        cls, payload: dict, collections, file_store, refs: dict
+    ) -> "ImageClassificationTrainService":
+        """Rebuild the service and its wrapped objects.
+
+        ``refs`` must provide ``dataset_root`` (where the recovered dataset
+        was extracted) and ``model`` (the recovered base model whose
+        parameters the optimizer trains).
+        """
+        dataset_wrapper = load_wrapper(payload["dataset_wrapper"], collections)
+        optimizer_wrapper = load_wrapper(payload["optimizer_wrapper"], collections)
+        dataset = dataset_wrapper.restore_instance(refs=refs)
+        model = refs.get("model")
+        if model is None:
+            raise RecoveryError("train-service restore requires refs['model']")
+        optimizer_refs = dict(refs)
+        optimizer_refs["params"] = list(model.parameters())
+        optimizer = optimizer_wrapper.restore_instance(
+            refs=optimizer_refs, file_store=file_store
+        )
+        scheduler_wrapper = None
+        if payload.get("scheduler_wrapper"):
+            scheduler_wrapper = load_wrapper(payload["scheduler_wrapper"], collections)
+            scheduler_refs = dict(refs)
+            scheduler_refs["optimizer"] = optimizer
+            scheduler_wrapper.restore_instance(
+                refs=scheduler_refs, file_store=file_store
+            )
+        return cls(
+            dataset_wrapper=dataset_wrapper,
+            optimizer_wrapper=optimizer_wrapper,
+            batch_size=payload["batch_size"],
+            shuffle=payload["shuffle"],
+            freeze_mode=payload.get("freeze_mode", "none"),
+            loss_fn=payload.get("loss_fn", "cross_entropy"),
+            scheduler_wrapper=scheduler_wrapper,
+        )

@@ -1,0 +1,223 @@
+"""Restorable object wrappers (paper Section 3.3, Fig. 5).
+
+A wrapper persists a parametrized object so it can be rebuilt later.  It
+records the object's class (an import path or inline source code), its
+constructor arguments, arguments read from a configuration dict, and
+arguments that are *references* to other objects resolved at restore time
+(e.g. the optimizer's ``params`` come from the recovered model, the
+dataloader's ``dataset`` from the recovered dataset).
+
+Objects with an internal state that constructor arguments cannot recreate
+(e.g. an optimizer's momentum buffers) use
+:class:`StateFileRestorableObjectWrapper`, which additionally snapshots the
+instance's ``state_dict()`` into a state file in the file store.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from ..nn import serialization
+from .errors import RecoveryError, SaveError
+from .schema import WRAPPERS
+
+__all__ = ["RestorableObjectWrapper", "StateFileRestorableObjectWrapper", "load_wrapper", "REF_PREFIX"]
+
+#: Marker for init-arg values that must be resolved from restore-time refs:
+#: ``{"dataset": "$ref:dataset"}`` takes ``refs["dataset"]``.
+REF_PREFIX = "$ref:"
+
+
+def _import_class(class_path: str):
+    module_name, _, class_name = class_path.rpartition(".")
+    if not module_name:
+        raise RecoveryError(f"class path {class_path!r} has no module part")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, class_name)
+    except AttributeError as exc:
+        raise RecoveryError(f"cannot import {class_path!r}: {exc}") from exc
+
+
+def _exec_code(code: str, class_name: str):
+    namespace: dict[str, Any] = {}
+    exec(code, namespace)  # provenance code recorded by the save service
+    if class_name not in namespace:
+        raise RecoveryError(f"inline code does not define {class_name!r}")
+    return namespace[class_name]
+
+
+class RestorableObjectWrapper:
+    """Wrapper for a *stateless* parametrized object."""
+
+    wrapper_kind = "stateless"
+
+    def __init__(
+        self,
+        instance: Any = None,
+        *,
+        class_path: str | None = None,
+        code: str | None = None,
+        class_name: str | None = None,
+        init_args: dict | None = None,
+        config_args: dict | None = None,
+        ref_args: dict | None = None,
+    ):
+        if class_path is None and code is None:
+            raise SaveError("wrapper needs a class_path (import) or inline code")
+        if code is not None and class_name is None:
+            raise SaveError("inline code wrappers must name their class")
+        self.instance = instance
+        self.class_path = class_path
+        self.code = code
+        self.class_name = class_name or (class_path.rpartition(".")[2] if class_path else None)
+        self.init_args = dict(init_args or {})
+        self.config_args = dict(config_args or {})
+        self.ref_args = dict(ref_args or {})
+
+    # -- save ---------------------------------------------------------------
+
+    def _payload(self, file_store) -> dict:
+        return {
+            "kind": self.wrapper_kind,
+            "class_path": self.class_path,
+            "class_name": self.class_name,
+            "code": self.code,
+            "init_args": self.init_args,
+            "config_args": self.config_args,
+            "ref_args": self.ref_args,
+        }
+
+    def save(self, collections, file_store) -> str:
+        """Persist the wrapper as a document; returns the document id."""
+        return collections.collection(WRAPPERS).insert_one(self._payload(file_store))
+
+    # -- restore --------------------------------------------------------------
+
+    def _resolve_value(self, value, refs: dict, config: dict):
+        if isinstance(value, str) and value.startswith(REF_PREFIX):
+            key = value[len(REF_PREFIX) :]
+            if key not in refs:
+                raise RecoveryError(
+                    f"wrapper for {self.class_name} needs unresolved ref {key!r}; "
+                    f"available: {sorted(refs)}"
+                )
+            return refs[key]
+        return value
+
+    def _target_class(self):
+        if self.code is not None:
+            return _exec_code(self.code, self.class_name)
+        return _import_class(self.class_path)
+
+    def restore_instance(self, refs: dict | None = None, config: dict | None = None):
+        """Rebuild the wrapped object; stores and returns the new instance."""
+        refs = refs or {}
+        config = config or {}
+        kwargs = {}
+        for key, value in self.init_args.items():
+            kwargs[key] = self._resolve_value(value, refs, config)
+        for key, config_key in self.config_args.items():
+            if config_key not in config:
+                raise RecoveryError(
+                    f"wrapper for {self.class_name} reads config key {config_key!r} "
+                    "which was not provided"
+                )
+            kwargs[key] = config[config_key]
+        for key, ref_key in self.ref_args.items():
+            if ref_key not in refs:
+                raise RecoveryError(
+                    f"wrapper for {self.class_name} references {ref_key!r}; "
+                    f"available refs: {sorted(refs)}"
+                )
+            kwargs[key] = refs[ref_key]
+        self.instance = self._target_class()(**kwargs)
+        return self.instance
+
+    # -- load ----------------------------------------------------------------------
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "RestorableObjectWrapper":
+        wrapper = cls(
+            class_path=payload.get("class_path"),
+            code=payload.get("code"),
+            class_name=payload.get("class_name"),
+            init_args=payload.get("init_args", {}),
+            config_args=payload.get("config_args", {}),
+            ref_args=payload.get("ref_args", {}),
+        )
+        return wrapper
+
+
+class StateFileRestorableObjectWrapper(RestorableObjectWrapper):
+    """Wrapper for an object with internal state (e.g. an optimizer).
+
+    On save, the instance's ``state_dict()`` is serialized into a state
+    file; on restore, the rebuilt instance's ``load_state_dict`` is fed the
+    recovered state.
+    """
+
+    wrapper_kind = "stateful"
+
+    def __init__(self, *args, state_file_id: str | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.state_file_id = state_file_id
+        self._state_bytes: bytes | None = None
+
+    def snapshot_state(self) -> None:
+        """Capture the instance's state *now* (call before training starts).
+
+        The MPA must replay training from the object's pre-training state;
+        snapshotting pins the bytes that ``save`` will persist even if the
+        live instance keeps mutating afterwards.
+        """
+        if self.instance is None:
+            raise SaveError(f"cannot snapshot {self.class_name}: no live instance")
+        if not hasattr(self.instance, "state_dict"):
+            raise SaveError(
+                f"stateful wrapper target {self.class_name} has no state_dict()"
+            )
+        self._state_bytes = serialization.dumps(self.instance.state_dict())
+
+    def _payload(self, file_store) -> dict:
+        if self.state_file_id is None:
+            if self._state_bytes is None:
+                self.snapshot_state()
+            self.state_file_id = file_store.save_bytes(self._state_bytes, suffix=".state")
+        payload = super()._payload(file_store)
+        payload["state_file_id"] = self.state_file_id
+        return payload
+
+    def restore_instance(self, refs: dict | None = None, config: dict | None = None, file_store=None):
+        """Rebuild the object, then load its persisted state file."""
+        instance = super().restore_instance(refs, config)
+        if self.state_file_id is not None:
+            if file_store is None:
+                raise RecoveryError(
+                    f"restoring stateful {self.class_name} requires a file store"
+                )
+            state = serialization.loads(file_store.recover_bytes(self.state_file_id))
+            instance.load_state_dict(state)
+        return instance
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "StateFileRestorableObjectWrapper":
+        wrapper = super()._from_payload(payload)
+        wrapper.state_file_id = payload.get("state_file_id")
+        return wrapper
+
+
+_KINDS = {
+    RestorableObjectWrapper.wrapper_kind: RestorableObjectWrapper,
+    StateFileRestorableObjectWrapper.wrapper_kind: StateFileRestorableObjectWrapper,
+}
+
+
+def load_wrapper(doc_id: str, collections) -> RestorableObjectWrapper:
+    """Load a wrapper document by id and materialize the right subclass."""
+    payload = collections.collection(WRAPPERS).get(doc_id)
+    kind = payload.get("kind", RestorableObjectWrapper.wrapper_kind)
+    if kind not in _KINDS:
+        raise RecoveryError(f"unknown wrapper kind {kind!r} in document {doc_id}")
+    return _KINDS[kind]._from_payload(payload)

@@ -1,0 +1,30 @@
+"""``repro.distsim`` — simulated distributed deployments and evaluation flows."""
+
+from .environment import (
+    SERVICE_CLASSES,
+    Node,
+    Participant,
+    Server,
+    SharedStores,
+    make_service,
+)
+from .flows import DIST_5, DIST_10, DIST_20, FLOWS, STANDARD, FlowConfig, run_evaluation_flow
+from .metrics import FlowMetrics, UseCaseRecord
+
+__all__ = [
+    "SERVICE_CLASSES",
+    "Node",
+    "Participant",
+    "Server",
+    "SharedStores",
+    "make_service",
+    "DIST_5",
+    "DIST_10",
+    "DIST_20",
+    "FLOWS",
+    "STANDARD",
+    "FlowConfig",
+    "run_evaluation_flow",
+    "FlowMetrics",
+    "UseCaseRecord",
+]

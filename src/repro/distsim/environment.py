@@ -1,0 +1,120 @@
+"""Simulated distributed deployment: shared stores, a server, and nodes.
+
+Mirrors the paper's setup (Section 4.1): one machine runs the document
+store (MongoDB there), all machines share external file storage, and the
+server and nodes each run MMlib against those shared stores.  Every
+participant owns its *own* save-service instance — services hold no model
+state, so this matches distinct processes on distinct machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.abstract import AbstractSaveService
+from ..core.adaptive import AdaptiveSaveService
+from ..core.baseline import BaselineSaveService
+from ..core.param_update import ParameterUpdateSaveService
+from ..core.provenance import ProvenanceSaveService
+from ..core.schema import (
+    APPROACH_BASELINE,
+    APPROACH_PARAM_UPDATE,
+    APPROACH_PROVENANCE,
+)
+from ..docstore.engine import DocumentStore
+from ..filestore.network import NetworkModel, SimulatedNetworkFileStore
+from ..filestore.store import FileStore
+
+__all__ = ["SERVICE_CLASSES", "SharedStores", "Participant", "Server", "Node", "make_service"]
+
+SERVICE_CLASSES = {
+    APPROACH_BASELINE: BaselineSaveService,
+    APPROACH_PARAM_UPDATE: ParameterUpdateSaveService,
+    APPROACH_PROVENANCE: ProvenanceSaveService,
+    "adaptive": AdaptiveSaveService,
+}
+
+
+@dataclass
+class SharedStores:
+    """The storage backends every participant connects to."""
+
+    documents: DocumentStore
+    files: FileStore
+    scratch_dir: Path
+
+    @classmethod
+    def at(cls, workdir: str | Path, network: NetworkModel | None = None) -> "SharedStores":
+        """Create fresh stores under ``workdir``.
+
+        With ``network`` set, file transfers are charged against the given
+        link model (see :mod:`repro.filestore.network`).
+        """
+        workdir = Path(workdir)
+        documents = DocumentStore(workdir / "documents")
+        if network is None:
+            files: FileStore = FileStore(workdir / "files")
+        else:
+            files = SimulatedNetworkFileStore(workdir / "files", network)
+        scratch = workdir / "scratch"
+        scratch.mkdir(parents=True, exist_ok=True)
+        return cls(documents=documents, files=files, scratch_dir=scratch)
+
+    def total_storage_bytes(self) -> int:
+        return self.documents.storage_bytes() + self.files.total_bytes()
+
+
+def make_service(
+    approach: str, stores: SharedStores, dataset_codec: str | None = None
+) -> AbstractSaveService:
+    """Instantiate the save service for an approach name."""
+    if approach not in SERVICE_CLASSES:
+        raise KeyError(f"unknown approach {approach!r}; options: {sorted(SERVICE_CLASSES)}")
+    return SERVICE_CLASSES[approach](
+        stores.documents,
+        stores.files,
+        scratch_dir=stores.scratch_dir,
+        dataset_codec=dataset_codec,
+    )
+
+
+class Participant:
+    """A machine in the deployment (the server or one node)."""
+
+    def __init__(
+        self, name: str, approach: str, stores: SharedStores, dataset_codec: str | None = None
+    ):
+        self.name = name
+        self.approach = approach
+        self.stores = stores
+        self.service = make_service(approach, stores, dataset_codec=dataset_codec)
+        #: model ids this participant created, by use-case tag
+        self.saved_models: dict[str, str] = {}
+
+    def latest_model_id(self) -> str | None:
+        if not self.saved_models:
+            return None
+        return next(reversed(list(self.saved_models.values())))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, approach={self.approach!r})"
+
+
+class Server(Participant):
+    """The central server: creates initial models, deploys updates (U_1/U_2)."""
+
+    def __init__(self, approach: str, stores: SharedStores, dataset_codec: str | None = None):
+        super().__init__("server", approach, stores, dataset_codec)
+
+
+class Node(Participant):
+    """A distributed device: trains locally and registers updates (U_3)."""
+
+    def __init__(
+        self, index: int, approach: str, stores: SharedStores, dataset_codec: str | None = None
+    ):
+        super().__init__(f"node-{index}", approach, stores, dataset_codec)
+        self.index = index
+        #: id of the model this node currently runs (set by deployments)
+        self.current_model_id: str | None = None

@@ -1,0 +1,194 @@
+"""Evaluation flows: STANDARD and the distributed DIST-5/10/20 (§4.1, §4.6).
+
+One flow execution walks the paper's use-case sequence:
+
+* ``U_1`` — the server saves the initial model; every node recovers it.
+* ``U_3-1-n`` — every node derives a model from its previous one (using the
+  pre-built chain snapshots, exactly like the paper's pre-trained models)
+  and saves it; ``n`` iterations.
+* ``U_2`` — the server saves an improved version derived from ``U_1`` and
+  deploys it to the nodes.
+* ``U_3-2-n`` — node-side derivations continuing from ``U_2``.
+
+TTS is measured around each ``save_model`` call, storage via the service's
+accounting, and TTR (``U_4``) by recovering every saved model afterwards.
+Model counts per flow match Table 3: ``2 + num_nodes * 2 * iterations``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.save_info import ModelSaveInfo
+from ..core.schema import APPROACH_PROVENANCE
+from ..workloads.pretrain import ModelChain
+from .environment import Node, Server, SharedStores
+from .metrics import FlowMetrics, UseCaseRecord
+
+__all__ = ["FlowConfig", "STANDARD", "DIST_5", "DIST_10", "DIST_20", "FLOWS", "run_evaluation_flow"]
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Shape of one evaluation flow (paper Table 3)."""
+
+    name: str
+    num_nodes: int
+    iterations: int
+
+    @property
+    def model_count(self) -> int:
+        return 2 + self.num_nodes * 2 * self.iterations
+
+
+STANDARD = FlowConfig("STANDARD", num_nodes=1, iterations=4)
+DIST_5 = FlowConfig("DIST-5", num_nodes=5, iterations=10)
+DIST_10 = FlowConfig("DIST-10", num_nodes=10, iterations=10)
+DIST_20 = FlowConfig("DIST-20", num_nodes=20, iterations=10)
+FLOWS = {flow.name: flow for flow in (STANDARD, DIST_5, DIST_10, DIST_20)}
+
+
+def _save_step(
+    participant,
+    chain: ModelChain,
+    use_case: str,
+    chain_use_case: str,
+    base_model_id: str | None,
+    approach: str,
+):
+    """Save one chain snapshot through a participant's service; returns
+    (model id, tts seconds)."""
+    step = chain.step(chain_use_case)
+    model = chain.build_model(chain_use_case)
+    architecture = chain.config.architecture_ref()
+
+    started = time.perf_counter()
+    if approach == APPROACH_PROVENANCE and step.run is not None:
+        save_info = step.run.to_provenance_info(
+            base_model_id, trained_model=model, use_case=use_case
+        )
+        model_id = participant.service.save_model(save_info)
+    else:
+        model_id = participant.service.save_model(
+            ModelSaveInfo(
+                model=model,
+                architecture=architecture,
+                base_model_id=base_model_id,
+                use_case=use_case,
+            )
+        )
+    tts = time.perf_counter() - started
+    participant.saved_models[use_case] = model_id
+    return model_id, tts
+
+
+def run_evaluation_flow(
+    approach: str,
+    chain: ModelChain,
+    flow: FlowConfig,
+    stores: SharedStores,
+    measure_recover: bool = True,
+    recover_verify: bool = True,
+    dataset_codec: str | None = None,
+    concurrent_nodes: bool = False,
+) -> FlowMetrics:
+    """Execute one evaluation flow; returns all measurements.
+
+    The chain must provide as many ``U_3`` iterations as the flow runs
+    (derived provenance records are base-specific, so snapshots cannot be
+    reused across iterations).  ``measure_recover=False`` skips the TTR
+    phase (useful when only storage and TTS are of interest).
+
+    ``concurrent_nodes=True`` runs every node's save of one U_3 iteration
+    in its own thread — the deployment's real concurrency against the
+    shared stores.  Per-node wall-clock times then include GIL contention,
+    so use the sequential default when measuring clean per-save latencies
+    (as the paper's per-machine measurements are).
+    """
+    if chain.config.iterations < flow.iterations:
+        raise ValueError(
+            f"flow {flow.name} needs {flow.iterations} U_3 iterations but the "
+            f"chain provides only {chain.config.iterations}; rebuild the chain "
+            f"with iterations={flow.iterations}"
+        )
+    metrics = FlowMetrics(approach=approach, flow_name=flow.name)
+    server = Server(approach, stores, dataset_codec=dataset_codec)
+    nodes = [Node(i, approach, stores, dataset_codec=dataset_codec) for i in range(flow.num_nodes)]
+
+    def record_save(participant, use_case, chain_use_case, base_id):
+        model_id, tts = _save_step(
+            participant, chain, use_case, chain_use_case, base_id, approach
+        )
+        breakdown = participant.service.model_save_size(model_id)
+        metrics.add(
+            UseCaseRecord(
+                use_case=use_case,
+                node=participant.name,
+                model_id=model_id,
+                tts_seconds=tts,
+                storage_bytes=breakdown.total,
+                storage_files=dict(breakdown.files),
+            )
+        )
+        return model_id
+
+    # U_1: initial model, saved once by the server, recovered by each node.
+    u1_id = record_save(server, "U_1", "U_1", None)
+    for node in nodes:
+        node.current_model_id = u1_id
+
+    def run_iteration(use_case: str, previous: dict) -> None:
+        if not concurrent_nodes:
+            for node in nodes:
+                previous[node.name] = record_save(
+                    node, use_case, use_case, previous[node.name]
+                )
+            return
+        import threading
+
+        errors: list[BaseException] = []
+
+        def node_save(node) -> None:
+            try:
+                previous[node.name] = record_save(
+                    node, use_case, use_case, previous[node.name]
+                )
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=node_save, args=(node,)) for node in nodes]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    # U_3-1-n: every node updates its local model.
+    previous: dict[str, str] = {node.name: u1_id for node in nodes}
+    for n in range(1, flow.iterations + 1):
+        run_iteration(f"U_3-1-{n}", previous)
+
+    # U_2: server-side major update derived from the initial model.
+    u2_id = record_save(server, "U_2", "U_2", u1_id)
+    for node in nodes:
+        node.current_model_id = u2_id
+
+    # U_3-2-n: node updates continuing from the deployed U_2 model.
+    previous = {node.name: u2_id for node in nodes}
+    for n in range(1, flow.iterations + 1):
+        run_iteration(f"U_3-2-{n}", previous)
+
+    if measure_recover:
+        # U_4: the server recovers every monitored model.
+        for record in metrics.records:
+            started = time.perf_counter()
+            recovered = server.service.recover_model(
+                record.model_id, verify=recover_verify
+            )
+            record.ttr_seconds = time.perf_counter() - started
+            record.ttr_timings = dict(recovered.timings)
+            record.recovery_depth = recovered.recovery_depth
+
+    return metrics

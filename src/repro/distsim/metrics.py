@@ -1,0 +1,82 @@
+"""Measurement records and aggregation for evaluation flows.
+
+The paper reports, per use case: storage consumption (constant across
+runs), median time-to-save, and median time-to-recover, where medians are
+taken across repetitions and — for distributed flows — across nodes
+(Section 4.6).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+__all__ = ["UseCaseRecord", "FlowMetrics"]
+
+
+@dataclass
+class UseCaseRecord:
+    """One measured save (and optional recover) of one model."""
+
+    use_case: str
+    node: str  # "server" or "node-<i>"
+    model_id: str
+    tts_seconds: float
+    storage_bytes: int
+    storage_files: dict = field(default_factory=dict)
+    ttr_seconds: float | None = None
+    ttr_timings: dict = field(default_factory=dict)
+    recovery_depth: int = 0
+
+
+@dataclass
+class FlowMetrics:
+    """All records of one evaluation-flow execution."""
+
+    approach: str
+    flow_name: str
+    records: list[UseCaseRecord] = field(default_factory=list)
+
+    def add(self, record: UseCaseRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def model_count(self) -> int:
+        return len(self.records)
+
+    def use_cases(self) -> list[str]:
+        """Distinct use cases in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.use_case, None)
+        return list(seen)
+
+    def _per_use_case(self, getter) -> dict[str, float]:
+        grouped: dict[str, list[float]] = {}
+        for record in self.records:
+            value = getter(record)
+            if value is not None:
+                grouped.setdefault(record.use_case, []).append(value)
+        return {
+            use_case: statistics.median(values) for use_case, values in grouped.items()
+        }
+
+    def median_tts(self) -> dict[str, float]:
+        """Median time-to-save per use case, across nodes."""
+        return self._per_use_case(lambda r: r.tts_seconds)
+
+    def median_ttr(self) -> dict[str, float]:
+        """Median time-to-recover per use case, across nodes."""
+        return self._per_use_case(lambda r: r.ttr_seconds)
+
+    def storage(self) -> dict[str, float]:
+        """Median storage bytes per use case (constant across nodes/runs)."""
+        return self._per_use_case(lambda r: float(r.storage_bytes))
+
+    def merge(self, other: "FlowMetrics") -> "FlowMetrics":
+        """Combine records from a repeated execution (for cross-run medians)."""
+        if (other.approach, other.flow_name) != (self.approach, self.flow_name):
+            raise ValueError("can only merge metrics of the same experiment")
+        merged = FlowMetrics(self.approach, self.flow_name)
+        merged.records = self.records + other.records
+        return merged

@@ -1,0 +1,29 @@
+"""``repro.docstore`` — a MongoDB-substitute document database.
+
+Provides an embeddable engine (:class:`DocumentStore`), a Mongo-subset
+query language, and a TCP server/client pair so the store can run in its
+own process like the dedicated MongoDB machine in the paper's setup.
+"""
+
+from .client import DocumentStoreClient, RemoteCollection, RemoteStoreError
+from .documents import DocumentError, ObjectId, new_object_id, validate_document
+from .engine import Collection, DocumentStore, DuplicateKeyError, NotFoundError
+from .query import QueryError, matches
+from .server import DocumentStoreServer
+
+__all__ = [
+    "DocumentStoreClient",
+    "RemoteCollection",
+    "RemoteStoreError",
+    "DocumentError",
+    "ObjectId",
+    "new_object_id",
+    "validate_document",
+    "Collection",
+    "DocumentStore",
+    "DuplicateKeyError",
+    "NotFoundError",
+    "QueryError",
+    "matches",
+    "DocumentStoreServer",
+]

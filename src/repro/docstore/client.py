@@ -1,0 +1,125 @@
+"""Client for :class:`repro.docstore.server.DocumentStoreServer`.
+
+:class:`RemoteCollection` mirrors the :class:`~repro.docstore.engine.Collection`
+API, so MMlib code can be pointed at either an in-process store or a remote
+one without changes — the same way the paper swaps a local MongoDB for one
+on a different machine.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from .documents import DocumentError
+from .engine import DuplicateKeyError, NotFoundError
+
+__all__ = ["DocumentStoreClient", "RemoteCollection", "RemoteStoreError"]
+
+
+class RemoteStoreError(RuntimeError):
+    """Raised for protocol-level failures talking to the store server."""
+
+
+_ERROR_KINDS = {
+    "duplicate": DuplicateKeyError,
+    "not_found": NotFoundError,
+    "invalid": DocumentError,
+    "protocol": RemoteStoreError,
+}
+
+
+class DocumentStoreClient:
+    """Connection to a document-store server, handing out collections."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "DocumentStoreClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def collection(self, name: str) -> "RemoteCollection":
+        return RemoteCollection(self, name)
+
+    def __getitem__(self, name: str) -> "RemoteCollection":
+        return self.collection(name)
+
+    def request(self, collection: str, op: str, **args):
+        """Issue one request and return its result (or raise)."""
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            payload = json.dumps(
+                {"id": request_id, "collection": collection, "op": op, "args": args}
+            )
+            self._socket.sendall((payload + "\n").encode())
+            raw = self._reader.readline()
+        if not raw:
+            raise RemoteStoreError("connection closed by document-store server")
+        response = json.loads(raw.decode())
+        if response.get("ok"):
+            return response.get("result")
+        error_type = _ERROR_KINDS.get(response.get("kind"), RemoteStoreError)
+        raise error_type(response.get("error", "unknown remote error"))
+
+
+class RemoteCollection:
+    """Remote counterpart of :class:`repro.docstore.engine.Collection`."""
+
+    def __init__(self, client: DocumentStoreClient, name: str):
+        self._client = client
+        self.name = name
+
+    def _call(self, op: str, **args):
+        return self._client.request(self.name, op, **args)
+
+    def insert_one(self, document: dict) -> str:
+        return self._call("insert_one", document=document)
+
+    def insert_many(self, documents: list[dict]) -> list[str]:
+        return self._call("insert_many", documents=documents)
+
+    def replace_one(self, doc_id: str, document: dict) -> None:
+        self._call("replace_one", doc_id=doc_id, document=document)
+
+    def update_one(self, query: dict, changes: dict) -> bool:
+        return self._call("update_one", query=query, changes=changes)
+
+    def delete_one(self, doc_id: str) -> bool:
+        return self._call("delete_one", doc_id=doc_id)
+
+    def delete_many(self, query: dict) -> int:
+        return self._call("delete_many", query=query)
+
+    def get(self, doc_id: str) -> dict:
+        return self._call("get", doc_id=doc_id)
+
+    def find_one(self, query: dict) -> dict | None:
+        return self._call("find_one", query=query)
+
+    def find(
+        self,
+        query: dict | None = None,
+        sort: list | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        return self._call("find", query=query, sort=sort, limit=limit)
+
+    def count(self, query: dict | None = None) -> int:
+        return self._call("count", query=query)
+
+    def storage_bytes(self) -> int:
+        return self._call("storage_bytes")

@@ -1,0 +1,103 @@
+"""Mongo-subset query matching.
+
+Supported operators: equality by example, ``$eq``, ``$ne``, ``$gt``,
+``$gte``, ``$lt``, ``$lte``, ``$in``, ``$nin``, ``$exists``, ``$and``,
+``$or``, ``$not``, and dotted paths into nested documents and arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["matches", "resolve_path", "QueryError", "MISSING"]
+
+#: Sentinel returned by :func:`resolve_path` for absent paths.
+MISSING = object()
+_MISSING = MISSING
+
+
+class QueryError(ValueError):
+    """Raised for malformed query documents."""
+
+
+def resolve_path(document: Any, path: str):
+    """Resolve a dotted path; returns a sentinel when the path is absent."""
+    current = document
+    for part in path.split("."):
+        if isinstance(current, dict):
+            if part not in current:
+                return _MISSING
+            current = current[part]
+        elif isinstance(current, list):
+            if not part.isdigit() or int(part) >= len(current):
+                return _MISSING
+            current = current[int(part)]
+        else:
+            return _MISSING
+    return current
+
+
+def _compare(value, operator: str, operand) -> bool:
+    if operator == "$eq":
+        return value is not _MISSING and value == operand
+    if operator == "$ne":
+        return value is _MISSING or value != operand
+    if operator == "$exists":
+        return (value is not _MISSING) == bool(operand)
+    if operator == "$in":
+        if not isinstance(operand, list):
+            raise QueryError("$in requires a list operand")
+        return value is not _MISSING and value in operand
+    if operator == "$nin":
+        if not isinstance(operand, list):
+            raise QueryError("$nin requires a list operand")
+        return value is _MISSING or value not in operand
+    if operator in ("$gt", "$gte", "$lt", "$lte"):
+        if value is _MISSING:
+            return False
+        try:
+            if operator == "$gt":
+                return value > operand
+            if operator == "$gte":
+                return value >= operand
+            if operator == "$lt":
+                return value < operand
+            return value <= operand
+        except TypeError:
+            return False
+    if operator == "$not":
+        return not _match_condition(value, operand)
+    raise QueryError(f"unsupported operator: {operator}")
+
+
+def _match_condition(value, condition) -> bool:
+    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+        return all(_compare(value, op, operand) for op, operand in condition.items())
+    # plain equality (arrays also match by membership, like MongoDB)
+    if value is _MISSING:
+        return condition is None
+    if isinstance(value, list) and not isinstance(condition, list):
+        return condition in value or value == condition
+    return value == condition
+
+
+def matches(document: dict, query: dict) -> bool:
+    """Return whether ``document`` satisfies ``query``."""
+    if not isinstance(query, dict):
+        raise QueryError(f"query must be a dict, got {type(query).__name__}")
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unsupported top-level operator: {key}")
+        else:
+            if not _match_condition(resolve_path(document, key), condition):
+                return False
+    return True

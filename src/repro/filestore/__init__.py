@@ -1,0 +1,18 @@
+"""``repro.filestore`` — shared external file storage substrate."""
+
+from .network import (
+    CELLULAR_LTE,
+    INFINIBAND_100G,
+    NetworkModel,
+    SimulatedNetworkFileStore,
+)
+from .store import FileNotFoundInStoreError, FileStore
+
+__all__ = [
+    "CELLULAR_LTE",
+    "INFINIBAND_100G",
+    "NetworkModel",
+    "SimulatedNetworkFileStore",
+    "FileNotFoundInStoreError",
+    "FileStore",
+]

@@ -1,0 +1,88 @@
+"""File store variant that models network transfer cost.
+
+The paper's machines reach the shared external storage over 100G
+InfiniBand, so transfers are fast but not free.  This wrapper charges a
+configurable latency per operation plus bytes/bandwidth of transfer time,
+letting distributed evaluation flows account for slower links (e.g. the
+motivating vehicle fleet on cellular uplinks) without changing any MMlib
+code — it is a drop-in :class:`~repro.filestore.store.FileStore`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from .store import FileStore
+
+__all__ = ["NetworkModel", "SimulatedNetworkFileStore", "INFINIBAND_100G", "CELLULAR_LTE"]
+
+
+class NetworkModel:
+    """Latency + bandwidth model for a storage link."""
+
+    def __init__(self, bandwidth_bytes_per_s: float, latency_s: float = 0.0):
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth_bytes_per_s = float(bandwidth_bytes_per_s)
+        self.latency_s = float(latency_s)
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Seconds to move ``num_bytes`` over this link."""
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+    def __repr__(self) -> str:
+        gbit = self.bandwidth_bytes_per_s * 8 / 1e9
+        return f"NetworkModel({gbit:.2f} Gbit/s, latency={self.latency_s * 1e3:.2f} ms)"
+
+
+#: The evaluation cluster's interconnect (Section 4.1).
+INFINIBAND_100G = NetworkModel(bandwidth_bytes_per_s=100e9 / 8, latency_s=5e-6)
+
+#: A pessimistic vehicle-fleet uplink for the motivating BMS example.
+CELLULAR_LTE = NetworkModel(bandwidth_bytes_per_s=20e6 / 8, latency_s=50e-3)
+
+
+class SimulatedNetworkFileStore(FileStore):
+    """A :class:`FileStore` whose transfers consume simulated link time.
+
+    ``sleep=True`` makes operations actually take the modelled wall-clock
+    time (for end-to-end timing experiments); with ``sleep=False`` the cost
+    is only accumulated in :attr:`simulated_seconds` so large sweeps stay
+    fast while still reporting transfer budgets.
+    """
+
+    def __init__(self, root: str | Path, network: NetworkModel, sleep: bool = False):
+        super().__init__(root)
+        self.network = network
+        self.sleep = sleep
+        self.simulated_seconds = 0.0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def _charge(self, num_bytes: int) -> None:
+        cost = self.network.transfer_time(num_bytes)
+        self.simulated_seconds += cost
+        if self.sleep:
+            time.sleep(cost)
+
+    def save_bytes(self, data: bytes, suffix: str = "") -> str:
+        """Persist a payload, charging its upload against the link."""
+        self._charge(len(data))
+        self.bytes_sent += len(data)
+        return super().save_bytes(data, suffix=suffix)
+
+    def recover_bytes(self, file_id: str) -> bytes:
+        """Load a payload, charging its download against the link."""
+        data = super().recover_bytes(file_id)
+        self._charge(len(data))
+        self.bytes_received += len(data)
+        return data
+
+    def reset_accounting(self) -> None:
+        """Zero the accumulated transfer time and byte counters."""
+        self.simulated_seconds = 0.0
+        self.bytes_sent = 0
+        self.bytes_received = 0

@@ -1,0 +1,109 @@
+"""Shared file storage: the paper's "external storage" substrate.
+
+Models get split into metadata (documents) and files (code, serialized
+parameters, compressed datasets).  The :class:`FileStore` persists files
+under generated identifiers in a shared directory, exactly like the
+evaluation's shared external storage that all machines can access.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import uuid
+from pathlib import Path
+
+__all__ = ["FileStore", "FileNotFoundInStoreError"]
+
+
+class FileNotFoundInStoreError(KeyError):
+    """Raised when recovering a file id that was never saved (or deleted)."""
+
+
+class FileStore:
+    """Directory-backed blob store addressed by generated file ids.
+
+    File ids embed a content digest prefix, which gives cheap corruption
+    detection on recovery without a separate checksum channel.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- save ------------------------------------------------------------------
+
+    def save_bytes(self, data: bytes, suffix: str = "") -> str:
+        """Persist a byte payload; returns the generated file id."""
+        digest = hashlib.sha256(data).hexdigest()[:16]
+        file_id = f"{digest}-{uuid.uuid4().hex[:12]}{suffix}"
+        path = self._path(file_id)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(data)
+        tmp.replace(path)
+        return file_id
+
+    def save_file(self, source: str | Path) -> str:
+        """Copy an existing file into the store; returns the file id."""
+        source = Path(source)
+        data = source.read_bytes()
+        return self.save_bytes(data, suffix=source.suffix)
+
+    # -- recover -----------------------------------------------------------------
+
+    def _path(self, file_id: str) -> Path:
+        if "/" in file_id or file_id.startswith("."):
+            raise ValueError(f"invalid file id: {file_id!r}")
+        return self.root / file_id
+
+    def recover_bytes(self, file_id: str) -> bytes:
+        """Load a payload by file id, verifying the embedded digest."""
+        path = self._path(file_id)
+        if not path.exists():
+            raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
+        data = path.read_bytes()
+        expected = file_id.split("-", 1)[0]
+        actual = hashlib.sha256(data).hexdigest()[: len(expected)]
+        if actual != expected:
+            raise IOError(
+                f"stored file {file_id!r} is corrupt: digest {actual} != {expected}"
+            )
+        return data
+
+    def recover_to(self, file_id: str, destination: str | Path) -> Path:
+        """Copy a stored file out of the store to ``destination``."""
+        destination = Path(destination)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_bytes(self.recover_bytes(file_id))
+        return destination
+
+    # -- management ---------------------------------------------------------------
+
+    def exists(self, file_id: str) -> bool:
+        return self._path(file_id).exists()
+
+    def delete(self, file_id: str) -> bool:
+        """Remove a stored file; returns whether it existed."""
+        path = self._path(file_id)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def size(self, file_id: str) -> int:
+        """Stored size in bytes of one file."""
+        path = self._path(file_id)
+        if not path.exists():
+            raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
+        return path.stat().st_size
+
+    def total_bytes(self) -> int:
+        """Total bytes across all stored files."""
+        return sum(p.stat().st_size for p in self.root.iterdir() if p.is_file())
+
+    def file_ids(self) -> list[str]:
+        return sorted(p.name for p in self.root.iterdir() if p.is_file())
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)

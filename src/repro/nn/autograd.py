@@ -1,0 +1,125 @@
+"""Autograd bookkeeping: gradient-mode switches and the backward pass.
+
+The substrate implements reverse-mode automatic differentiation.  Every
+differentiable operation records a small *node* on its output tensor holding
+references to the input tensors and a backward closure.  Calling
+:meth:`repro.nn.Tensor.backward` topologically sorts the recorded graph and
+propagates gradients from the output back to every leaf that requires them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tensor import Tensor
+
+__all__ = ["no_grad", "enable_grad", "is_grad_enabled", "GraphNode", "backward"]
+
+_grad_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return getattr(_grad_state, "enabled", True)
+
+
+def _set_grad_enabled(enabled: bool) -> None:
+    _grad_state.enabled = enabled
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph recording inside the block (inference / bookkeeping)."""
+    previous = is_grad_enabled()
+    _set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        _set_grad_enabled(previous)
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Re-enable graph recording inside a :func:`no_grad` block."""
+    previous = is_grad_enabled()
+    _set_grad_enabled(True)
+    try:
+        yield
+    finally:
+        _set_grad_enabled(previous)
+
+
+@dataclass
+class GraphNode:
+    """One recorded operation in the autograd graph.
+
+    ``backward_fn`` maps the gradient flowing into the op's output to a tuple
+    of gradients, one per entry of ``inputs`` (``None`` for inputs that do
+    not require grad).
+    """
+
+    inputs: Sequence["Tensor"]
+    backward_fn: Callable[[np.ndarray], Sequence[np.ndarray | None]]
+    name: str = "op"
+    saved: dict = field(default_factory=dict)
+
+
+def _topological_order(root: "Tensor") -> list["Tensor"]:
+    order: list["Tensor"] = []
+    visited: set[int] = set()
+    stack: list[tuple["Tensor", bool]] = [(root, False)]
+    while stack:
+        tensor, processed = stack.pop()
+        if processed:
+            order.append(tensor)
+            continue
+        if id(tensor) in visited:
+            continue
+        visited.add(id(tensor))
+        stack.append((tensor, True))
+        if tensor._node is not None:
+            for parent in tensor._node.inputs:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+    return order
+
+
+def backward(root: "Tensor", grad: np.ndarray) -> None:
+    """Run reverse-mode differentiation from ``root`` with seed ``grad``."""
+    grads: dict[int, np.ndarray] = {id(root): grad}
+    for tensor in reversed(_topological_order(root)):
+        tensor_grad = grads.pop(id(tensor), None)
+        if tensor_grad is None:
+            continue
+        if tensor.requires_grad and tensor._node is None:
+            # Leaf tensor: accumulate into .grad like PyTorch does.
+            if tensor.grad is None:
+                tensor.grad = tensor_grad.copy()
+            else:
+                tensor.grad += tensor_grad
+            continue
+        node = tensor._node
+        if node is None:
+            continue
+        input_grads = node.backward_fn(tensor_grad)
+        if len(input_grads) != len(node.inputs):
+            raise RuntimeError(
+                f"backward of {node.name} returned {len(input_grads)} grads "
+                f"for {len(node.inputs)} inputs"
+            )
+        for parent, parent_grad in zip(node.inputs, input_grads):
+            if parent_grad is None:
+                continue
+            if not parent.requires_grad_through():
+                continue
+            existing = grads.get(id(parent))
+            if existing is None:
+                grads[id(parent)] = parent_grad
+            else:
+                grads[id(parent)] = existing + parent_grad

@@ -1,0 +1,106 @@
+"""Datasets and data loading.
+
+The :class:`DataLoader` shuffles with the seeded substrate generator, so the
+exact batch order of a training run can be reproduced by restoring the seed —
+one of the preconditions for reproducible training (paper Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from . import rng
+from .tensor import Tensor
+
+__all__ = ["Dataset", "TensorDataset", "Subset", "DataLoader"]
+
+
+class Dataset:
+    """Abstract map-style dataset."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Dataset wrapping equally sized arrays (e.g. images and labels)."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("TensorDataset requires at least one array")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"arrays have mismatched lengths: {sorted(lengths)}")
+        self.arrays = [np.asarray(a) for a in arrays]
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int):
+        row = tuple(a[index] for a in self.arrays)
+        return row if len(row) > 1 else row[0]
+
+
+class Subset(Dataset):
+    """View over a subset of another dataset."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+
+def _default_collate(samples: list):
+    first = samples[0]
+    if isinstance(first, tuple):
+        return tuple(_default_collate([s[i] for s in samples]) for i in range(len(first)))
+    batch = np.stack([np.asarray(s) for s in samples])
+    if np.issubdtype(batch.dtype, np.floating):
+        return Tensor(batch.astype(np.float32))
+    return Tensor(batch, dtype=batch.dtype)
+
+
+class DataLoader:
+    """Iterates a dataset in (optionally shuffled) batches of tensors."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 1,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        collate_fn=None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.collate_fn = collate_fn or _default_collate
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            rng.generator().shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                return
+            yield self.collate_fn([self.dataset[int(i)] for i in batch_indices])

@@ -1,0 +1,64 @@
+"""Embedding layer: token-id lookup with scatter-add gradients.
+
+Gives the substrate the "large model, small dataset" regime the paper's
+Section 4.7 discussion assigns to natural language processing: an
+embedding table holds most of an NLP model's parameters while its training
+corpora are small relative to image datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .autograd import GraphNode
+from .modules import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Embedding", "embedding"]
+
+
+def embedding(indices, weight: Tensor) -> Tensor:
+    """Look up rows of ``weight`` for integer ``indices`` (differentiable).
+
+    ``indices`` may be any integer array shape; the output appends the
+    embedding dimension.  Gradients scatter-add into the used rows.
+    """
+    index_array = np.asarray(
+        indices.data if isinstance(indices, Tensor) else indices, dtype=np.int64
+    )
+    if index_array.min(initial=0) < 0 or index_array.max(initial=0) >= weight.shape[0]:
+        raise IndexError(
+            f"token ids must be within [0, {weight.shape[0]}); "
+            f"got range [{index_array.min()}, {index_array.max()}]"
+        )
+    out_data = weight.data[index_array]
+
+    def backward_fn(g):
+        grad_weight = np.zeros_like(weight.data)
+        np.add.at(grad_weight, index_array.reshape(-1), g.reshape(-1, weight.shape[1]))
+        return (grad_weight,)
+
+    node = GraphNode(inputs=(weight,), backward_fn=backward_fn, name="embedding")
+    return Tensor._from_op(out_data, node)
+
+
+class Embedding(Module):
+    """Token embedding table ``(num_embeddings, embedding_dim)``."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int):
+        super().__init__()
+        if num_embeddings < 1 or embedding_dim < 1:
+            raise ValueError("num_embeddings and embedding_dim must be >= 1")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            np.empty((num_embeddings, embedding_dim), dtype=np.float32)
+        )
+        init.normal_(self.weight, std=1.0 / embedding_dim**0.5)
+
+    def forward(self, indices) -> Tensor:
+        return embedding(indices, self.weight)
+
+    def _repr_header(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

@@ -1,0 +1,586 @@
+"""Neural-network kernels: convolution, pooling, normalization, losses.
+
+Reduction-heavy kernels (convolution and linear layers) honour the global
+determinism switch from :mod:`repro.nn.rng`:
+
+* **non-deterministic mode** (default) — one fused matmul whose result is
+  perturbed at reduction-rounding scale (O(sqrt(K)) ulps) by an unseeded
+  generator.  This mirrors atomically-reduced GPU kernels: fast, and
+  numerically close but bitwise different between runs.
+* **deterministic mode** — partial sums are accumulated over the reduction
+  dimension in a fixed, chunked order.  Bitwise reproducible at a modest
+  overhead.
+
+The ``kernel_impl="legacy"`` convolution variant models layers for which
+the framework only ships a much slower deterministic implementation (the
+paper's explanation for ResNet-18's outsized deterministic-training
+slowdown, Section 4.5): its only deterministic path is a non-fused float64
+fallback with tiny ordered chunks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import rng
+from .autograd import GraphNode
+from .tensor import Tensor
+
+__all__ = [
+    "reduced_matmul",
+    "linear",
+    "conv2d",
+    "batch_norm",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "relu",
+    "relu6",
+    "sigmoid",
+    "tanh",
+    "gelu",
+    "layer_norm",
+    "dropout",
+    "log_softmax",
+    "softmax",
+    "nll_loss",
+    "cross_entropy",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+]
+
+#: Deterministic-chunk divisor applied by the "legacy" convolution kernel.
+LEGACY_KERNEL_CHUNK_DIVISOR = 64
+
+
+def _det_chunk(kernel_impl: str = "standard") -> int:
+    chunk = rng.deterministic_chunk_size()
+    if kernel_impl == "legacy":
+        chunk = max(1, chunk // LEGACY_KERNEL_CHUNK_DIVISOR)
+    return chunk
+
+
+#: float32 unit roundoff; reduction-order noise scales with sqrt(K) ulps.
+_FLOAT32_EPS = np.float32(2.0**-24)
+
+
+def _reduction_jitter(out: np.ndarray, k: int) -> np.ndarray:
+    """Apply the rounding-scale perturbation of an arbitrary-order reduction.
+
+    A parallel float32 reduction over ``k`` elements differs from the
+    serial one by O(sqrt(k)) ulps.  The perturbation is drawn from the
+    *unseeded* generator, so repeated calls produce bitwise-different but
+    numerically equivalent results — exactly the observable behaviour of
+    non-deterministic GPU kernels.
+    """
+    scale = _FLOAT32_EPS * np.sqrt(np.float32(max(k, 1)))
+    shift = np.float32(rng.nondet_generator().standard_normal()) * scale
+    out *= np.float32(1.0) + shift
+    return out
+
+
+def reduced_matmul(a: np.ndarray, b: np.ndarray, kernel_impl: str = "standard") -> np.ndarray:
+    """``a @ b`` with determinism-aware reduction over the shared dimension.
+
+    ``a`` has shape ``(M, K)`` and ``b`` has shape ``(K, N)``.  This is the
+    single primitive through which every heavy reduction in the substrate is
+    routed, so flipping the determinism switch changes behaviour everywhere
+    consistently.
+
+    * **non-deterministic** (default): one fused matmul whose result is
+      perturbed at reduction-rounding scale by the unseeded generator —
+      fast, but bitwise different on every call, like atomically-reduced
+      GPU kernels.
+    * **deterministic, standard kernels**: fixed-order chunked
+      accumulation — bitwise reproducible at a modest overhead.
+    * **deterministic, legacy kernels**: the only deterministic
+      implementation available is a non-fused float64 fallback with tiny
+      ordered chunks — reproducible but several times slower (the source of
+      ResNet-18's outsized deterministic slowdown, paper Section 4.5).
+    """
+    k = a.shape[-1]
+    if not rng.deterministic_algorithms_enabled():
+        return _reduction_jitter(a @ b, k)
+    chunk = _det_chunk(kernel_impl)
+    if kernel_impl == "legacy":
+        out_dtype = a.dtype
+        a = a.astype(np.float64)
+        b = b.astype(np.float64)
+        out = a[..., :chunk] @ b[:chunk]
+        for start in range(chunk, k, chunk):
+            stop = min(start + chunk, k)
+            out += a[..., start:stop] @ b[start:stop]
+        return out.astype(out_dtype)
+    if k <= chunk:
+        return a @ b
+    out = a[..., :chunk] @ b[:chunk]
+    for start in range(chunk, k, chunk):
+        stop = min(start + chunk, k)
+        out += a[..., start:stop] @ b[start:stop]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# linear
+# ---------------------------------------------------------------------------
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with shape ``(N, in) -> (N, out)``."""
+    out_data = reduced_matmul(x.data, weight.data.T)
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    inputs = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(g):
+        grad_x = g @ weight.data
+        grad_w = reduced_matmul(g.T, x.data)
+        if bias is None:
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, g.sum(axis=0))
+
+    node = GraphNode(inputs=inputs, backward_fn=backward_fn, name="linear")
+    return Tensor._from_op(out_data, node)
+
+
+# ---------------------------------------------------------------------------
+# convolution
+# ---------------------------------------------------------------------------
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Extract sliding windows: ``(N, C, H, W) -> (N, C, OH, OW, kh, kw)``."""
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    return windows[:, :, ::stride, ::stride]
+
+
+def _col2im(
+    grad_cols: np.ndarray,
+    x_shape: tuple[int, ...],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold window gradients back to the (padded) input gradient."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    grad_padded = np.zeros((n, c, hp, wp), dtype=grad_cols.dtype)
+    oh, ow = grad_cols.shape[2], grad_cols.shape[3]
+    for i in range(kh):
+        for j in range(kw):
+            grad_padded[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ] += grad_cols[:, :, :, :, i, j]
+    if padding:
+        return grad_padded[:, :, padding:-padding, padding:-padding]
+    return grad_padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+    kernel_impl: str = "standard",
+) -> Tensor:
+    """2D convolution over ``(N, C, H, W)`` inputs.
+
+    ``groups=1`` (dense) and ``groups == in_channels`` (depthwise) are fully
+    vectorized; other group counts fall back to a per-group loop.
+    """
+    n, c, h, w = x.shape
+    out_channels, c_per_group, kh, kw = weight.shape
+    if c % groups or out_channels % groups:
+        raise ValueError(
+            f"channels ({c} in / {out_channels} out) not divisible by groups={groups}"
+        )
+    if c_per_group != c // groups:
+        raise ValueError(
+            f"weight expects {c_per_group} channels/group but input provides {c // groups}"
+        )
+
+    x_data = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = _im2col(x_data, kh, kw, stride)  # (N, C, OH, OW, kh, kw)
+    oh, ow = cols.shape[2], cols.shape[3]
+
+    if groups == 1:
+        flat = np.ascontiguousarray(cols.transpose(0, 2, 3, 1, 4, 5)).reshape(
+            n * oh * ow, c * kh * kw
+        )
+        w_flat = weight.data.reshape(out_channels, c * kh * kw).T
+        out = reduced_matmul(flat, w_flat, kernel_impl)
+        out_data = out.reshape(n, oh, ow, out_channels).transpose(0, 3, 1, 2)
+    elif groups == c and c_per_group == 1:
+        multiplier = out_channels // c
+        w_dw = weight.data.reshape(c, multiplier, kh, kw)
+        out_data = np.einsum("ncxykl,cmkl->ncmxy", cols, w_dw, optimize=True)
+        out_data = out_data.reshape(n, out_channels, oh, ow)
+        if not rng.deterministic_algorithms_enabled():
+            # depthwise reductions are tiny (kh*kw elements) but still
+            # subject to arbitrary-order rounding
+            out_data = _reduction_jitter(np.ascontiguousarray(out_data), kh * kw)
+    else:
+        group_outputs = []
+        cg, og = c // groups, out_channels // groups
+        for g_idx in range(groups):
+            cols_g = cols[:, g_idx * cg : (g_idx + 1) * cg]
+            flat = np.ascontiguousarray(cols_g.transpose(0, 2, 3, 1, 4, 5)).reshape(
+                n * oh * ow, cg * kh * kw
+            )
+            w_flat = (
+                weight.data[g_idx * og : (g_idx + 1) * og]
+                .reshape(og, cg * kh * kw)
+                .T
+            )
+            out = reduced_matmul(flat, w_flat, kernel_impl)
+            group_outputs.append(out.reshape(n, oh, ow, og).transpose(0, 3, 1, 2))
+        out_data = np.concatenate(group_outputs, axis=1)
+
+    out_data = np.ascontiguousarray(out_data, dtype=x.data.dtype)
+    if bias is not None:
+        out_data += bias.data.reshape(1, -1, 1, 1)
+
+    inputs = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(g):
+        g = np.ascontiguousarray(g, dtype=x.data.dtype)
+        if groups == 1:
+            g_flat = g.transpose(0, 2, 3, 1).reshape(n * oh * ow, out_channels)
+            flat = np.ascontiguousarray(cols.transpose(0, 2, 3, 1, 4, 5)).reshape(
+                n * oh * ow, c * kh * kw
+            )
+            grad_w = reduced_matmul(g_flat.T, flat, kernel_impl).reshape(weight.shape)
+            grad_cols_flat = reduced_matmul(
+                g_flat, weight.data.reshape(out_channels, c * kh * kw), kernel_impl
+            )
+            grad_cols = grad_cols_flat.reshape(n, oh, ow, c, kh, kw).transpose(
+                0, 3, 1, 2, 4, 5
+            )
+        elif groups == c and c_per_group == 1:
+            multiplier = out_channels // c
+            g_dw = g.reshape(n, c, multiplier, oh, ow)
+            w_dw = weight.data.reshape(c, multiplier, kh, kw)
+            grad_w = np.einsum("ncmxy,ncxykl->cmkl", g_dw, cols, optimize=True)
+            grad_w = grad_w.reshape(weight.shape)
+            grad_cols = np.einsum("ncmxy,cmkl->ncxykl", g_dw, w_dw, optimize=True)
+        else:
+            cg, og = c // groups, out_channels // groups
+            grad_w = np.empty_like(weight.data)
+            grad_cols = np.empty_like(cols)
+            for g_idx in range(groups):
+                g_g = g[:, g_idx * og : (g_idx + 1) * og]
+                g_flat = g_g.transpose(0, 2, 3, 1).reshape(n * oh * ow, og)
+                cols_g = cols[:, g_idx * cg : (g_idx + 1) * cg]
+                flat = np.ascontiguousarray(
+                    cols_g.transpose(0, 2, 3, 1, 4, 5)
+                ).reshape(n * oh * ow, cg * kh * kw)
+                grad_w[g_idx * og : (g_idx + 1) * og] = reduced_matmul(
+                    g_flat.T, flat, kernel_impl
+                ).reshape(og, cg, kh, kw)
+                w_flat = weight.data[g_idx * og : (g_idx + 1) * og].reshape(
+                    og, cg * kh * kw
+                )
+                grad_cols[:, g_idx * cg : (g_idx + 1) * cg] = (
+                    (g_flat @ w_flat)
+                    .reshape(n, oh, ow, cg, kh, kw)
+                    .transpose(0, 3, 1, 2, 4, 5)
+                )
+        grad_x = _col2im(grad_cols, x.shape, kh, kw, stride, padding)
+        if bias is None:
+            return (grad_x, grad_w.astype(weight.data.dtype))
+        return (grad_x, grad_w.astype(weight.data.dtype), g.sum(axis=(0, 2, 3)))
+
+    node = GraphNode(inputs=inputs, backward_fn=backward_fn, name="conv2d")
+    return Tensor._from_op(out_data, node)
+
+
+# ---------------------------------------------------------------------------
+# normalization
+# ---------------------------------------------------------------------------
+
+
+def batch_norm(
+    x: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    weight: Tensor | None,
+    bias: Tensor | None,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel dimension of ``(N, C, H, W)``.
+
+    Built from differentiable tensor ops, so the backward pass comes from
+    autograd.  Running statistics are updated in-place when ``training``.
+    """
+    axes = (0, 2, 3) if x.ndim == 4 else (0,)
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=axes, keepdims=True)
+        batch_count = int(np.prod([x.shape[a] for a in axes]))
+        unbiased = var.data * batch_count / max(1, batch_count - 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased.reshape(-1)
+        x_hat = centered * ((var + eps) ** -0.5)
+    else:
+        shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+        mean = Tensor(running_mean.reshape(shape))
+        var = Tensor(running_var.reshape(shape))
+        x_hat = (x - mean) * ((var + eps) ** -0.5)
+    if weight is not None:
+        shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+        x_hat = x_hat * weight.reshape(shape) + bias.reshape(shape)
+    return x_hat
+
+
+# ---------------------------------------------------------------------------
+# pooling
+# ---------------------------------------------------------------------------
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Max pooling; gradient flows to the argmax of each window."""
+    stride = stride or kernel_size
+    kh = kw = kernel_size
+    x_data = x.data
+    if padding:
+        x_data = np.pad(
+            x_data,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            constant_values=-np.inf,
+        )
+    cols = _im2col(x_data, kh, kw, stride)
+    n, c, oh, ow = cols.shape[:4]
+    flat = cols.reshape(n, c, oh, ow, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out_data = np.ascontiguousarray(out_data, dtype=x.data.dtype)
+
+    def backward_fn(g):
+        grad_cols = np.zeros_like(flat)
+        np.put_along_axis(grad_cols, arg[..., None], g[..., None], axis=-1)
+        grad_cols = grad_cols.reshape(n, c, oh, ow, kh, kw)
+        return (_col2im(grad_cols, x.shape, kh, kw, stride, padding),)
+
+    node = GraphNode(inputs=(x,), backward_fn=backward_fn, name="max_pool2d")
+    return Tensor._from_op(out_data, node)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Average pooling with uniform gradient distribution."""
+    stride = stride or kernel_size
+    kh = kw = kernel_size
+    x_data = np.pad(
+        x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    cols = _im2col(x_data, kh, kw, stride)
+    out_data = cols.mean(axis=(-1, -2)).astype(x.data.dtype)
+
+    def backward_fn(g):
+        grad_cols = np.broadcast_to(
+            g[..., None, None] / (kh * kw), g.shape + (kh, kw)
+        ).astype(x.data.dtype)
+        return (_col2im(grad_cols, x.shape, kh, kw, stride, padding),)
+
+    node = GraphNode(inputs=(x,), backward_fn=backward_fn, name="avg_pool2d")
+    return Tensor._from_op(out_data, node)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int | tuple[int, int]) -> Tensor:
+    """Adaptive average pooling to a fixed output grid (PyTorch semantics)."""
+    if isinstance(output_size, int):
+        out_h = out_w = output_size
+    else:
+        out_h, out_w = output_size
+    n, c, h, w = x.shape
+    if out_h == 1 and out_w == 1:
+        return x.mean(axis=(2, 3), keepdims=True)
+    if h % out_h == 0 and w % out_w == 0 and h // out_h == w // out_w:
+        return avg_pool2d(x, kernel_size=h // out_h, stride=h // out_h)
+    rows = [x[:, :, (i * h) // out_h : -(-(i + 1) * h // out_h), :] for i in range(out_h)]
+    pooled_rows = []
+    for row in rows:
+        cells = [
+            row[:, :, :, (j * w) // out_w : -(-(j + 1) * w // out_w)].mean(
+                axis=(2, 3), keepdims=True
+            )
+            for j in range(out_w)
+        ]
+        from .tensor import cat
+
+        pooled_rows.append(cat(cells, dim=3))
+    from .tensor import cat
+
+    return cat(pooled_rows, dim=2)
+
+
+# ---------------------------------------------------------------------------
+# activations & regularization
+# ---------------------------------------------------------------------------
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit; gradient masked at non-positive inputs."""
+    mask = x.data > 0
+    node = GraphNode(inputs=(x,), backward_fn=lambda g: (g * mask,), name="relu")
+    return Tensor._from_op(x.data * mask, node)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic function."""
+    data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x.data, 0, None))),
+        np.exp(np.clip(x.data, None, 0)) / (1.0 + np.exp(np.clip(x.data, None, 0))),
+    ).astype(x.data.dtype)
+    node = GraphNode(
+        inputs=(x,), backward_fn=lambda g: (g * data * (1.0 - data),), name="sigmoid"
+    )
+    return Tensor._from_op(data, node)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    data = np.tanh(x.data)
+    node = GraphNode(
+        inputs=(x,), backward_fn=lambda g: (g * (1.0 - data * data),), name="tanh"
+    )
+    return Tensor._from_op(data, node)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in BERT/GPT)."""
+    c = np.float32(np.sqrt(2.0 / np.pi))
+    inner = c * (x.data + 0.044715 * x.data**3)
+    tanh_inner = np.tanh(inner)
+    data = (0.5 * x.data * (1.0 + tanh_inner)).astype(x.data.dtype)
+
+    def backward_fn(g):
+        sech2 = 1.0 - tanh_inner * tanh_inner
+        d_inner = c * (1.0 + 3 * 0.044715 * x.data**2)
+        grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
+        return (g * grad.astype(x.data.dtype),)
+
+    node = GraphNode(inputs=(x,), backward_fn=backward_fn, name="gelu")
+    return Tensor._from_op(data, node)
+
+
+def layer_norm(
+    x: Tensor,
+    weight: Tensor | None = None,
+    bias: Tensor | None = None,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Layer normalization over the last dimension.
+
+    Built from differentiable tensor ops (backward via autograd), like
+    :func:`batch_norm`; statistics are per-sample, so no running buffers.
+    """
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered * ((variance + eps) ** -0.5)
+    if weight is not None:
+        normalized = normalized * weight
+    if bias is not None:
+        normalized = normalized + bias
+    return normalized
+
+
+def relu6(x: Tensor) -> Tensor:
+    """ReLU clipped at 6."""
+    data = np.clip(x.data, 0.0, 6.0)
+    mask = (x.data > 0) & (x.data < 6.0)
+    node = GraphNode(inputs=(x,), backward_fn=lambda g: (g * mask,), name="relu6")
+    return Tensor._from_op(data, node)
+
+
+def dropout(x: Tensor, p: float, training: bool, generator=None) -> Tensor:
+    """Inverted dropout driven by the seeded generator (reproducible)."""
+    if not training or p == 0.0:
+        return x
+    gen = generator if generator is not None else rng.generator()
+    mask = (gen.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    node = GraphNode(inputs=(x,), backward_fn=lambda g: (g * mask,), name="dropout")
+    return Tensor._from_op(x.data * mask, node)
+
+
+# ---------------------------------------------------------------------------
+# losses
+# ---------------------------------------------------------------------------
+
+
+def log_softmax(x: Tensor, dim: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``dim``."""
+    shifted = x.data - x.data.max(axis=dim, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=dim, keepdims=True))
+    out_data = shifted - log_sum
+    softmax_data = np.exp(out_data)
+
+    def backward_fn(g):
+        return (g - softmax_data * g.sum(axis=dim, keepdims=True),)
+
+    node = GraphNode(inputs=(x,), backward_fn=backward_fn, name="log_softmax")
+    return Tensor._from_op(out_data.astype(x.data.dtype), node)
+
+
+def softmax(x: Tensor, dim: int = -1) -> Tensor:
+    return log_softmax(x, dim=dim).exp()
+
+
+def nll_loss(log_probs: Tensor, target) -> Tensor:
+    """Negative log likelihood over ``(N, classes)`` log-probabilities."""
+    target = np.asarray(target.data if isinstance(target, Tensor) else target, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs.data[np.arange(n), target]
+    loss = -picked.mean()
+
+    def backward_fn(g):
+        grad = np.zeros_like(log_probs.data)
+        grad[np.arange(n), target] = -1.0 / n
+        return (grad * g,)
+
+    node = GraphNode(inputs=(log_probs,), backward_fn=backward_fn, name="nll_loss")
+    return Tensor._from_op(np.asarray(loss, dtype=log_probs.dtype), node)
+
+
+def cross_entropy(logits: Tensor, target) -> Tensor:
+    """Softmax cross-entropy over ``(N, classes)`` logits."""
+    return nll_loss(log_softmax(logits, dim=-1), target)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    diff = prediction - (target if isinstance(target, Tensor) else Tensor(target))
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target) -> Tensor:
+    """Numerically stable sigmoid + binary cross entropy.
+
+    Uses ``max(z, 0) - z*y + log(1 + exp(-|z|))``, the standard stable form.
+    """
+    target_data = np.asarray(
+        target.data if isinstance(target, Tensor) else target, dtype=logits.data.dtype
+    )
+    z = logits.data
+    loss = np.maximum(z, 0) - z * target_data + np.log1p(np.exp(-np.abs(z)))
+    count = loss.size
+
+    def backward_fn(g):
+        probability = np.where(
+            z >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(z, 0, None))),
+            np.exp(np.clip(z, None, 0)) / (1.0 + np.exp(np.clip(z, None, 0))),
+        )
+        return ((probability - target_data).astype(z.dtype) * g / count,)
+
+    node = GraphNode(inputs=(logits,), backward_fn=backward_fn, name="bce_logits")
+    return Tensor._from_op(np.asarray(loss.mean(), dtype=logits.dtype), node)

@@ -1,0 +1,39 @@
+"""Model zoo: the five computer-vision architectures of the paper's Table 2."""
+
+from .googlenet import BasicConv2d, GoogLeNet, Inception, InceptionAux, googlenet
+from .mobilenetv2 import InvertedResidual, MobileNetV2, mobilenetv2
+from .registry import (
+    MODEL_REGISTRY,
+    ModelSpec,
+    create_model,
+    freeze_for_partial_update,
+    list_models,
+    trainable_parameter_count,
+)
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet50, resnet152
+from .text import TextClassifier, text_classifier
+
+__all__ = [
+    "BasicConv2d",
+    "GoogLeNet",
+    "Inception",
+    "InceptionAux",
+    "googlenet",
+    "InvertedResidual",
+    "MobileNetV2",
+    "mobilenetv2",
+    "MODEL_REGISTRY",
+    "ModelSpec",
+    "create_model",
+    "freeze_for_partial_update",
+    "list_models",
+    "trainable_parameter_count",
+    "BasicBlock",
+    "Bottleneck",
+    "ResNet",
+    "resnet18",
+    "resnet50",
+    "resnet152",
+    "TextClassifier",
+    "text_classifier",
+]

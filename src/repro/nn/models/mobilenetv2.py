@@ -1,0 +1,121 @@
+"""MobileNetV2 (Sandler et al., 2018) matching torchvision's layout.
+
+At ``scale=1.0`` / ``num_classes=1000`` the model has 3,504,872 parameters,
+the Table 2 value; its final classifier holds the 1,281,000 parameters that
+remain trainable in the paper's *partially updated* model relation.
+"""
+
+from __future__ import annotations
+
+from ..modules import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Linear,
+    Module,
+    ReLU6,
+    Sequential,
+)
+from ..tensor import Tensor
+
+__all__ = ["MobileNetV2", "InvertedResidual", "mobilenetv2"]
+
+_INVERTED_RESIDUAL_SETTINGS = [
+    # expand ratio t, output channels c, repeats n, stride s
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _make_divisible(value: float, divisor: int = 8) -> int:
+    """Round channel counts as the reference implementation does."""
+    rounded = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if rounded < 0.9 * value:
+        rounded += divisor
+    return rounded
+
+
+def conv_bn_relu(
+    in_channels: int, out_channels: int, kernel_size: int = 3, stride: int = 1, groups: int = 1
+) -> Sequential:
+    return Sequential(
+        Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=(kernel_size - 1) // 2,
+            groups=groups,
+            bias=False,
+        ),
+        BatchNorm2d(out_channels),
+        ReLU6(),
+    )
+
+
+class InvertedResidual(Module):
+    """Expand (1x1) -> depthwise (3x3) -> project (1x1) with optional skip."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int, expand_ratio: int):
+        super().__init__()
+        hidden = int(round(in_channels * expand_ratio))
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers = []
+        if expand_ratio != 1:
+            layers.append(conv_bn_relu(in_channels, hidden, kernel_size=1))
+        layers.extend(
+            [
+                conv_bn_relu(hidden, hidden, stride=stride, groups=hidden),
+                Conv2d(hidden, out_channels, kernel_size=1, bias=False),
+                BatchNorm2d(out_channels),
+            ]
+        )
+        self.conv = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv(x)
+        if self.use_residual:
+            return x + out
+        return out
+
+
+class MobileNetV2(Module):
+    """MobileNetV2 over ``(N, 3, H, W)`` images."""
+
+    def __init__(self, num_classes: int = 1000, scale: float = 1.0, dropout: float = 0.2):
+        super().__init__()
+        self.num_classes = num_classes
+        self.scale = scale
+        input_channel = _make_divisible(32 * scale)
+        last_channel = _make_divisible(1280 * max(1.0, scale))
+        features: list[Module] = [conv_bn_relu(3, input_channel, stride=2)]
+        for t, c, n, s in _INVERTED_RESIDUAL_SETTINGS:
+            output_channel = _make_divisible(c * scale)
+            for i in range(n):
+                stride = s if i == 0 else 1
+                features.append(
+                    InvertedResidual(input_channel, output_channel, stride, expand_ratio=t)
+                )
+                input_channel = output_channel
+        features.append(conv_bn_relu(input_channel, last_channel, kernel_size=1))
+        self.features = Sequential(*features)
+        self.classifier = Sequential(Dropout(dropout), Linear(last_channel, num_classes))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.features(x)
+        x = x.mean(axis=(2, 3))
+        return self.classifier(x)
+
+    def final_classifier(self) -> Linear:
+        """The layer retrained for *partially updated* model versions."""
+        return self.classifier[1]
+
+
+def mobilenetv2(num_classes: int = 1000, scale: float = 1.0) -> MobileNetV2:
+    """Construct a MobileNetV2 (torchvision-compatible layout)."""
+    return MobileNetV2(num_classes=num_classes, scale=scale)

@@ -1,0 +1,85 @@
+"""Model registry: the evaluation architectures of the paper's Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .. import rng
+from ..modules import Module
+from .googlenet import googlenet
+from .mobilenetv2 import mobilenetv2
+from .resnet import resnet18, resnet50, resnet152
+
+__all__ = [
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "list_models",
+    "create_model",
+    "freeze_for_partial_update",
+    "trainable_parameter_count",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Registry entry with the paper's reference numbers for Table 2."""
+
+    name: str
+    factory: Callable[..., Module]
+    paper_params: int
+    paper_partial_params: int
+    paper_size_mb: float
+
+
+MODEL_REGISTRY: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in [
+        ModelSpec("mobilenetv2", mobilenetv2, 3_504_872, 1_281_000, 14.3),
+        ModelSpec("googlenet", googlenet, 6_624_904, 1_025_000, 26.7),
+        ModelSpec("resnet18", resnet18, 11_689_512, 513_000, 46.8),
+        ModelSpec("resnet50", resnet50, 25_557_032, 2_049_000, 102.5),
+        ModelSpec("resnet152", resnet152, 60_192_808, 2_049_000, 241.7),
+    ]
+}
+
+
+def list_models() -> list[str]:
+    """Names of the available architectures, in Table 2 order."""
+    return list(MODEL_REGISTRY)
+
+
+def create_model(
+    name: str,
+    num_classes: int = 1000,
+    scale: float = 1.0,
+    seed: int | None = None,
+) -> Module:
+    """Instantiate a registered architecture.
+
+    ``seed`` (optional) seeds the substrate RNG first so that two calls with
+    the same seed produce bitwise-identical initial parameters.
+    """
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {list_models()}")
+    if seed is not None:
+        rng.manual_seed(seed)
+    return MODEL_REGISTRY[name].factory(num_classes=num_classes, scale=scale)
+
+
+def freeze_for_partial_update(model: Module) -> Module:
+    """Freeze everything except the final classifier (paper Section 4.1).
+
+    For *partially updated model versions* the paper retrains only the last
+    fully connected layer(s); all other layers are declared not trainable on
+    a layer granularity.
+    """
+    classifier = model.final_classifier()
+    model.requires_grad_(False)
+    classifier.requires_grad_(True)
+    return model
+
+
+def trainable_parameter_count(model: Module) -> int:
+    """Number of parameters that would change in a training step."""
+    return model.num_parameters(trainable_only=True)

@@ -1,0 +1,63 @@
+"""Text classification model: the paper's §4.7 NLP-shaped workload.
+
+"For example, for natural language processing, we would expect complex
+models and long training times but small datasets ... The perfect domain
+for the MPA would be short training times, small datasets, and large
+models."  This bag-of-embeddings classifier realizes that shape: the
+embedding table dominates the parameter count (tens of MB at full scale)
+while token datasets are tiny.
+"""
+
+from __future__ import annotations
+
+from ..embedding import Embedding
+from ..modules import Dropout, Linear, Module, ReLU, Sequential
+from ..tensor import Tensor
+
+__all__ = ["TextClassifier", "text_classifier"]
+
+
+class TextClassifier(Module):
+    """Mean-pooled embedding classifier over ``(N, sequence)`` token ids."""
+
+    def __init__(
+        self,
+        vocab_size: int = 50_000,
+        embedding_dim: int = 256,
+        hidden_dim: int = 256,
+        num_classes: int = 4,
+        dropout: float = 0.1,
+    ):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.embedding = Embedding(vocab_size, embedding_dim)
+        self.head = Sequential(
+            Linear(embedding_dim, hidden_dim),
+            ReLU(),
+            Dropout(dropout),
+            Linear(hidden_dim, num_classes),
+        )
+
+    def forward(self, token_ids) -> Tensor:
+        embedded = self.embedding(token_ids)  # (N, seq, dim)
+        pooled = embedded.mean(axis=1)
+        return self.head(pooled)
+
+    def final_classifier(self) -> Linear:
+        """The layer retrained for partially updated model versions."""
+        return self.head[3]
+
+
+def text_classifier(
+    vocab_size: int = 50_000,
+    embedding_dim: int = 256,
+    hidden_dim: int = 256,
+    num_classes: int = 4,
+) -> TextClassifier:
+    """Construct the §4.7 NLP-shaped classifier."""
+    return TextClassifier(
+        vocab_size=vocab_size,
+        embedding_dim=embedding_dim,
+        hidden_dim=hidden_dim,
+        num_classes=num_classes,
+    )

@@ -1,0 +1,151 @@
+"""Optimizers with serializable internal state.
+
+The MPA (paper Section 3.3) distinguishes *stateless* objects (recoverable
+from constructor arguments alone) from objects with *internal state* such as
+optimizers.  Both optimizers here therefore expose ``state_dict`` /
+``load_state_dict`` so a wrapper can persist them to a state file and restore
+them exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer tracking parameters and per-parameter state."""
+
+    def __init__(self, params: Iterable[Parameter], defaults: dict):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.defaults = dict(defaults)
+        self.state: dict[int, dict] = {}
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot: hyper-parameters + per-parameter state."""
+        packed = {}
+        for index, param in enumerate(self.params):
+            entry = self.state.get(id(param))
+            if entry is not None:
+                packed[str(index)] = {
+                    key: value.copy() if isinstance(value, np.ndarray) else value
+                    for key, value in entry.items()
+                }
+        return {"defaults": dict(self.defaults), "state": packed}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore hyper-parameters and per-parameter state by position."""
+        self.defaults.update(state.get("defaults", {}))
+        self._apply_defaults()
+        self.state = {}
+        for index_str, entry in state.get("state", {}).items():
+            param = self.params[int(index_str)]
+            self.state[id(param)] = {
+                key: np.asarray(value).copy() if isinstance(value, (np.ndarray, list)) else value
+                for key, value in entry.items()
+            }
+
+    def _apply_defaults(self) -> None:
+        for key, value in self.defaults.items():
+            setattr(self, key, value)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate: {lr}")
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        super().__init__(
+            params,
+            {"lr": lr, "momentum": momentum, "weight_decay": weight_decay, "nesterov": nesterov},
+        )
+        self._apply_defaults()
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                entry = self.state.setdefault(id(param), {})
+                buf = entry.get("momentum_buffer")
+                if buf is None:
+                    buf = grad.astype(param.data.dtype).copy()
+                else:
+                    buf *= self.momentum
+                    buf += grad
+                entry["momentum_buffer"] = buf
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate: {lr}")
+        super().__init__(
+            params,
+            {"lr": lr, "betas": tuple(betas), "eps": eps, "weight_decay": weight_decay},
+        )
+        self._apply_defaults()
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        for param in self.params:
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            entry = self.state.setdefault(
+                id(param),
+                {
+                    "step": 0,
+                    "exp_avg": np.zeros_like(param.data),
+                    "exp_avg_sq": np.zeros_like(param.data),
+                },
+            )
+            entry["step"] = int(entry["step"]) + 1
+            entry["exp_avg"] = beta1 * entry["exp_avg"] + (1 - beta1) * grad
+            entry["exp_avg_sq"] = beta2 * entry["exp_avg_sq"] + (1 - beta2) * grad * grad
+            step = entry["step"]
+            corrected_avg = entry["exp_avg"] / (1 - beta1**step)
+            corrected_sq = entry["exp_avg_sq"] / (1 - beta2**step)
+            param.data = param.data - self.lr * corrected_avg / (
+                np.sqrt(corrected_sq) + self.eps
+            )

@@ -1,0 +1,152 @@
+"""Random-number and determinism management for the ``repro.nn`` substrate.
+
+The paper (Section 2.3) identifies two sources of non-determinism in deep
+learning: intentional randomness (weight init, shuffling, dropout) and
+floating-point arithmetic whose result depends on the order of reductions.
+
+This module controls both:
+
+* :func:`manual_seed` seeds a process-global :class:`numpy.random.Generator`
+  that every intentionally-random operation in the substrate draws from.
+* :func:`use_deterministic_algorithms` toggles *deterministic mode*.  In
+  deterministic mode, reduction-heavy kernels (convolution and linear
+  layers) accumulate partial sums in a fixed, chunked order, which is
+  reproducible but slower.  Outside deterministic mode, the kernels perturb
+  their results at reduction-rounding scale using an *unseeded* generator,
+  which mirrors the run-to-run variation of parallel GPU reductions:
+  results are close but generally not bitwise equal.
+
+The unseeded generator is intentionally outside the control of
+:func:`manual_seed` — seeding must not accidentally make the
+non-deterministic mode reproducible, exactly as seeding PyTorch does not make
+non-deterministic CUDA kernels reproducible.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+__all__ = [
+    "manual_seed",
+    "initial_seed",
+    "generator",
+    "nondet_generator",
+    "use_deterministic_algorithms",
+    "deterministic_algorithms_enabled",
+    "deterministic_mode",
+    "get_rng_state",
+    "set_rng_state",
+    "fork_rng",
+    "DEFAULT_DETERMINISTIC_CHUNK",
+    "set_deterministic_chunk_size",
+    "deterministic_chunk_size",
+]
+
+#: Number of reduction elements accumulated per ordered chunk in
+#: deterministic mode.  Smaller chunks mean more Python-level iterations and
+#: a slower but more "strictly ordered" accumulation; the ablation bench
+#: ``bench_ablation_det_chunk`` sweeps this value.
+DEFAULT_DETERMINISTIC_CHUNK = 256
+
+_state = threading.local()
+
+
+def _globals() -> dict:
+    if not hasattr(_state, "values"):
+        _state.values = {
+            "seed": 0,
+            "generator": np.random.default_rng(0),
+            "nondet": np.random.default_rng(),
+            "deterministic": False,
+            "det_chunk": DEFAULT_DETERMINISTIC_CHUNK,
+        }
+    return _state.values
+
+
+def manual_seed(seed: int) -> np.random.Generator:
+    """Seed the substrate's intentional-randomness generator.
+
+    Returns the freshly seeded generator so callers can draw from it
+    directly if they need to.
+    """
+    values = _globals()
+    values["seed"] = int(seed)
+    values["generator"] = np.random.default_rng(int(seed))
+    return values["generator"]
+
+
+def initial_seed() -> int:
+    """Return the seed most recently passed to :func:`manual_seed`."""
+    return _globals()["seed"]
+
+
+def generator() -> np.random.Generator:
+    """Return the seeded generator used for intentional randomness."""
+    return _globals()["generator"]
+
+
+def nondet_generator() -> np.random.Generator:
+    """Return the unseeded generator that models hardware non-determinism."""
+    return _globals()["nondet"]
+
+
+def use_deterministic_algorithms(enabled: bool) -> None:
+    """Globally enable or disable deterministic kernel implementations."""
+    _globals()["deterministic"] = bool(enabled)
+
+
+def deterministic_algorithms_enabled() -> bool:
+    """Return ``True`` when deterministic kernels are in force."""
+    return _globals()["deterministic"]
+
+
+def set_deterministic_chunk_size(chunk: int) -> None:
+    """Set the ordered-accumulation chunk size used in deterministic mode."""
+    if chunk < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk}")
+    _globals()["det_chunk"] = int(chunk)
+
+
+def deterministic_chunk_size() -> int:
+    """Return the current ordered-accumulation chunk size."""
+    return _globals()["det_chunk"]
+
+
+@contextlib.contextmanager
+def deterministic_mode(enabled: bool = True):
+    """Context manager scoping :func:`use_deterministic_algorithms`."""
+    previous = deterministic_algorithms_enabled()
+    use_deterministic_algorithms(enabled)
+    try:
+        yield
+    finally:
+        use_deterministic_algorithms(previous)
+
+
+def get_rng_state() -> dict:
+    """Snapshot the seeded generator state (for exact training replay)."""
+    return {"seed": initial_seed(), "bit_generator": generator().bit_generator.state}
+
+
+def set_rng_state(state: dict) -> None:
+    """Restore a state captured by :func:`get_rng_state`."""
+    values = _globals()
+    values["seed"] = state["seed"]
+    gen = np.random.default_rng(state["seed"])
+    gen.bit_generator.state = state["bit_generator"]
+    values["generator"] = gen
+
+
+@contextlib.contextmanager
+def fork_rng(seed: int | None = None):
+    """Run a block under a temporary RNG state, restoring it afterwards."""
+    saved = get_rng_state()
+    if seed is not None:
+        manual_seed(seed)
+    try:
+        yield generator()
+    finally:
+        set_rng_state(saved)

@@ -1,0 +1,89 @@
+"""Learning-rate schedulers with serializable state.
+
+Schedulers are *parametrized objects with internal state* in the paper's
+Section 3.3 taxonomy: their constructor arguments alone do not recover the
+current step count, so MPA wrappers persist them through ``state_dict`` /
+``load_state_dict`` state files like optimizers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "ExponentialLR"]
+
+
+class LRScheduler:
+    """Base scheduler: tracks epochs and drives the optimizer's ``lr``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.last_epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        self.optimizer.defaults["lr"] = new_lr
+        return new_lr
+
+    def state_dict(self) -> dict:
+        return {"base_lr": self.base_lr, "last_epoch": self.last_epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the schedule position and re-apply the current rate."""
+        self.base_lr = state["base_lr"]
+        self.last_epoch = state["last_epoch"]
+        if self.last_epoch > 0:
+            new_lr = self.get_lr()
+            self.optimizer.lr = new_lr
+            self.optimizer.defaults["lr"] = new_lr
+
+
+class StepLR(LRScheduler):
+    """Decay by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Decay by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma**self.last_epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * progress)
+        ) / 2

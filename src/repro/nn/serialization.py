@@ -1,0 +1,117 @@
+"""Deterministic binary serialization for model and optimizer state.
+
+Stands in for ``torch.save``/``torch.load``.  The format is a JSON header
+describing an arbitrary JSON-compatible tree whose leaves may be numpy
+arrays, followed by the raw array bytes:
+
+    ``b"RNNS1\\n" | u64 header_len | header JSON (utf-8) | array payloads``
+
+The encoding is byte-for-byte deterministic for equal inputs (sorted-key
+JSON, arrays emitted in traversal order), which makes serialized size and
+checksums stable across runs — a property MMlib's storage accounting relies
+on.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save", "load", "dumps", "loads"]
+
+_MAGIC = b"RNNS1\n"
+
+
+def _encode_tree(value, arrays: list[np.ndarray]):
+    if isinstance(value, np.ndarray):
+        index = len(arrays)
+        arrays.append(np.ascontiguousarray(value))
+        return {
+            "__array__": index,
+            "dtype": value.dtype.str,
+            "shape": list(value.shape),
+        }
+    if isinstance(value, np.generic):
+        return {"__scalar__": value.item(), "dtype": value.dtype.str}
+    if isinstance(value, dict):
+        return {
+            "__dict__": [[str(k), _encode_tree(v, arrays)] for k, v in value.items()]
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_tree(v, arrays) for v in value]}
+    if isinstance(value, list):
+        return [_encode_tree(v, arrays) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialize object of type {type(value).__name__}")
+
+
+def _decode_tree(value, payload: memoryview, offsets: list[tuple[int, int]]):
+    if isinstance(value, dict):
+        if "__array__" in value:
+            index = value["__array__"]
+            start, stop = offsets[index]
+            array = np.frombuffer(payload[start:stop], dtype=np.dtype(value["dtype"]))
+            return array.reshape(value["shape"]).copy()
+        if "__scalar__" in value:
+            return np.dtype(value["dtype"]).type(value["__scalar__"])
+        if "__dict__" in value:
+            return OrderedDict(
+                (key, _decode_tree(item, payload, offsets))
+                for key, item in value["__dict__"]
+            )
+        if "__tuple__" in value:
+            return tuple(_decode_tree(v, payload, offsets) for v in value["__tuple__"])
+        raise ValueError(f"unrecognized serialized node: {sorted(value)}")
+    if isinstance(value, list):
+        return [_decode_tree(v, payload, offsets) for v in value]
+    return value
+
+
+def dumps(obj) -> bytes:
+    """Serialize a tree of arrays/scalars/containers to bytes."""
+    arrays: list[np.ndarray] = []
+    tree = _encode_tree(obj, arrays)
+    offsets = []
+    cursor = 0
+    for array in arrays:
+        offsets.append([cursor, cursor + array.nbytes])
+        cursor += array.nbytes
+    header = json.dumps({"tree": tree, "offsets": offsets}, sort_keys=True).encode()
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(struct.pack("<Q", len(header)))
+    buffer.write(header)
+    for array in arrays:
+        buffer.write(array.tobytes())
+    return buffer.getvalue()
+
+
+def loads(data: bytes):
+    """Inverse of :func:`dumps`."""
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise ValueError("not a repro.nn serialized payload (bad magic)")
+    cursor = len(_MAGIC)
+    (header_len,) = struct.unpack_from("<Q", data, cursor)
+    cursor += 8
+    header = json.loads(data[cursor : cursor + header_len].decode())
+    payload = memoryview(data)[cursor + header_len :]
+    offsets = [tuple(pair) for pair in header["offsets"]]
+    return _decode_tree(header["tree"], payload, offsets)
+
+
+def save(obj, path) -> int:
+    """Serialize ``obj`` to ``path``; returns the number of bytes written."""
+    data = dumps(obj)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load(path):
+    """Load an object previously written by :func:`save`."""
+    return loads(Path(path).read_bytes())

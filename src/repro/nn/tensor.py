@@ -1,0 +1,453 @@
+"""The :class:`Tensor` type: a numpy array with reverse-mode autograd.
+
+Only the functionality the substrate needs is implemented, but the API
+mirrors PyTorch closely (``requires_grad``, ``backward``, ``detach``,
+``no_grad`` interplay) so that MMlib's code reads like the original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from . import autograd
+from .autograd import GraphNode, is_grad_enabled
+
+__all__ = ["Tensor", "tensor", "zeros", "ones", "randn", "arange", "cat", "stack"]
+
+_DEFAULT_DTYPE = np.float32
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A multi-dimensional array participating in the autograd graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_node")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._node: GraphNode | None = None
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def _from_op(cls, data: np.ndarray, node: GraphNode) -> "Tensor":
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        out._node = None
+        out.requires_grad = False
+        if is_grad_enabled() and any(p.requires_grad_through() for p in node.inputs):
+            out._node = node
+            out.requires_grad = True
+        return out
+
+    def requires_grad_through(self) -> bool:
+        """True if gradients must flow into or through this tensor."""
+        return self.requires_grad or self._node is not None
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numel(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return self.data.item()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared memory, like torch .numpy())."""
+        return self.data
+
+    def tolist(self):
+        return self.data.tolist()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_note})"
+
+    # -- gradient control -------------------------------------------------------
+
+    def detach(self) -> "Tensor":
+        """Return a view sharing data but cut from the graph."""
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.grad = None
+        out.requires_grad = False
+        out._node = None
+        return out
+
+    def clone(self) -> "Tensor":
+        """Differentiable copy."""
+        node = GraphNode(inputs=(self,), backward_fn=lambda g: (g,), name="clone")
+        return Tensor._from_op(self.data.copy(), node)
+
+    def requires_grad_(self, flag: bool = True) -> "Tensor":
+        self.requires_grad = flag
+        return self
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (and must be omitted only for scalars, as
+        in PyTorch).
+        """
+        if not self.requires_grad_through():
+            raise RuntimeError("tensor does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be specified for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+        autograd.backward(self, grad)
+
+    # -- elementwise arithmetic ---------------------------------------------------
+
+    def _binary(self, other, forward, backward_fn, name: str) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other, dtype=self.dtype)
+        data = forward(self.data, other.data)
+        node = GraphNode(inputs=(self, other), backward_fn=backward_fn(self, other), name=name)
+        return Tensor._from_op(data, node)
+
+    def __add__(self, other) -> "Tensor":
+        def make(a: "Tensor", b: "Tensor"):
+            return lambda g: (_unbroadcast(g, a.shape), _unbroadcast(g, b.shape))
+
+        return self._binary(other, np.add, make, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        def make(a: "Tensor", b: "Tensor"):
+            return lambda g: (_unbroadcast(g, a.shape), _unbroadcast(-g, b.shape))
+
+        return self._binary(other, np.subtract, make, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other, dtype=self.dtype) - self
+
+    def __mul__(self, other) -> "Tensor":
+        def make(a: "Tensor", b: "Tensor"):
+            return lambda g: (
+                _unbroadcast(g * b.data, a.shape),
+                _unbroadcast(g * a.data, b.shape),
+            )
+
+        return self._binary(other, np.multiply, make, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        def make(a: "Tensor", b: "Tensor"):
+            return lambda g: (
+                _unbroadcast(g / b.data, a.shape),
+                _unbroadcast(-g * a.data / (b.data * b.data), b.shape),
+            )
+
+        return self._binary(other, np.divide, make, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other, dtype=self.dtype) / self
+
+    def __neg__(self) -> "Tensor":
+        node = GraphNode(inputs=(self,), backward_fn=lambda g: (-g,), name="neg")
+        return Tensor._from_op(-self.data, node)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        data = self.data**exponent
+
+        def backward_fn(g):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        node = GraphNode(inputs=(self,), backward_fn=backward_fn, name="pow")
+        return Tensor._from_op(data, node)
+
+    # -- comparisons (non-differentiable, return plain Tensors) --------------------
+
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data > other, dtype=np.bool_)
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data < other, dtype=np.bool_)
+
+    def eq(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data == other, dtype=np.bool_)
+
+    # -- matmul ---------------------------------------------------------------------
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other, dtype=self.dtype)
+        data = self.data @ other.data
+
+        def backward_fn(g):
+            grad_a = g @ other.data.swapaxes(-1, -2)
+            grad_b = self.data.swapaxes(-1, -2) @ g
+            return (_unbroadcast(grad_a, self.shape), _unbroadcast(grad_b, other.shape))
+
+        node = GraphNode(inputs=(self, other), backward_fn=backward_fn, name="matmul")
+        return Tensor._from_op(data, node)
+
+    # -- unary math -------------------------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        data = np.exp(self.data)
+        node = GraphNode(inputs=(self,), backward_fn=lambda g: (g * data,), name="exp")
+        return Tensor._from_op(data, node)
+
+    def log(self) -> "Tensor":
+        node = GraphNode(
+            inputs=(self,), backward_fn=lambda g: (g / self.data,), name="log"
+        )
+        return Tensor._from_op(np.log(self.data), node)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        data = np.sqrt(self.data)
+        node = GraphNode(
+            inputs=(self,), backward_fn=lambda g: (g / (2.0 * data),), name="sqrt"
+        )
+        return Tensor._from_op(data, node)
+
+    def abs(self) -> "Tensor":
+        node = GraphNode(
+            inputs=(self,),
+            backward_fn=lambda g: (g * np.sign(self.data),),
+            name="abs",
+        )
+        return Tensor._from_op(np.abs(self.data), node)
+
+    def clamp(self, min_value: float | None = None, max_value: float | None = None) -> "Tensor":
+        """Clip values to ``[min_value, max_value]`` (gradient masked outside)."""
+        data = np.clip(self.data, min_value, max_value)
+        inside = np.ones_like(self.data, dtype=bool)
+        if min_value is not None:
+            inside &= self.data >= min_value
+        if max_value is not None:
+            inside &= self.data <= max_value
+
+        node = GraphNode(
+            inputs=(self,), backward_fn=lambda g: (g * inside,), name="clamp"
+        )
+        return Tensor._from_op(data, node)
+
+    # -- reductions -------------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when ``None``)."""
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward_fn(g):
+            g = np.asarray(g)
+            if axis is None:
+                return (np.broadcast_to(g, self.shape).astype(self.dtype),)
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            if not keepdims:
+                g = np.expand_dims(g, axes)
+            return (np.broadcast_to(g, self.shape).astype(self.dtype),)
+
+        node = GraphNode(inputs=(self,), backward_fn=backward_fn, name="sum")
+        return Tensor._from_op(data, node)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient splits evenly across ties."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward_fn(g):
+            g = np.asarray(g)
+            expanded = data if keepdims or axis is None else np.expand_dims(
+                data, axis if isinstance(axis, tuple) else (axis,)
+            )
+            mask = self.data == expanded
+            counts = mask.sum(axis=axis, keepdims=True)
+            g_full = g if keepdims or axis is None else np.expand_dims(
+                g, axis if isinstance(axis, tuple) else (axis,)
+            )
+            return ((mask * g_full / counts).astype(self.dtype),)
+
+        node = GraphNode(inputs=(self,), backward_fn=backward_fn, name="max")
+        return Tensor._from_op(data, node)
+
+    def argmax(self, axis=None):
+        return Tensor(np.argmax(self.data, axis=axis), dtype=np.int64)
+
+    # -- shape manipulation ----------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        """View with a new shape (differentiable)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+        node = GraphNode(
+            inputs=(self,), backward_fn=lambda g: (g.reshape(original),), name="reshape"
+        )
+        return Tensor._from_op(data, node)
+
+    view = reshape
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        lead = self.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, dim0: int, dim1: int) -> "Tensor":
+        """Swap two dimensions."""
+        data = np.swapaxes(self.data, dim0, dim1)
+        node = GraphNode(
+            inputs=(self,),
+            backward_fn=lambda g: (np.swapaxes(g, dim0, dim1),),
+            name="transpose",
+        )
+        return Tensor._from_op(data, node)
+
+    def permute(self, *dims) -> "Tensor":
+        """Reorder all dimensions."""
+        if len(dims) == 1 and isinstance(dims[0], (tuple, list)):
+            dims = tuple(dims[0])
+        inverse = np.argsort(dims)
+        data = self.data.transpose(dims)
+        node = GraphNode(
+            inputs=(self,),
+            backward_fn=lambda g: (g.transpose(inverse),),
+            name="permute",
+        )
+        return Tensor._from_op(data, node)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward_fn(g):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            return (full,)
+
+        node = GraphNode(inputs=(self,), backward_fn=backward_fn, name="getitem")
+        return Tensor._from_op(data, node)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) dimensions symmetrically."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding)] * 2
+        data = np.pad(self.data, pad_width)
+        slices = tuple(
+            [slice(None)] * (self.ndim - 2) + [slice(padding, -padding)] * 2
+        )
+        node = GraphNode(
+            inputs=(self,), backward_fn=lambda g: (g[slices],), name="pad2d"
+        )
+        return Tensor._from_op(data, node)
+
+
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Create a tensor (functional alias mirroring ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(*shape, requires_grad: bool = False, dtype=None) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape, dtype=dtype or _DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False, dtype=None) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape, dtype=dtype or _DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def randn(*shape, requires_grad: bool = False, generator=None) -> Tensor:
+    """Standard-normal tensor drawn from the substrate's seeded generator."""
+    from . import rng
+
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    gen = generator if generator is not None else rng.generator()
+    data = gen.standard_normal(shape).astype(_DEFAULT_DTYPE)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def arange(*args, dtype=None) -> Tensor:
+    return Tensor(np.arange(*args), dtype=dtype or _DEFAULT_DTYPE)
+
+
+def cat(tensors: Sequence[Tensor], dim: int = 0) -> Tensor:
+    """Concatenate tensors along ``dim`` (differentiable)."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=dim)
+    sizes = [t.shape[dim] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward_fn(g):
+        grads = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[dim] = slice(start, stop)
+            grads.append(g[tuple(index)])
+        return tuple(grads)
+
+    node = GraphNode(inputs=tuple(tensors), backward_fn=backward_fn, name="cat")
+    return Tensor._from_op(data, node)
+
+
+def stack(tensors: Iterable[Tensor], dim: int = 0) -> Tensor:
+    """Stack tensors along a new dimension (differentiable)."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=dim)
+
+    def backward_fn(g):
+        return tuple(np.take(g, i, axis=dim) for i in range(len(tensors)))
+
+    node = GraphNode(inputs=tuple(tensors), backward_fn=backward_fn, name="stack")
+    return Tensor._from_op(data, node)

@@ -1,0 +1,86 @@
+"""Testing utilities for the substrate: numerical gradient checking.
+
+A public ``gradcheck`` lets downstream users verify custom ops the same way
+this repository's own test suite verifies the built-in kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import rng
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "gradcheck", "GradcheckError"]
+
+
+class GradcheckError(AssertionError):
+    """Raised when analytic and numeric gradients disagree."""
+
+
+def numeric_gradient(
+    fn: Callable[[], float], tensor: Tensor, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function wrt ``tensor``.
+
+    ``fn`` must recompute the scalar from the tensor's *current* data on
+    every call; this function perturbs entries in place and restores them.
+    """
+    grad = np.zeros_like(tensor.data, dtype=np.float64)
+    iterator = np.nditer(tensor.data, flags=["multi_index"])
+    for _ in iterator:
+        index = iterator.multi_index
+        original = tensor.data[index]
+        tensor.data[index] = original + eps
+        upper = float(fn())
+        tensor.data[index] = original - eps
+        lower = float(fn())
+        tensor.data[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-3,
+    atol: float = 1e-2,
+    rtol: float = 5e-2,
+) -> bool:
+    """Verify ``fn``'s analytic gradients against central differences.
+
+    ``fn`` maps the given tensors to a single output tensor; the check
+    reduces it with ``sum`` and compares each grad-requiring input's
+    backward gradient to the numeric one.  Runs under deterministic
+    kernels so the two evaluations see identical arithmetic.  Raises
+    :class:`GradcheckError` with the offending input's index on mismatch.
+    """
+    with rng.deterministic_mode(True):
+        for tensor in inputs:
+            tensor.grad = None
+        output = fn(*inputs)
+        if not isinstance(output, Tensor):
+            raise TypeError(f"fn must return a Tensor, got {type(output).__name__}")
+        output.sum().backward()
+
+        for position, tensor in enumerate(inputs):
+            if not tensor.requires_grad:
+                continue
+            if tensor.grad is None:
+                raise GradcheckError(
+                    f"input #{position} requires grad but received none"
+                )
+
+            def scalar() -> float:
+                return float(fn(*inputs).data.sum())
+
+            numeric = numeric_gradient(scalar, tensor, eps=eps)
+            if not np.allclose(tensor.grad, numeric, atol=atol, rtol=rtol):
+                worst = np.abs(tensor.grad - numeric).max()
+                raise GradcheckError(
+                    f"gradient mismatch on input #{position}: "
+                    f"max abs error {worst:.3e} (atol={atol}, rtol={rtol})"
+                )
+    return True

@@ -1,0 +1,164 @@
+"""Data augmentation transforms (paper §2.3: intentional randomness).
+
+Random augmentation is one of the randomness sources that must be seeded
+for reproducible training.  All random transforms draw from the substrate's
+seeded generator, so a pinned seed reproduces the exact augmentation
+sequence — which the MPA relies on when replaying training.
+
+Transforms operate on ``(C, H, W)`` float32 arrays (a single sample, as
+produced by datasets) and are plain callables, so they can be persisted by
+restorable-object wrappers via their constructor arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import rng
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "RandomErasing",
+    "CenterCrop",
+    "TransformedDataset",
+]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: list):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class Normalize:
+    """Channel-wise standardization: ``(x - mean) / std``."""
+
+    def __init__(self, mean, std):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+    def __repr__(self) -> str:
+        return f"Normalize(mean={self.mean.ravel().tolist()}, std={self.std.ravel().tolist()})"
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p`` (seeded)."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be within [0, 1], got {p}")
+        self.p = p
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if rng.generator().random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+    def __repr__(self) -> str:
+        return f"RandomHorizontalFlip(p={self.p})"
+
+
+class RandomCrop:
+    """Pad reflectively by ``padding`` and crop a random ``size``x``size`` patch."""
+
+    def __init__(self, size: int, padding: int = 0):
+        self.size = size
+        self.padding = padding
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.padding:
+            image = np.pad(
+                image,
+                ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+                mode="reflect",
+            )
+        _, h, w = image.shape
+        if h < self.size or w < self.size:
+            raise ValueError(f"image {h}x{w} smaller than crop size {self.size}")
+        generator = rng.generator()
+        top = int(generator.integers(0, h - self.size + 1))
+        left = int(generator.integers(0, w - self.size + 1))
+        return image[:, top : top + self.size, left : left + self.size].copy()
+
+    def __repr__(self) -> str:
+        return f"RandomCrop(size={self.size}, padding={self.padding})"
+
+
+class RandomErasing:
+    """Zero a random rectangle with probability ``p`` (seeded)."""
+
+    def __init__(self, p: float = 0.5, max_fraction: float = 0.25):
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValueError("max_fraction must be within (0, 1]")
+        self.p = p
+        self.max_fraction = max_fraction
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        generator = rng.generator()
+        if generator.random() >= self.p:
+            return image
+        _, h, w = image.shape
+        erase_h = max(1, int(h * self.max_fraction * generator.random()))
+        erase_w = max(1, int(w * self.max_fraction * generator.random()))
+        top = int(generator.integers(0, h - erase_h + 1))
+        left = int(generator.integers(0, w - erase_w + 1))
+        out = image.copy()
+        out[:, top : top + erase_h, left : left + erase_w] = 0.0
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomErasing(p={self.p}, max_fraction={self.max_fraction})"
+
+
+class CenterCrop:
+    """Deterministic central ``size``x``size`` crop."""
+
+    def __init__(self, size: int):
+        self.size = size
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        _, h, w = image.shape
+        if h < self.size or w < self.size:
+            raise ValueError(f"image {h}x{w} smaller than crop size {self.size}")
+        top = (h - self.size) // 2
+        left = (w - self.size) // 2
+        return image[:, top : top + self.size, left : left + self.size].copy()
+
+    def __repr__(self) -> str:
+        return f"CenterCrop(size={self.size})"
+
+
+class TransformedDataset:
+    """Dataset view applying a transform to each sample's image."""
+
+    def __init__(self, dataset, transform):
+        self.dataset = dataset
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __getitem__(self, index: int):
+        item = self.dataset[index]
+        if isinstance(item, tuple):
+            image, *rest = item
+            return (self.transform(image), *rest)
+        return self.transform(item)

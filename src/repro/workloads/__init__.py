@@ -1,0 +1,39 @@
+"""``repro.workloads`` — evaluation datasets, relations, and model chains."""
+
+from .datasets import (
+    DATASET_SPECS,
+    DEFAULT_SCALE,
+    DatasetSpec,
+    SyntheticImageFolder,
+    dataset_on_disk_bytes,
+    generate_dataset,
+)
+from .pretrain import (
+    ChainConfig,
+    ChainStep,
+    ModelChain,
+    build_chain,
+    standard_use_cases,
+)
+from .relations import FULLY_UPDATED, PARTIALLY_UPDATED, RELATIONS, TrainingRun
+from .text_data import SyntheticTextCorpus, generate_text_corpus
+
+__all__ = [
+    "DATASET_SPECS",
+    "DEFAULT_SCALE",
+    "DatasetSpec",
+    "SyntheticImageFolder",
+    "dataset_on_disk_bytes",
+    "generate_dataset",
+    "ChainConfig",
+    "ChainStep",
+    "ModelChain",
+    "build_chain",
+    "standard_use_cases",
+    "FULLY_UPDATED",
+    "PARTIALLY_UPDATED",
+    "RELATIONS",
+    "TrainingRun",
+    "SyntheticTextCorpus",
+    "generate_text_corpus",
+]

@@ -1,0 +1,241 @@
+"""Evaluation-flow model chains (paper Fig. 6) with on-disk caching.
+
+The paper pre-trains the ten models of the standard evaluation flow and
+loads snapshots during the experiments "instead of repeating the training
+procedure each time" (Section 4.1).  :func:`build_chain` does the same:
+it derives the chain
+
+    U_1 -> U_3-1-1 -> ... -> U_3-1-4
+    U_1 -> U_2 -> U_3-2-1 -> ... -> U_3-2-4
+
+by real, deterministic, seeded training on the synthetic datasets, and
+caches every step's state dict and training record under a cache
+directory keyed by the experiment configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.save_info import ArchitectureRef
+from ..nn import serialization
+from ..nn.models import MODEL_REGISTRY, create_model
+from ..nn.modules import Module
+from .datasets import DEFAULT_SCALE, generate_dataset
+from .relations import FULLY_UPDATED, RELATIONS, TrainingRun
+
+__all__ = ["ChainStep", "ModelChain", "ChainConfig", "build_chain", "standard_use_cases"]
+
+
+def standard_use_cases(iterations: int = 4) -> list[str]:
+    """Use-case tags of one evaluation flow, in creation order."""
+    tags = ["U_1"]
+    tags += [f"U_3-1-{n}" for n in range(1, iterations + 1)]
+    tags += ["U_2"]
+    tags += [f"U_3-2-{n}" for n in range(1, iterations + 1)]
+    return tags
+
+
+@dataclass
+class ChainStep:
+    """One model in the evaluation flow."""
+
+    use_case: str
+    base_index: int | None  # index of the base model's step, None for U_1
+    state_file: Path
+    run: TrainingRun | None  # None for the initial model
+
+    def load_state(self) -> dict:
+        return serialization.load(self.state_file)
+
+
+@dataclass
+class ChainConfig:
+    """Everything that identifies (and keys the cache of) one chain."""
+
+    architecture: str
+    relation: str = FULLY_UPDATED
+    u3_dataset: str = "co512"
+    u2_dataset: str = "minet_val"
+    iterations: int = 4
+    u2_epochs: int = 2
+    u3_epochs: int = 1
+    batches_per_epoch: int | None = 4
+    scale: float = 0.25
+    num_classes: int = 1000
+    dataset_scale: float = DEFAULT_SCALE
+    image_size: int = 32
+    base_seed: int = 42
+
+    def __post_init__(self):
+        if self.architecture not in MODEL_REGISTRY:
+            raise KeyError(f"unknown architecture {self.architecture!r}")
+        if self.relation not in RELATIONS:
+            raise ValueError(f"unknown relation {self.relation!r}")
+
+    def cache_key(self) -> str:
+        return (
+            f"{self.architecture}-{self.relation}-{self.u3_dataset}-{self.u2_dataset}"
+            f"-i{self.iterations}-e{self.u2_epochs}.{self.u3_epochs}"
+            f"-b{self.batches_per_epoch}-s{self.scale:g}-c{self.num_classes}"
+            f"-d{self.dataset_scale:g}-r{self.image_size}-seed{self.base_seed}"
+        )
+
+    def architecture_ref(self) -> ArchitectureRef:
+        spec = MODEL_REGISTRY[self.architecture]
+        return ArchitectureRef.from_factory(
+            spec.factory.__module__,
+            spec.factory.__name__,
+            {"num_classes": self.num_classes, "scale": self.scale},
+        )
+
+
+@dataclass
+class ModelChain:
+    """A built evaluation-flow chain with lazily loadable snapshots."""
+
+    config: ChainConfig
+    steps: list[ChainStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def step(self, use_case: str) -> ChainStep:
+        for step in self.steps:
+            if step.use_case == use_case:
+                return step
+        raise KeyError(f"chain has no step {use_case!r}")
+
+    def build_model(self, use_case: str) -> Module:
+        """Instantiate the architecture and load a step's snapshot."""
+        model = create_model(
+            self.config.architecture,
+            num_classes=self.config.num_classes,
+            scale=self.config.scale,
+            seed=self.config.base_seed,
+        )
+        model.load_state_dict(self.step(use_case).load_state())
+        return model
+
+
+def _derive(
+    config: ChainConfig,
+    base_state: dict,
+    dataset_dir: Path,
+    epochs: int,
+    seed: int,
+) -> tuple[dict, TrainingRun]:
+    model = create_model(
+        config.architecture,
+        num_classes=config.num_classes,
+        scale=config.scale,
+        seed=config.base_seed,
+    )
+    model.load_state_dict(base_state)
+    run = TrainingRun(
+        dataset_dir=dataset_dir,
+        relation=config.relation,
+        number_epochs=epochs,
+        number_batches=config.batches_per_epoch,
+        seed=seed,
+        image_size=config.image_size,
+        num_classes=config.num_classes,
+    )
+    run.execute(model)
+    return model.state_dict(), run
+
+
+def build_chain(
+    cache_dir: str | Path,
+    config: ChainConfig,
+    data_dir: str | Path | None = None,
+) -> ModelChain:
+    """Build (or load from cache) the evaluation-flow chain for ``config``."""
+    cache_dir = Path(cache_dir)
+    chain_dir = cache_dir / "chains" / config.cache_key()
+    data_dir = Path(data_dir) if data_dir else cache_dir / "datasets"
+    manifest_path = chain_dir / "chain.json"
+
+    u3_root = generate_dataset(config.u3_dataset, data_dir, scale=config.dataset_scale)
+    u2_root = generate_dataset(config.u2_dataset, data_dir, scale=config.dataset_scale)
+
+    if manifest_path.exists():
+        return _load_chain(config, chain_dir)
+
+    chain_dir.mkdir(parents=True, exist_ok=True)
+    steps: list[ChainStep] = []
+
+    def store(use_case: str, state: dict, base_index: int | None, run: TrainingRun | None):
+        state_file = chain_dir / f"{use_case}.state"
+        serialization.save(state, state_file)
+        steps.append(ChainStep(use_case, base_index, state_file, run))
+
+    # U_1: the extensively pre-trained initial model.  The paper loads
+    # PyTorch's ImageNet weights; we substitute a seeded initialization
+    # (documented in DESIGN.md) — what matters downstream is only that
+    # every node starts from the same exact parameters.
+    initial = create_model(
+        config.architecture,
+        num_classes=config.num_classes,
+        scale=config.scale,
+        seed=config.base_seed,
+    )
+    store("U_1", initial.state_dict(), None, None)
+
+    # U_3-1-n: node-side retraining on the local dataset, chained.
+    state = steps[0].load_state()
+    base_index = 0
+    for n in range(1, config.iterations + 1):
+        state, run = _derive(
+            config, state, u3_root, config.u3_epochs, seed=config.base_seed + 100 + n
+        )
+        store(f"U_3-1-{n}", state, base_index, run)
+        base_index = len(steps) - 1
+
+    # U_2: server-side improvement of the *initial* model (base is U_1).
+    state, run = _derive(
+        config, steps[0].load_state(), u2_root, config.u2_epochs, seed=config.base_seed + 200
+    )
+    store("U_2", state, 0, run)
+    u2_index = len(steps) - 1
+
+    # U_3-2-n: node-side retraining continuing from U_2.
+    base_index = u2_index
+    for n in range(1, config.iterations + 1):
+        state, run = _derive(
+            config, state, u3_root, config.u3_epochs, seed=config.base_seed + 300 + n
+        )
+        store(f"U_3-2-{n}", state, base_index, run)
+        base_index = len(steps) - 1
+
+    _save_manifest(chain_dir, steps)
+    return ModelChain(config=config, steps=steps)
+
+
+def _save_manifest(chain_dir: Path, steps: list[ChainStep]) -> None:
+    payload = [
+        {
+            "use_case": step.use_case,
+            "base_index": step.base_index,
+            "state_file": step.state_file.name,
+            "run": step.run.to_dict() if step.run else None,
+        }
+        for step in steps
+    ]
+    (chain_dir / "chain.json").write_text(json.dumps(payload, indent=2))
+
+
+def _load_chain(config: ChainConfig, chain_dir: Path) -> ModelChain:
+    payload = json.loads((chain_dir / "chain.json").read_text())
+    steps = [
+        ChainStep(
+            use_case=entry["use_case"],
+            base_index=entry["base_index"],
+            state_file=chain_dir / entry["state_file"],
+            run=TrainingRun.from_dict(entry["run"]) if entry["run"] else None,
+        )
+        for entry in payload
+    ]
+    return ModelChain(config=config, steps=steps)

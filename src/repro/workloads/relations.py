@@ -1,0 +1,246 @@
+"""Model relations and recordable training runs.
+
+The evaluation derives models via two relations (paper Sections 2.1, 4.1):
+
+* **fully updated model version** — all parameters retrained;
+* **partially updated model version** — only the final fully connected
+  layer(s) retrained, the rest declared not trainable on layer granularity.
+
+:class:`TrainingRun` packages one derivation step with everything the MPA
+must capture *before* training: the seed, the pre-training RNG state, and
+the optimizer's pre-training state.  It can replay itself (node-side
+training) and can later be turned into MMlib save inputs without keeping
+any live objects around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.save_info import ProvenanceSaveInfo, TrainRunSpec
+from ..core.train_service import ImageClassificationTrainService
+from ..core.wrappers import (
+    RestorableObjectWrapper,
+    StateFileRestorableObjectWrapper,
+)
+from ..nn import rng, serialization
+from ..nn.modules import Module
+from ..nn.optim import SGD
+
+__all__ = ["FULLY_UPDATED", "PARTIALLY_UPDATED", "RELATIONS", "TrainingRun"]
+
+FULLY_UPDATED = "fully_updated"
+PARTIALLY_UPDATED = "partially_updated"
+RELATIONS = (FULLY_UPDATED, PARTIALLY_UPDATED)
+
+_DATASET_CLASS = "repro.workloads.datasets.SyntheticImageFolder"
+_OPTIMIZER_CLASS = "repro.nn.optim.SGD"
+
+
+@dataclass
+class TrainingRun:
+    """One recorded model-derivation step (training on one dataset)."""
+
+    dataset_dir: Path
+    relation: str = FULLY_UPDATED
+    number_epochs: int = 1
+    number_batches: int | None = None
+    seed: int = 0
+    deterministic: bool = True
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    batch_size: int = 32
+    shuffle: bool = True
+    image_size: int = 32
+    num_classes: int | None = None
+    # dataset binding: defaults to the synthetic image folder; any dataset
+    # class taking a ``root`` argument works (e.g. SyntheticTextCorpus)
+    dataset_class: str = _DATASET_CLASS
+    dataset_kwargs: dict | None = None
+    # optional LR schedule (another stateful wrapped object, paper Fig. 5)
+    scheduler_class: str | None = None
+    scheduler_kwargs: dict | None = None
+    # captured by execute(); needed to rebuild provenance later
+    rng_state: dict | None = None
+    optimizer_state_bytes: bytes | None = None
+    scheduler_state_bytes: bytes | None = None
+
+    def __post_init__(self):
+        if self.relation not in RELATIONS:
+            raise ValueError(f"relation must be one of {RELATIONS}, got {self.relation!r}")
+        self.dataset_dir = Path(self.dataset_dir)
+
+    @property
+    def freeze_mode(self) -> str:
+        return "partial" if self.relation == PARTIALLY_UPDATED else "none"
+
+    # -- live execution (node side) ---------------------------------------
+
+    def _dataset_init_args(self) -> dict:
+        """Wrapper init args; ``root`` stays a restore-time reference."""
+        if self.dataset_kwargs is not None:
+            args = dict(self.dataset_kwargs)
+        else:
+            args = {"image_size": self.image_size, "num_classes": self.num_classes}
+        args["root"] = "$ref:dataset_root"
+        return args
+
+    def _make_dataset(self):
+        """Instantiate the dataset against the local directory."""
+        import importlib
+
+        module_name, _, class_name = self.dataset_class.rpartition(".")
+        dataset_cls = getattr(importlib.import_module(module_name), class_name)
+        args = self._dataset_init_args()
+        args["root"] = self.dataset_dir
+        return dataset_cls(**args)
+
+    def execute(self, model: Module) -> Module:
+        """Train ``model`` in place, capturing replay state first."""
+        rng.manual_seed(self.seed)
+        rng.use_deterministic_algorithms(self.deterministic)
+        self.rng_state = rng.get_rng_state()
+
+        dataset = self._make_dataset()
+        optimizer = SGD(
+            list(model.parameters()), lr=self.learning_rate, momentum=self.momentum
+        )
+        self.optimizer_state_bytes = serialization.dumps(optimizer.state_dict())
+        scheduler = None
+        if self.scheduler_class is not None:
+            scheduler = self._make_scheduler(optimizer)
+            self.scheduler_state_bytes = serialization.dumps(scheduler.state_dict())
+
+        service = self._build_service(
+            dataset_instance=dataset,
+            optimizer_instance=optimizer,
+            scheduler_instance=scheduler,
+        )
+        service.train(
+            model,
+            number_epochs=self.number_epochs,
+            number_batches=self.number_batches,
+        )
+        return model
+
+    # -- provenance reconstruction (save side) ---------------------------------
+
+    def _make_scheduler(self, optimizer):
+        import importlib
+
+        module_name, _, class_name = self.scheduler_class.rpartition(".")
+        scheduler_cls = getattr(importlib.import_module(module_name), class_name)
+        return scheduler_cls(optimizer, **(self.scheduler_kwargs or {}))
+
+    def _build_service(
+        self, dataset_instance=None, optimizer_instance=None, scheduler_instance=None
+    ) -> ImageClassificationTrainService:
+        dataset_wrapper = RestorableObjectWrapper(
+            instance=dataset_instance,
+            class_path=self.dataset_class,
+            init_args=self._dataset_init_args(),
+        )
+        optimizer_wrapper = StateFileRestorableObjectWrapper(
+            instance=optimizer_instance,
+            class_path=_OPTIMIZER_CLASS,
+            init_args={"lr": self.learning_rate, "momentum": self.momentum},
+            ref_args={"params": "params"},
+        )
+        if optimizer_instance is None and self.optimizer_state_bytes is not None:
+            optimizer_wrapper._state_bytes = self.optimizer_state_bytes
+        scheduler_wrapper = None
+        if self.scheduler_class is not None:
+            scheduler_wrapper = StateFileRestorableObjectWrapper(
+                instance=scheduler_instance,
+                class_path=self.scheduler_class,
+                init_args=dict(self.scheduler_kwargs or {}),
+                ref_args={"optimizer": "optimizer"},
+            )
+            if scheduler_instance is None and self.scheduler_state_bytes is not None:
+                scheduler_wrapper._state_bytes = self.scheduler_state_bytes
+        return ImageClassificationTrainService(
+            dataset_wrapper=dataset_wrapper,
+            optimizer_wrapper=optimizer_wrapper,
+            batch_size=self.batch_size,
+            shuffle=self.shuffle,
+            freeze_mode=self.freeze_mode,
+            scheduler_wrapper=scheduler_wrapper,
+        )
+
+    def build_train_service(self) -> ImageClassificationTrainService:
+        """Service for persistence: wrappers carry recorded state, no live objects."""
+        if self.optimizer_state_bytes is None:
+            raise RuntimeError("TrainingRun was never executed; nothing to persist")
+        return self._build_service()
+
+    def to_provenance_info(
+        self,
+        base_model_id: str,
+        trained_model: Module | None = None,
+        use_case: str | None = None,
+    ) -> ProvenanceSaveInfo:
+        """Build the MPA save input for this recorded run."""
+        if self.rng_state is None:
+            raise RuntimeError("TrainingRun was never executed; no RNG state recorded")
+        spec = TrainRunSpec(
+            number_epochs=self.number_epochs,
+            number_batches=self.number_batches,
+            seed=self.seed,
+            deterministic=self.deterministic,
+        )
+        return ProvenanceSaveInfo(
+            base_model_id=base_model_id,
+            train_service=self.build_train_service(),
+            train_spec=spec,
+            rng_state=self.rng_state,
+            dataset_dir=self.dataset_dir,
+            use_case=use_case,
+            expected_model=trained_model,
+        )
+
+    # -- (de)serialization for chain caching ------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset_dir": str(self.dataset_dir),
+            "relation": self.relation,
+            "number_epochs": self.number_epochs,
+            "number_batches": self.number_batches,
+            "seed": self.seed,
+            "deterministic": self.deterministic,
+            "learning_rate": self.learning_rate,
+            "momentum": self.momentum,
+            "batch_size": self.batch_size,
+            "shuffle": self.shuffle,
+            "image_size": self.image_size,
+            "num_classes": self.num_classes,
+            "dataset_class": self.dataset_class,
+            "dataset_kwargs": self.dataset_kwargs,
+            "scheduler_class": self.scheduler_class,
+            "scheduler_kwargs": self.scheduler_kwargs,
+            "rng_state": self.rng_state,
+            "optimizer_state_hex": (
+                self.optimizer_state_bytes.hex()
+                if self.optimizer_state_bytes is not None
+                else None
+            ),
+            "scheduler_state_hex": (
+                self.scheduler_state_bytes.hex()
+                if self.scheduler_state_bytes is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingRun":
+        """Rebuild a recorded run from :meth:`to_dict` (chain-cache loading)."""
+        payload = dict(payload)
+        state_hex = payload.pop("optimizer_state_hex", None)
+        scheduler_hex = payload.pop("scheduler_state_hex", None)
+        run = cls(**payload)
+        if state_hex is not None:
+            run.optimizer_state_bytes = bytes.fromhex(state_hex)
+        if scheduler_hex is not None:
+            run.scheduler_state_bytes = bytes.fromhex(scheduler_hex)
+        return run

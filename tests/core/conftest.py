@@ -1,0 +1,37 @@
+"""Fixtures for core-service tests: a small cached evaluation-flow chain."""
+
+import pytest
+
+from repro.workloads import ChainConfig, PARTIALLY_UPDATED, build_chain
+
+
+def small_chain_config(relation):
+    return ChainConfig(
+        architecture="mobilenetv2",
+        relation=relation,
+        scale=0.125,
+        num_classes=10,
+        iterations=2,
+        u2_epochs=1,
+        u3_epochs=1,
+        batches_per_epoch=1,
+        dataset_scale=1 / 2048,
+        image_size=16,
+    )
+
+
+@pytest.fixture(scope="session")
+def chain_cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("chain-cache")
+
+
+@pytest.fixture(scope="session")
+def full_chain(chain_cache_dir):
+    """Fully-updated MobileNetV2 chain (6 models)."""
+    return build_chain(chain_cache_dir, small_chain_config("fully_updated"))
+
+
+@pytest.fixture(scope="session")
+def partial_chain(chain_cache_dir):
+    """Partially-updated MobileNetV2 chain (6 models)."""
+    return build_chain(chain_cache_dir, small_chain_config(PARTIALLY_UPDATED))

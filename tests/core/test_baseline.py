@@ -1,0 +1,183 @@
+"""Baseline approach: full snapshots, independent recovery (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    BaselineSaveService,
+    ModelNotFoundError,
+    ModelSaveInfo,
+    VerificationError,
+    is_model_id,
+)
+from repro.core.schema import APPROACH_BASELINE, ENVIRONMENTS, MODELS
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture
+def service(mem_doc_store, file_store):
+    return BaselineSaveService(mem_doc_store, file_store)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_baseline", "build_probe_model", {"num_classes": 10}
+    )
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory used by ArchitectureRef round trips."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+class TestSave:
+    def test_save_returns_model_id(self, service):
+        model_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        assert is_model_id(model_id)
+
+    def test_documents_created(self, service, mem_doc_store):
+        service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        assert mem_doc_store.collection(MODELS).count() == 1
+        assert mem_doc_store.collection(ENVIRONMENTS).count() == 1
+
+    def test_document_layout(self, service, mem_doc_store):
+        model_id = service.save_model(
+            ModelSaveInfo(make_tiny_cnn(), tiny_arch(), use_case="U_1")
+        )
+        document = mem_doc_store.collection(MODELS).get(model_id)
+        assert document["approach"] == APPROACH_BASELINE
+        assert document["use_case"] == "U_1"
+        assert document["base_model"] is None
+        assert document["parameters_file"]
+        assert document["merkle_root"]
+        assert document["architecture"]["factory"] == "build_probe_model"
+
+    def test_checksums_optional(self, service, mem_doc_store):
+        model_id = service.save_model(
+            ModelSaveInfo(make_tiny_cnn(), tiny_arch(), store_checksums=False)
+        )
+        document = mem_doc_store.collection(MODELS).get(model_id)
+        assert "merkle_root" not in document
+
+    def test_base_reference_stored_but_not_required(self, service):
+        base_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        derived_id = service.save_model(
+            ModelSaveInfo(make_tiny_cnn(seed=2), tiny_arch(), base_model_id=base_id)
+        )
+        assert service.base_chain(derived_id) == [derived_id, base_id]
+
+    def test_invalid_save_info_rejected(self, service):
+        from repro.core.errors import SaveError
+
+        with pytest.raises(SaveError):
+            service.save_model(ModelSaveInfo("not a model", tiny_arch()))
+
+    def test_code_file_persisted(self, service, mem_doc_store, file_store):
+        model_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        document = mem_doc_store.collection(MODELS).get(model_id)
+        code = file_store.recover_bytes(document["architecture"]["code_file_id"])
+        assert b"build_probe_model" in code
+
+
+class TestRecover:
+    def test_round_trip_is_exact(self, service):
+        model = make_tiny_cnn(seed=4)
+        model_id = service.save_model(ModelSaveInfo(model, tiny_arch()))
+        recovered = service.recover_model(model_id)
+        for key, value in model.state_dict().items():
+            assert np.array_equal(value, recovered.model.state_dict()[key]), key
+
+    def test_recover_info_fields(self, service):
+        model_id = service.save_model(
+            ModelSaveInfo(make_tiny_cnn(), tiny_arch(), use_case="U_2")
+        )
+        recovered = service.recover_model(model_id)
+        assert recovered.model_id == model_id
+        assert recovered.approach == APPROACH_BASELINE
+        assert recovered.use_case == "U_2"
+        assert recovered.verified is True
+        assert recovered.recovery_depth == 0
+        assert set(recovered.timings) == {"load", "recover", "check_env", "check_hash"}
+
+    def test_recover_never_touches_base_model(self, service, mem_doc_store):
+        """§3.1: the BA explicitly excludes loading base-model documents."""
+        base_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        derived_id = service.save_model(
+            ModelSaveInfo(make_tiny_cnn(seed=2), tiny_arch(), base_model_id=base_id)
+        )
+        # delete the base model's document: recovery must still succeed
+        mem_doc_store.collection(MODELS).delete_one(base_id)
+        recovered = service.recover_model(derived_id)
+        assert recovered.recovery_depth == 0
+
+    def test_missing_model_raises(self, service):
+        with pytest.raises(ModelNotFoundError):
+            service.recover_model("model-" + "0" * 32)
+
+    def test_verification_catches_corruption(self, service, mem_doc_store, file_store):
+        model_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        document = mem_doc_store.collection(MODELS).get(model_id)
+        # tamper with the stored root hash
+        document["merkle_root"] = "0" * 64
+        mem_doc_store.collection(MODELS).replace_one(model_id, document)
+        with pytest.raises(VerificationError):
+            service.recover_model(model_id)
+
+    def test_verification_skippable(self, service, mem_doc_store):
+        model_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        document = mem_doc_store.collection(MODELS).get(model_id)
+        document["merkle_root"] = "0" * 64
+        mem_doc_store.collection(MODELS).replace_one(model_id, document)
+        recovered = service.recover_model(model_id, verify=False)
+        assert recovered.verified is None
+
+    def test_environment_check_passes_on_same_machine(self, service):
+        model_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        recovered = service.recover_model(model_id, check_env=True)
+        assert recovered.timings["check_env"] > 0
+
+    def test_environment_mismatch_detected(self, service, mem_doc_store):
+        from repro.core import EnvironmentMismatchError
+
+        model_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        document = mem_doc_store.collection(MODELS).get(model_id)
+        env = mem_doc_store.collection(ENVIRONMENTS).get(document["environment_id"])
+        env["framework_version"] = "0.0.0-other"
+        mem_doc_store.collection(ENVIRONMENTS).replace_one(env["_id"], env)
+        with pytest.raises(EnvironmentMismatchError):
+            service.recover_model(model_id, check_env=True)
+
+
+class TestStorage:
+    def test_storage_dominated_by_parameters(self, service):
+        model = make_tiny_cnn()
+        model_id = service.save_model(ModelSaveInfo(model, tiny_arch()))
+        breakdown = service.model_save_size(model_id)
+        parameter_bytes = sum(v.nbytes for v in model.state_dict().values())
+        assert breakdown.files["parameters"] >= parameter_bytes
+        # format overhead: JSON header with layer names/offsets
+        assert breakdown.files["parameters"] < parameter_bytes * 1.2 + 4096
+        assert breakdown.total > breakdown.files["parameters"]
+
+    def test_storage_independent_of_base_relation(self, service):
+        """§4.2: BA storage is independent of use case and model relation."""
+        a = service.save_model(ModelSaveInfo(make_tiny_cnn(seed=1), tiny_arch()))
+        b = service.save_model(
+            ModelSaveInfo(make_tiny_cnn(seed=2), tiny_arch(), base_model_id=a)
+        )
+        size_a = service.model_save_size(a).files["parameters"]
+        size_b = service.model_save_size(b).files["parameters"]
+        assert size_a == size_b
+
+    def test_saved_model_ids_listing(self, service):
+        ids = {
+            service.save_model(ModelSaveInfo(make_tiny_cnn(seed=i), tiny_arch()))
+            for i in range(3)
+        }
+        assert set(service.saved_model_ids()) == ids
+
+    def test_model_exists(self, service):
+        model_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        assert service.model_exists(model_id)
+        assert not service.model_exists("model-" + "f" * 32)

@@ -1,0 +1,130 @@
+"""Recovery cache: chain-prefix reuse, isolation, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    ModelSaveInfo,
+    ParameterUpdateSaveService,
+)
+from repro.core.cache import RecoveryCache
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_cache", "build_probe_model", {"num_classes": 10}
+    )
+
+
+@pytest.fixture
+def chain_setup(mem_doc_store, file_store):
+    """A 5-deep PUA chain; returns (service, ids, expected state dicts)."""
+    service = ParameterUpdateSaveService(mem_doc_store, file_store)
+    model = make_tiny_cnn(seed=1)
+    ids = [service.save_model(ModelSaveInfo(model, tiny_arch()))]
+    states = [model.state_dict()]
+    for level in range(4):
+        derived = make_tiny_cnn()
+        state = {k: v.copy() for k, v in states[-1].items()}
+        state["5.bias"] = state["5.bias"] + level + 1.0
+        derived.load_state_dict(state)
+        ids.append(
+            service.save_model(ModelSaveInfo(derived, tiny_arch(), base_model_id=ids[-1]))
+        )
+        states.append(derived.state_dict())
+    return service, ids, states
+
+
+class TestCacheBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RecoveryCache(max_entries=0)
+
+    def test_eviction_is_fifo_and_bounded(self):
+        cache = RecoveryCache(max_entries=2)
+        arch = tiny_arch()
+        for index in range(4):
+            cache.put(f"model-{index}", make_tiny_cnn(seed=index), arch, depth=0)
+        assert len(cache) == 2
+        assert "model-0" not in cache and "model-3" in cache
+
+    def test_stats_track_hits_and_misses(self):
+        cache = RecoveryCache()
+        assert cache.get("absent") is None
+        cache.put("present", make_tiny_cnn(), tiny_arch(), depth=0)
+        assert cache.get("present") is not None
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_clear(self):
+        cache = RecoveryCache()
+        cache.put("x", make_tiny_cnn(), tiny_arch(), depth=0)
+        cache.clear()
+        assert len(cache) == 0 and cache.stats()["hits"] == 0
+
+
+class TestCachedRecovery:
+    def test_results_identical_with_and_without_cache(self, chain_setup):
+        service, ids, states = chain_setup
+        cache = RecoveryCache()
+        for index, model_id in enumerate(ids):
+            plain = service.recover_model(model_id).model.state_dict()
+            cached = service.recover_model(model_id, cache=cache).model.state_dict()
+            for key in states[index]:
+                assert np.array_equal(states[index][key], plain[key])
+                assert np.array_equal(states[index][key], cached[key])
+
+    def test_sweep_hits_grow_with_chain(self, chain_setup):
+        service, ids, _ = chain_setup
+        cache = RecoveryCache()
+        for model_id in ids:
+            service.recover_model(model_id, cache=cache)
+        # after the sweep every model is cached, and each recovery past the
+        # first reused its predecessor: 4 derived models -> >= 4 hits
+        assert len(cache) == len(ids)
+        assert cache.hits >= len(ids) - 1
+
+    def test_cached_models_do_not_alias(self, chain_setup):
+        """Mutating one recovered model must not leak into later recoveries."""
+        service, ids, states = chain_setup
+        cache = RecoveryCache()
+        first = service.recover_model(ids[-1], cache=cache).model
+        first.state_dict()["5.bias"][...] = 777.0
+        second = service.recover_model(ids[-1], cache=cache).model
+        assert np.array_equal(second.state_dict()["5.bias"], states[-1]["5.bias"])
+
+    def test_verification_still_applies_on_cache_hits(self, chain_setup):
+        service, ids, _ = chain_setup
+        cache = RecoveryCache()
+        service.recover_model(ids[2], cache=cache)
+        recovered = service.recover_model(ids[2], cache=cache)
+        assert recovered.verified is True
+        assert recovered.recovery_depth == 2
+
+
+class TestCatalogSweep:
+    def test_verify_catalog_with_cache(self, chain_setup):
+        from repro.core import ModelManager
+
+        service, ids, _ = chain_setup
+        manager = ModelManager(service)
+        results = manager.verify_catalog(use_cache=True)
+        assert set(results) == set(ids)
+        assert all(flag is True for flag in results.values())
+
+    def test_verify_catalog_detects_tampering(self, chain_setup, mem_doc_store):
+        from repro.core import ModelManager, VerificationError
+
+        service, ids, _ = chain_setup
+        document = mem_doc_store.collection("models").get(ids[-1])
+        document["merkle_root"] = "0" * 64
+        mem_doc_store.collection("models").replace_one(ids[-1], document)
+        manager = ModelManager(service)
+        with pytest.raises(VerificationError):
+            manager.verify_catalog()

@@ -1,0 +1,73 @@
+"""Dataset compression, storage, and recovery."""
+
+import io
+import zipfile
+
+import pytest
+
+from repro.core import CODEC_DEFLATE, CODEC_STORED, DatasetManager
+
+
+@pytest.fixture
+def dataset_dir(tmp_path):
+    root = tmp_path / "dataset"
+    (root / "nested").mkdir(parents=True)
+    (root / "manifest.json").write_text('{"name": "tiny"}')
+    (root / "labels.npy").write_bytes(b"\x00" * 256)
+    (root / "nested" / "shard.npy").write_bytes(bytes(range(256)) * 8)
+    return root
+
+
+class TestCompression:
+    def test_archive_contains_all_files(self, dataset_dir, file_store):
+        manager = DatasetManager(file_store)
+        archive = zipfile.ZipFile(io.BytesIO(manager.compress(dataset_dir)))
+        assert sorted(archive.namelist()) == [
+            "labels.npy",
+            "manifest.json",
+            "nested/shard.npy",
+        ]
+
+    def test_compress_is_deterministic(self, dataset_dir, file_store):
+        manager = DatasetManager(file_store)
+        assert manager.compress(dataset_dir) == manager.compress(dataset_dir)
+
+    def test_stored_codec_larger_than_deflate_for_compressible_data(
+        self, dataset_dir, file_store
+    ):
+        deflate = DatasetManager(file_store, codec=CODEC_DEFLATE).compress(dataset_dir)
+        stored = DatasetManager(file_store, codec=CODEC_STORED).compress(dataset_dir)
+        assert len(deflate) < len(stored)
+
+    def test_unknown_codec_rejected(self, file_store):
+        with pytest.raises(ValueError, match="codec"):
+            DatasetManager(file_store, codec="zstd")
+
+    def test_missing_directory_rejected(self, file_store, tmp_path):
+        with pytest.raises(NotADirectoryError):
+            DatasetManager(file_store).compress(tmp_path / "absent")
+
+
+class TestSaveRecover:
+    def test_round_trip_restores_bytes(self, dataset_dir, file_store, tmp_path):
+        manager = DatasetManager(file_store)
+        file_id = manager.save_dataset(dataset_dir)
+        out = manager.recover_dataset(file_id, tmp_path / "restored")
+        assert (out / "manifest.json").read_text() == '{"name": "tiny"}'
+        assert (out / "nested" / "shard.npy").read_bytes() == (
+            dataset_dir / "nested" / "shard.npy"
+        ).read_bytes()
+
+    def test_dataset_size_reports_archive_bytes(self, dataset_dir, file_store):
+        manager = DatasetManager(file_store)
+        file_id = manager.save_dataset(dataset_dir)
+        assert manager.dataset_size(file_id) == file_store.size(file_id)
+
+    def test_path_traversal_member_rejected(self, file_store, tmp_path):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("../escape.txt", "evil")
+        file_id = file_store.save_bytes(buffer.getvalue(), suffix=".zip")
+        manager = DatasetManager(file_store)
+        with pytest.raises(ValueError, match="escapes"):
+            manager.recover_dataset(file_id, tmp_path / "out")

@@ -1,0 +1,96 @@
+"""Environment capture and compatibility checks."""
+
+import pytest
+
+from repro.core import (
+    EnvironmentInfo,
+    EnvironmentMismatchError,
+    check_environment,
+    collect_environment,
+)
+
+
+class TestCollection:
+    def test_collect_returns_populated_snapshot(self):
+        info = collect_environment()
+        assert info.numpy_version
+        assert info.python_version.count(".") == 2
+        assert info.cpu_count >= 1
+        assert isinstance(info.libraries, dict) and info.libraries
+        assert "numpy" in info.libraries
+
+    def test_framework_version_present(self):
+        info = collect_environment()
+        assert info.framework_version != ""
+
+    def test_round_trip_via_dict(self):
+        info = collect_environment()
+        restored = EnvironmentInfo.from_dict(info.to_dict())
+        assert restored == info
+
+
+class TestComparison:
+    def test_same_environment_passes(self):
+        info = collect_environment()
+        check_environment(info)  # compares against a fresh snapshot
+
+    def test_differences_empty_for_equal(self):
+        info = collect_environment()
+        assert info.differences(info) == {}
+
+    def test_framework_version_mismatch_detected(self):
+        saved = collect_environment()
+        changed = EnvironmentInfo.from_dict({**saved.to_dict(), "framework_version": "0.0.1"})
+        with pytest.raises(EnvironmentMismatchError, match="framework_version"):
+            check_environment(changed)
+
+    def test_library_set_mismatch_detected(self):
+        saved = collect_environment()
+        libraries = dict(saved.libraries)
+        libraries["fictional-package"] = "9.9"
+        changed = EnvironmentInfo.from_dict({**saved.to_dict(), "libraries": libraries})
+        with pytest.raises(EnvironmentMismatchError):
+            check_environment(changed)
+
+    def test_hostname_difference_is_not_strict(self):
+        saved = collect_environment()
+        changed = EnvironmentInfo.from_dict({**saved.to_dict(), "hostname": "other-machine"})
+        check_environment(changed)  # informational field only
+
+    def test_custom_field_selection(self):
+        saved = collect_environment()
+        changed = EnvironmentInfo.from_dict({**saved.to_dict(), "hostname": "other"})
+        mismatches = saved.differences(changed, fields=("hostname",))
+        assert list(mismatches) == ["hostname"]
+
+
+class TestLockfiles:
+    """ReproZip-style environment pinning (the paper's future work)."""
+
+    def test_write_read_round_trip(self, tmp_path):
+        from repro.core import read_lockfile, write_lockfile
+
+        path = tmp_path / "env.lock"
+        written = write_lockfile(path)
+        loaded = read_lockfile(path)
+        assert loaded == written
+
+    def test_check_passes_on_same_machine(self, tmp_path):
+        from repro.core import check_lockfile, write_lockfile
+
+        path = tmp_path / "env.lock"
+        write_lockfile(path)
+        check_lockfile(path)
+
+    def test_check_detects_drift(self, tmp_path):
+        import json
+
+        from repro.core import check_lockfile, write_lockfile
+
+        path = tmp_path / "env.lock"
+        write_lockfile(path)
+        payload = json.loads(path.read_text())
+        payload["libraries"]["phantom-package"] = "1.0"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(EnvironmentMismatchError):
+            check_lockfile(path)

@@ -1,0 +1,83 @@
+"""Neutral exchange format: inference interchange yes, provenance no."""
+
+import numpy as np
+import pytest
+
+from repro.core.export import (
+    InsufficientProvenanceError,
+    NeutralModel,
+    assert_sufficient_for_training,
+    export_neutral,
+    load_neutral,
+)
+from repro.nn import serialization
+from tests.conftest import make_tiny_cnn
+
+
+class TestRoundTrip:
+    def test_parameters_survive_exactly(self, tmp_path):
+        model = make_tiny_cnn(seed=3)
+        path = tmp_path / "model.neutral"
+        written = export_neutral(model, path)
+        assert path.stat().st_size == written
+
+        neutral = load_neutral(path)
+        fresh = make_tiny_cnn(seed=99)
+        neutral.apply_to(fresh)
+        for key, value in model.state_dict().items():
+            assert np.array_equal(value, fresh.state_dict()[key]), key
+
+    def test_layers_describe_structure(self, tmp_path):
+        model = make_tiny_cnn()
+        path = tmp_path / "model.neutral"
+        export_neutral(model, path)
+        neutral = load_neutral(path)
+        types = [layer["type"] for layer in neutral.layers]
+        assert "Conv2d" in types and "BatchNorm2d" in types and "Linear" in types
+
+    def test_summary_renders(self, tmp_path):
+        model = make_tiny_cnn()
+        path = tmp_path / "model.neutral"
+        export_neutral(model, path)
+        text = load_neutral(path).summary()
+        assert "tensors" in text and "Conv2d" in text
+
+
+class TestFormatValidation:
+    def test_rejects_foreign_payloads(self, tmp_path):
+        path = tmp_path / "other.bin"
+        serialization.save({"format": "something-else"}, path)
+        with pytest.raises(Exception, match="not a repro-neutral"):
+            load_neutral(path)
+
+    def test_rejects_future_versions(self, tmp_path):
+        path = tmp_path / "future.bin"
+        serialization.save(
+            {"format": "repro-neutral", "version": 99, "layers": [], "parameters": {}},
+            path,
+        )
+        with pytest.raises(Exception, match="version"):
+            load_neutral(path)
+
+
+class TestInsufficiencyForTraining:
+    """Paper §2.2: neutral formats cannot reproduce model training."""
+
+    def test_neutral_model_rejected_with_explanation(self, tmp_path):
+        model = make_tiny_cnn()
+        path = tmp_path / "model.neutral"
+        export_neutral(model, path)
+        neutral = load_neutral(path)
+        with pytest.raises(InsufficientProvenanceError) as excinfo:
+            assert_sufficient_for_training(neutral)
+        message = str(excinfo.value)
+        for requirement in ("optimizer", "PRNG", "dataset", "provenance"):
+            assert requirement in message
+
+    def test_raw_payload_dict_rejected(self):
+        with pytest.raises(InsufficientProvenanceError):
+            assert_sufficient_for_training({"format": "repro-neutral"})
+
+    def test_arbitrary_objects_rejected(self):
+        with pytest.raises(InsufficientProvenanceError):
+            assert_sufficient_for_training(42)

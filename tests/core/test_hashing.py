@@ -1,0 +1,71 @@
+"""Tensor and state-dict hashing."""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import state_dict_hashes, state_dict_root_hash, tensor_hash
+from repro.core.hashing import combine_hashes
+from tests.conftest import make_tiny_cnn
+
+
+class TestTensorHash:
+    def test_equal_arrays_equal_hashes(self):
+        a = np.arange(10, dtype=np.float32)
+        assert tensor_hash(a) == tensor_hash(a.copy())
+
+    def test_single_element_change_changes_hash(self):
+        a = np.zeros(100, dtype=np.float32)
+        b = a.copy()
+        b[50] = 1e-30
+        assert tensor_hash(a) != tensor_hash(b)
+
+    def test_dtype_matters(self):
+        a = np.zeros(4, dtype=np.float32)
+        assert tensor_hash(a) != tensor_hash(a.astype(np.float64))
+
+    def test_shape_matters(self):
+        a = np.zeros(6, dtype=np.float32)
+        assert tensor_hash(a) != tensor_hash(a.reshape(2, 3))
+
+    def test_non_contiguous_equals_contiguous(self):
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert tensor_hash(a[:, ::2]) == tensor_hash(np.ascontiguousarray(a[:, ::2]))
+
+
+class TestStateDictHashes:
+    def test_order_and_keys_preserved(self):
+        state = make_tiny_cnn().state_dict()
+        hashes = state_dict_hashes(state)
+        assert list(hashes) == list(state)
+
+    def test_root_hash_stable_and_sensitive(self):
+        model = make_tiny_cnn(seed=0)
+        root = state_dict_root_hash(model.state_dict())
+        assert root == state_dict_root_hash(model.state_dict())
+        state = model.state_dict()
+        state["5.bias"] = state["5.bias"] + 1
+        assert state_dict_root_hash(state) != root
+
+
+class TestCombine:
+    def test_combine_order_sensitive(self):
+        assert combine_hashes("a", "b") != combine_hashes("b", "a")
+
+    def test_combine_is_pure(self):
+        assert combine_hashes("x", "y") == combine_hashes("x", "y")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        np.float32,
+        st.integers(1, 32),
+        elements=st.floats(-1e6, 1e6, width=32),
+    )
+)
+def test_property_hash_deterministic(array):
+    assert tensor_hash(array) == tensor_hash(array.copy())

@@ -1,0 +1,238 @@
+"""Parameter update approach: pruned updates, recursive recovery (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    MerkleTree,
+    ModelSaveInfo,
+    ParameterUpdateSaveService,
+    extract_parameter_update,
+)
+from repro.core.errors import RecoveryError, SaveError
+from repro.core.schema import APPROACH_PARAM_UPDATE, MODELS
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture round trips."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_param_update", "build_probe_model", {"num_classes": 10}
+    )
+
+
+@pytest.fixture
+def service(mem_doc_store, file_store):
+    return ParameterUpdateSaveService(mem_doc_store, file_store)
+
+
+def perturb(model, layer_keys):
+    """Return a same-architecture model with only ``layer_keys`` changed."""
+    clone = make_tiny_cnn()
+    state = {k: v.copy() for k, v in model.state_dict().items()}
+    for key in layer_keys:
+        state[key] = state[key] + 1.0
+    clone.load_state_dict(state)
+    return clone
+
+
+class TestExtractParameterUpdate:
+    def test_prunes_unchanged_layers(self):
+        base = make_tiny_cnn(seed=1)
+        derived = perturb(base, ["5.weight", "5.bias"])
+        update, diff = extract_parameter_update(
+            derived.state_dict(),
+            MerkleTree.from_state_dict(derived.state_dict()),
+            MerkleTree.from_state_dict(base.state_dict()),
+        )
+        assert set(update) == {"5.weight", "5.bias"}
+        assert diff.changed_layers == ["5.weight", "5.bias"]
+
+    def test_flat_mode_same_layers_more_comparisons(self):
+        base = make_tiny_cnn(seed=1)
+        derived = perturb(base, ["5.bias"])
+        current = MerkleTree.from_state_dict(derived.state_dict())
+        base_tree = MerkleTree.from_state_dict(base.state_dict())
+        merkle_update, merkle_diff = extract_parameter_update(
+            derived.state_dict(), current, base_tree, use_merkle=True
+        )
+        flat_update, flat_diff = extract_parameter_update(
+            derived.state_dict(), current, base_tree, use_merkle=False
+        )
+        assert list(merkle_update) == list(flat_update)
+        assert flat_diff.comparisons == len(base.state_dict())
+
+
+class TestSave:
+    def test_initial_save_is_full_snapshot_with_hashes(self, service, mem_doc_store):
+        model_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        document = mem_doc_store.collection(MODELS).get(model_id)
+        assert document["parameters_file"]
+        assert document["layer_hashes"]  # always stored by the PUA
+
+    def test_derived_save_stores_update_only(self, service, mem_doc_store, file_store):
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch()))
+        derived = perturb(base, ["5.weight"])
+        derived_id = service.save_model(
+            ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id)
+        )
+        document = mem_doc_store.collection(MODELS).get(derived_id)
+        assert "parameters_file" not in document
+        assert document["update_file"]
+        assert document["updated_layers"] == ["5.weight"]
+        assert document["approach"] == APPROACH_PARAM_UPDATE
+
+    def test_derived_save_reads_only_base_document(self, service, mem_doc_store, file_store):
+        """§3.2: saving must not recover the base model's parameters."""
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch()))
+        base_doc = mem_doc_store.collection(MODELS).get(base_id)
+        # delete the base parameters file: the save must still succeed
+        file_store.delete(base_doc["parameters_file"])
+        derived = perturb(base, ["5.bias"])
+        service.save_model(ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id))
+
+    def test_save_against_hashless_base_rejected(self, service, mem_doc_store):
+        base_id = service.save_model(ModelSaveInfo(make_tiny_cnn(), tiny_arch()))
+        document = mem_doc_store.collection(MODELS).get(base_id)
+        del document["layer_hashes"]
+        mem_doc_store.collection(MODELS).replace_one(base_id, document)
+        with pytest.raises(SaveError, match="layer hashes"):
+            service.save_model(
+                ModelSaveInfo(make_tiny_cnn(seed=2), tiny_arch(), base_model_id=base_id)
+            )
+
+    def test_last_diff_exposes_comparison_count(self, service):
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch()))
+        derived = perturb(base, ["5.bias"])
+        service.save_model(ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id))
+        assert service.last_diff is not None
+        assert service.last_diff.comparisons < len(base.state_dict()) + 5
+
+    def test_storage_shrinks_with_update_size(self, service):
+        """§4.2: partial updates store dramatically less than snapshots."""
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch()))
+        partial = perturb(base, ["5.bias"])
+        partial_id = service.save_model(
+            ModelSaveInfo(partial, tiny_arch(), base_model_id=base_id)
+        )
+        full = make_tiny_cnn(seed=9)  # all layers differ
+        full_id = service.save_model(
+            ModelSaveInfo(full, tiny_arch(), base_model_id=base_id)
+        )
+        partial_bytes = service.model_save_size(partial_id).files["parameters"]
+        full_bytes = service.model_save_size(full_id).files["parameters"]
+        base_bytes = service.model_save_size(base_id).files["parameters"]
+        assert partial_bytes < base_bytes / 10
+        assert full_bytes == pytest.approx(base_bytes, rel=0.25)
+
+
+class TestRecover:
+    def test_single_level_round_trip(self, service):
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch()))
+        derived = perturb(base, ["5.weight", "1.running_mean"])
+        derived_id = service.save_model(
+            ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id)
+        )
+        recovered = service.recover_model(derived_id)
+        assert recovered.verified is True
+        assert recovered.recovery_depth == 1
+        for key, value in derived.state_dict().items():
+            assert np.array_equal(value, recovered.model.state_dict()[key]), key
+
+    def test_deep_chain_recovery(self, service):
+        model = make_tiny_cnn(seed=1)
+        model_id = service.save_model(ModelSaveInfo(model, tiny_arch()))
+        expected = model
+        for depth in range(4):
+            expected = perturb(expected, ["5.bias"])
+            model_id = service.save_model(
+                ModelSaveInfo(expected, tiny_arch(), base_model_id=model_id)
+            )
+        recovered = service.recover_model(model_id)
+        assert recovered.recovery_depth == 4
+        assert np.array_equal(
+            recovered.model.state_dict()["5.bias"], expected.state_dict()["5.bias"]
+        )
+
+    def test_update_priority_on_merge_conflict(self, service):
+        """§3.2: merges prioritize the derived model's parameters."""
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch()))
+        derived = perturb(base, ["5.bias"])
+        derived_id = service.save_model(
+            ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id)
+        )
+        recovered = service.recover_model(derived_id)
+        assert np.array_equal(
+            recovered.model.state_dict()["5.bias"], derived.state_dict()["5.bias"]
+        )
+        assert not np.array_equal(
+            recovered.model.state_dict()["5.bias"], base.state_dict()["5.bias"]
+        )
+
+    def test_cycle_detection(self, service, mem_doc_store):
+        base = make_tiny_cnn(seed=1)
+        a = service.save_model(ModelSaveInfo(base, tiny_arch()))
+        b = service.save_model(
+            ModelSaveInfo(perturb(base, ["5.bias"]), tiny_arch(), base_model_id=a)
+        )
+        # corrupt the chain into a cycle
+        doc_a = mem_doc_store.collection(MODELS).get(a)
+        doc_a["base_model"] = b
+        mem_doc_store.collection(MODELS).replace_one(a, doc_a)
+        with pytest.raises(RecoveryError, match="cycle"):
+            service.base_chain(b)
+
+    def test_missing_base_ref_fails_cleanly(self, service, mem_doc_store):
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch()))
+        derived_id = service.save_model(
+            ModelSaveInfo(perturb(base, ["5.bias"]), tiny_arch(), base_model_id=base_id)
+        )
+        mem_doc_store.collection(MODELS).delete_one(base_id)
+        from repro.core import ModelNotFoundError
+
+        with pytest.raises(ModelNotFoundError):
+            service.recover_model(derived_id)
+
+
+class TestChainScenario:
+    def test_evaluation_flow_chain_partial(self, partial_chain, mem_doc_store, file_store):
+        """Full Fig. 6 chain through the PUA: every model recovers exactly."""
+        service = ParameterUpdateSaveService(mem_doc_store, file_store)
+        arch = partial_chain.config.architecture_ref()
+        ids = {}
+        for step in partial_chain.steps:
+            base_id = (
+                ids[partial_chain.steps[step.base_index].use_case]
+                if step.base_index is not None
+                else None
+            )
+            ids[step.use_case] = service.save_model(
+                ModelSaveInfo(
+                    partial_chain.build_model(step.use_case),
+                    arch,
+                    base_model_id=base_id,
+                    use_case=step.use_case,
+                )
+            )
+        # partial updates must be far smaller than the initial snapshot
+        initial = service.model_save_size(ids["U_1"]).files["parameters"]
+        update = service.model_save_size(ids["U_3-1-1"]).files["parameters"]
+        assert update < initial / 2
+        # the deepest model recovers exactly
+        expected = partial_chain.build_model("U_3-2-2").state_dict()
+        recovered = service.recover_model(ids["U_3-2-2"])
+        assert recovered.recovery_depth == 3
+        got = recovered.model.state_dict()
+        assert all(np.array_equal(expected[k], got[k]) for k in expected)

@@ -1,0 +1,141 @@
+"""Probing tool: layer-wise reproducibility verification (paper §2.4)."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import (
+    ProbeSummary,
+    probe_inference,
+    probe_reproducibility,
+    probe_training,
+)
+from repro.nn import rng
+from tests.conftest import make_tiny_cnn
+
+
+def batch():
+    nn.manual_seed(2)
+    return nn.randn(2, 3, 8, 8), np.array([0, 1], dtype=np.int64)
+
+
+class TestProbeCapture:
+    def test_inference_records_every_layer(self):
+        model = make_tiny_cnn()
+        images, _ = batch()
+        summary = probe_inference(model, images)
+        names = [record.name for record in summary.records]
+        assert names[-1] == "<model>"
+        assert len(names) == 7  # 6 layers + root output
+        assert all(record.kind == "forward" for record in summary.records)
+
+    def test_training_probe_adds_gradients(self):
+        model = make_tiny_cnn()
+        images, labels = batch()
+        summary = probe_training(model, images, labels)
+        kinds = {record.kind for record in summary.records}
+        assert kinds == {"forward", "grad"}
+        grad_names = [r.name for r in summary.records if r.kind == "grad"]
+        assert "5.weight" in grad_names
+
+    def test_records_capture_statistics(self):
+        model = make_tiny_cnn()
+        images, _ = batch()
+        record = probe_inference(model, images).records[0]
+        assert record.shape == [2, 4, 8, 8]
+        assert np.isfinite(record.mean) and np.isfinite(record.std)
+
+    def test_hooks_are_removed_after_probe(self):
+        model = make_tiny_cnn()
+        images, _ = batch()
+        probe_inference(model, images)
+        assert all(
+            not module._forward_hooks for _, module in model.named_modules()
+        )
+
+
+class TestComparison:
+    def test_identical_runs_reproducible(self):
+        model = make_tiny_cnn()
+        model.eval()
+        images, _ = batch()
+        with rng.deterministic_mode(True):
+            first = probe_inference(model, images)
+            second = probe_inference(model, images)
+        comparison = first.compare(second)
+        assert comparison.reproducible
+        assert comparison.first_divergence is None
+
+    def test_nondeterministic_mode_detected(self):
+        model = make_tiny_cnn()
+        model.eval()
+        images, _ = batch()
+        with rng.deterministic_mode(False):
+            first = probe_inference(model, images)
+            second = probe_inference(model, images)
+        comparison = first.compare(second)
+        assert not comparison.reproducible
+        assert comparison.first_divergence is not None
+
+    def test_missing_records_break_reproducibility(self):
+        model = make_tiny_cnn()
+        images, _ = batch()
+        full = probe_inference(model, images)
+        truncated = ProbeSummary(records=full.records[:-1])
+        assert not full.compare(truncated).reproducible
+        assert not truncated.compare(full).reproducible
+
+
+class TestProbeReproducibility:
+    def test_standard_model_training_reproducible(self):
+        """The paper: the majority of (deterministically implemented)
+        models reproduce inference AND training."""
+        model = make_tiny_cnn()
+        images, labels = batch()
+        result = probe_reproducibility(model, images, labels, training=True)
+        assert result.reproducible
+
+    def test_model_with_dropout_still_reproducible_via_seed(self):
+        model = nn.Sequential(nn.Flatten(), nn.Dropout(0.5), nn.Linear(192, 4))
+        images, labels = batch()
+        result = probe_reproducibility(
+            model, images, labels[:2] % 4, training=True
+        )
+        assert result.reproducible
+
+    def test_deprecated_layer_breaks_reproducibility(self):
+        """The paper: non-reproducible models use deprecated layers without
+        deterministic implementations — modelled by LegacyDropout."""
+        model = nn.Sequential(nn.Flatten(), nn.LegacyDropout(0.5), nn.Linear(192, 4))
+        images, labels = batch()
+        result = probe_reproducibility(model, images, labels % 4, training=True)
+        assert not result.reproducible
+
+    def test_inference_only_probe(self):
+        model = make_tiny_cnn()
+        model.eval()
+        images, labels = batch()
+        assert probe_reproducibility(model, images, labels, training=False).reproducible
+
+
+class TestCrossMachineWorkflow:
+    def test_summary_save_load_round_trip(self, tmp_path):
+        model = make_tiny_cnn()
+        images, labels = batch()
+        with rng.deterministic_mode(True):
+            summary = probe_training(model, images, labels)
+        path = tmp_path / "probe.json"
+        summary.save(path)
+        loaded = ProbeSummary.load(path)
+        assert loaded.compare(summary).reproducible
+
+    def test_saved_summary_detects_later_divergence(self, tmp_path):
+        model = make_tiny_cnn(seed=0)
+        images, labels = batch()
+        with rng.deterministic_mode(True):
+            probe_training(model, images, labels).save(tmp_path / "a.json")
+        other = make_tiny_cnn(seed=99)
+        with rng.deterministic_mode(True):
+            second = probe_training(other, images, labels)
+        first = ProbeSummary.load(tmp_path / "a.json")
+        assert not first.compare(second).reproducible

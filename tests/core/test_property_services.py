@@ -1,0 +1,122 @@
+"""Property-based tests over the save services' core invariants."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ArchitectureRef,
+    MerkleTree,
+    ModelSaveInfo,
+    ParameterUpdateSaveService,
+    extract_parameter_update,
+)
+from repro.core.hashing import state_dict_hashes
+from repro.docstore import DocumentStore
+from repro.filestore import FileStore
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_property_services", "build_probe_model", {"num_classes": 10}
+    )
+
+
+LAYER_KEYS = list(make_tiny_cnn().state_dict().keys())
+
+
+@settings(max_examples=20, deadline=None)
+@given(changed=st.sets(st.sampled_from(LAYER_KEYS), max_size=len(LAYER_KEYS)))
+def test_property_update_extraction_is_exactly_the_changed_set(changed):
+    """For any subset of perturbed layers, the extracted parameter update
+    contains exactly that subset (Merkle and flat paths agree)."""
+    base = make_tiny_cnn(seed=1)
+    state = OrderedDict((k, v.copy()) for k, v in base.state_dict().items())
+    for key in changed:
+        state[key] = state[key] + 1.0
+    current_tree = MerkleTree.from_layer_hashes(state_dict_hashes(state))
+    base_tree = MerkleTree.from_state_dict(base.state_dict())
+    update, diff = extract_parameter_update(state, current_tree, base_tree)
+    assert set(update) == changed
+    flat_update, _ = extract_parameter_update(
+        state, current_tree, base_tree, use_merkle=False
+    )
+    assert list(update) == list(flat_update)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    changed_per_level=st.lists(
+        st.sets(st.sampled_from(LAYER_KEYS), min_size=1, max_size=3),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_pua_chain_recovery_is_exact(tmp_path_factory, changed_per_level):
+    """Any chain of layer-subset updates recovers bitwise at every level."""
+    tmp_path = tmp_path_factory.mktemp("prop-pua")
+    service = ParameterUpdateSaveService(DocumentStore(), FileStore(tmp_path / "files"))
+    model = make_tiny_cnn(seed=2)
+    model_id = service.save_model(ModelSaveInfo(model, tiny_arch()))
+    expected_states = [model.state_dict()]
+    ids = [model_id]
+
+    state = OrderedDict((k, v.copy()) for k, v in model.state_dict().items())
+    for level, changed in enumerate(changed_per_level):
+        for key in changed:
+            state[key] = state[key] + (level + 1.0)
+        derived = make_tiny_cnn()
+        derived.load_state_dict(state)
+        model_id = service.save_model(
+            ModelSaveInfo(derived, tiny_arch(), base_model_id=ids[-1])
+        )
+        ids.append(model_id)
+        expected_states.append(derived.state_dict())
+
+    # the deepest model and one intermediate model both recover exactly
+    for index in (len(ids) - 1, len(ids) // 2):
+        recovered = service.recover_model(ids[index])
+        assert recovered.verified is not False
+        got = recovered.model.state_dict()
+        for key, value in expected_states[index].items():
+            assert np.array_equal(value, got[key]), (index, key)
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.binary(min_size=0, max_size=512))
+def test_property_filestore_round_trip(tmp_path_factory, data):
+    store = FileStore(tmp_path_factory.mktemp("prop-fs"))
+    file_id = store.save_bytes(data)
+    assert store.recover_bytes(file_id) == data
+    assert store.size(file_id) == len(data)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    documents=st.lists(
+        st.dictionaries(
+            st.sampled_from(["name", "epoch", "node"]),
+            st.one_of(st.integers(-5, 5), st.text(max_size=4)),
+            max_size=3,
+        ),
+        max_size=6,
+    )
+)
+def test_property_docstore_insert_then_find_all(documents):
+    store = DocumentStore()
+    collection = store.collection("props")
+    ids = [collection.insert_one(dict(document)) for document in documents]
+    assert collection.count() == len(documents)
+    for doc_id, original in zip(ids, documents):
+        fetched = collection.get(doc_id)
+        for key, value in original.items():
+            assert fetched[key] == value

@@ -1,0 +1,179 @@
+"""Model provenance approach: save the recipe, replay training (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ModelSaveInfo,
+    ProvenanceSaveInfo,
+    ProvenanceSaveService,
+    TrainRunSpec,
+)
+from repro.core.errors import RecoveryError, SaveError
+from repro.core.schema import MODELS, TRAIN_INFO, WRAPPERS
+
+
+@pytest.fixture
+def service(mem_doc_store, file_store, tmp_path):
+    return ProvenanceSaveService(mem_doc_store, file_store, scratch_dir=tmp_path / "scratch")
+
+
+def save_chain(service, chain, upto=None):
+    """Save a pre-built chain through the MPA; returns use-case -> id."""
+    arch = chain.config.architecture_ref()
+    ids = {}
+    for step in chain.steps:
+        if upto is not None and len(ids) > upto:
+            break
+        base_id = (
+            ids[chain.steps[step.base_index].use_case]
+            if step.base_index is not None
+            else None
+        )
+        model = chain.build_model(step.use_case)
+        if step.run is None:
+            ids[step.use_case] = service.save_model(
+                ModelSaveInfo(model, arch, base_model_id=base_id, use_case=step.use_case)
+            )
+        else:
+            ids[step.use_case] = service.save_model(
+                step.run.to_provenance_info(base_id, trained_model=model, use_case=step.use_case)
+            )
+    return ids
+
+
+class TestSave:
+    def test_initial_model_saved_with_baseline_logic(self, service, full_chain, mem_doc_store):
+        ids = save_chain(service, full_chain, upto=0)
+        document = mem_doc_store.collection(MODELS).get(ids["U_1"])
+        assert document["parameters_file"]
+
+    def test_derived_model_has_no_parameters(self, service, full_chain, mem_doc_store):
+        ids = save_chain(service, full_chain, upto=1)
+        document = mem_doc_store.collection(MODELS).get(ids["U_3-1-1"])
+        assert "parameters_file" not in document
+        assert document["train_info_id"]
+        assert document["provenance"]["dataset_file_id"]
+        assert document["provenance"]["rng_state"]
+
+    def test_wrapper_documents_created(self, service, full_chain, mem_doc_store):
+        save_chain(service, full_chain, upto=1)
+        assert mem_doc_store.collection(WRAPPERS).count() == 2  # dataset + optimizer
+        assert mem_doc_store.collection(TRAIN_INFO).count() == 1
+
+    def test_save_requires_existing_base(self, service, full_chain):
+        step = full_chain.steps[1]
+        info = step.run.to_provenance_info("model-" + "0" * 32)
+        with pytest.raises(SaveError, match="not saved"):
+            service.save_model(info)
+
+    def test_save_info_validation(self, service, full_chain):
+        step = full_chain.steps[1]
+        info = step.run.to_provenance_info("model-" + "0" * 32)
+        info.dataset_dir = None  # neither dir nor reference
+        with pytest.raises(SaveError, match="exactly one"):
+            service.save_model(info)
+
+    def test_rejects_unknown_save_info_type(self, service):
+        with pytest.raises(SaveError, match="expected"):
+            service.save_model({"not": "a save info"})
+
+    def test_storage_dominated_by_dataset(self, service, full_chain):
+        """§4.2: the dataset is responsible for almost all MPA storage."""
+        ids = save_chain(service, full_chain, upto=1)
+        breakdown = service.model_save_size(ids["U_3-1-1"])
+        assert breakdown.files["dataset"] > 0.5 * breakdown.total
+        assert "parameters" not in breakdown.files
+
+
+class TestRecover:
+    def test_single_replay_is_exact(self, service, full_chain):
+        ids = save_chain(service, full_chain, upto=1)
+        expected = full_chain.build_model("U_3-1-1").state_dict()
+        recovered = service.recover_model(ids["U_3-1-1"])
+        assert recovered.verified is True
+        got = recovered.model.state_dict()
+        assert all(np.array_equal(expected[k], got[k]) for k in expected)
+
+    def test_deep_chain_replay_is_exact(self, service, full_chain):
+        ids = save_chain(service, full_chain)
+        expected = full_chain.build_model("U_3-2-2").state_dict()
+        recovered = service.recover_model(ids["U_3-2-2"])
+        assert recovered.recovery_depth == 3
+        got = recovered.model.state_dict()
+        assert all(np.array_equal(expected[k], got[k]) for k in expected)
+
+    def test_recover_same_model_twice_yields_equal_models(self, service, full_chain):
+        """The paper's dedicated MPA experiment: loading the same model
+        twice must produce equal models."""
+        ids = save_chain(service, full_chain, upto=1)
+        first = service.recover_model(ids["U_3-1-1"]).model.state_dict()
+        second = service.recover_model(ids["U_3-1-1"]).model.state_dict()
+        assert all(np.array_equal(first[k], second[k]) for k in first)
+
+    def test_partial_relation_replay(self, service, partial_chain):
+        ids = save_chain(service, partial_chain, upto=1)
+        expected = partial_chain.build_model("U_3-1-1").state_dict()
+        got = service.recover_model(ids["U_3-1-1"]).model.state_dict()
+        assert all(np.array_equal(expected[k], got[k]) for k in expected)
+
+    def test_recovery_does_not_disturb_caller_rng(self, service, full_chain):
+        from repro.nn import rng
+
+        ids = save_chain(service, full_chain, upto=1)
+        rng.manual_seed(12345)
+        expected_next = rng.generator().random(4).copy()
+        rng.manual_seed(12345)
+        service.recover_model(ids["U_3-1-1"])
+        assert np.array_equal(rng.generator().random(4), expected_next)
+
+    def test_external_dataset_reference_requires_execution_env(
+        self, service, full_chain, tmp_path
+    ):
+        step = full_chain.steps[1]
+        arch = full_chain.config.architecture_ref()
+        base_id = service.save_model(
+            ModelSaveInfo(full_chain.build_model("U_1"), arch, use_case="U_1")
+        )
+        info = step.run.to_provenance_info(
+            base_id, trained_model=full_chain.build_model("U_3-1-1")
+        )
+        info.dataset_dir = None
+        info.dataset_reference = "s3://datasets/co512"
+        model_id = service.save_model(info)
+        with pytest.raises(RecoveryError, match="dataset_root"):
+            service.recover_model(model_id)
+        # providing the externally managed dataset's location succeeds
+        recovered = service.recover_model(
+            model_id, execution_env={"dataset_root": str(step.run.dataset_dir)}
+        )
+        assert recovered.verified is True
+
+    def test_external_dataset_reference_saves_no_dataset_bytes(
+        self, service, full_chain
+    ):
+        """§4.7: with externally managed data the MPA's storage collapses
+        to the training information."""
+        step = full_chain.steps[1]
+        arch = full_chain.config.architecture_ref()
+        base_id = service.save_model(
+            ModelSaveInfo(full_chain.build_model("U_1"), arch, use_case="U_1")
+        )
+        info = step.run.to_provenance_info(base_id)
+        info.dataset_dir = None
+        info.dataset_reference = "s3://datasets/co512"
+        model_id = service.save_model(info)
+        breakdown = service.model_save_size(model_id)
+        assert "dataset" not in breakdown.files
+        assert breakdown.total < 100_000
+
+
+class TestTrainRunSpec:
+    def test_round_trip(self):
+        spec = TrainRunSpec(number_epochs=2, number_batches=4, seed=7, deterministic=True)
+        assert TrainRunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_on_load(self):
+        spec = TrainRunSpec.from_dict({"number_epochs": 1, "seed": 0})
+        assert spec.number_batches is None
+        assert spec.deterministic is True

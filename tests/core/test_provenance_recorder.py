@@ -1,0 +1,147 @@
+"""ProvenanceRecorder: the node-side capture workflow from §3.3."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    ModelSaveInfo,
+    ProvenanceRecorder,
+    ProvenanceSaveService,
+)
+from repro.core.errors import SaveError
+from repro.workloads import generate_dataset
+from repro.workloads.relations import TrainingRun
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_provenance_recorder", "build_probe_model", {"num_classes": 10}
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset_root(tmp_path_factory):
+    return generate_dataset("co512", tmp_path_factory.mktemp("rec-data"), scale=1 / 2048)
+
+
+class TestRecorderWorkflow:
+    def test_docstring_workflow_round_trips(
+        self, dataset_root, mem_doc_store, file_store, tmp_path
+    ):
+        """The recorder usage shown in the module docstring, end to end."""
+        service = ProvenanceSaveService(
+            mem_doc_store, file_store, scratch_dir=tmp_path / "scratch"
+        )
+        base = make_tiny_cnn(num_classes=10, seed=2)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch(), use_case="U_1"))
+
+        # build the live train service the node would use
+        run = TrainingRun(
+            dataset_dir=dataset_root, number_epochs=1, number_batches=2,
+            seed=13, image_size=8, num_classes=10,
+        )
+        model = make_tiny_cnn(num_classes=10)
+        model.load_state_dict(base.state_dict())
+        dataset = run._make_dataset()
+        from repro.nn.optim import SGD
+
+        optimizer = SGD(list(model.parameters()), lr=run.learning_rate,
+                        momentum=run.momentum)
+        train_service = run._build_service(
+            dataset_instance=dataset, optimizer_instance=optimizer
+        )
+
+        recorder = ProvenanceRecorder(
+            base_id,
+            train_service,
+            number_epochs=1,
+            number_batches=2,
+            seed=13,
+            dataset_dir=dataset_root,
+        )
+        recorder.start()  # pins RNG + snapshots optimizer state
+        train_service.train(model, number_epochs=1, number_batches=2)
+        info = recorder.finish(trained_model=model, use_case="U_3-1-1")
+
+        model_id = service.save_model(info)
+        recovered = service.recover_model(model_id)
+        assert recovered.verified is True
+        expected = model.state_dict()
+        got = recovered.model.state_dict()
+        assert all(np.array_equal(expected[k], got[k]) for k in expected)
+
+    def test_finish_before_start_rejected(self, dataset_root):
+        run = TrainingRun(dataset_dir=dataset_root, num_classes=10, image_size=8)
+        recorder = ProvenanceRecorder(
+            "model-" + "0" * 32,
+            run._build_service(),
+            number_epochs=1,
+            dataset_dir=dataset_root,
+        )
+        with pytest.raises(SaveError, match="before start"):
+            recorder.finish()
+
+    def test_start_without_seed_keeps_current_seed(self, dataset_root):
+        from repro.nn import rng
+        from repro.nn.optim import SGD
+
+        run = TrainingRun(dataset_dir=dataset_root, num_classes=10, image_size=8)
+        model = make_tiny_cnn(num_classes=10)  # reseeds internally
+        service = run._build_service(
+            optimizer_instance=SGD(list(model.parameters()), lr=0.1)
+        )
+        rng.manual_seed(4242)
+        recorder = ProvenanceRecorder(
+            "model-" + "0" * 32,
+            service,
+            number_epochs=1,
+            dataset_dir=dataset_root,
+        )
+        recorder.start()
+        assert recorder.seed == 4242
+
+
+class TestSmallGaps:
+    def test_nll_loss_direct(self):
+        import repro.nn.functional as F
+        from repro.nn import Tensor
+
+        log_probs = Tensor(
+            np.log(np.array([[0.25, 0.75], [0.9, 0.1]], dtype=np.float32)),
+            requires_grad=True,
+        )
+        loss = F.nll_loss(log_probs, np.array([1, 0]))
+        expected = -(np.log(0.75) + np.log(0.9)) / 2
+        assert loss.item() == pytest.approx(float(expected), rel=1e-5)
+        loss.backward()
+        assert log_probs.grad[0, 1] == pytest.approx(-0.5)
+        assert log_probs.grad[0, 0] == 0.0
+
+    def test_architecture_ref_build_rejects_non_module(self):
+        ref = ArchitectureRef.from_factory("builtins", "dict", {})
+        with pytest.raises(SaveError, match="expected a Module"):
+            ref.build()
+
+    def test_architecture_ref_unknown_factory(self):
+        with pytest.raises(SaveError, match="no factory"):
+            ArchitectureRef.from_factory("repro.nn.models", "vgg16", {})
+
+    def test_remote_client_unknown_op(self, tmp_path):
+        from repro.docstore import (
+            DocumentStore,
+            DocumentStoreClient,
+            DocumentStoreServer,
+            RemoteStoreError,
+        )
+
+        with DocumentStoreServer(DocumentStore(), port=0) as server:
+            with DocumentStoreClient(server.host, server.port) as client:
+                with pytest.raises(RemoteStoreError, match="unsupported op"):
+                    client.request("models", "drop_everything")

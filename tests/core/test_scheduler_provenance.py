@@ -1,0 +1,111 @@
+"""Learning-rate schedules through the provenance system (Fig. 5 shape)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    ModelSaveInfo,
+    ProvenanceSaveService,
+)
+from repro.core.schema import TRAIN_INFO, WRAPPERS
+from repro.workloads import generate_dataset
+from repro.workloads.relations import TrainingRun
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_scheduler_provenance", "build_probe_model", {"num_classes": 10}
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset_root(tmp_path_factory):
+    return generate_dataset("co512", tmp_path_factory.mktemp("sched-data"), scale=1 / 2048)
+
+
+def scheduled_run(dataset_root, **overrides):
+    defaults = dict(
+        dataset_dir=dataset_root,
+        number_epochs=3,
+        number_batches=1,
+        seed=5,
+        image_size=8,
+        num_classes=10,
+        learning_rate=0.5,
+        scheduler_class="repro.nn.schedulers.StepLR",
+        scheduler_kwargs={"step_size": 1, "gamma": 0.1},
+    )
+    defaults.update(overrides)
+    return TrainingRun(**defaults)
+
+
+class TestScheduledTraining:
+    def test_scheduler_decays_learning_rate_during_training(self, dataset_root):
+        run = scheduled_run(dataset_root)
+        model = make_tiny_cnn(num_classes=10)
+        run.execute(model)
+        # 3 epochs with step_size=1, gamma=0.1: 0.5 -> 0.0005
+        service = run.build_train_service()
+        assert run.scheduler_state_bytes is not None
+
+    def test_scheduled_and_unscheduled_runs_differ(self, dataset_root):
+        base_state = make_tiny_cnn(num_classes=10, seed=3).state_dict()
+
+        def run_with(scheduler_class):
+            model = make_tiny_cnn(num_classes=10)
+            model.load_state_dict(base_state)
+            run = scheduled_run(dataset_root, scheduler_class=scheduler_class)
+            if scheduler_class is None:
+                run.scheduler_kwargs = None
+            run.execute(model)
+            return model.state_dict()
+
+        scheduled = run_with("repro.nn.schedulers.StepLR")
+        unscheduled = run_with(None)
+        assert any(
+            not np.array_equal(scheduled[k], unscheduled[k]) for k in scheduled
+        ), "a decaying schedule must change the training trajectory"
+
+    def test_mpa_replay_with_scheduler_is_bitwise(
+        self, dataset_root, mem_doc_store, file_store, tmp_path
+    ):
+        """The headline check: a scheduled training run replays exactly."""
+        service = ProvenanceSaveService(
+            mem_doc_store, file_store, scratch_dir=tmp_path / "scratch"
+        )
+        base = make_tiny_cnn(num_classes=10, seed=3)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch(), use_case="U_1"))
+
+        model = make_tiny_cnn(num_classes=10)
+        model.load_state_dict(base.state_dict())
+        run = scheduled_run(dataset_root)
+        run.execute(model)
+        model_id = service.save_model(
+            run.to_provenance_info(base_id, trained_model=model, use_case="U_3-1-1")
+        )
+
+        # three wrapper documents now exist: dataset, optimizer, scheduler
+        assert mem_doc_store.collection(WRAPPERS).count() == 3
+        train_document = mem_doc_store.collection(TRAIN_INFO).find()[0]
+        assert train_document["scheduler_wrapper"]
+
+        recovered = service.recover_model(model_id)
+        assert recovered.verified is True
+        expected = model.state_dict()
+        got = recovered.model.state_dict()
+        assert all(np.array_equal(expected[k], got[k]) for k in expected)
+
+    def test_chain_cache_round_trip_preserves_scheduler(self, dataset_root):
+        run = scheduled_run(dataset_root)
+        run.execute(make_tiny_cnn(num_classes=10))
+        restored = TrainingRun.from_dict(run.to_dict())
+        assert restored.scheduler_class == run.scheduler_class
+        assert restored.scheduler_kwargs == run.scheduler_kwargs
+        assert restored.scheduler_state_bytes == run.scheduler_state_bytes

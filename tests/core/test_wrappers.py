@@ -1,0 +1,170 @@
+"""Restorable object wrappers (paper Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RestorableObjectWrapper, StateFileRestorableObjectWrapper
+from repro.core.errors import RecoveryError, SaveError
+from repro.core.wrappers import load_wrapper
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD
+
+
+class TestStatelessWrapper:
+    def test_import_path_restore(self, mem_doc_store, file_store):
+        wrapper = RestorableObjectWrapper(
+            class_path="repro.nn.optim.SGD",
+            init_args={"lr": 0.5},
+            ref_args={"params": "params"},
+        )
+        doc_id = wrapper.save(mem_doc_store, file_store)
+        loaded = load_wrapper(doc_id, mem_doc_store)
+        params = [Parameter(np.zeros(2, dtype=np.float32))]
+        instance = loaded.restore_instance(refs={"params": params})
+        assert isinstance(instance, SGD)
+        assert instance.lr == 0.5
+
+    def test_ref_placeholder_in_init_args(self, mem_doc_store, file_store):
+        wrapper = RestorableObjectWrapper(
+            class_path="repro.nn.optim.SGD",
+            init_args={"lr": 0.1, "params": "$ref:model_params"},
+        )
+        doc_id = wrapper.save(mem_doc_store, file_store)
+        loaded = load_wrapper(doc_id, mem_doc_store)
+        params = [Parameter(np.zeros(2, dtype=np.float32))]
+        instance = loaded.restore_instance(refs={"model_params": params})
+        assert instance.params == params
+
+    def test_missing_ref_raises_with_available_keys(self, mem_doc_store, file_store):
+        wrapper = RestorableObjectWrapper(
+            class_path="repro.nn.optim.SGD", ref_args={"params": "params"}
+        )
+        with pytest.raises(RecoveryError, match="params"):
+            wrapper.restore_instance(refs={"other": 1})
+
+    def test_config_args_resolved(self):
+        wrapper = RestorableObjectWrapper(
+            class_path="repro.nn.modules.Dropout", config_args={"p": "dropout_rate"}
+        )
+        instance = wrapper.restore_instance(config={"dropout_rate": 0.3})
+        assert instance.p == 0.3
+
+    def test_missing_config_key_raises(self):
+        wrapper = RestorableObjectWrapper(
+            class_path="repro.nn.modules.Dropout", config_args={"p": "dropout_rate"}
+        )
+        with pytest.raises(RecoveryError, match="dropout_rate"):
+            wrapper.restore_instance(config={})
+
+    def test_inline_code_restore(self, mem_doc_store, file_store):
+        code = "class Doubler:\n    def __init__(self, factor=2):\n        self.factor = factor\n"
+        wrapper = RestorableObjectWrapper(
+            code=code, class_name="Doubler", init_args={"factor": 3}
+        )
+        doc_id = wrapper.save(mem_doc_store, file_store)
+        loaded = load_wrapper(doc_id, mem_doc_store)
+        assert loaded.restore_instance().factor == 3
+
+    def test_inline_code_missing_class_raises(self):
+        wrapper = RestorableObjectWrapper(code="x = 1", class_name="Missing")
+        with pytest.raises(RecoveryError, match="Missing"):
+            wrapper.restore_instance()
+
+    def test_requires_class_path_or_code(self):
+        with pytest.raises(SaveError):
+            RestorableObjectWrapper()
+        with pytest.raises(SaveError):
+            RestorableObjectWrapper(code="class A: pass")
+
+    def test_bad_import_path_raises(self):
+        wrapper = RestorableObjectWrapper(class_path="repro.nn.optim.NoSuchThing")
+        with pytest.raises(RecoveryError):
+            wrapper.restore_instance()
+
+
+class TestStatefulWrapper:
+    def _make_optimizer(self):
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        optimizer = SGD([param], lr=1.0, momentum=0.9)
+        param.grad = np.ones(3, dtype=np.float32)
+        optimizer.step()
+        return param, optimizer
+
+    def test_state_file_round_trip(self, mem_doc_store, file_store):
+        param, optimizer = self._make_optimizer()
+        wrapper = StateFileRestorableObjectWrapper(
+            instance=optimizer,
+            class_path="repro.nn.optim.SGD",
+            init_args={"lr": 1.0, "momentum": 0.9},
+            ref_args={"params": "params"},
+        )
+        doc_id = wrapper.save(mem_doc_store, file_store)
+        loaded = load_wrapper(doc_id, mem_doc_store)
+        fresh_param = Parameter(np.zeros(3, dtype=np.float32))
+        restored = loaded.restore_instance(
+            refs={"params": [fresh_param]}, file_store=file_store
+        )
+        buf = restored.state[id(fresh_param)]["momentum_buffer"]
+        assert np.allclose(buf, optimizer.state[id(param)]["momentum_buffer"])
+
+    def test_snapshot_pins_pre_training_state(self, mem_doc_store, file_store):
+        param, optimizer = self._make_optimizer()
+        wrapper = StateFileRestorableObjectWrapper(
+            instance=optimizer,
+            class_path="repro.nn.optim.SGD",
+            init_args={"lr": 1.0, "momentum": 0.9},
+            ref_args={"params": "params"},
+        )
+        wrapper.snapshot_state()
+        # mutate after the snapshot: this must NOT be persisted
+        param.grad = np.full(3, 100.0, dtype=np.float32)
+        optimizer.step()
+        doc_id = wrapper.save(mem_doc_store, file_store)
+        loaded = load_wrapper(doc_id, mem_doc_store)
+        fresh_param = Parameter(np.zeros(3, dtype=np.float32))
+        restored = loaded.restore_instance(
+            refs={"params": [fresh_param]}, file_store=file_store
+        )
+        buf = restored.state[id(fresh_param)]["momentum_buffer"]
+        assert np.allclose(buf, 1.0)  # the pre-mutation buffer
+
+    def test_restore_without_file_store_raises(self, mem_doc_store, file_store):
+        _, optimizer = self._make_optimizer()
+        wrapper = StateFileRestorableObjectWrapper(
+            instance=optimizer,
+            class_path="repro.nn.optim.SGD",
+            init_args={"lr": 1.0, "momentum": 0.9},
+            ref_args={"params": "params"},
+        )
+        doc_id = wrapper.save(mem_doc_store, file_store)
+        loaded = load_wrapper(doc_id, mem_doc_store)
+        with pytest.raises(RecoveryError, match="file store"):
+            loaded.restore_instance(refs={"params": [Parameter(np.zeros(1))]})
+
+    def test_snapshot_without_instance_raises(self):
+        wrapper = StateFileRestorableObjectWrapper(class_path="repro.nn.optim.SGD")
+        with pytest.raises(SaveError):
+            wrapper.snapshot_state()
+
+    def test_target_without_state_dict_rejected(self, mem_doc_store, file_store):
+        wrapper = StateFileRestorableObjectWrapper(
+            instance=object(), class_path="builtins.object"
+        )
+        with pytest.raises(SaveError, match="state_dict"):
+            wrapper.save(mem_doc_store, file_store)
+
+
+class TestLoadDispatch:
+    def test_kind_dispatch(self, mem_doc_store, file_store):
+        stateless = RestorableObjectWrapper(class_path="repro.nn.modules.ReLU")
+        doc_id = stateless.save(mem_doc_store, file_store)
+        assert type(load_wrapper(doc_id, mem_doc_store)) is RestorableObjectWrapper
+
+    def test_unknown_kind_rejected(self, mem_doc_store):
+        from repro.core.schema import WRAPPERS
+
+        doc_id = mem_doc_store.collection(WRAPPERS).insert_one(
+            {"kind": "alien", "class_path": "x.Y"}
+        )
+        with pytest.raises(RecoveryError, match="alien"):
+            load_wrapper(doc_id, mem_doc_store)

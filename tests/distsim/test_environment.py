@@ -1,0 +1,71 @@
+"""Shared stores, participants, and service construction."""
+
+import pytest
+
+from repro.core import BaselineSaveService, ParameterUpdateSaveService, ProvenanceSaveService
+from repro.distsim import Node, Server, SharedStores, make_service
+from repro.filestore import NetworkModel, SimulatedNetworkFileStore
+
+
+class TestSharedStores:
+    def test_at_creates_directories(self, tmp_path):
+        stores = SharedStores.at(tmp_path / "deploy")
+        assert stores.scratch_dir.exists()
+        stores.documents.collection("x").insert_one({"a": 1})
+        file_id = stores.files.save_bytes(b"payload")
+        assert stores.files.recover_bytes(file_id) == b"payload"
+
+    def test_network_model_wires_simulated_store(self, tmp_path):
+        stores = SharedStores.at(tmp_path / "d", network=NetworkModel(1e6))
+        assert isinstance(stores.files, SimulatedNetworkFileStore)
+
+    def test_total_storage_accounts_docs_and_files(self, tmp_path):
+        stores = SharedStores.at(tmp_path / "d")
+        assert stores.total_storage_bytes() == 0
+        stores.documents.collection("x").insert_one({"k": "v" * 50})
+        stores.files.save_bytes(b"y" * 100)
+        assert stores.total_storage_bytes() > 150
+
+
+class TestMakeService:
+    @pytest.mark.parametrize(
+        "approach,cls",
+        [
+            ("baseline", BaselineSaveService),
+            ("param_update", ParameterUpdateSaveService),
+            ("provenance", ProvenanceSaveService),
+        ],
+    )
+    def test_approach_dispatch(self, tmp_path, approach, cls):
+        stores = SharedStores.at(tmp_path / approach)
+        assert isinstance(make_service(approach, stores), cls)
+
+    def test_unknown_approach(self, tmp_path):
+        with pytest.raises(KeyError):
+            make_service("magic", SharedStores.at(tmp_path / "x"))
+
+
+class TestParticipants:
+    def test_server_and_node_naming(self, tmp_path):
+        stores = SharedStores.at(tmp_path / "d")
+        server = Server("baseline", stores)
+        node = Node(3, "baseline", stores)
+        assert server.name == "server"
+        assert node.name == "node-3"
+        assert node.index == 3
+        assert node.current_model_id is None
+
+    def test_latest_model_id_tracks_saves(self, tmp_path):
+        stores = SharedStores.at(tmp_path / "d")
+        node = Node(0, "baseline", stores)
+        assert node.latest_model_id() is None
+        node.saved_models["U_1"] = "model-a"
+        node.saved_models["U_3-1-1"] = "model-b"
+        assert node.latest_model_id() == "model-b"
+
+    def test_participants_share_backing_stores(self, tmp_path):
+        stores = SharedStores.at(tmp_path / "d")
+        a = Node(0, "baseline", stores)
+        b = Node(1, "baseline", stores)
+        doc_id = a.stores.documents.collection("models").insert_one({"x": 1})
+        assert b.stores.documents.collection("models").get(doc_id)["x"] == 1

@@ -1,0 +1,59 @@
+"""Metrics aggregation."""
+
+import pytest
+
+from repro.distsim import FlowMetrics, UseCaseRecord
+
+
+def record(use_case, node, tts, storage=100, ttr=None):
+    return UseCaseRecord(
+        use_case=use_case,
+        node=node,
+        model_id=f"model-{node}-{use_case}",
+        tts_seconds=tts,
+        storage_bytes=storage,
+        ttr_seconds=ttr,
+    )
+
+
+class TestAggregation:
+    def test_median_tts_across_nodes(self):
+        metrics = FlowMetrics("baseline", "TEST")
+        metrics.add(record("U_3-1-1", "node-0", 1.0))
+        metrics.add(record("U_3-1-1", "node-1", 3.0))
+        metrics.add(record("U_3-1-1", "node-2", 100.0))
+        assert metrics.median_tts()["U_3-1-1"] == 3.0
+
+    def test_ttr_ignores_unmeasured_records(self):
+        metrics = FlowMetrics("baseline", "TEST")
+        metrics.add(record("U_1", "server", 1.0, ttr=None))
+        assert metrics.median_ttr() == {}
+
+    def test_use_cases_first_appearance_order(self):
+        metrics = FlowMetrics("baseline", "TEST")
+        for use_case in ("U_1", "U_3-1-1", "U_1", "U_2"):
+            metrics.add(record(use_case, "server", 1.0))
+        assert metrics.use_cases() == ["U_1", "U_3-1-1", "U_2"]
+
+    def test_storage_median(self):
+        metrics = FlowMetrics("baseline", "TEST")
+        metrics.add(record("U_1", "n0", 1.0, storage=50))
+        metrics.add(record("U_1", "n1", 1.0, storage=70))
+        assert metrics.storage()["U_1"] == 60.0
+
+
+class TestMerge:
+    def test_merge_combines_records_for_cross_run_medians(self):
+        a = FlowMetrics("baseline", "TEST")
+        a.add(record("U_1", "server", 1.0))
+        b = FlowMetrics("baseline", "TEST")
+        b.add(record("U_1", "server", 3.0))
+        merged = a.merge(b)
+        assert merged.model_count == 2
+        assert merged.median_tts()["U_1"] == 2.0
+
+    def test_merge_rejects_mismatched_experiments(self):
+        a = FlowMetrics("baseline", "TEST")
+        b = FlowMetrics("provenance", "TEST")
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,67 @@
+"""ObjectId generation and document validation."""
+
+import pytest
+
+from repro.docstore import DocumentError, ObjectId, new_object_id, validate_document
+
+
+class TestObjectId:
+    def test_format(self):
+        value = new_object_id()
+        assert len(value) == 24
+        assert all(c in "0123456789abcdef" for c in value)
+
+    def test_uniqueness(self):
+        ids = {new_object_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_round_trip_and_equality(self):
+        oid = ObjectId()
+        assert ObjectId(str(oid)) == oid
+        assert hash(ObjectId(str(oid))) == hash(oid)
+
+    def test_equality_with_string(self):
+        oid = ObjectId()
+        assert oid == str(oid)
+
+    @pytest.mark.parametrize("bad", ["", "short", "g" * 24, "A" * 24])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(DocumentError):
+            ObjectId(bad)
+
+
+class TestValidation:
+    def test_valid_document_passes_and_copies(self):
+        original = {"a": 1, "nested": {"b": [1, 2, {"c": None}]}}
+        validated = validate_document(original)
+        assert validated == original
+        validated["nested"]["b"].append(3)
+        assert len(original["nested"]["b"]) == 3  # original untouched
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(DocumentError):
+            validate_document([1, 2, 3])
+
+    def test_dollar_fields_rejected(self):
+        with pytest.raises(DocumentError, match=r"\$"):
+            validate_document({"$set": {"a": 1}})
+
+    def test_nested_dollar_fields_rejected(self):
+        with pytest.raises(DocumentError):
+            validate_document({"ok": {"$bad": 1}})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(DocumentError):
+            validate_document({1: "value"})
+
+    def test_non_json_values_rejected(self):
+        with pytest.raises(DocumentError, match="non-JSON"):
+            validate_document({"f": object()})
+
+    def test_tuples_normalized_to_lists(self):
+        validated = validate_document({"t": (1, 2)})
+        assert validated["t"] == [1, 2]
+
+    def test_large_ints_survive(self):
+        big = 2**100
+        assert validate_document({"n": big})["n"] == big

@@ -1,0 +1,135 @@
+"""Query-language matching semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore import QueryError, matches
+
+DOC = {
+    "name": "resnet18",
+    "params": 11_689_512,
+    "tags": ["vision", "residual"],
+    "meta": {"relation": "partial", "depth": 3},
+    "base": None,
+}
+
+
+class TestEquality:
+    def test_plain_equality(self):
+        assert matches(DOC, {"name": "resnet18"})
+        assert not matches(DOC, {"name": "resnet50"})
+
+    def test_nested_dotted_path(self):
+        assert matches(DOC, {"meta.relation": "partial"})
+        assert not matches(DOC, {"meta.relation": "full"})
+
+    def test_missing_path_matches_none(self):
+        assert matches(DOC, {"nonexistent": None})
+        assert matches(DOC, {"base": None})
+        assert not matches(DOC, {"nonexistent": 5})
+
+    def test_array_membership(self):
+        assert matches(DOC, {"tags": "vision"})
+        assert not matches(DOC, {"tags": "nlp"})
+
+    def test_array_index_path(self):
+        assert matches(DOC, {"tags.0": "vision"})
+        assert not matches(DOC, {"tags.5": "vision"})
+
+    def test_empty_query_matches_everything(self):
+        assert matches(DOC, {})
+
+
+class TestOperators:
+    def test_eq_ne(self):
+        assert matches(DOC, {"params": {"$eq": 11_689_512}})
+        assert matches(DOC, {"params": {"$ne": 0}})
+        assert matches(DOC, {"nonexistent": {"$ne": 5}})
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("$gt", 10_000_000, True),
+            ("$gt", 20_000_000, False),
+            ("$gte", 11_689_512, True),
+            ("$lt", 20_000_000, True),
+            ("$lte", 11_689_511, False),
+        ],
+    )
+    def test_comparisons(self, op, value, expected):
+        assert matches(DOC, {"params": {op: value}}) is expected
+
+    def test_comparison_with_missing_field_false(self):
+        assert not matches(DOC, {"nonexistent": {"$gt": 1}})
+
+    def test_comparison_type_mismatch_false(self):
+        assert not matches(DOC, {"name": {"$gt": 5}})
+
+    def test_in_nin(self):
+        assert matches(DOC, {"name": {"$in": ["resnet18", "resnet50"]}})
+        assert matches(DOC, {"name": {"$nin": ["mobilenetv2"]}})
+        assert matches(DOC, {"nonexistent": {"$nin": ["x"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"name": {"$in": "resnet18"}})
+
+    def test_exists(self):
+        assert matches(DOC, {"name": {"$exists": True}})
+        assert matches(DOC, {"nonexistent": {"$exists": False}})
+        assert not matches(DOC, {"name": {"$exists": False}})
+
+    def test_not(self):
+        assert matches(DOC, {"params": {"$not": {"$lt": 1_000}}})
+        assert not matches(DOC, {"params": {"$not": {"$gt": 1_000}}})
+
+    def test_combined_range(self):
+        assert matches(DOC, {"params": {"$gt": 1, "$lt": 10**9}})
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"params": {"$regex": ".*"}})
+
+
+class TestLogical:
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"name": "resnet18"}, {"meta.depth": 3}]})
+        assert not matches(DOC, {"$and": [{"name": "resnet18"}, {"meta.depth": 4}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"name": "wrong"}, {"meta.depth": 3}]})
+        assert not matches(DOC, {"$or": [{"name": "wrong"}, {"meta.depth": 4}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"name": "wrong"}, {"meta.depth": 4}]})
+
+    def test_implicit_and_of_fields(self):
+        assert matches(DOC, {"name": "resnet18", "meta.depth": 3})
+
+    def test_unknown_top_level_operator(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"$xor": []})
+
+    def test_non_dict_query_rejected(self):
+        with pytest.raises(QueryError):
+            matches(DOC, ["name"])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(-100, 100), st.integers(-100, 100))
+def test_property_gt_lt_partition(value, bound):
+    """For any scalar, exactly one of $lt / $eq / $gt holds."""
+    doc = {"v": value}
+    outcomes = [
+        matches(doc, {"v": {"$lt": bound}}),
+        matches(doc, {"v": {"$eq": bound}}),
+        matches(doc, {"v": {"$gt": bound}}),
+    ]
+    assert sum(outcomes) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-10, 10), max_size=5), st.integers(-10, 10))
+def test_property_in_matches_membership(options, value):
+    assert matches({"v": value}, {"v": {"$in": options}}) == (value in options)

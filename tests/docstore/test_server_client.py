@@ -1,0 +1,117 @@
+"""TCP document-store server and client."""
+
+import threading
+
+import pytest
+
+from repro.docstore import (
+    DocumentStore,
+    DocumentStoreClient,
+    DocumentStoreServer,
+    DuplicateKeyError,
+    NotFoundError,
+)
+
+
+@pytest.fixture
+def served_store():
+    store = DocumentStore()
+    with DocumentStoreServer(store, port=0) as server:
+        with DocumentStoreClient(server.host, server.port) as client:
+            yield store, client
+
+
+class TestBasicOps:
+    def test_insert_and_get(self, served_store):
+        _, client = served_store
+        coll = client.collection("models")
+        doc_id = coll.insert_one({"name": "remote"})
+        assert coll.get(doc_id)["name"] == "remote"
+
+    def test_writes_visible_in_backing_store(self, served_store):
+        store, client = served_store
+        doc_id = client["models"].insert_one({"x": 1})
+        assert store.collection("models").get(doc_id)["x"] == 1
+
+    def test_find_and_count(self, served_store):
+        _, client = served_store
+        coll = client["m"]
+        coll.insert_many([{"i": i} for i in range(4)])
+        assert coll.count() == 4
+        assert len(coll.find({"i": {"$gte": 2}})) == 2
+        assert coll.find_one({"i": 3})["i"] == 3
+
+    def test_update_and_delete(self, served_store):
+        _, client = served_store
+        coll = client["m"]
+        doc_id = coll.insert_one({"v": 1})
+        assert coll.update_one({"v": 1}, {"v": 2})
+        coll.replace_one(doc_id, {"v": 3})
+        assert coll.get(doc_id)["v"] == 3
+        assert coll.delete_one(doc_id)
+        assert coll.delete_many({}) == 0
+
+    def test_storage_bytes(self, served_store):
+        _, client = served_store
+        client["m"].insert_one({"payload": "x" * 50})
+        assert client["m"].storage_bytes() > 50
+
+
+class TestErrorMapping:
+    def test_not_found_maps_to_exception(self, served_store):
+        _, client = served_store
+        with pytest.raises(NotFoundError):
+            client["m"].get("missing")
+
+    def test_duplicate_maps_to_exception(self, served_store):
+        _, client = served_store
+        client["m"].insert_one({"_id": "dup"})
+        with pytest.raises(DuplicateKeyError):
+            client["m"].insert_one({"_id": "dup"})
+
+    def test_connection_survives_errors(self, served_store):
+        _, client = served_store
+        with pytest.raises(NotFoundError):
+            client["m"].get("missing")
+        assert client["m"].insert_one({"after": "error"})
+
+
+class TestConcurrentClients:
+    def test_multiple_clients_share_state(self):
+        store = DocumentStore()
+        with DocumentStoreServer(store, port=0) as server:
+            clients = [
+                DocumentStoreClient(server.host, server.port) for _ in range(4)
+            ]
+            try:
+                errors = []
+
+                def work(client, offset):
+                    try:
+                        for i in range(25):
+                            client["m"].insert_one({"n": offset + i})
+                    except Exception as exc:  # surfaced below
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=work, args=(c, k * 25))
+                    for k, c in enumerate(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert not errors
+                assert clients[0]["m"].count() == 100
+            finally:
+                for client in clients:
+                    client.close()
+
+
+class TestRemoteSortLimit:
+    def test_sort_and_limit_over_tcp(self, served_store):
+        _, client = served_store
+        coll = client["models"]
+        coll.insert_many([{"i": i} for i in (3, 1, 2)])
+        ordered = coll.find(sort=[["i", -1]], limit=2)
+        assert [d["i"] for d in ordered] == [3, 2]

@@ -1,0 +1,69 @@
+"""Simulated network file store: transfer cost accounting."""
+
+import time
+
+import pytest
+
+from repro.filestore import (
+    CELLULAR_LTE,
+    INFINIBAND_100G,
+    NetworkModel,
+    SimulatedNetworkFileStore,
+)
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        link = NetworkModel(bandwidth_bytes_per_s=1000, latency_s=0.5)
+        assert link.transfer_time(2000) == pytest.approx(0.5 + 2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_s=1, latency_s=-1)
+
+    def test_presets_ordering(self):
+        payload = 10_000_000
+        assert INFINIBAND_100G.transfer_time(payload) < CELLULAR_LTE.transfer_time(payload)
+
+    def test_repr_mentions_gbit(self):
+        assert "Gbit/s" in repr(INFINIBAND_100G)
+
+
+class TestSimulatedStore:
+    def test_accounting_without_sleeping(self, tmp_path):
+        link = NetworkModel(bandwidth_bytes_per_s=1_000_000, latency_s=0.01)
+        store = SimulatedNetworkFileStore(tmp_path / "s", link, sleep=False)
+        started = time.perf_counter()
+        file_id = store.save_bytes(b"x" * 500_000)
+        store.recover_bytes(file_id)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 0.25  # did not actually sleep ~1s
+        assert store.simulated_seconds == pytest.approx(2 * (0.01 + 0.5), rel=0.01)
+        assert store.bytes_sent == 500_000
+        assert store.bytes_received == 500_000
+
+    def test_sleep_mode_takes_wall_clock_time(self, tmp_path):
+        link = NetworkModel(bandwidth_bytes_per_s=10_000_000, latency_s=0.05)
+        store = SimulatedNetworkFileStore(tmp_path / "s", link, sleep=True)
+        started = time.perf_counter()
+        store.save_bytes(b"tiny")
+        assert time.perf_counter() - started >= 0.05
+
+    def test_reset_accounting(self, tmp_path):
+        store = SimulatedNetworkFileStore(
+            tmp_path / "s", NetworkModel(1_000_000), sleep=False
+        )
+        store.save_bytes(b"abc")
+        store.reset_accounting()
+        assert store.simulated_seconds == 0
+        assert store.bytes_sent == 0
+
+    def test_behaves_like_plain_file_store(self, tmp_path):
+        store = SimulatedNetworkFileStore(
+            tmp_path / "s", NetworkModel(1_000_000), sleep=False
+        )
+        file_id = store.save_bytes(b"payload", suffix=".bin")
+        assert store.recover_bytes(file_id) == b"payload"
+        assert store.exists(file_id)

@@ -1,0 +1,132 @@
+"""Additional activations, LayerNorm, and the BCE-with-logits loss."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.nn.functional as F
+from repro.nn import LayerNorm, Tensor
+
+
+def numeric_grad(fn, tensor, eps=1e-3):
+    grad = np.zeros_like(tensor.data, dtype=np.float64)
+    it = np.nditer(tensor.data, flags=["multi_index"])
+    for _ in it:
+        index = it.multi_index
+        original = tensor.data[index]
+        tensor.data[index] = original + eps
+        upper = fn()
+        tensor.data[index] = original - eps
+        lower = fn()
+        tensor.data[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestSigmoid:
+    def test_range_and_midpoint(self):
+        out = F.sigmoid(Tensor([-100.0, 0.0, 100.0]))
+        assert np.allclose(out.data, [0.0, 0.5, 1.0], atol=1e-6)
+
+    def test_no_overflow_for_extreme_inputs(self):
+        out = F.sigmoid(Tensor([-1e4, 1e4]))
+        assert np.all(np.isfinite(out.data))
+
+    def test_gradient_matches_numeric(self):
+        x = Tensor(np.array([-2.0, 0.5, 3.0], dtype=np.float32), requires_grad=True)
+        F.sigmoid(x).sum().backward()
+        numeric = numeric_grad(lambda: float(F.sigmoid(Tensor(x.data)).data.sum()), x)
+        assert np.allclose(x.grad, numeric, atol=1e-3)
+
+
+class TestTanh:
+    def test_values(self):
+        out = F.tanh(Tensor([0.0, 100.0]))
+        assert np.allclose(out.data, [0.0, 1.0], atol=1e-6)
+
+    def test_gradient_is_one_minus_square(self):
+        x = Tensor(np.array([0.7], dtype=np.float32), requires_grad=True)
+        out = F.tanh(x)
+        out.backward()
+        assert np.allclose(x.grad, 1.0 - out.data**2, atol=1e-6)
+
+
+class TestGelu:
+    def test_asymptotics(self):
+        out = F.gelu(Tensor([-100.0, 0.0, 100.0]))
+        assert np.allclose(out.data, [0.0, 0.0, 100.0], atol=1e-4)
+
+    def test_gradient_matches_numeric(self):
+        x = Tensor(np.array([-1.5, -0.2, 0.9], dtype=np.float32), requires_grad=True)
+        F.gelu(x).sum().backward()
+        numeric = numeric_grad(lambda: float(F.gelu(Tensor(x.data)).data.sum()), x)
+        assert np.allclose(x.grad, numeric, atol=1e-2)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dimension(self):
+        x = Tensor(np.random.default_rng(0).normal(3, 2, size=(4, 16)).astype(np.float32))
+        out = F.layer_norm(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_parameters_applied(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 8)).astype(np.float32))
+        weight = Tensor(np.full(8, 2.0, dtype=np.float32))
+        bias = Tensor(np.full(8, 5.0, dtype=np.float32))
+        out = F.layer_norm(x, weight, bias)
+        plain = F.layer_norm(x)
+        assert np.allclose(out.data, plain.data * 2.0 + 5.0, atol=1e-5)
+
+    def test_module_state_dict_and_backward(self):
+        layer = LayerNorm(8)
+        state = layer.state_dict()
+        assert set(state) == {"weight", "bias"}
+        x = nn.randn(4, 8, requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_works_on_sequence_inputs(self):
+        layer = LayerNorm(16)
+        out = layer(nn.randn(2, 5, 16))
+        assert out.shape == (2, 5, 16)
+
+
+class TestBCEWithLogits:
+    def test_matches_reference_formula(self):
+        logits = Tensor(np.array([0.0, 2.0, -3.0], dtype=np.float32))
+        target = np.array([0.0, 1.0, 0.0], dtype=np.float32)
+        loss = F.binary_cross_entropy_with_logits(logits, target)
+        probability = 1.0 / (1.0 + np.exp(-logits.data))
+        reference = -(
+            target * np.log(probability) + (1 - target) * np.log(1 - probability)
+        ).mean()
+        assert loss.item() == pytest.approx(float(reference), rel=1e-5)
+
+    def test_stable_for_extreme_logits(self):
+        loss = F.binary_cross_entropy_with_logits(
+            Tensor([1e4, -1e4]), np.array([1.0, 0.0], dtype=np.float32)
+        )
+        assert np.isfinite(loss.item()) and loss.item() < 1e-3
+
+    def test_gradient_is_probability_minus_target(self):
+        logits = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        target = np.array([1.0, 0.0, 1.0, 0.0], dtype=np.float32)
+        F.binary_cross_entropy_with_logits(logits, target).backward()
+        assert np.allclose(logits.grad, (0.5 - target) / 4, atol=1e-6)
+
+    def test_trains_binary_classifier(self):
+        nn.manual_seed(0)
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 1))
+        optimizer = nn.SGD(list(model.parameters()), lr=0.5)
+        x = nn.randn(32, 4)
+        target = (x.data[:, 0] > 0).astype(np.float32).reshape(-1, 1)
+        first = None
+        for _ in range(50):
+            optimizer.zero_grad()
+            loss = F.binary_cross_entropy_with_logits(model(x), target)
+            first = first or loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first * 0.5

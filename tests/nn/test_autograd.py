@@ -1,0 +1,115 @@
+"""Autograd graph mechanics: gradient modes, graph structure, edge cases."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor, enable_grad, is_grad_enabled, no_grad
+
+
+class TestGradModes:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_blocks_graph_recording(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert out._node is None
+        assert not out.requires_grad_through()
+
+    def test_no_grad_restores_on_exit(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_enable_grad_inside_no_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                out = a * 2
+            assert out.requires_grad_through()
+        out.backward(np.ones(1))
+        assert np.allclose(a.grad, [2.0])
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+
+
+class TestGraphStructure:
+    def test_leaf_accumulates_grad_attribute(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 3).backward()
+        assert a._node is None  # leaves never get nodes
+        assert a.grad is not None
+
+    def test_intermediate_tensors_do_not_store_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2
+        (b * 3).backward()
+        assert b.grad is None  # only leaves accumulate
+        assert np.allclose(a.grad, [6.0])
+
+    def test_ops_on_non_grad_tensors_record_nothing(self):
+        a = Tensor([1.0])
+        out = a * 2 + 3
+        assert out._node is None
+
+    def test_deep_chain_backward(self):
+        """Iterative topological sort: deep graphs must not hit recursion limits."""
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward()
+        assert np.allclose(a.grad, [1.0])
+
+    def test_shared_subexpression_counted_once(self):
+        a = Tensor([2.0], requires_grad=True)
+        shared = a * 3
+        out = shared + shared
+        out.backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_backward_twice_through_same_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a * 5
+        out.backward(np.ones(1))
+        out.backward(np.ones(1))
+        assert np.allclose(a.grad, [10.0])
+
+
+class TestMixedRequiresGrad:
+    def test_grad_only_flows_to_requiring_inputs(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])  # does not require grad
+        (a * b).backward()
+        assert np.allclose(a.grad, [2.0])
+        assert b.grad is None
+
+    def test_detach_blocks_one_branch(self):
+        a = Tensor([3.0], requires_grad=True)
+        left = a * 2
+        right = (a * 4).detach()
+        (left + right).backward()
+        assert np.allclose(a.grad, [2.0])  # only the live branch
+
+
+class TestInferenceUnderNoGrad:
+    def test_model_forward_under_no_grad_builds_no_graph(self, tiny_cnn, tiny_batch):
+        images, _ = tiny_batch
+        tiny_cnn.eval()
+        with no_grad():
+            out = tiny_cnn(images)
+        assert out._node is None
+        with pytest.raises(RuntimeError):
+            out.sum().backward()

@@ -1,0 +1,90 @@
+"""Datasets and the DataLoader."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn.data import DataLoader, Subset, TensorDataset
+
+
+class TestTensorDataset:
+    def test_pairs(self):
+        ds = TensorDataset(np.arange(4), np.arange(4) * 10)
+        assert len(ds) == 4
+        assert ds[2] == (2, 20)
+
+    def test_single_array_unwraps(self):
+        ds = TensorDataset(np.arange(3))
+        assert ds[1] == 1
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            TensorDataset(np.arange(3), np.arange(4))
+
+    def test_empty_args_raise(self):
+        with pytest.raises(ValueError):
+            TensorDataset()
+
+
+class TestSubset:
+    def test_indices_remap(self):
+        ds = Subset(TensorDataset(np.arange(10)), [7, 3])
+        assert len(ds) == 2
+        assert ds[0] == 7 and ds[1] == 3
+
+
+class TestDataLoader:
+    def _dataset(self, n=10):
+        images = np.random.default_rng(0).normal(size=(n, 3, 4, 4)).astype(np.float32)
+        labels = np.arange(n, dtype=np.int64)
+        return TensorDataset(images, labels)
+
+    def test_batch_shapes_and_types(self):
+        loader = DataLoader(self._dataset(), batch_size=4)
+        images, labels = next(iter(loader))
+        assert isinstance(images, Tensor) and isinstance(labels, Tensor)
+        assert images.shape == (4, 3, 4, 4)
+        assert labels.dtype == np.int64
+
+    def test_len_with_and_without_drop_last(self):
+        ds = self._dataset(10)
+        assert len(DataLoader(ds, batch_size=4)) == 3
+        assert len(DataLoader(ds, batch_size=4, drop_last=True)) == 2
+
+    def test_drop_last_skips_partial_batch(self):
+        loader = DataLoader(self._dataset(10), batch_size=4, drop_last=True)
+        sizes = [len(labels) for _, labels in loader]
+        assert sizes == [4, 4]
+
+    def test_unshuffled_order_is_sequential(self):
+        loader = DataLoader(self._dataset(6), batch_size=3)
+        labels = np.concatenate([l.data for _, l in loader])
+        assert labels.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_shuffle_is_seed_reproducible(self):
+        ds = self._dataset(20)
+        nn.manual_seed(5)
+        first = np.concatenate([l.data for _, l in DataLoader(ds, 4, shuffle=True)])
+        nn.manual_seed(5)
+        second = np.concatenate([l.data for _, l in DataLoader(ds, 4, shuffle=True)])
+        assert np.array_equal(first, second)
+        nn.manual_seed(6)
+        third = np.concatenate([l.data for _, l in DataLoader(ds, 4, shuffle=True)])
+        assert not np.array_equal(first, third)
+
+    def test_shuffle_covers_every_item(self):
+        nn.manual_seed(0)
+        loader = DataLoader(self._dataset(10), batch_size=3, shuffle=True)
+        labels = sorted(np.concatenate([l.data for _, l in loader]).tolist())
+        assert labels == list(range(10))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), batch_size=0)
+
+    def test_custom_collate(self):
+        loader = DataLoader(
+            TensorDataset(np.arange(4)), batch_size=2, collate_fn=lambda items: sum(items)
+        )
+        assert list(loader) == [1, 5]

@@ -1,0 +1,105 @@
+"""Embedding layer and text classifier."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.nn.functional as F
+from repro.nn import Embedding, Tensor
+from repro.nn.embedding import embedding
+from repro.nn.models import TextClassifier, text_classifier
+
+
+class TestEmbeddingFunction:
+    def test_lookup_values(self):
+        weight = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3))
+        out = embedding(np.array([1, 3]), weight)
+        assert np.array_equal(out.data, weight.data[[1, 3]])
+
+    def test_preserves_index_shape(self):
+        weight = Tensor(np.zeros((10, 5), dtype=np.float32))
+        out = embedding(np.zeros((2, 7), dtype=np.int64), weight)
+        assert out.shape == (2, 7, 5)
+
+    def test_gradient_scatter_adds_repeats(self):
+        weight = Tensor(np.zeros((4, 2), dtype=np.float32), requires_grad=True)
+        out = embedding(np.array([1, 1, 2]), weight)
+        out.sum().backward()
+        assert np.allclose(weight.grad[1], [2, 2])  # used twice
+        assert np.allclose(weight.grad[2], [1, 1])
+        assert np.allclose(weight.grad[0], [0, 0])
+
+    def test_out_of_range_ids_rejected(self):
+        weight = Tensor(np.zeros((4, 2), dtype=np.float32))
+        with pytest.raises(IndexError):
+            embedding(np.array([4]), weight)
+        with pytest.raises(IndexError):
+            embedding(np.array([-1]), weight)
+
+    def test_accepts_tensor_indices(self):
+        weight = Tensor(np.ones((3, 2), dtype=np.float32))
+        ids = Tensor(np.array([0, 2]), dtype=np.int64)
+        assert embedding(ids, weight).shape == (2, 2)
+
+
+class TestEmbeddingModule:
+    def test_parameter_registration(self):
+        layer = Embedding(100, 16)
+        assert layer.num_parameters() == 1600
+        assert "weight" in dict(layer.named_parameters())
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+
+    def test_seeded_initialization(self):
+        nn.manual_seed(3)
+        a = Embedding(10, 4).weight.data.copy()
+        nn.manual_seed(3)
+        b = Embedding(10, 4).weight.data.copy()
+        assert np.array_equal(a, b)
+
+
+class TestTextClassifier:
+    def test_forward_shape(self):
+        model = text_classifier(vocab_size=500, embedding_dim=16, hidden_dim=8, num_classes=4)
+        model.eval()
+        tokens = np.random.default_rng(0).integers(0, 500, size=(3, 12))
+        assert model(tokens).shape == (3, 4)
+
+    def test_embedding_dominates_parameters(self):
+        """The §4.7 NLP shape: the embedding table is most of the model."""
+        model = text_classifier(vocab_size=50_000, embedding_dim=64)
+        embedding_params = model.embedding.num_parameters()
+        assert embedding_params > 0.9 * model.num_parameters()
+
+    def test_trains_to_lower_loss(self):
+        nn.manual_seed(0)
+        model = text_classifier(vocab_size=64, embedding_dim=8, hidden_dim=8, num_classes=2)
+        model.train()
+        optimizer = nn.SGD(list(model.parameters()), lr=0.5)
+        generator = np.random.default_rng(1)
+        labels = generator.integers(0, 2, size=16)
+        tokens = (labels.reshape(-1, 1) * 32 + generator.integers(0, 32, size=(16, 6)))
+        first = None
+        for _ in range(40):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(model(tokens), labels)
+            first = first or loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first * 0.5
+
+    def test_final_classifier_for_partial_updates(self):
+        model = text_classifier(vocab_size=100, embedding_dim=8, num_classes=3)
+        head = model.final_classifier()
+        assert head.out_features == 3
+
+    def test_reproducible_training_probe(self):
+        from repro.core import probe_reproducibility
+
+        nn.manual_seed(0)
+        model = text_classifier(vocab_size=64, embedding_dim=8, hidden_dim=8, num_classes=2)
+        tokens = Tensor(np.random.default_rng(2).integers(0, 64, size=(2, 6)), dtype=np.int64)
+        labels = np.array([0, 1], dtype=np.int64)
+        assert probe_reproducibility(model, tokens, labels, training=True).reproducible

@@ -1,0 +1,313 @@
+"""Kernel correctness: convolution, pooling, normalization, losses."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.nn.functional as F
+from repro.nn import Tensor, rng
+
+
+def scipy_conv2d(x, w, b, stride, padding, groups=1):
+    """Reference convolution via scipy.signal.correlate."""
+    from scipy.signal import correlate
+
+    n, c, h, w_in = x.shape
+    out_channels, cg, kh, kw = w.shape
+    x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w_in + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, out_channels, oh, ow), dtype=np.float64)
+    og = out_channels // groups
+    for i in range(n):
+        for o in range(out_channels):
+            g = o // og
+            acc = np.zeros((h + 2 * padding - kh + 1, w_in + 2 * padding - kw + 1))
+            for ci in range(cg):
+                acc += correlate(
+                    x[i, g * cg + ci].astype(np.float64),
+                    w[o, ci].astype(np.float64),
+                    mode="valid",
+                )
+            out[i, o] = acc[::stride, ::stride]
+            if b is not None:
+                out[i, o] += b[o]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 3)])
+    def test_matches_scipy_reference(self, stride, padding):
+        nn.manual_seed(0)
+        x = nn.randn(2, 3, 8, 8)
+        w = nn.randn(5, 3, 3, 3)
+        b = nn.randn(5)
+        out = F.conv2d(x, w, b, stride=stride, padding=padding)
+        ref = scipy_conv2d(x.data, w.data, b.data, stride, padding)
+        assert out.shape == ref.shape
+        assert np.allclose(out.data, ref, atol=1e-4)
+
+    def test_depthwise_matches_grouped_reference(self):
+        nn.manual_seed(1)
+        x = nn.randn(2, 4, 6, 6)
+        w = nn.randn(4, 1, 3, 3)
+        out = F.conv2d(x, w, None, padding=1, groups=4)
+        ref = scipy_conv2d(x.data, w.data, None, 1, 1, groups=4)
+        assert np.allclose(out.data, ref, atol=1e-4)
+
+    def test_intermediate_group_count(self):
+        nn.manual_seed(2)
+        x = nn.randn(1, 4, 5, 5)
+        w = nn.randn(6, 2, 3, 3)
+        out = F.conv2d(x, w, None, padding=1, groups=2)
+        ref = scipy_conv2d(x.data, w.data, None, 1, 1, groups=2)
+        assert np.allclose(out.data, ref, atol=1e-4)
+
+    def test_weight_gradient_numeric(self):
+        nn.manual_seed(3)
+        x = nn.randn(1, 2, 5, 5)
+        w = Tensor(np.random.default_rng(0).normal(size=(3, 2, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        out = F.conv2d(x, w, None, stride=2, padding=1)
+        (out * out).sum().backward()
+
+        def loss():
+            o = F.conv2d(Tensor(x.data), Tensor(w.data), None, stride=2, padding=1)
+            return float((o.data**2).sum())
+
+        eps = 1e-2
+        for index in [(0, 0, 0, 0), (1, 1, 2, 2), (2, 0, 1, 1)]:
+            original = w.data[index]
+            w.data[index] = original + eps
+            upper = loss()
+            w.data[index] = original - eps
+            lower = loss()
+            w.data[index] = original
+            numeric = (upper - lower) / (2 * eps)
+            assert np.isclose(w.grad[index], numeric, rtol=5e-2, atol=1e-2)
+
+    def test_input_gradient_numeric(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 2, 4, 4)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(np.random.default_rng(2).normal(size=(2, 2, 3, 3)).astype(np.float32))
+        out = F.conv2d(x, w, None, padding=1)
+        (out * out).sum().backward()
+
+        def loss():
+            o = F.conv2d(Tensor(x.data), w, None, padding=1)
+            return float((o.data**2).sum())
+
+        eps = 1e-2
+        for index in [(0, 0, 0, 0), (0, 1, 2, 3)]:
+            original = x.data[index]
+            x.data[index] = original + eps
+            upper = loss()
+            x.data[index] = original - eps
+            lower = loss()
+            x.data[index] = original
+            numeric = (upper - lower) / (2 * eps)
+            assert np.isclose(x.grad[index], numeric, rtol=5e-2, atol=1e-2)
+
+    def test_bias_gradient_is_output_sum(self):
+        x = nn.randn(2, 1, 4, 4)
+        w = nn.randn(2, 1, 3, 3)
+        b = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        F.conv2d(x, w, b, padding=1).sum().backward()
+        assert np.allclose(b.grad, [2 * 16, 2 * 16])
+
+    def test_channel_mismatch_raises(self):
+        x = nn.randn(1, 3, 4, 4)
+        w = nn.randn(2, 4, 3, 3)
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, None)
+
+    def test_groups_not_dividing_channels_raises(self):
+        x = nn.randn(1, 3, 4, 4)
+        w = nn.randn(3, 1, 3, 3)
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, None, groups=2)
+
+
+class TestDeterminism:
+    def _conv_once(self):
+        nn.manual_seed(5)
+        x = nn.randn(2, 8, 8, 8)
+        w = nn.randn(8, 8, 3, 3, requires_grad=True)
+        out = F.conv2d(x, w, None, padding=1)
+        out.sum().backward()
+        return np.concatenate([out.data.reshape(-1), w.grad.reshape(-1)])
+
+    def test_deterministic_mode_is_bitwise_stable(self):
+        with rng.deterministic_mode(True):
+            assert np.array_equal(self._conv_once(), self._conv_once())
+
+    def test_nondeterministic_mode_varies_but_is_close(self):
+        with rng.deterministic_mode(False):
+            a, b = self._conv_once(), self._conv_once()
+        assert not np.array_equal(a, b)
+        assert np.allclose(a, b, rtol=1e-3, atol=1e-4)
+
+    def test_reduced_matmul_deterministic_chunking_matches_full(self):
+        a = np.random.default_rng(0).normal(size=(4, 100)).astype(np.float64)
+        b = np.random.default_rng(1).normal(size=(100, 3)).astype(np.float64)
+        with rng.deterministic_mode(True):
+            rng.set_deterministic_chunk_size(7)
+            try:
+                chunked = F.reduced_matmul(a, b)
+            finally:
+                rng.set_deterministic_chunk_size(rng.DEFAULT_DETERMINISTIC_CHUNK)
+        assert np.allclose(chunked, a @ b, atol=1e-9)
+
+    def test_legacy_kernel_uses_smaller_chunks(self):
+        assert F._det_chunk("legacy") < F._det_chunk("standard")
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        assert out.data.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_max_pool_gradient_goes_to_argmax(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        assert np.allclose(x.grad[0, 0], expected)
+
+    def test_overlapping_max_pool_with_padding(self):
+        x = Tensor(np.ones((1, 2, 5, 5), dtype=np.float32), requires_grad=True)
+        out = F.max_pool2d(x, 3, stride=2, padding=1)
+        assert out.shape == (1, 2, 3, 3)
+        out.sum().backward()
+        assert x.grad.sum() == pytest.approx(2 * 9)
+
+    def test_avg_pool_values_and_gradient(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4), requires_grad=True)
+        out = F.avg_pool2d(x, 2)
+        assert out.data.reshape(-1).tolist() == [2.5, 4.5, 10.5, 12.5]
+        out.sum().backward()
+        assert np.allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_adaptive_avg_pool_to_one(self):
+        x = Tensor(np.ones((2, 3, 7, 7), dtype=np.float32))
+        out = F.adaptive_avg_pool2d(x, 1)
+        assert out.shape == (2, 3, 1, 1)
+        assert np.allclose(out.data, 1.0)
+
+    def test_adaptive_avg_pool_divisible(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.adaptive_avg_pool2d(x, (2, 2))
+        assert out.shape == (1, 1, 2, 2)
+        assert out.data.reshape(-1).tolist() == [2.5, 4.5, 10.5, 12.5]
+
+    def test_adaptive_avg_pool_non_divisible(self):
+        x = Tensor(np.ones((1, 1, 5, 5), dtype=np.float32), requires_grad=True)
+        out = F.adaptive_avg_pool2d(x, (2, 2))
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out.data, 1.0)
+        out.sum().backward()
+        assert x.grad is not None
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(8, 4, 5, 5)).astype(np.float32))
+        mean = np.zeros(4, dtype=np.float32)
+        var = np.ones(4, dtype=np.float32)
+        out = F.batch_norm(x, mean, var, None, None, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated_in_training(self):
+        x = Tensor(np.full((4, 2, 3, 3), 10.0, dtype=np.float32))
+        mean = np.zeros(2, dtype=np.float32)
+        var = np.ones(2, dtype=np.float32)
+        F.batch_norm(x, mean, var, None, None, training=True, momentum=0.5)
+        assert np.allclose(mean, 5.0)
+
+    def test_eval_uses_running_stats(self):
+        x = Tensor(np.full((2, 1, 2, 2), 4.0, dtype=np.float32))
+        mean = np.array([4.0], dtype=np.float32)
+        var = np.array([1.0], dtype=np.float32)
+        out = F.batch_norm(x, mean, var, None, None, training=False)
+        assert np.allclose(out.data, 0.0, atol=1e-3)
+
+    def test_affine_weight_bias_applied(self):
+        x = Tensor(np.zeros((2, 1, 2, 2), dtype=np.float32))
+        mean = np.zeros(1, dtype=np.float32)
+        var = np.ones(1, dtype=np.float32)
+        weight = Tensor(np.array([2.0], dtype=np.float32))
+        bias = Tensor(np.array([3.0], dtype=np.float32))
+        out = F.batch_norm(x, mean, var, weight, bias, training=False)
+        assert np.allclose(out.data, 3.0, atol=1e-3)
+
+
+class TestActivationsDropout:
+    def test_relu_masks_negatives(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        out = F.relu(a)
+        assert out.data.tolist() == [0, 2]
+        out.sum().backward()
+        assert a.grad.tolist() == [0, 1]
+
+    def test_relu6_clips_both_sides(self):
+        a = Tensor([-1.0, 3.0, 9.0], requires_grad=True)
+        out = F.relu6(a)
+        assert out.data.tolist() == [0, 3, 6]
+        out.sum().backward()
+        assert a.grad.tolist() == [0, 1, 0]
+
+    def test_dropout_eval_is_identity(self):
+        a = Tensor(np.ones(100, dtype=np.float32))
+        assert np.array_equal(F.dropout(a, 0.5, training=False).data, a.data)
+
+    def test_dropout_scales_survivors(self):
+        nn.manual_seed(0)
+        a = Tensor(np.ones(10000, dtype=np.float32))
+        out = F.dropout(a, 0.5, training=True)
+        survivors = out.data[out.data > 0]
+        assert np.allclose(survivors, 2.0)
+        assert 0.4 < (out.data > 0).mean() < 0.6
+
+    def test_dropout_reproducible_with_seed(self):
+        a = Tensor(np.ones(64, dtype=np.float32))
+        nn.manual_seed(3)
+        first = F.dropout(a, 0.5, training=True).data.copy()
+        nn.manual_seed(3)
+        second = F.dropout(a, 0.5, training=True).data.copy()
+        assert np.array_equal(first, second)
+
+
+class TestLosses:
+    def test_log_softmax_normalizes(self):
+        x = nn.randn(3, 5)
+        out = F.log_softmax(x, dim=-1)
+        assert np.allclose(np.exp(out.data).sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_softmax_gradient_sums_to_zero(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]], dtype=np.float32), requires_grad=True)
+        F.log_softmax(x)[0, 0].sum().backward()
+        assert np.isclose(x.grad.sum(), 0.0, atol=1e-6)
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32))
+        loss = F.cross_entropy(logits, np.array([0, 3]))
+        assert np.isclose(loss.item(), np.log(4), atol=1e-5)
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.zeros((1, 2), dtype=np.float32), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        assert np.allclose(logits.grad, [[0.5, -0.5]], atol=1e-5)
+
+    def test_cross_entropy_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[20.0, 0.0]], dtype=np.float32))
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert loss.item() < 1e-4
+
+    def test_mse_loss(self):
+        prediction = Tensor([1.0, 2.0], requires_grad=True)
+        loss = F.mse_loss(prediction, Tensor([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.5)
+        loss.backward()
+        assert np.allclose(prediction.grad, [1.0, 2.0])

@@ -1,0 +1,62 @@
+"""The public gradcheck utility."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.nn.functional as F
+from repro.nn import Tensor
+from repro.nn.testing import GradcheckError, gradcheck, numeric_gradient
+
+
+class TestNumericGradient:
+    def test_quadratic(self):
+        x = Tensor(np.array([1.0, -2.0], dtype=np.float32))
+        grad = numeric_gradient(lambda: float((x.data**2).sum()), x)
+        assert np.allclose(grad, [2.0, -4.0], atol=1e-2)
+
+    def test_restores_data(self):
+        x = Tensor(np.array([3.0], dtype=np.float32))
+        numeric_gradient(lambda: float(x.data.sum()), x)
+        assert x.data[0] == 3.0
+
+
+class TestGradcheck:
+    def test_passes_for_correct_ops(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32),
+                   requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(4, 2)).astype(np.float32),
+                   requires_grad=True)
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_passes_for_conv(self):
+        nn.manual_seed(0)
+        x = nn.randn(1, 2, 5, 5, requires_grad=True)
+        w = nn.randn(3, 2, 3, 3, requires_grad=True)
+        assert gradcheck(lambda x, w: F.conv2d(x, w, None, padding=1), [x, w])
+
+    def test_passes_for_composed_activation(self):
+        x = Tensor(np.linspace(-2, 2, 6, dtype=np.float32), requires_grad=True)
+        assert gradcheck(lambda t: F.gelu(F.tanh(t)), [x])
+
+    def test_detects_wrong_gradient(self):
+        from repro.nn.autograd import GraphNode
+
+        def buggy_double(x):
+            # forward doubles, backward claims identity: wrong by 2x
+            node = GraphNode(inputs=(x,), backward_fn=lambda g: (g,), name="buggy")
+            return Tensor._from_op(x.data * 2.0, node)
+
+        x = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        with pytest.raises(GradcheckError, match="input #0"):
+            gradcheck(buggy_double, [x])
+
+    def test_requires_tensor_output(self):
+        x = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        with pytest.raises(TypeError):
+            gradcheck(lambda t: float(t.data.sum()), [x])
+
+    def test_skips_non_grad_inputs(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        constant = Tensor(np.full(3, 2.0, dtype=np.float32))
+        assert gradcheck(lambda x, c: x * c, [a, constant])

@@ -1,0 +1,126 @@
+"""Model zoo: Table 2 parameter counts, forward shapes, partial freezing."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.models import (
+    MODEL_REGISTRY,
+    create_model,
+    freeze_for_partial_update,
+    list_models,
+    trainable_parameter_count,
+)
+
+FAST_SCALE = 0.25
+
+
+class TestTable2:
+    """Exact reproduction of the paper's Table 2 at scale=1.0."""
+
+    @pytest.mark.parametrize("name", list_models())
+    def test_parameter_counts_match_paper(self, name):
+        model = create_model(name, seed=0)
+        assert model.num_parameters() == MODEL_REGISTRY[name].paper_params
+
+    @pytest.mark.parametrize("name", list_models())
+    def test_partial_update_counts_match_paper(self, name):
+        model = create_model(name, seed=0)
+        freeze_for_partial_update(model)
+        assert (
+            trainable_parameter_count(model)
+            == MODEL_REGISTRY[name].paper_partial_params
+        )
+
+    @pytest.mark.parametrize("name", list_models())
+    def test_state_dict_size_close_to_paper_mb(self, name):
+        model = create_model(name, seed=0)
+        size_mb = sum(v.nbytes for v in model.state_dict().values()) / 1e6
+        assert size_mb == pytest.approx(MODEL_REGISTRY[name].paper_size_mb, rel=0.02)
+
+
+class TestForward:
+    @pytest.mark.parametrize("name", list_models())
+    def test_forward_shape_eval(self, name):
+        model = create_model(name, num_classes=10, scale=FAST_SCALE, seed=1)
+        model.eval()
+        out = model(nn.randn(2, 3, 32, 32))
+        assert out.shape == (2, 10)
+
+    @pytest.mark.parametrize("name", list_models())
+    def test_backward_reaches_all_parameters(self, name):
+        import repro.nn.functional as F
+
+        model = create_model(name, num_classes=10, scale=FAST_SCALE, seed=1)
+        model.train()
+        out = model(nn.randn(2, 3, 32, 32))
+        logits = out[0] if isinstance(out, tuple) else out
+        F.cross_entropy(logits, np.array([0, 1])).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"no grad for {missing[:5]}"
+
+    def test_googlenet_train_mode_with_aux_returns_triple(self):
+        from repro.nn.models import googlenet
+
+        model = googlenet(num_classes=10, scale=FAST_SCALE, aux_logits=True)
+        model.train()
+        out = model(nn.randn(2, 3, 32, 32))
+        assert isinstance(out, tuple) and len(out) == 3
+        model.eval()
+        assert not isinstance(model(nn.randn(2, 3, 32, 32)), tuple)
+
+
+class TestReproducibleConstruction:
+    @pytest.mark.parametrize("name", list_models())
+    def test_same_seed_same_weights(self, name):
+        a = create_model(name, num_classes=10, scale=FAST_SCALE, seed=7).state_dict()
+        b = create_model(name, num_classes=10, scale=FAST_SCALE, seed=7).state_dict()
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_different_seed_different_weights(self):
+        a = create_model("resnet18", num_classes=10, scale=FAST_SCALE, seed=1).state_dict()
+        b = create_model("resnet18", num_classes=10, scale=FAST_SCALE, seed=2).state_dict()
+        assert any(not np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", list_models())
+    def test_scale_reduces_parameters(self, name):
+        full = create_model(name, num_classes=10, seed=0).num_parameters()
+        small = create_model(name, num_classes=10, scale=FAST_SCALE, seed=0).num_parameters()
+        assert small < full
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            create_model("alexnet")
+
+
+class TestPartialFreeze:
+    @pytest.mark.parametrize("name", list_models())
+    def test_only_classifier_trainable(self, name):
+        model = create_model(name, num_classes=10, scale=FAST_SCALE, seed=0)
+        freeze_for_partial_update(model)
+        classifier = model.final_classifier()
+        classifier_params = {id(p) for p in classifier.parameters()}
+        for parameter in model.parameters():
+            assert parameter.requires_grad == (id(parameter) in classifier_params)
+
+
+class TestLegacyKernelAssignment:
+    def test_resnet18_uses_legacy_convs_in_blocks(self):
+        from repro.nn.models.resnet import BasicBlock
+
+        model = create_model("resnet18", num_classes=10, scale=FAST_SCALE, seed=0)
+        legacy = [
+            m for _, m in model.named_modules()
+            if isinstance(m, nn.Conv2d) and m.kernel_impl == "legacy"
+        ]
+        assert legacy, "ResNet-18 should carry legacy-kernel convolutions"
+
+    def test_resnet50_has_no_legacy_convs(self):
+        model = create_model("resnet50", num_classes=10, scale=FAST_SCALE, seed=0)
+        legacy = [
+            m for _, m in model.named_modules()
+            if isinstance(m, nn.Conv2d) and m.kernel_impl == "legacy"
+        ]
+        assert not legacy

@@ -1,0 +1,71 @@
+"""RNG management and determinism switches."""
+
+import numpy as np
+import pytest
+
+from repro.nn import rng
+
+
+class TestSeeding:
+    def test_manual_seed_reproduces_stream(self):
+        rng.manual_seed(11)
+        a = rng.generator().random(5)
+        rng.manual_seed(11)
+        b = rng.generator().random(5)
+        assert np.array_equal(a, b)
+
+    def test_initial_seed_reports_last_seed(self):
+        rng.manual_seed(123)
+        assert rng.initial_seed() == 123
+
+    def test_nondet_generator_ignores_seed(self):
+        rng.manual_seed(0)
+        a = rng.nondet_generator().random(8)
+        rng.manual_seed(0)
+        b = rng.nondet_generator().random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestState:
+    def test_get_set_rng_state_resumes_stream(self):
+        rng.manual_seed(3)
+        rng.generator().random(10)
+        state = rng.get_rng_state()
+        expected = rng.generator().random(4)
+        rng.set_rng_state(state)
+        assert np.array_equal(rng.generator().random(4), expected)
+
+    def test_state_is_json_compatible(self):
+        import json
+
+        rng.manual_seed(1)
+        encoded = json.dumps(rng.get_rng_state())
+        rng.set_rng_state(json.loads(encoded))
+
+    def test_fork_rng_restores(self):
+        rng.manual_seed(9)
+        before = rng.get_rng_state()
+        with rng.fork_rng(seed=1):
+            rng.generator().random(100)
+        assert rng.get_rng_state() == before
+
+
+class TestDeterministicMode:
+    def test_toggle(self):
+        rng.use_deterministic_algorithms(True)
+        assert rng.deterministic_algorithms_enabled()
+        rng.use_deterministic_algorithms(False)
+        assert not rng.deterministic_algorithms_enabled()
+
+    def test_context_manager_restores(self):
+        rng.use_deterministic_algorithms(False)
+        with rng.deterministic_mode(True):
+            assert rng.deterministic_algorithms_enabled()
+        assert not rng.deterministic_algorithms_enabled()
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            rng.set_deterministic_chunk_size(0)
+        rng.set_deterministic_chunk_size(128)
+        assert rng.deterministic_chunk_size() == 128
+        rng.set_deterministic_chunk_size(rng.DEFAULT_DETERMINISTIC_CHUNK)

@@ -1,0 +1,83 @@
+"""Learning-rate schedulers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedulers import CosineAnnealingLR, ExponentialLR, StepLR
+
+
+def make_optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(2, dtype=np.float32))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        optimizer = make_optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == pytest.approx([1.0, 0.1, 0.1, 0.01])
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        scheduler = ExponentialLR(make_optimizer(), gamma=0.5)
+        rates = [scheduler.step() for _ in range(3)]
+        assert rates == pytest.approx([0.5, 0.25, 0.125])
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        scheduler = CosineAnnealingLR(make_optimizer(), t_max=10, eta_min=0.1)
+        for _ in range(10):
+            last = scheduler.step()
+        assert last == pytest.approx(0.1)
+
+    def test_midpoint_half_amplitude(self):
+        scheduler = CosineAnnealingLR(make_optimizer(lr=2.0), t_max=10, eta_min=0.0)
+        for _ in range(5):
+            last = scheduler.step()
+        assert last == pytest.approx(1.0)
+
+    def test_clamps_after_t_max(self):
+        scheduler = CosineAnnealingLR(make_optimizer(), t_max=2)
+        for _ in range(5):
+            last = scheduler.step()
+        assert last == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(), t_max=0)
+
+
+class TestStateRoundTrip:
+    def test_scheduler_state_survives_reload(self):
+        optimizer = make_optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        scheduler.step()
+        scheduler.step()
+        state = scheduler.state_dict()
+
+        fresh_optimizer = make_optimizer()
+        fresh = StepLR(fresh_optimizer, step_size=2, gamma=0.1)
+        fresh.load_state_dict(state)
+        assert fresh.last_epoch == 2
+        assert fresh_optimizer.lr == pytest.approx(optimizer.lr)
+        # next step continues the same trajectory
+        assert fresh.step() == pytest.approx(scheduler.step())
+
+    def test_optimizer_defaults_updated_for_wrapper_state_files(self):
+        optimizer = make_optimizer()
+        scheduler = ExponentialLR(optimizer, gamma=0.5)
+        scheduler.step()
+        # the optimizer's serializable defaults must reflect the new rate,
+        # so MPA state files capture the scheduled value
+        assert optimizer.defaults["lr"] == pytest.approx(0.5)

@@ -1,0 +1,131 @@
+"""Serialization: exact round trips and deterministic encoding."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import serialization
+from tests.conftest import make_tiny_cnn
+
+
+class TestRoundTrip:
+    def test_state_dict_round_trip_is_bitwise(self):
+        state = make_tiny_cnn().state_dict()
+        restored = serialization.loads(serialization.dumps(state))
+        assert list(restored) == list(state)
+        for key in state:
+            assert np.array_equal(restored[key], state[key])
+            assert restored[key].dtype == state[key].dtype
+
+    def test_nested_structures(self):
+        payload = {
+            "defaults": {"lr": 0.1, "nesterov": False, "betas": (0.9, 0.999)},
+            "state": {"0": {"step": 3, "buf": np.ones((2, 2))}},
+            "tags": ["a", "b", None],
+        }
+        restored = serialization.loads(serialization.dumps(payload))
+        assert restored["defaults"]["lr"] == 0.1
+        assert restored["defaults"]["betas"] == (0.9, 0.999)
+        assert restored["state"]["0"]["step"] == 3
+        assert np.array_equal(restored["state"]["0"]["buf"], np.ones((2, 2)))
+        assert restored["tags"] == ["a", "b", None]
+
+    def test_preserves_key_order(self):
+        state = OrderedDict([("z", np.zeros(1)), ("a", np.ones(1))])
+        restored = serialization.loads(serialization.dumps(state))
+        assert list(restored) == ["z", "a"]
+
+    def test_numpy_scalars(self):
+        restored = serialization.loads(serialization.dumps({"n": np.int64(7)}))
+        assert restored["n"] == 7
+        assert restored["n"].dtype == np.int64
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32, np.int64, np.uint8, np.bool_])
+    def test_dtypes_preserved(self, dtype):
+        array = np.ones((3, 2), dtype=dtype)
+        restored = serialization.loads(serialization.dumps(array))
+        assert restored.dtype == dtype
+
+    def test_empty_and_zero_dim_arrays(self):
+        for array in (np.zeros((0, 3)), np.float32(4.0) * np.ones(())):
+            restored = serialization.loads(serialization.dumps(array))
+            assert restored.shape == array.shape
+
+    def test_non_contiguous_array(self):
+        array = np.arange(12).reshape(3, 4)[:, ::2]
+        restored = serialization.loads(serialization.dumps(array))
+        assert np.array_equal(restored, array)
+
+
+class TestDeterminism:
+    def test_equal_inputs_equal_bytes(self):
+        state = make_tiny_cnn(seed=3).state_dict()
+        assert serialization.dumps(state) == serialization.dumps(state)
+
+    def test_different_inputs_different_bytes(self):
+        a = make_tiny_cnn(seed=1).state_dict()
+        b = make_tiny_cnn(seed=2).state_dict()
+        assert serialization.dumps(a) != serialization.dumps(b)
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            serialization.loads(b"not a payload at all")
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(TypeError):
+            serialization.dumps({"f": lambda: None})
+
+
+class TestFiles:
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "model.state"
+        state = make_tiny_cnn().state_dict()
+        written = serialization.save(state, path)
+        assert path.stat().st_size == written
+        restored = serialization.load(path)
+        assert np.array_equal(restored["0.weight"], state["0.weight"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(-(10**9), 10**9),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.text(max_size=10),
+            hnp.arrays(
+                np.float32,
+                hnp.array_shapes(max_dims=2, max_side=4),
+                elements=st.floats(-100, 100, width=32),
+            ),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.dictionaries(st.text(max_size=5), children, max_size=3),
+        ),
+        max_leaves=8,
+    )
+)
+def test_property_round_trip(tree):
+    restored = serialization.loads(serialization.dumps(tree))
+
+    def equal(a, b):
+        if isinstance(a, np.ndarray):
+            return isinstance(b, np.ndarray) and a.dtype == b.dtype and np.array_equal(a, b)
+        if isinstance(a, dict):
+            return set(a) == set(b) and all(equal(a[k], b[k]) for k in a)
+        if isinstance(a, list):
+            return len(a) == len(b) and all(equal(x, y) for x, y in zip(a, b))
+        if isinstance(a, float):
+            return a == pytest.approx(b, nan_ok=True)
+        return a == b
+
+    assert equal(tree, restored)

@@ -1,0 +1,314 @@
+"""Tensor arithmetic and autograd correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+import repro.nn as nn
+from repro.nn import Tensor
+
+
+def numeric_grad(fn, tensor, eps=1e-3):
+    """Central-difference gradient of scalar-valued fn wrt tensor data."""
+    grad = np.zeros_like(tensor.data, dtype=np.float64)
+    it = np.nditer(tensor.data, flags=["multi_index"])
+    for _ in it:
+        index = it.multi_index
+        original = tensor.data[index]
+        tensor.data[index] = original + eps
+        upper = fn()
+        tensor.data[index] = original - eps
+        lower = fn()
+        tensor.data[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestBasics:
+    def test_construction_defaults_float32(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.dtype == np.float32
+        assert t.shape == (3,)
+        assert not t.requires_grad
+
+    def test_construction_from_tensor_shares_nothing_unexpected(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.array_equal(a.data, b.data)
+
+    def test_item_and_numel(self):
+        t = Tensor([[5.0]])
+        assert t.item() == 5.0
+        assert t.numel() == 1
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = (a * 3).detach()
+        assert not b.requires_grad_through()
+        with pytest.raises(RuntimeError):
+            b.backward(np.ones(1))
+
+    def test_clone_is_differentiable(self):
+        a = Tensor([2.0], requires_grad=True)
+        a.clone().sum().backward()
+        assert a.grad is not None
+
+    def test_backward_requires_scalar_or_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestArithmeticGradients:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+        assert np.allclose(b.grad, [1, 1])
+
+    def test_sub_and_rsub(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (5.0 - a).sum().backward()
+        assert np.allclose(a.grad, [-1, -1])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [4, 5])
+        assert np.allclose(b.grad, [2, 3])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a / b).backward()
+        assert np.allclose(a.grad, [1 / 3])
+        assert np.allclose(b.grad, [-6 / 9])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_neg_backward(self):
+        a = Tensor([1.0], requires_grad=True)
+        (-a).backward()
+        assert np.allclose(a.grad, [-1.0])
+
+    def test_broadcast_add_unbroadcasts_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [2, 2, 2])
+
+    def test_broadcast_mul_keepdim_axis(self):
+        a = Tensor(np.ones((2, 1, 4)), requires_grad=True)
+        b = Tensor(np.full((2, 3, 4), 2.0))
+        (a * b).sum().backward()
+        assert a.grad.shape == (2, 1, 4)
+        assert np.allclose(a.grad, 6.0)
+
+    def test_gradient_accumulates_across_backwards(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward()
+        (a * 3).backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3
+        c = a * 4
+        (b + c).backward()
+        assert np.allclose(a.grad, [7.0])
+
+
+class TestMatmul:
+    def test_matmul_forward_matches_numpy(self):
+        a = nn.randn(3, 4)
+        b = nn.randn(4, 5)
+        assert np.allclose((a @ b).data, a.data @ b.data, atol=1e-5)
+
+    def test_matmul_gradients_numeric(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(3, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        num_a = numeric_grad(lambda: (a.data @ b.data).sum(), a)
+        num_b = numeric_grad(lambda: (a.data @ b.data).sum(), b)
+        assert np.allclose(a.grad, num_a, atol=1e-2)
+        assert np.allclose(b.grad, num_b, atol=1e-2)
+
+    def test_batched_matmul(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        b = Tensor(np.ones((2, 4, 5)))
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize(
+        "op,data,expected_grad",
+        [
+            ("exp", [0.0], [1.0]),
+            ("log", [2.0], [0.5]),
+            ("sqrt", [4.0], [0.25]),
+            ("abs", [-3.0], [-1.0]),
+        ],
+    )
+    def test_unary_gradients(self, op, data, expected_grad):
+        a = Tensor(data, requires_grad=True)
+        getattr(a, op)().backward()
+        assert np.allclose(a.grad, expected_grad, atol=1e-5)
+
+    def test_clamp_masks_gradient(self):
+        a = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        a.clamp(0.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0, 1, 0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient_scaled(self):
+        a = Tensor(np.ones((2, 4)), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, np.full((2, 4), 1 / 8))
+
+    def test_mean_over_axis_tuple(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = a.mean(axis=(1, 2))
+        assert out.shape == (2,)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.full((2, 3, 4), 1 / 12))
+
+    def test_max_gradient_to_argmax(self):
+        a = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [[0, 1, 0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor([3.0, 3.0], requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5])
+
+    def test_argmax_returns_indices(self):
+        a = Tensor([[1.0, 9.0], [8.0, 2.0]])
+        assert a.argmax(axis=1).tolist() == [1, 0]
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        a = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_transpose_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.transpose(0, 1)
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_permute(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = a.permute(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_getitem_scatter_gradient(self):
+        a = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        a[1:3].sum().backward()
+        assert np.allclose(a.grad, [0, 1, 1, 0, 0])
+
+    def test_flatten_start_dim(self):
+        a = Tensor(np.ones((2, 3, 4)))
+        assert a.flatten(1).shape == (2, 12)
+
+    def test_pad2d_and_gradient(self):
+        a = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        out = a.pad2d(1)
+        assert out.shape == (1, 1, 4, 4)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((1, 1, 2, 2)))
+
+
+class TestCatStack:
+    def test_cat_gradient_splits(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = nn.cat([a, b], dim=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack_new_dimension(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        out = nn.stack([a, b])
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+
+
+class TestFactories:
+    def test_zeros_ones_shapes(self):
+        assert nn.zeros(2, 3).shape == (2, 3)
+        assert nn.ones((4,)).shape == (4,)
+        assert np.all(nn.ones(2).data == 1)
+
+    def test_randn_uses_seeded_generator(self):
+        nn.manual_seed(7)
+        a = nn.randn(5)
+        nn.manual_seed(7)
+        b = nn.randn(5)
+        assert np.array_equal(a.data, b.data)
+
+    def test_arange(self):
+        assert nn.arange(3).tolist() == [0, 1, 2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hnp.arrays(
+        np.float32,
+        hnp.array_shapes(max_dims=3, max_side=4),
+        elements=st.floats(-10, 10, width=32),
+    )
+)
+def test_property_add_matches_numpy(array):
+    t = Tensor(array)
+    assert np.array_equal((t + t).data, array + array)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hnp.arrays(
+        np.float32,
+        hnp.array_shapes(min_dims=1, max_dims=2, max_side=4),
+        elements=st.floats(-5, 5, width=32),
+    )
+)
+def test_property_sum_gradient_is_ones(array):
+    t = Tensor(array, requires_grad=True)
+    t.sum().backward()
+    assert np.array_equal(t.grad, np.ones_like(array))

@@ -1,0 +1,125 @@
+"""Data augmentation transforms."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.transforms import (
+    CenterCrop,
+    Compose,
+    Normalize,
+    RandomCrop,
+    RandomErasing,
+    RandomHorizontalFlip,
+    TransformedDataset,
+)
+
+
+def image(c=3, h=8, w=8, seed=0):
+    return np.random.default_rng(seed).random((c, h, w)).astype(np.float32)
+
+
+class TestNormalize:
+    def test_standardizes_channels(self):
+        x = image()
+        out = Normalize(mean=x.mean(axis=(1, 2)), std=x.std(axis=(1, 2)))(x)
+        assert np.allclose(out.mean(axis=(1, 2)), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=(1, 2)), 1.0, atol=1e-4)
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            Normalize(mean=[0.0], std=[0.0])
+
+
+class TestRandomHorizontalFlip:
+    def test_p_one_always_flips(self):
+        x = image()
+        out = RandomHorizontalFlip(p=1.0)(x)
+        assert np.array_equal(out, x[:, :, ::-1])
+
+    def test_p_zero_never_flips(self):
+        x = image()
+        assert np.array_equal(RandomHorizontalFlip(p=0.0)(x), x)
+
+    def test_seeded_reproducibility(self):
+        x = image()
+        flip = RandomHorizontalFlip(p=0.5)
+        nn.manual_seed(4)
+        a = [flip(x).copy() for _ in range(8)]
+        nn.manual_seed(4)
+        b = [flip(x).copy() for _ in range(8)]
+        assert all(np.array_equal(i, j) for i, j in zip(a, b))
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(p=1.5)
+
+
+class TestCrops:
+    def test_random_crop_shape(self):
+        out = RandomCrop(size=6)(image())
+        assert out.shape == (3, 6, 6)
+
+    def test_random_crop_with_padding_allows_same_size(self):
+        out = RandomCrop(size=8, padding=2)(image())
+        assert out.shape == (3, 8, 8)
+
+    def test_random_crop_too_small_raises(self):
+        with pytest.raises(ValueError):
+            RandomCrop(size=10)(image())
+
+    def test_center_crop_is_deterministic_and_central(self):
+        x = np.zeros((1, 5, 5), dtype=np.float32)
+        x[0, 2, 2] = 1.0
+        out = CenterCrop(size=3)(x)
+        assert out.shape == (1, 3, 3)
+        assert out[0, 1, 1] == 1.0
+
+    def test_random_crop_seeded(self):
+        x = image(h=16, w=16)
+        crop = RandomCrop(size=8)
+        nn.manual_seed(9)
+        a = crop(x)
+        nn.manual_seed(9)
+        b = crop(x)
+        assert np.array_equal(a, b)
+
+
+class TestRandomErasing:
+    def test_erases_some_pixels(self):
+        nn.manual_seed(0)
+        x = np.ones((3, 16, 16), dtype=np.float32)
+        out = RandomErasing(p=1.0, max_fraction=0.5)(x)
+        assert (out == 0).any()
+        assert out.shape == x.shape
+
+    def test_p_zero_identity(self):
+        x = image()
+        assert np.array_equal(RandomErasing(p=0.0)(x), x)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            RandomErasing(max_fraction=0.0)
+
+
+class TestComposeAndDataset:
+    def test_compose_applies_in_order(self):
+        x = image(h=16, w=16)
+        pipeline = Compose([RandomCrop(size=8), CenterCrop(size=4)])
+        nn.manual_seed(1)
+        assert pipeline(x).shape == (3, 4, 4)
+
+    def test_transformed_dataset_wraps_pairs(self):
+        from repro.nn.data import TensorDataset
+
+        images = np.stack([image(seed=i) for i in range(4)])
+        labels = np.arange(4)
+        ds = TransformedDataset(TensorDataset(images, labels), CenterCrop(size=4))
+        out_image, out_label = ds[2]
+        assert out_image.shape == (3, 4, 4)
+        assert out_label == 2
+        assert len(ds) == 4
+
+    def test_repr_is_informative(self):
+        text = repr(Compose([RandomHorizontalFlip(), Normalize([0.5], [0.5])]))
+        assert "RandomHorizontalFlip" in text and "Normalize" in text

@@ -1,0 +1,247 @@
+"""The ``mmlib`` command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core import ArchitectureRef, BaselineSaveService, ModelSaveInfo
+from repro.docstore import DocumentStore
+from repro.filestore import FileStore
+from repro.nn import serialization
+from repro.nn.models import create_model
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for CLI saves."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+FACTORY = "tests.test_cli:build_probe_model"
+
+
+@pytest.fixture
+def stores(tmp_path):
+    docs = tmp_path / "docs"
+    files = tmp_path / "files"
+    return str(docs), str(files)
+
+
+@pytest.fixture
+def saved_model(stores):
+    docs, files = stores
+    service = BaselineSaveService(DocumentStore(docs), FileStore(files))
+    model = make_tiny_cnn(seed=5)
+    arch = ArchitectureRef.from_factory(
+        "tests.test_cli", "build_probe_model", {"num_classes": 10}
+    )
+    model_id = service.save_model(ModelSaveInfo(model, arch, use_case="U_1"))
+    return model_id, model
+
+
+def run_cli(*argv) -> int:
+    return cli.main(list(argv))
+
+
+class TestListInspect:
+    def test_list_empty(self, stores, capsys):
+        docs, files = stores
+        assert run_cli("--docs", docs, "--files", files, "list") == 0
+        assert "no models saved" in capsys.readouterr().out
+
+    def test_list_shows_saved_model(self, stores, saved_model, capsys):
+        docs, files = stores
+        model_id, _ = saved_model
+        assert run_cli("--docs", docs, "--files", files, "list") == 0
+        out = capsys.readouterr().out
+        assert model_id in out and "baseline" in out
+
+    def test_list_filters_by_use_case(self, stores, saved_model, capsys):
+        docs, files = stores
+        assert run_cli("--docs", docs, "--files", files, "list", "--use-case", "U_9") == 0
+        assert "no models saved" in capsys.readouterr().out
+
+    def test_inspect(self, stores, saved_model, capsys):
+        docs, files = stores
+        model_id, _ = saved_model
+        assert run_cli("--docs", docs, "--files", files, "inspect", model_id) == 0
+        out = capsys.readouterr().out
+        assert "storage:" in out and "parameters" in out
+
+    def test_inspect_missing_model_errors(self, stores, capsys):
+        docs, files = stores
+        code = run_cli("--docs", docs, "--files", files, "inspect", "model-" + "0" * 32)
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSaveRecover:
+    def test_save_then_recover_round_trip(self, stores, tmp_path, capsys):
+        docs, files = stores
+        model = make_tiny_cnn(seed=9)
+        state_path = tmp_path / "input.state"
+        serialization.save(model.state_dict(), state_path)
+
+        assert run_cli(
+            "--docs", docs, "--files", files, "save",
+            "--factory", FACTORY,
+            "--factory-kwargs", json.dumps({"num_classes": 10}),
+            "--state", str(state_path),
+            "--use-case", "U_1",
+        ) == 0
+        model_id = capsys.readouterr().out.strip()
+        assert model_id.startswith("model-")
+
+        out_path = tmp_path / "recovered.state"
+        assert run_cli(
+            "--docs", docs, "--files", files, "recover", model_id, "--out", str(out_path)
+        ) == 0
+        recovered = serialization.load(out_path)
+        for key, value in model.state_dict().items():
+            assert np.array_equal(value, recovered[key])
+
+    def test_save_with_unknown_approach_errors(self, stores, capsys):
+        docs, files = stores
+        code = run_cli(
+            "--docs", docs, "--files", files, "save",
+            "--factory", FACTORY, "--approach", "zipper",
+        )
+        assert code == 2
+
+    def test_lineage_and_tree(self, stores, saved_model, capsys):
+        docs, files = stores
+        model_id, _ = saved_model
+        assert run_cli("--docs", docs, "--files", files, "lineage", model_id) == 0
+        assert model_id in capsys.readouterr().out
+        assert run_cli("--docs", docs, "--files", files, "tree", model_id) == 0
+        assert model_id in capsys.readouterr().out
+
+    def test_storage_report(self, stores, saved_model, capsys):
+        docs, files = stores
+        assert run_cli("--docs", docs, "--files", files, "storage") == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+
+class TestDeleteGc:
+    def test_delete_and_gc(self, stores, saved_model, capsys):
+        docs, files = stores
+        model_id, _ = saved_model
+        FileStore(files).save_bytes(b"orphan bytes")
+        assert run_cli("--docs", docs, "--files", files, "gc") == 0
+        assert "removed 1 orphaned" in capsys.readouterr().out
+        assert run_cli("--docs", docs, "--files", files, "delete", model_id) == 0
+        assert run_cli("--docs", docs, "--files", files, "list") == 0
+        assert "no models saved" in capsys.readouterr().out.splitlines()[-1]
+
+
+class TestProbeEnv:
+    def test_probe_reproducible_model(self, capsys):
+        code = run_cli(
+            "probe", "--factory", FACTORY,
+            "--factory-kwargs", json.dumps({"num_classes": 10}),
+            "--image-size", "8",
+        )
+        assert code == 0
+        assert "training reproducible: True" in capsys.readouterr().out
+
+    def test_probe_save_and_compare(self, tmp_path, capsys):
+        summary = tmp_path / "probe.json"
+        assert run_cli(
+            "probe", "--factory", FACTORY,
+            "--factory-kwargs", json.dumps({"num_classes": 10}),
+            "--image-size", "8", "--save", str(summary),
+        ) == 0
+        capsys.readouterr()
+        assert run_cli(
+            "probe", "--factory", FACTORY,
+            "--factory-kwargs", json.dumps({"num_classes": 10}),
+            "--image-size", "8", "--compare", str(summary),
+        ) == 0
+        assert "reproducible" in capsys.readouterr().out
+
+    def test_env_summary(self, capsys):
+        assert run_cli("env") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "numpy_version" in payload
+        assert "packages" in payload["libraries"]
+
+    def test_env_full_lists_packages(self, capsys):
+        assert run_cli("env", "--full") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "numpy" in payload["libraries"]
+
+
+class TestParser:
+    def test_bad_factory_spec(self, capsys):
+        assert run_cli("probe", "--factory", "nomodule") == 2
+
+    def test_missing_stores_error(self, capsys):
+        assert run_cli("list") == 2
+        assert "requires --docs" in capsys.readouterr().err
+
+
+class TestEnvLockfile:
+    def test_lock_then_check(self, tmp_path, capsys):
+        lockfile = tmp_path / "env.lock"
+        assert run_cli("env", "--lock", str(lockfile)) == 0
+        assert lockfile.exists()
+        capsys.readouterr()
+        assert run_cli("env", "--check", str(lockfile)) == 0
+        assert "matches lockfile" in capsys.readouterr().out
+
+    def test_check_drifted_lockfile_fails(self, tmp_path, capsys):
+        lockfile = tmp_path / "env.lock"
+        run_cli("env", "--lock", str(lockfile))
+        payload = json.loads(lockfile.read_text())
+        payload["framework_version"] = "0.0.0-other"
+        lockfile.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert run_cli("env", "--check", str(lockfile)) == 1
+        assert "drift" in capsys.readouterr().err
+
+
+class TestVerifyAndSquash:
+    @pytest.fixture
+    def chain(self, stores):
+        from repro.core import ParameterUpdateSaveService
+
+        docs, files = stores
+        service = ParameterUpdateSaveService(DocumentStore(docs), FileStore(files))
+        arch = ArchitectureRef.from_factory(
+            "tests.test_cli", "build_probe_model", {"num_classes": 10}
+        )
+        root = make_tiny_cnn(seed=1)
+        root_id = service.save_model(ModelSaveInfo(root, arch, use_case="U_1"))
+        derived = make_tiny_cnn()
+        state = {k: v.copy() for k, v in root.state_dict().items()}
+        state["5.bias"] = state["5.bias"] + 1.0
+        derived.load_state_dict(state)
+        derived_id = service.save_model(
+            ModelSaveInfo(derived, arch, base_model_id=root_id, use_case="U_3-1-1")
+        )
+        return root_id, derived_id
+
+    def test_verify_clean_catalog(self, stores, chain, capsys):
+        docs, files = stores
+        assert run_cli("--docs", docs, "--files", files, "verify") == 0
+        out = capsys.readouterr().out
+        assert "2 model(s) checked, 0 failure(s)" in out
+
+    def test_squash_promotes_and_deletes(self, stores, chain, capsys):
+        docs, files = stores
+        _, derived_id = chain
+        assert run_cli("--docs", docs, "--files", files, "squash", derived_id) == 0
+        assert "deleted 1 exclusive ancestor" in capsys.readouterr().out
+        assert run_cli("--docs", docs, "--files", files, "verify") == 0
+        assert "1 model(s) checked" in capsys.readouterr().out
+
+    def test_promote_only_keeps_ancestors(self, stores, chain, capsys):
+        docs, files = stores
+        root_id, derived_id = chain
+        assert run_cli(
+            "--docs", docs, "--files", files, "squash", derived_id, "--promote-only"
+        ) == 0
+        capsys.readouterr()
+        assert run_cli("--docs", docs, "--files", files, "inspect", root_id) == 0

@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are the library's de-facto acceptance tests — they drive the
+public API exactly the way a downstream user would, and each one asserts
+its own correctness conditions (bitwise-exact recovery, verified
+checksums) internally.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "battery_fleet",
+        "approach_selection",
+        "reproducibility_probe",
+        "nlp_finetuning",
+    ],
+)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_every_example_file_is_covered():
+    shipped = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        "quickstart",
+        "battery_fleet",
+        "approach_selection",
+        "reproducibility_probe",
+        "nlp_finetuning",
+    }
+    assert shipped == covered, (
+        f"examples and smoke tests out of sync: {shipped ^ covered}"
+    )

@@ -1,0 +1,124 @@
+"""Cross-module integration: MMlib over the TCP document store, network
+file stores, and cross-"machine" recovery — the paper's deployment shape."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    BaselineSaveService,
+    ModelSaveInfo,
+    ParameterUpdateSaveService,
+)
+from repro.distsim import SharedStores
+from repro.docstore import DocumentStore, DocumentStoreClient, DocumentStoreServer
+from repro.filestore import FileStore, NetworkModel, SimulatedNetworkFileStore
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.test_integration", "build_probe_model", {"num_classes": 10}
+    )
+
+
+class TestOverTcpDocumentStore:
+    """Save on one 'machine', recover on another, documents via TCP."""
+
+    def test_save_and_recover_through_server(self, tmp_path):
+        backing = DocumentStore(tmp_path / "docs")
+        files = FileStore(tmp_path / "files")
+        model = make_tiny_cnn(seed=8)
+        with DocumentStoreServer(backing, port=0) as server:
+            with DocumentStoreClient(server.host, server.port) as node_client:
+                node_service = BaselineSaveService(node_client, files)
+                model_id = node_service.save_model(ModelSaveInfo(model, tiny_arch()))
+            with DocumentStoreClient(server.host, server.port) as server_client:
+                server_service = BaselineSaveService(server_client, files)
+                recovered = server_service.recover_model(model_id)
+        expected = model.state_dict()
+        got = recovered.model.state_dict()
+        assert all(np.array_equal(expected[k], got[k]) for k in expected)
+
+    def test_param_update_chain_across_clients(self, tmp_path):
+        backing = DocumentStore()
+        files = FileStore(tmp_path / "files")
+        base = make_tiny_cnn(seed=1)
+        derived = make_tiny_cnn(seed=2)
+        with DocumentStoreServer(backing, port=0) as server:
+            with DocumentStoreClient(server.host, server.port) as c1:
+                service1 = ParameterUpdateSaveService(c1, files)
+                base_id = service1.save_model(ModelSaveInfo(base, tiny_arch()))
+            with DocumentStoreClient(server.host, server.port) as c2:
+                service2 = ParameterUpdateSaveService(c2, files)
+                derived_id = service2.save_model(
+                    ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id)
+                )
+                recovered = service2.recover_model(derived_id)
+        assert recovered.verified is True
+
+
+class TestSeparateServiceInstances:
+    """A node saves; a *different* service instance (the server) recovers —
+    all state flows through the shared stores, never through memory."""
+
+    def test_cross_instance_recovery(self, tmp_path):
+        stores = SharedStores.at(tmp_path)
+        node = BaselineSaveService(stores.documents, stores.files)
+        server = BaselineSaveService(stores.documents, stores.files)
+        model = make_tiny_cnn(seed=3)
+        model_id = node.save_model(ModelSaveInfo(model, tiny_arch()))
+        recovered = server.recover_model(model_id)
+        assert recovered.verified is True
+
+
+class TestOverSimulatedNetwork:
+    def test_transfer_accounting_covers_save_and_recover(self, tmp_path):
+        link = NetworkModel(bandwidth_bytes_per_s=100e6, latency_s=0.001)
+        files = SimulatedNetworkFileStore(tmp_path / "files", link, sleep=False)
+        service = BaselineSaveService(DocumentStore(), files)
+        model = make_tiny_cnn()
+        model_id = service.save_model(ModelSaveInfo(model, tiny_arch()))
+        saved_cost = files.simulated_seconds
+        assert saved_cost > 0
+        service.recover_model(model_id)
+        assert files.simulated_seconds > saved_cost
+        parameter_bytes = sum(v.nbytes for v in model.state_dict().values())
+        assert files.bytes_sent > parameter_bytes
+
+    def test_slow_link_costs_more(self, tmp_path):
+        model = make_tiny_cnn()
+        costs = {}
+        for name, bandwidth in (("fast", 1e9), ("slow", 1e6)):
+            files = SimulatedNetworkFileStore(
+                tmp_path / name, NetworkModel(bandwidth), sleep=False
+            )
+            service = BaselineSaveService(DocumentStore(), files)
+            service.save_model(ModelSaveInfo(model, tiny_arch()))
+            costs[name] = files.simulated_seconds
+        assert costs["slow"] > 100 * costs["fast"]
+
+
+class TestApproachInterchangeability:
+    """Any service can recover chains saved by the others — recovery
+    dispatches on document contents (shared engine)."""
+
+    def test_baseline_service_recovers_pua_chain(self, tmp_path):
+        stores = SharedStores.at(tmp_path)
+        pua = ParameterUpdateSaveService(stores.documents, stores.files)
+        base = make_tiny_cnn(seed=1)
+        base_id = pua.save_model(ModelSaveInfo(base, tiny_arch()))
+        derived = make_tiny_cnn(seed=2)
+        derived_id = pua.save_model(
+            ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id)
+        )
+        ba = BaselineSaveService(stores.documents, stores.files)
+        recovered = ba.recover_model(derived_id)
+        expected = derived.state_dict()
+        got = recovered.model.state_dict()
+        assert all(np.array_equal(expected[k], got[k]) for k in expected)

@@ -1,0 +1,117 @@
+"""True multi-process distribution: node processes + a store server process.
+
+The closest in-repo analogue to the paper's three-machine deployment:
+worker *processes* (not threads) each save models through the TCP document
+store and the shared file-store directory; the parent process plays the
+server and recovers everything.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import BaselineSaveService, ModelManager
+from repro.docstore import DocumentStore, DocumentStoreClient, DocumentStoreServer
+from repro.filestore import FileStore
+
+WORKER_SCRIPT = r"""
+import json
+import sys
+
+from repro.core import ArchitectureRef, ModelSaveInfo, ParameterUpdateSaveService
+from repro.docstore import DocumentStoreClient
+from repro.filestore import FileStore
+from repro.nn.models import create_model
+
+host, port, files_dir, node_index, base_id = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4]), sys.argv[5]
+)
+with DocumentStoreClient(host, port) as documents:
+    service = ParameterUpdateSaveService(documents, FileStore(files_dir))
+    model = create_model("mobilenetv2", num_classes=10, scale=0.125, seed=42)
+    # node-local "training": shift the classifier by a node-specific amount
+    head = model.final_classifier()
+    head.bias.data += float(node_index + 1)
+    model_id = service.save_model(
+        ModelSaveInfo(
+            model,
+            ArchitectureRef.from_factory(
+                "repro.nn.models", "mobilenetv2",
+                {"num_classes": 10, "scale": 0.125},
+            ),
+            base_model_id=base_id,
+            use_case=f"U_3-node-{node_index}",
+        )
+    )
+    print(json.dumps({"node": node_index, "model_id": model_id}))
+"""
+
+
+@pytest.mark.parametrize("num_workers", [3])
+def test_worker_processes_save_against_shared_stores(tmp_path, num_workers):
+    from repro.core import ArchitectureRef, ModelSaveInfo
+    from repro.nn.models import create_model
+
+    files_dir = tmp_path / "files"
+    backing = DocumentStore(tmp_path / "docs")
+    worker_path = tmp_path / "worker.py"
+    worker_path.write_text(WORKER_SCRIPT)
+
+    with DocumentStoreServer(backing, port=0) as server:
+        # the central server registers the initial model (U_1)
+        with DocumentStoreClient(server.host, server.port) as client:
+            server_service = BaselineSaveService(client, FileStore(files_dir))
+            base = create_model("mobilenetv2", num_classes=10, scale=0.125, seed=42)
+            base_id = server_service.save_model(
+                ModelSaveInfo(
+                    base,
+                    ArchitectureRef.from_factory(
+                        "repro.nn.models", "mobilenetv2",
+                        {"num_classes": 10, "scale": 0.125},
+                    ),
+                    use_case="U_1",
+                )
+            )
+
+            # node processes register their local updates concurrently
+            workers = [
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        str(worker_path),
+                        server.host,
+                        str(server.port),
+                        str(files_dir),
+                        str(index),
+                        base_id,
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+                for index in range(num_workers)
+            ]
+            results = []
+            for worker in workers:
+                out, err = worker.communicate(timeout=120)
+                assert worker.returncode == 0, f"worker failed: {err}"
+                results.append(json.loads(out.strip().splitlines()[-1]))
+
+            # the server recovers every node's exact model (U_4)
+            assert len({r["model_id"] for r in results}) == num_workers
+            for result in results:
+                recovered = server_service.recover_model(result["model_id"])
+                assert recovered.verified is True
+                bias = recovered.model.final_classifier().bias.data
+                expected = base.final_classifier().bias.data + (result["node"] + 1)
+                assert np.allclose(bias, expected)
+                assert recovered.use_case == f"U_3-node-{result['node']}"
+
+            manager = ModelManager(server_service)
+            assert len(manager.list_models()) == num_workers + 1
+            record = manager.get(base_id)
+            assert len(record.derived_model_ids) == num_workers

@@ -1,0 +1,109 @@
+"""Synthetic evaluation datasets (Table 1 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DATASET_SPECS,
+    SyntheticImageFolder,
+    dataset_on_disk_bytes,
+    generate_dataset,
+)
+
+
+class TestSpecs:
+    def test_paper_table1_entries_present(self):
+        assert set(DATASET_SPECS) == {"inet_val", "minet_val", "cf512", "co512"}
+
+    def test_paper_image_counts(self):
+        assert DATASET_SPECS["inet_val"].num_images == 50_000
+        assert DATASET_SPECS["minet_val"].num_images == 1_400
+        assert DATASET_SPECS["cf512"].num_images == 512
+        assert DATASET_SPECS["co512"].num_images == 512
+
+    def test_paper_byte_sizes(self):
+        assert DATASET_SPECS["inet_val"].paper_bytes == 6_300_000_000
+        assert DATASET_SPECS["cf512"].paper_bytes == 94_300_000
+        assert DATASET_SPECS["co512"].paper_bytes == 71_600_000
+
+    def test_image_side_scales_with_target(self):
+        spec = DATASET_SPECS["cf512"]
+        assert spec.image_side(1 / 64) < spec.image_side(1 / 16)
+
+
+class TestGeneration:
+    # large enough that the 8px minimum image side does not distort sizes
+    SCALE = 1 / 256
+
+    def test_generated_size_tracks_scaled_target(self, tmp_path):
+        spec = DATASET_SPECS["co512"]
+        root = generate_dataset("co512", tmp_path, scale=self.SCALE)
+        actual = dataset_on_disk_bytes(root)
+        target = spec.paper_bytes * self.SCALE
+        assert 0.5 * target < actual < 2.0 * target
+
+    def test_size_ratio_between_datasets_preserved(self, tmp_path):
+        cf = dataset_on_disk_bytes(generate_dataset("cf512", tmp_path, scale=self.SCALE))
+        co = dataset_on_disk_bytes(generate_dataset("co512", tmp_path, scale=self.SCALE))
+        paper_ratio = DATASET_SPECS["cf512"].paper_bytes / DATASET_SPECS["co512"].paper_bytes
+        assert cf / co == pytest.approx(paper_ratio, rel=0.25)
+
+    def test_generation_is_deterministic(self, tmp_path):
+        a = generate_dataset("co512", tmp_path / "a", scale=self.SCALE)
+        b = generate_dataset("co512", tmp_path / "b", scale=self.SCALE)
+        for name in ("labels.npy", "images_0000.npy"):
+            assert (a / name).read_bytes() == (b / name).read_bytes()
+
+    def test_existing_dataset_reused(self, tmp_path):
+        first = generate_dataset("co512", tmp_path, scale=self.SCALE)
+        marker = first / "marker"
+        marker.touch()
+        second = generate_dataset("co512", tmp_path, scale=self.SCALE)
+        assert second == first
+        assert marker.exists()
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            generate_dataset("imagenet22k", tmp_path)
+
+
+class TestSyntheticImageFolder:
+    SCALE = 1 / 2048
+
+    @pytest.fixture
+    def root(self, tmp_path):
+        return generate_dataset("co512", tmp_path, scale=self.SCALE)
+
+    def test_length_matches_spec(self, root):
+        assert len(SyntheticImageFolder(root)) == 512
+
+    def test_item_format(self, root):
+        image, label = SyntheticImageFolder(root, image_size=16)[0]
+        assert image.shape == (3, 16, 16)
+        assert image.dtype == np.float32
+        assert 0.0 <= image.min() and image.max() <= 1.0
+        assert 0 <= int(label) < 1000
+
+    def test_label_remap(self, root):
+        dataset = SyntheticImageFolder(root, num_classes=7)
+        labels = {int(dataset[i][1]) for i in range(50)}
+        assert labels <= set(range(7))
+
+    def test_items_deterministic(self, root):
+        a = SyntheticImageFolder(root, image_size=16)[5]
+        b = SyntheticImageFolder(root, image_size=16)[5]
+        assert np.array_equal(a[0], b[0]) and a[1] == b[1]
+
+    def test_out_of_range_raises(self, root):
+        dataset = SyntheticImageFolder(root)
+        with pytest.raises(IndexError):
+            dataset[512]
+
+    def test_not_a_dataset_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SyntheticImageFolder(tmp_path)
+
+    def test_metadata_properties(self, root):
+        dataset = SyntheticImageFolder(root)
+        assert dataset.name == "co512"
+        assert dataset.num_classes == 1000

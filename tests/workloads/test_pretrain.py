@@ -1,0 +1,126 @@
+"""Evaluation-flow chains: structure, caching, and relation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ChainConfig,
+    PARTIALLY_UPDATED,
+    build_chain,
+    standard_use_cases,
+)
+
+
+def config(**overrides):
+    defaults = dict(
+        architecture="mobilenetv2",
+        scale=0.125,
+        num_classes=10,
+        iterations=2,
+        u2_epochs=1,
+        u3_epochs=1,
+        batches_per_epoch=1,
+        dataset_scale=1 / 2048,
+        image_size=16,
+    )
+    defaults.update(overrides)
+    return ChainConfig(**defaults)
+
+
+class TestUseCases:
+    def test_standard_sequence(self):
+        assert standard_use_cases(2) == [
+            "U_1",
+            "U_3-1-1",
+            "U_3-1-2",
+            "U_2",
+            "U_3-2-1",
+            "U_3-2-2",
+        ]
+
+    def test_ten_models_in_paper_flow(self):
+        assert len(standard_use_cases(4)) == 10
+
+
+class TestChainStructure:
+    def test_figure6_base_relations(self, tmp_path):
+        """U_3-1-* chain from U_1; U_2 from U_1; U_3-2-* chain from U_2."""
+        chain = build_chain(tmp_path, config())
+        by_use_case = {s.use_case: s for s in chain.steps}
+        index = {s.use_case: i for i, s in enumerate(chain.steps)}
+        assert by_use_case["U_1"].base_index is None
+        assert by_use_case["U_3-1-1"].base_index == index["U_1"]
+        assert by_use_case["U_3-1-2"].base_index == index["U_3-1-1"]
+        assert by_use_case["U_2"].base_index == index["U_1"]
+        assert by_use_case["U_3-2-1"].base_index == index["U_2"]
+        assert by_use_case["U_3-2-2"].base_index == index["U_3-2-1"]
+
+    def test_every_derived_step_has_training_record(self, tmp_path):
+        chain = build_chain(tmp_path, config())
+        for step in chain.steps:
+            if step.use_case == "U_1":
+                assert step.run is None
+            else:
+                assert step.run is not None
+                assert step.run.rng_state is not None
+                assert step.run.optimizer_state_bytes
+
+    def test_derived_models_differ_from_base(self, tmp_path):
+        chain = build_chain(tmp_path, config())
+        u1 = chain.build_model("U_1").state_dict()
+        derived = chain.build_model("U_3-1-1").state_dict()
+        assert any(not np.array_equal(u1[k], derived[k]) for k in u1)
+
+    def test_unknown_step_raises(self, tmp_path):
+        chain = build_chain(tmp_path, config())
+        with pytest.raises(KeyError):
+            chain.step("U_99")
+
+
+class TestCaching:
+    def test_cache_round_trip_is_exact(self, tmp_path):
+        first = build_chain(tmp_path, config())
+        second = build_chain(tmp_path, config())
+        for use_case in ("U_1", "U_3-2-2"):
+            a = first.build_model(use_case).state_dict()
+            b = second.build_model(use_case).state_dict()
+            assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_cached_runs_preserve_provenance(self, tmp_path):
+        build_chain(tmp_path, config())
+        reloaded = build_chain(tmp_path, config())
+        run = reloaded.step("U_3-1-1").run
+        assert run.rng_state is not None
+        assert run.optimizer_state_bytes
+
+    def test_different_configs_different_caches(self, tmp_path):
+        a = build_chain(tmp_path, config(base_seed=1))
+        b = build_chain(tmp_path, config(base_seed=2))
+        sa = a.build_model("U_1").state_dict()
+        sb = b.build_model("U_1").state_dict()
+        assert any(not np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+class TestRelations:
+    def test_partial_chain_only_changes_classifier(self, tmp_path):
+        chain = build_chain(tmp_path, config(relation=PARTIALLY_UPDATED))
+        u1 = chain.build_model("U_1").state_dict()
+        derived = chain.build_model("U_3-1-1").state_dict()
+        changed = [k for k in u1 if not np.array_equal(u1[k], derived[k])]
+        assert changed
+        assert all(k.startswith("classifier.") for k in changed)
+
+    def test_full_chain_changes_most_layers(self, tmp_path):
+        chain = build_chain(tmp_path, config())
+        u1 = chain.build_model("U_1").state_dict()
+        derived = chain.build_model("U_3-1-1").state_dict()
+        changed = [k for k in u1 if not np.array_equal(u1[k], derived[k])]
+        assert len(changed) > len(u1) / 2
+
+    def test_invalid_architecture_rejected(self):
+        with pytest.raises(KeyError):
+            config(architecture="vgg16")
+
+    def test_invalid_relation_rejected(self):
+        with pytest.raises(ValueError):
+            config(relation="retrained")

@@ -1,0 +1,92 @@
+"""TrainingRun: recorded derivation steps."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import generate_dataset
+from repro.workloads.relations import FULLY_UPDATED, PARTIALLY_UPDATED, TrainingRun
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def dataset_root(tmp_path_factory):
+    return generate_dataset("co512", tmp_path_factory.mktemp("rel-data"), scale=1 / 2048)
+
+
+def make_run(dataset_root, **overrides):
+    defaults = dict(
+        dataset_dir=dataset_root,
+        number_epochs=1,
+        number_batches=1,
+        seed=3,
+        image_size=8,
+        num_classes=10,
+    )
+    defaults.update(overrides)
+    return TrainingRun(**defaults)
+
+
+class TestValidation:
+    def test_invalid_relation_rejected(self, dataset_root):
+        with pytest.raises(ValueError, match="relation"):
+            make_run(dataset_root, relation="sideways")
+
+    def test_freeze_mode_mapping(self, dataset_root):
+        assert make_run(dataset_root, relation=FULLY_UPDATED).freeze_mode == "none"
+        assert make_run(dataset_root, relation=PARTIALLY_UPDATED).freeze_mode == "partial"
+
+
+class TestExecution:
+    def test_execute_captures_replay_state(self, dataset_root):
+        run = make_run(dataset_root)
+        model = make_tiny_cnn(num_classes=10)
+        run.execute(model)
+        assert run.rng_state is not None
+        assert run.rng_state["seed"] == 3
+        assert run.optimizer_state_bytes is not None
+
+    def test_execute_changes_model(self, dataset_root):
+        run = make_run(dataset_root)
+        model = make_tiny_cnn(num_classes=10)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        run.execute(model)
+        after = model.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+
+    def test_same_run_same_base_is_deterministic(self, dataset_root):
+        states = []
+        for _ in range(2):
+            run = make_run(dataset_root)
+            model = make_tiny_cnn(num_classes=10, seed=1)
+            run.execute(model)
+            states.append(model.state_dict())
+        assert all(np.array_equal(states[0][k], states[1][k]) for k in states[0])
+
+
+class TestPersistenceHelpers:
+    def test_build_service_requires_execution(self, dataset_root):
+        with pytest.raises(RuntimeError, match="never executed"):
+            make_run(dataset_root).build_train_service()
+
+    def test_provenance_info_requires_execution(self, dataset_root):
+        with pytest.raises(RuntimeError, match="never executed"):
+            make_run(dataset_root).to_provenance_info("model-" + "0" * 32)
+
+    def test_round_trip_via_dict(self, dataset_root):
+        run = make_run(dataset_root)
+        run.execute(make_tiny_cnn(num_classes=10))
+        restored = TrainingRun.from_dict(run.to_dict())
+        assert restored.seed == run.seed
+        assert restored.rng_state == run.rng_state
+        assert restored.optimizer_state_bytes == run.optimizer_state_bytes
+        assert restored.dataset_dir == run.dataset_dir
+
+    def test_provenance_info_carries_expectations(self, dataset_root):
+        run = make_run(dataset_root)
+        model = make_tiny_cnn(num_classes=10)
+        run.execute(model)
+        info = run.to_provenance_info("model-" + "a" * 32, trained_model=model, use_case="U_3-1-1")
+        assert info.base_model_id == "model-" + "a" * 32
+        assert info.expected_model is model
+        assert info.use_case == "U_3-1-1"
+        assert info.train_spec.seed == 3
