@@ -1,0 +1,14 @@
+PY ?= python
+
+.PHONY: test bench-smoke api-docs
+
+# tier-1 suite (the repo's correctness gate)
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# tier-1 tests + ~5s save/recover micro-benchmark; writes BENCH_pipeline.json
+bench-smoke:
+	$(PY) scripts/bench_smoke.py
+
+api-docs:
+	PYTHONPATH=src $(PY) scripts/generate_api_docs.py

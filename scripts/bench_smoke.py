@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""CI smoke benchmark for the chunked save/recover pipeline.
+
+Runs the tier-1 test suite, a ~5 second save/recover micro-benchmark on
+MobileNetV2, and a chunked-vs-monolithic comparison over a ResNet-152
+chain of full snapshots with partial updates (the dedup sweet spot: every
+snapshot shares all but the classifier with its predecessor).
+
+Writes ``BENCH_pipeline.json`` at the repo root and mirrors it into
+``benchmarks/results/``.  Exit status is non-zero if the tier-1 suite
+fails or (unless ``--no-check``) the chunked pipeline misses its
+acceptance bars: >= 30% fewer stored bytes and a better median
+time-to-save than the monolithic path on the partial-update chain.
+
+Usage::
+
+    python scripts/bench_smoke.py [--skip-tests] [--budget-seconds 5]
+                                  [--scale 0.25] [--snapshots 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import BaselineSaveService, ModelSaveInfo  # noqa: E402
+from repro.core.save_info import ArchitectureRef  # noqa: E402
+from repro.docstore import DocumentStore  # noqa: E402
+from repro.filestore import FileStore  # noqa: E402
+from repro.nn.models import MODEL_REGISTRY, create_model  # noqa: E402
+
+NUM_CLASSES = 100
+
+
+def arch_ref(name: str, scale: float) -> ArchitectureRef:
+    spec = MODEL_REGISTRY[name]
+    return ArchitectureRef.from_factory(
+        spec.factory.__module__,
+        spec.factory.__name__,
+        {"num_classes": NUM_CLASSES, "scale": scale},
+    )
+
+
+def perturb_classifier(model, level: float) -> None:
+    """In-place partial update: only the final two layers change."""
+    state = model.state_dict()
+    for key in list(state)[-2:]:
+        state[key] = state[key] + level
+    model.load_state_dict(state)
+
+
+def run_tier1_tests() -> dict:
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin", "HOME": str(Path.home())},
+        capture_output=True,
+        text=True,
+    )
+    seconds = time.perf_counter() - started
+    tail = "\n".join(proc.stdout.splitlines()[-3:])
+    print(tail)
+    return {"ran": True, "passed": proc.returncode == 0, "seconds": round(seconds, 1)}
+
+
+def micro_benchmark(workdir: Path, budget_seconds: float, scale: float) -> dict:
+    """Repeated chunked save/recover of MobileNetV2 within a time budget."""
+    service = BaselineSaveService(
+        DocumentStore(), FileStore(workdir / "micro"), chunked=True
+    )
+    arch = arch_ref("mobilenetv2", scale)
+    model = create_model("mobilenetv2", num_classes=NUM_CLASSES, scale=scale, seed=1)
+
+    save_ms, recover_ms, model_ids = [], [], []
+    deadline = time.perf_counter() + budget_seconds
+    level = 0.0
+    while time.perf_counter() < deadline or len(save_ms) < 3:
+        started = time.perf_counter()
+        model_id = service.save_model(ModelSaveInfo(model, arch))
+        save_ms.append((time.perf_counter() - started) * 1e3)
+        model_ids.append(model_id)
+
+        started = time.perf_counter()
+        service.recover_model(model_id, verify=False)
+        recover_ms.append((time.perf_counter() - started) * 1e3)
+
+        level += 0.01
+        perturb_classifier(model, level)
+
+    logical = sum(service.files.size(d["parameters_file"])
+                  for d in service.documents.collection("models").find())
+    physical = service.files.total_bytes()
+    return {
+        "model": "mobilenetv2",
+        "iterations": len(save_ms),
+        "save_ms_median": round(statistics.median(save_ms), 2),
+        "recover_ms_median": round(statistics.median(recover_ms), 2),
+        "logical_bytes": logical,
+        "physical_bytes": physical,
+        "dedup_ratio": round(1 - physical / logical, 4),
+    }
+
+
+def chain_benchmark(workdir: Path, scale: float, snapshots: int) -> dict:
+    """ResNet-152 chain of full BA snapshots with partial updates."""
+    arch = arch_ref("resnet152", scale)
+    variants = {}
+    for label, chunked in (("monolithic", False), ("chunked", True)):
+        service = BaselineSaveService(
+            DocumentStore(), FileStore(workdir / label), chunked=chunked
+        )
+        model = create_model("resnet152", num_classes=NUM_CLASSES, scale=scale, seed=2)
+        tts_ms, ids = [], []
+        for level in range(snapshots):
+            if level:
+                perturb_classifier(model, 0.01 * level)
+            started = time.perf_counter()
+            ids.append(service.save_model(ModelSaveInfo(model, arch)))
+            tts_ms.append((time.perf_counter() - started) * 1e3)
+
+        started = time.perf_counter()
+        recovered = service.recover_model(ids[-1], verify=True)
+        recover_ms = (time.perf_counter() - started) * 1e3
+        assert recovered.verified is True
+
+        variants[label] = {
+            "stored_bytes": service.files.total_bytes(),
+            "tts_ms_median": round(statistics.median(tts_ms), 2),
+            "recover_ms": round(recover_ms, 2),
+        }
+
+    mono, chunk = variants["monolithic"], variants["chunked"]
+    reduction = 1 - chunk["stored_bytes"] / mono["stored_bytes"]
+    return {
+        "model": "resnet152",
+        "snapshots": snapshots,
+        "relation": "partially_updated",
+        **variants,
+        "stored_bytes_reduction": round(reduction, 4),
+        "tts_speedup": round(mono["tts_ms_median"] / chunk["tts_ms_median"], 3),
+        "meets_30pct_reduction": reduction >= 0.30,
+        "tts_improved": chunk["tts_ms_median"] < mono["tts_ms_median"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="skip the tier-1 pytest run")
+    parser.add_argument("--budget-seconds", type=float, default=5.0,
+                        help="time budget for the micro-benchmark")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="model width scale (1.0 = paper architectures)")
+    parser.add_argument("--snapshots", type=int, default=5,
+                        help="chain length for the resnet152 comparison")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record results without enforcing acceptance bars")
+    args = parser.parse_args()
+
+    results = {
+        "generated_by": "scripts/bench_smoke.py",
+        "config": {
+            "scale": args.scale,
+            "num_classes": NUM_CLASSES,
+            "budget_seconds": args.budget_seconds,
+            "snapshots": args.snapshots,
+        },
+    }
+
+    if args.skip_tests:
+        results["tier1_tests"] = {"ran": False}
+    else:
+        print("== tier-1 tests ==")
+        results["tier1_tests"] = run_tier1_tests()
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-smoke-"))
+    try:
+        print("== micro-benchmark: mobilenetv2 save/recover ==")
+        results["micro_mobilenetv2"] = micro_benchmark(
+            workdir, args.budget_seconds, args.scale
+        )
+        micro = results["micro_mobilenetv2"]
+        print(f"save {micro['save_ms_median']} ms  recover {micro['recover_ms_median']} ms  "
+              f"dedup {micro['dedup_ratio']:.1%} over {micro['iterations']} snapshots")
+
+        print("== resnet152 chain: chunked vs monolithic ==")
+        results["resnet152_chain"] = chain_benchmark(workdir, args.scale, args.snapshots)
+        chain = results["resnet152_chain"]
+        print(f"stored bytes: chunked {chain['chunked']['stored_bytes']:,} vs "
+              f"monolithic {chain['monolithic']['stored_bytes']:,} "
+              f"(-{chain['stored_bytes_reduction']:.1%})")
+        print(f"median TTS: chunked {chain['chunked']['tts_ms_median']} ms vs "
+              f"monolithic {chain['monolithic']['tts_ms_median']} ms "
+              f"(x{chain['tts_speedup']})")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    payload = json.dumps(results, indent=2) + "\n"
+    for target in (ROOT / "BENCH_pipeline.json",
+                   ROOT / "benchmarks" / "results" / "BENCH_pipeline.json"):
+        target.write_text(payload)
+        print(f"wrote {target.relative_to(ROOT)}")
+
+    failed = []
+    if results["tier1_tests"].get("ran") and not results["tier1_tests"]["passed"]:
+        failed.append("tier-1 tests failed")
+    if not args.no_check:
+        if not chain["meets_30pct_reduction"]:
+            failed.append("chunked store saved < 30% bytes on the partial-update chain")
+        if not chain["tts_improved"]:
+            failed.append("chunked median TTS did not improve")
+    for message in failed:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,9 +65,15 @@ class AbstractSaveService:
         file_store,
         scratch_dir: str | Path | None = None,
         dataset_codec: str | None = None,
+        chunked: bool = True,
     ):
         self.documents = document_store
         self.files = file_store
+        # chunked saves write parameters as content-addressed per-layer
+        # chunks keyed by the Merkle leaf hashes (dedup across models; no
+        # whole-blob re-hash).  Falls back to the monolithic codec for
+        # file stores without chunk support.
+        self.chunked = bool(chunked) and hasattr(file_store, "save_state_chunks")
         # the MPA archives datasets to a single file; the codec is a policy
         # knob (see bench_ablation_compression: deflate buys <10% on image
         # data while costing CPU, so "stored" suits JPEG-like datasets)
@@ -97,12 +103,36 @@ class AbstractSaveService:
         return payload
 
     def _save_parameters(self, model: Module) -> tuple[str, "OrderedDict[str, str]", str]:
-        """Serialize a full snapshot; returns (file id, layer hashes, root)."""
+        """Persist a full snapshot; returns (file id, layer hashes, root).
+
+        Layers are hashed exactly once (in parallel for large models); on
+        the chunked path those digests double as the chunk ids, so the
+        payload is never hashed again downstream.
+        """
         state = model.state_dict()
-        file_id = self.files.save_bytes(serialization.dumps(state), suffix=".params")
         hashes = state_dict_hashes(state)
         root = MerkleTree.from_layer_hashes(hashes).root_hash
+        file_id = self._save_state(state, hashes, kind="params")
         return file_id, hashes, root
+
+    def _save_state(self, state, layer_hashes, kind: str) -> str:
+        """Persist a flat state dict, chunked when enabled.
+
+        ``layer_hashes`` must hold a digest per entry of ``state`` (extra
+        entries are fine) — the Merkle leaves already computed by the
+        save path.
+        """
+        if self.chunked:
+            return self.files.save_state_chunks(
+                state, layer_hashes, suffix=f".{kind}.manifest"
+            )
+        return self.files.save_bytes(serialization.dumps(state), suffix=f".{kind}")
+
+    def _load_state_file(self, file_id: str):
+        """Inverse of :meth:`_save_state`: rebuild the state dict."""
+        if file_id.endswith(".manifest") and hasattr(self.files, "recover_state_chunks"):
+            return self.files.recover_state_chunks(file_id)
+        return serialization.loads(self.files.recover_bytes(file_id))
 
     def _insert_model_document(self, document: dict) -> str:
         model_id = new_model_id()
@@ -272,12 +302,12 @@ class AbstractSaveService:
         if architecture is None:
             architecture = self._load_architecture(document, timings)
         started = time.perf_counter()
-        state_bytes = self.files.recover_bytes(document["parameters_file"])
+        state = self._load_state_file(document["parameters_file"])
         timings["load"] += time.perf_counter() - started
 
         started = time.perf_counter()
         model = architecture.build()
-        model.load_state_dict(serialization.loads(state_bytes))
+        model.load_state_dict(state)
         timings["recover"] += time.perf_counter() - started
         return model
 
@@ -306,11 +336,10 @@ class AbstractSaveService:
         model, depth = self._recover_base(document, timings, execution_env, cache)
 
         started = time.perf_counter()
-        update_bytes = self.files.recover_bytes(document["update_file"])
+        update_state = self._load_state_file(document["update_file"])
         timings["load"] += time.perf_counter() - started
 
         started = time.perf_counter()
-        update_state = serialization.loads(update_bytes)
         # merge layer-wise, prioritizing the derived model's parameters
         merged = model.state_dict()
         merged.update(update_state)

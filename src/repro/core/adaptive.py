@@ -64,8 +64,11 @@ class AdaptiveSaveService(AbstractSaveService):
         max_recover_seconds: float | None = None,
         train_seconds_estimate: float = 60.0,
         recovers_per_save: float = 0.01,
+        chunked: bool = True,
     ):
-        super().__init__(document_store, file_store, scratch_dir, dataset_codec)
+        super().__init__(
+            document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
+        )
         self.cost_model = cost_model or CostModel()
         self.max_storage_bytes = max_storage_bytes
         self.max_recover_seconds = max_recover_seconds
@@ -73,13 +76,13 @@ class AdaptiveSaveService(AbstractSaveService):
         self.recovers_per_save = recovers_per_save
         self._services = {
             APPROACH_BASELINE: BaselineSaveService(
-                document_store, file_store, scratch_dir, dataset_codec
+                document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
             ),
             APPROACH_PARAM_UPDATE: ParameterUpdateSaveService(
-                document_store, file_store, scratch_dir, dataset_codec
+                document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
             ),
             APPROACH_PROVENANCE: ProvenanceSaveService(
-                document_store, file_store, scratch_dir, dataset_codec
+                document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
             ),
         }
         #: the estimate behind the most recent save (for inspection/benches)

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 from ..nn.modules import Module
 from .save_info import ArchitectureRef
 
@@ -24,15 +26,27 @@ __all__ = ["RecoveryCache"]
 
 
 class RecoveryCache:
-    """Memoized recovered models for chain-sweep recoveries."""
+    """Memoized recovered models for chain-sweep recoveries.
 
-    def __init__(self, max_entries: int = 64):
+    ``protect_prefix=True`` switches the at-capacity policy from
+    evict-oldest to reject-new: a cold id arriving at a full cache is not
+    admitted (and, crucially, its state dict is never deep-copied — the
+    copy is the expensive part of a wasted insert).  Chain sweeps recover
+    bases before derived models, so the oldest entries are exactly the
+    prefix future recoveries need; protecting them keeps the sweep O(n)
+    even when the catalog outgrows the cache.
+    """
+
+    def __init__(self, max_entries: int = 64, protect_prefix: bool = False):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self.protect_prefix = protect_prefix
         self._states: "OrderedDict[str, tuple[dict, ArchitectureRef, int]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: at-capacity cold inserts skipped without copying (protect_prefix)
+        self.skipped_inserts = 0
 
     def __contains__(self, model_id: str) -> bool:
         return model_id in self._states
@@ -53,8 +67,19 @@ class RecoveryCache:
         return model, depth
 
     def put(self, model_id: str, model: Module, architecture: ArchitectureRef, depth: int) -> None:
-        """Store a recovered model's parameters for later reuse."""
-        state = {key: value.copy() for key, value in model.state_dict().items()}
+        """Store a recovered model's parameters for later reuse.
+
+        The admission decision is made *before* any copying, so an insert
+        the cache rejects (``protect_prefix`` at capacity) costs nothing.
+        """
+        if (
+            self.protect_prefix
+            and model_id not in self._states
+            and len(self._states) >= self.max_entries
+        ):
+            self.skipped_inserts += 1
+            return
+        state = {key: _snapshot(value) for key, value in model.state_dict().items()}
         self._states[model_id] = (state, architecture, depth)
         while len(self._states) > self.max_entries:
             self._states.popitem(last=False)
@@ -68,6 +93,19 @@ class RecoveryCache:
         self._states.clear()
         self.hits = 0
         self.misses = 0
+        self.skipped_inserts = 0
 
     def stats(self) -> dict:
         return {"entries": len(self._states), "hits": self.hits, "misses": self.misses}
+
+
+def _snapshot(value):
+    """Private anti-aliasing copy of one array.
+
+    Already-contiguous arrays are copied with a single memcpy; everything
+    else is normalized to C order in the same pass, so cached states are
+    always contiguous and cache hits never pay a layout conversion.
+    """
+    if value.flags.c_contiguous:
+        return value.copy()
+    return np.ascontiguousarray(value)

@@ -147,7 +147,9 @@ class ModelManager:
         """
         from .cache import RecoveryCache
 
-        cache = RecoveryCache(max_entries=256) if use_cache else None
+        # chain sweeps recover bases first: protect that prefix instead of
+        # evicting it (and skip the deep copy for inserts that would churn)
+        cache = RecoveryCache(max_entries=256, protect_prefix=True) if use_cache else None
         results: dict[str, bool | None] = {}
         for record in self.list_models():
             recovered = self.service.recover_model(record.model_id, cache=cache)
@@ -301,18 +303,26 @@ class ModelManager:
             wrappers.delete_one(value)
 
     def garbage_collect(self) -> dict[str, int]:
-        """Remove stored files no document references; returns statistics."""
+        """Remove stored files no document references; returns statistics.
+
+        Deleting an unreferenced chunk manifest releases its chunk refs;
+        a final sweep then drops any chunks left without references (e.g.
+        from saves that crashed before writing their manifest).
+        ``bytes_freed`` reports the physical bytes reclaimed, chunk
+        deduplication included.
+        """
         referenced: set[str] = set()
         for document in self.documents.collection(MODELS).find():
             referenced |= self._referenced_files(document)
         for wrapper in self.documents.collection(WRAPPERS).find():
             if wrapper.get("state_file_id"):
                 referenced.add(wrapper["state_file_id"])
+        before = self.files.total_bytes()
         removed = 0
-        freed = 0
         for file_id in self.files.file_ids():
             if file_id not in referenced:
-                freed += self.files.size(file_id)
                 self.files.delete(file_id)
                 removed += 1
-        return {"files_removed": removed, "bytes_freed": freed}
+        if hasattr(self.files, "gc_chunks"):
+            self.files.gc_chunks()
+        return {"files_removed": removed, "bytes_freed": before - self.files.total_bytes()}

@@ -13,7 +13,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Mapping
 
-from ..nn import serialization
 from .abstract import AbstractSaveService
 from .errors import SaveError
 from .hashing import state_dict_hashes
@@ -56,8 +55,11 @@ class ParameterUpdateSaveService(AbstractSaveService):
         scratch_dir=None,
         dataset_codec=None,
         use_merkle: bool = True,
+        chunked: bool = True,
     ):
-        super().__init__(document_store, file_store, scratch_dir, dataset_codec)
+        super().__init__(
+            document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
+        )
         self.use_merkle = use_merkle
         #: hash comparisons performed by the most recent save (ablation metric)
         self.last_diff: DiffResult | None = None
@@ -105,7 +107,8 @@ class ParameterUpdateSaveService(AbstractSaveService):
         self.last_diff = diff
 
         environment_id = self._save_environment()
-        update_file = self.files.save_bytes(serialization.dumps(update), suffix=".update")
+        # the per-layer hashes above are the chunk ids — no re-hashing here
+        update_file = self._save_state(update, hashes, kind="update")
 
         document = {
             "base_model": save_info.base_model_id,

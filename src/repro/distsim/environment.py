@@ -66,9 +66,16 @@ class SharedStores:
 
 
 def make_service(
-    approach: str, stores: SharedStores, dataset_codec: str | None = None
+    approach: str,
+    stores: SharedStores,
+    dataset_codec: str | None = None,
+    chunked: bool = True,
 ) -> AbstractSaveService:
-    """Instantiate the save service for an approach name."""
+    """Instantiate the save service for an approach name.
+
+    ``chunked=False`` forces the legacy monolithic parameter files (for
+    ablations against the content-addressed chunk pipeline).
+    """
     if approach not in SERVICE_CLASSES:
         raise KeyError(f"unknown approach {approach!r}; options: {sorted(SERVICE_CLASSES)}")
     return SERVICE_CLASSES[approach](
@@ -76,6 +83,7 @@ def make_service(
         stores.files,
         scratch_dir=stores.scratch_dir,
         dataset_codec=dataset_codec,
+        chunked=chunked,
     )
 
 
@@ -83,12 +91,19 @@ class Participant:
     """A machine in the deployment (the server or one node)."""
 
     def __init__(
-        self, name: str, approach: str, stores: SharedStores, dataset_codec: str | None = None
+        self,
+        name: str,
+        approach: str,
+        stores: SharedStores,
+        dataset_codec: str | None = None,
+        chunked: bool = True,
     ):
         self.name = name
         self.approach = approach
         self.stores = stores
-        self.service = make_service(approach, stores, dataset_codec=dataset_codec)
+        self.service = make_service(
+            approach, stores, dataset_codec=dataset_codec, chunked=chunked
+        )
         #: model ids this participant created, by use-case tag
         self.saved_models: dict[str, str] = {}
 
@@ -104,17 +119,28 @@ class Participant:
 class Server(Participant):
     """The central server: creates initial models, deploys updates (U_1/U_2)."""
 
-    def __init__(self, approach: str, stores: SharedStores, dataset_codec: str | None = None):
-        super().__init__("server", approach, stores, dataset_codec)
+    def __init__(
+        self,
+        approach: str,
+        stores: SharedStores,
+        dataset_codec: str | None = None,
+        chunked: bool = True,
+    ):
+        super().__init__("server", approach, stores, dataset_codec, chunked=chunked)
 
 
 class Node(Participant):
     """A distributed device: trains locally and registers updates (U_3)."""
 
     def __init__(
-        self, index: int, approach: str, stores: SharedStores, dataset_codec: str | None = None
+        self,
+        index: int,
+        approach: str,
+        stores: SharedStores,
+        dataset_codec: str | None = None,
+        chunked: bool = True,
     ):
-        super().__init__(f"node-{index}", approach, stores, dataset_codec)
+        super().__init__(f"node-{index}", approach, stores, dataset_codec, chunked=chunked)
         self.index = index
         #: id of the model this node currently runs (set by deployments)
         self.current_model_id: str | None = None

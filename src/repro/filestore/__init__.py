@@ -6,13 +6,15 @@ from .network import (
     NetworkModel,
     SimulatedNetworkFileStore,
 )
-from .store import FileNotFoundInStoreError, FileStore
+from .store import ChunkNotFoundError, ChunkStore, FileNotFoundInStoreError, FileStore
 
 __all__ = [
     "CELLULAR_LTE",
     "INFINIBAND_100G",
     "NetworkModel",
     "SimulatedNetworkFileStore",
+    "ChunkNotFoundError",
+    "ChunkStore",
     "FileNotFoundInStoreError",
     "FileStore",
 ]

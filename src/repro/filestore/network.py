@@ -54,6 +54,10 @@ class SimulatedNetworkFileStore(FileStore):
     fast while still reporting transfer budgets.
     """
 
+    #: Bytes exchanged to ask the server "do you already hold this chunk?"
+    #: (a hex SHA-256 digest) — the cost of a deduplicated chunk upload.
+    CHUNK_QUERY_BYTES = 64
+
     def __init__(self, root: str | Path, network: NetworkModel, sleep: bool = False):
         super().__init__(root)
         self.network = network
@@ -61,6 +65,8 @@ class SimulatedNetworkFileStore(FileStore):
         self.simulated_seconds = 0.0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.chunks_deduplicated = 0
+        self.chunk_bytes_deduplicated = 0
 
     def _charge(self, num_bytes: int) -> None:
         cost = self.network.transfer_time(num_bytes)
@@ -81,8 +87,44 @@ class SimulatedNetworkFileStore(FileStore):
         self.bytes_received += len(data)
         return data
 
+    def put_chunk(self, digest: str, buffer) -> bool:
+        """Upload one chunk, paying only for content the server lacks.
+
+        Every put costs one digest round-trip (the existence query); the
+        payload itself crosses the link only when the server does not
+        already hold the chunk — dedup turns repeat uploads into
+        near-free no-ops, exactly the delta-transfer win chunked saves
+        are after.
+        """
+        self._charge(self.CHUNK_QUERY_BYTES)
+        self.bytes_sent += self.CHUNK_QUERY_BYTES
+        nbytes = buffer.nbytes if isinstance(buffer, memoryview) else len(buffer)
+        wrote = super().put_chunk(digest, buffer)
+        if wrote:
+            self._charge(nbytes)
+            self.bytes_sent += nbytes
+        else:
+            self.chunks_deduplicated += 1
+            self.chunk_bytes_deduplicated += nbytes
+        return wrote
+
+    def get_chunk(self, digest: str) -> bytes:
+        """Download one chunk, charging its payload against the link."""
+        data = super().get_chunk(digest)
+        self._charge(len(data))
+        self.bytes_received += len(data)
+        return data
+
+    def has_chunk(self, digest: str) -> bool:
+        """Existence probe; costs one digest round-trip."""
+        self._charge(self.CHUNK_QUERY_BYTES)
+        self.bytes_sent += self.CHUNK_QUERY_BYTES
+        return super().has_chunk(digest)
+
     def reset_accounting(self) -> None:
         """Zero the accumulated transfer time and byte counters."""
         self.simulated_seconds = 0.0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.chunks_deduplicated = 0
+        self.chunk_bytes_deduplicated = 0

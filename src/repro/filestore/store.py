@@ -4,20 +4,211 @@ Models get split into metadata (documents) and files (code, serialized
 parameters, compressed datasets).  The :class:`FileStore` persists files
 under generated identifiers in a shared directory, exactly like the
 evaluation's shared external storage that all machines can access.
+
+On top of the flat blob namespace sits a content-addressed
+:class:`ChunkStore`: model parameters can be saved as a *manifest* of
+per-layer chunks keyed by the Merkle leaf hashes computed at save time.
+Bit-identical layers across models (BA chain snapshots, PUA bases,
+replicated deployments) are stored once; chunks are ref-counted by their
+manifests and garbage-collected when the last manifest goes away.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import json
+import os
 import shutil
 import uuid
+from collections import OrderedDict
 from pathlib import Path
+from typing import Iterable, Mapping
 
-__all__ = ["FileStore", "FileNotFoundInStoreError"]
+import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # non-posix platform: single-process locking only
+    fcntl = None
+
+__all__ = ["FileStore", "ChunkStore", "FileNotFoundInStoreError", "ChunkNotFoundError"]
+
+#: File-id suffix that marks a blob as a chunked-state manifest.
+MANIFEST_SUFFIX = ".manifest"
+
+#: Format tag inside every manifest payload.
+MANIFEST_FORMAT = "mmlib-chunked-state-v1"
+
+#: Directory (under the store root) holding the content-addressed chunks.
+CHUNK_DIR_NAME = "chunks"
 
 
 class FileNotFoundInStoreError(KeyError):
     """Raised when recovering a file id that was never saved (or deleted)."""
+
+
+class ChunkNotFoundError(KeyError):
+    """Raised when fetching a chunk digest the store does not hold."""
+
+
+def _buffer_nbytes(buffer) -> int:
+    if isinstance(buffer, memoryview):
+        return buffer.nbytes
+    return len(buffer)
+
+
+class ChunkStore:
+    """Content-addressed, ref-counted chunk storage.
+
+    Chunks live under ``root/objects/<digest>`` and are written exactly
+    once per distinct digest (writes are atomic tmp+rename, so concurrent
+    writers of the same content converge on one file).  Reference counts
+    track how many manifests point at each chunk; :meth:`release_refs`
+    deletes chunks whose count drops to zero, and :meth:`gc` sweeps
+    orphans (e.g. chunks written by a save that crashed before its
+    manifest).  Refcount updates are serialized through an ``flock``-held
+    lock file, so multiple processes can share one store directory.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self._refs_path = self.root / "refcounts.json"
+        self._lock_path = self.root / ".lock"
+
+    # -- locking / refcount persistence ------------------------------------
+
+    @contextlib.contextmanager
+    def _locked(self):
+        if fcntl is None:
+            yield
+            return
+        with open(self._lock_path, "a+") as lock_file:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+
+    def _load_refs(self) -> dict[str, int]:
+        try:
+            return json.loads(self._refs_path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+
+    def _write_refs(self, refs: dict[str, int]) -> None:
+        tmp = self._refs_path.with_name(f"refcounts-{uuid.uuid4().hex[:8]}.tmp")
+        tmp.write_text(json.dumps(refs, sort_keys=True))
+        tmp.replace(self._refs_path)
+
+    # -- chunk data ---------------------------------------------------------
+
+    def _chunk_path(self, digest: str) -> Path:
+        if not digest or "/" in digest or digest.startswith("."):
+            raise ValueError(f"invalid chunk digest: {digest!r}")
+        return self.objects_dir / digest
+
+    def has(self, digest: str) -> bool:
+        return self._chunk_path(digest).exists()
+
+    def put(self, digest: str, buffer) -> bool:
+        """Store ``buffer`` under ``digest`` if absent; True iff written.
+
+        ``buffer`` may be any bytes-like object (``memoryview``s are
+        written without an intermediate copy).  Content-addressing makes
+        the write idempotent: an existing chunk is never rewritten.
+        """
+        path = self._chunk_path(digest)
+        if path.exists():
+            return False
+        tmp = path.with_name(f"{path.name}-{uuid.uuid4().hex[:8]}.tmp")
+        with open(tmp, "wb") as fileobj:
+            fileobj.write(buffer)
+        tmp.replace(path)
+        return True
+
+    def get(self, digest: str) -> bytes:
+        path = self._chunk_path(digest)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            raise ChunkNotFoundError(f"no stored chunk with digest {digest!r}") from None
+
+    # -- reference counting --------------------------------------------------
+
+    def add_refs(self, digests: Iterable[str]) -> None:
+        """Increment refcounts for ``digests`` (one batched update)."""
+        digests = list(digests)
+        if not digests:
+            return
+        with self._locked():
+            refs = self._load_refs()
+            for digest in digests:
+                refs[digest] = refs.get(digest, 0) + 1
+            self._write_refs(refs)
+
+    def release_refs(self, digests: Iterable[str]) -> list[str]:
+        """Decrement refcounts; delete and return chunks that hit zero."""
+        digests = list(digests)
+        if not digests:
+            return []
+        removed: list[str] = []
+        with self._locked():
+            refs = self._load_refs()
+            for digest in digests:
+                count = refs.get(digest, 0) - 1
+                if count > 0:
+                    refs[digest] = count
+                else:
+                    refs.pop(digest, None)
+                    removed.append(digest)
+            self._write_refs(refs)
+            for digest in removed:
+                self._chunk_path(digest).unlink(missing_ok=True)
+        return removed
+
+    def refcount(self, digest: str) -> int:
+        return self._load_refs().get(digest, 0)
+
+    def gc(self) -> dict[str, int]:
+        """Delete unreferenced chunks and leftover tmp files; stats dict."""
+        removed = 0
+        freed = 0
+        with self._locked():
+            refs = self._load_refs()
+            live = {d for d, count in refs.items() if count > 0}
+            if live != set(refs):
+                self._write_refs({d: refs[d] for d in live})
+            for path in self.objects_dir.iterdir():
+                if not path.is_file():
+                    continue
+                if path.name.endswith(".tmp") or path.name not in live:
+                    freed += path.stat().st_size
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        return {"chunks_removed": removed, "bytes_freed": freed}
+
+    # -- accounting -----------------------------------------------------------
+
+    def chunk_ids(self) -> list[str]:
+        return sorted(
+            p.name
+            for p in self.objects_dir.iterdir()
+            if p.is_file() and not p.name.endswith(".tmp")
+        )
+
+    def total_bytes(self) -> int:
+        """Physical bytes held by chunks (deduplicated storage)."""
+        return sum(
+            p.stat().st_size
+            for p in self.objects_dir.iterdir()
+            if p.is_file() and not p.name.endswith(".tmp")
+        )
+
+    def __len__(self) -> int:
+        return len(self.chunk_ids())
 
 
 class FileStore:
@@ -25,11 +216,32 @@ class FileStore:
 
     File ids embed a content digest prefix, which gives cheap corruption
     detection on recovery without a separate checksum channel.
+
+    State dicts can additionally be saved *chunked* through
+    :meth:`save_state_chunks`: each layer becomes a content-addressed
+    chunk (keyed by its precomputed tensor hash) and only a small JSON
+    manifest enters the flat blob namespace.  Identical layers across
+    saves are stored once.
     """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._chunks: ChunkStore | None = None
+        self._clean_orphaned_tmp_files()
+
+    def _clean_orphaned_tmp_files(self) -> None:
+        """Drop ``*.tmp`` leftovers from saves interrupted mid-write."""
+        for path in self.root.iterdir():
+            if path.is_file() and path.name.endswith(".tmp"):
+                path.unlink(missing_ok=True)
+
+    @property
+    def chunks(self) -> ChunkStore:
+        """The store's content-addressed chunk substore (lazily created)."""
+        if self._chunks is None:
+            self._chunks = ChunkStore(self.root / CHUNK_DIR_NAME)
+        return self._chunks
 
     # -- save ------------------------------------------------------------------
 
@@ -48,6 +260,79 @@ class FileStore:
         source = Path(source)
         data = source.read_bytes()
         return self.save_bytes(data, suffix=source.suffix)
+
+    # -- chunked state save/recover ---------------------------------------------
+
+    def put_chunk(self, digest: str, buffer) -> bool:
+        """Store one content-addressed chunk; True iff bytes were written."""
+        return self.chunks.put(digest, buffer)
+
+    def get_chunk(self, digest: str) -> bytes:
+        """Fetch one chunk's payload by digest."""
+        return self.chunks.get(digest)
+
+    def has_chunk(self, digest: str) -> bool:
+        return self.chunks.has(digest)
+
+    def save_state_chunks(
+        self,
+        state: Mapping[str, np.ndarray],
+        layer_hashes: Mapping[str, str],
+        suffix: str = ".params" + MANIFEST_SUFFIX,
+    ) -> str:
+        """Save a flat state dict as per-layer chunks plus a manifest.
+
+        ``layer_hashes`` maps each layer name to its already-computed
+        tensor hash (the Merkle leaves) — the chunk ids.  Nothing is
+        re-hashed here, and already-contiguous arrays are written from a
+        ``memoryview`` without copying.  Returns the manifest's file id,
+        which carries the ``.manifest`` suffix so recovery, deletion, and
+        sizing recognize it.
+        """
+        if not suffix.endswith(MANIFEST_SUFFIX):
+            raise ValueError(f"manifest suffix must end with {MANIFEST_SUFFIX!r}")
+        entries = []
+        digests = []
+        for name, array in state.items():
+            digest = layer_hashes[name]
+            payload = array if array.flags.c_contiguous else np.ascontiguousarray(array)
+            if payload.ndim and payload.nbytes:
+                buffer = memoryview(payload).cast("B")
+            else:  # 0-d and empty arrays cannot be cast; both are tiny
+                buffer = payload.tobytes()
+            self.put_chunk(digest, buffer)
+            entries.append(
+                [name, {"chunk": digest, "dtype": array.dtype.str, "shape": list(array.shape)}]
+            )
+            digests.append(digest)
+        self.chunks.add_refs(digests)
+        manifest = json.dumps(
+            {"format": MANIFEST_FORMAT, "layers": entries}, sort_keys=True
+        ).encode()
+        return self.save_bytes(manifest, suffix=suffix)
+
+    def recover_state_chunks(self, file_id: str) -> "OrderedDict[str, np.ndarray]":
+        """Rebuild the state dict a manifest describes (bitwise identical)."""
+        manifest = self.read_manifest(file_id)
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, meta in manifest["layers"]:
+            raw = self.get_chunk(meta["chunk"])
+            array = np.frombuffer(raw, dtype=np.dtype(meta["dtype"]))
+            state[name] = array.reshape(meta["shape"]).copy()
+        return state
+
+    def read_manifest(self, file_id: str) -> dict:
+        """Load and validate a manifest blob."""
+        payload = json.loads(self.recover_bytes(file_id).decode())
+        if payload.get("format") != MANIFEST_FORMAT:
+            raise IOError(
+                f"file {file_id!r} is not a {MANIFEST_FORMAT} manifest"
+            )
+        return payload
+
+    @staticmethod
+    def is_manifest_id(file_id: str) -> bool:
+        return file_id.endswith(MANIFEST_SUFFIX)
 
     # -- recover -----------------------------------------------------------------
 
@@ -83,27 +368,79 @@ class FileStore:
         return self._path(file_id).exists()
 
     def delete(self, file_id: str) -> bool:
-        """Remove a stored file; returns whether it existed."""
+        """Remove a stored file; returns whether it existed.
+
+        Deleting a manifest releases its chunk references; chunks no other
+        manifest still points at are deleted with it.
+        """
         path = self._path(file_id)
-        if path.exists():
-            path.unlink()
-            return True
-        return False
+        if not path.exists():
+            return False
+        if self.is_manifest_id(file_id):
+            try:
+                manifest = self.read_manifest(file_id)
+            except (IOError, ValueError, json.JSONDecodeError):
+                manifest = None  # corrupt manifest: drop the blob, keep chunks
+            if manifest is not None:
+                self.chunks.release_refs(
+                    meta["chunk"] for _, meta in manifest["layers"]
+                )
+        path.unlink()
+        return True
 
     def size(self, file_id: str) -> int:
-        """Stored size in bytes of one file."""
+        """Logical size in bytes of one stored file.
+
+        For a manifest this is the manifest blob plus every referenced
+        chunk — the bytes a recovery transfers — independent of how much
+        of it is deduplicated on disk (see :meth:`total_bytes` for the
+        physical view).
+        """
         path = self._path(file_id)
         if not path.exists():
             raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
-        return path.stat().st_size
+        size = path.stat().st_size
+        if self.is_manifest_id(file_id):
+            manifest = self.read_manifest(file_id)
+            for _, meta in manifest["layers"]:
+                chunk_path = self.chunks._chunk_path(meta["chunk"])
+                if chunk_path.exists():
+                    size += chunk_path.stat().st_size
+        return size
 
     def total_bytes(self) -> int:
-        """Total bytes across all stored files."""
-        return sum(p.stat().st_size for p in self.root.iterdir() if p.is_file())
+        """Total *physical* bytes stored (deduplicated chunks counted once).
+
+        In-flight ``*.tmp`` files are not stored blobs and are excluded.
+        """
+        total = sum(
+            p.stat().st_size
+            for p in self.root.iterdir()
+            if p.is_file() and not p.name.endswith(".tmp")
+        )
+        chunk_dir = self.root / CHUNK_DIR_NAME
+        if chunk_dir.exists():
+            total += self.chunks.total_bytes()
+            refs = self.chunks._refs_path
+            if refs.exists():
+                total += refs.stat().st_size
+        return total
 
     def file_ids(self) -> list[str]:
-        return sorted(p.name for p in self.root.iterdir() if p.is_file())
+        """Ids of stored blobs (excluding in-flight ``*.tmp`` files)."""
+        return sorted(
+            p.name
+            for p in self.root.iterdir()
+            if p.is_file() and not p.name.endswith(".tmp")
+        )
+
+    def gc_chunks(self) -> dict[str, int]:
+        """Sweep unreferenced chunks (see :meth:`ChunkStore.gc`)."""
+        if (self.root / CHUNK_DIR_NAME).exists():
+            return self.chunks.gc()
+        return {"chunks_removed": 0, "bytes_freed": 0}
 
     def clear(self) -> None:
         shutil.rmtree(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._chunks = None

@@ -10,27 +10,55 @@ The encoding is byte-for-byte deterministic for equal inputs (sorted-key
 JSON, arrays emitted in traversal order), which makes serialized size and
 checksums stable across runs — a property MMlib's storage accounting relies
 on.
+
+The hot path is zero-copy: :func:`iter_serialized` yields ``memoryview``s
+of the arrays' own buffers (already-contiguous arrays are never copied),
+:func:`dump_to` streams them straight into a file object, and :func:`load`
+reads through an ``mmap`` so each array is copied out of the mapping
+exactly once.  :func:`dumps`/:func:`loads` remain thin wrappers over the
+same codec, so the byte format is identical on every path.
 """
 
 from __future__ import annotations
 
-import io
 import json
+import mmap
 import struct
 from collections import OrderedDict
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
-__all__ = ["save", "load", "dumps", "loads"]
+__all__ = [
+    "save",
+    "load",
+    "dumps",
+    "loads",
+    "dump_to",
+    "iter_serialized",
+    "serialized_views",
+]
 
 _MAGIC = b"RNNS1\n"
+
+
+def _as_payload_array(value: np.ndarray) -> np.ndarray:
+    """C-contiguous array sharing ``value``'s buffer whenever possible.
+
+    Mirrors ``np.ascontiguousarray`` (ndmin=1), which the codec has always
+    used, so payload bytes stay identical: contiguous ndim>=1 arrays are
+    returned as-is (zero copy), everything else is materialized once.
+    """
+    if value.ndim >= 1 and value.flags.c_contiguous:
+        return value
+    return np.ascontiguousarray(value)
 
 
 def _encode_tree(value, arrays: list[np.ndarray]):
     if isinstance(value, np.ndarray):
         index = len(arrays)
-        arrays.append(np.ascontiguousarray(value))
+        arrays.append(_as_payload_array(value))
         return {
             "__array__": index,
             "dtype": value.dtype.str,
@@ -73,8 +101,15 @@ def _decode_tree(value, payload: memoryview, offsets: list[tuple[int, int]]):
     return value
 
 
-def dumps(obj) -> bytes:
-    """Serialize a tree of arrays/scalars/containers to bytes."""
+def serialized_views(obj) -> tuple[bytes, list[memoryview]]:
+    """Encode ``obj`` as ``(preamble, array_views)`` without copying arrays.
+
+    ``preamble`` is ``magic | u64 header_len | header JSON``; the views are
+    the arrays' buffers in traversal order (aliasing the input for
+    already-contiguous arrays — do not mutate them while the views are
+    live).  Concatenating preamble and views gives exactly the
+    :func:`dumps` byte stream.
+    """
     arrays: list[np.ndarray] = []
     tree = _encode_tree(obj, arrays)
     offsets = []
@@ -83,35 +118,92 @@ def dumps(obj) -> bytes:
         offsets.append([cursor, cursor + array.nbytes])
         cursor += array.nbytes
     header = json.dumps({"tree": tree, "offsets": offsets}, sort_keys=True).encode()
-    buffer = io.BytesIO()
-    buffer.write(_MAGIC)
-    buffer.write(struct.pack("<Q", len(header)))
-    buffer.write(header)
-    for array in arrays:
-        buffer.write(array.tobytes())
-    return buffer.getvalue()
+    preamble = _MAGIC + struct.pack("<Q", len(header)) + header
+    return preamble, [_byte_view(array) for array in arrays]
 
 
-def loads(data: bytes):
-    """Inverse of :func:`dumps`."""
-    if data[: len(_MAGIC)] != _MAGIC:
+def _byte_view(array: np.ndarray) -> memoryview:
+    """Flat byte view of a C-contiguous array (no copy)."""
+    if array.nbytes == 0:  # cast() rejects views with zeros in shape
+        return memoryview(b"")
+    return memoryview(array).cast("B")
+
+
+def iter_serialized(obj) -> Iterator[bytes | memoryview]:
+    """Yield the serialized byte stream as zero-copy chunks."""
+    preamble, views = serialized_views(obj)
+    yield preamble
+    yield from views
+
+
+def dumps(obj) -> bytes:
+    """Serialize a tree of arrays/scalars/containers to bytes."""
+    preamble, views = serialized_views(obj)
+    return b"".join([preamble, *views])
+
+
+def dump_to(obj, fileobj) -> int:
+    """Stream ``obj``'s serialization into a writable file object.
+
+    Array buffers are handed to ``fileobj.write`` as ``memoryview``s — no
+    ``tobytes()`` and no intermediate whole-payload buffer.  Returns the
+    number of bytes written.
+    """
+    written = 0
+    for chunk in iter_serialized(obj):
+        fileobj.write(chunk)
+        written += len(chunk) if isinstance(chunk, bytes) else chunk.nbytes
+    return written
+
+
+def loads(data):
+    """Inverse of :func:`dumps`; accepts any bytes-like buffer (bytes,
+    ``memoryview``, ``mmap``)."""
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if view[: len(_MAGIC)] != _MAGIC:
         raise ValueError("not a repro.nn serialized payload (bad magic)")
     cursor = len(_MAGIC)
-    (header_len,) = struct.unpack_from("<Q", data, cursor)
+    if len(view) < cursor + 8:
+        raise ValueError("truncated serialized payload (missing header length)")
+    (header_len,) = struct.unpack_from("<Q", view, cursor)
     cursor += 8
-    header = json.loads(data[cursor : cursor + header_len].decode())
-    payload = memoryview(data)[cursor + header_len :]
+    if len(view) < cursor + header_len:
+        raise ValueError("truncated serialized payload (incomplete header)")
+    header = json.loads(bytes(view[cursor : cursor + header_len]).decode())
+    payload = view[cursor + header_len :]
     offsets = [tuple(pair) for pair in header["offsets"]]
+    if offsets and len(payload) < offsets[-1][1]:
+        raise ValueError(
+            f"truncated serialized payload: have {len(payload)} payload bytes, "
+            f"need {offsets[-1][1]}"
+        )
     return _decode_tree(header["tree"], payload, offsets)
 
 
 def save(obj, path) -> int:
-    """Serialize ``obj`` to ``path``; returns the number of bytes written."""
-    data = dumps(obj)
-    Path(path).write_bytes(data)
-    return len(data)
+    """Serialize ``obj`` to ``path`` (streaming); returns bytes written."""
+    with open(path, "wb") as fileobj:
+        return dump_to(obj, fileobj)
 
 
 def load(path):
-    """Load an object previously written by :func:`save`."""
-    return loads(Path(path).read_bytes())
+    """Load an object previously written by :func:`save`.
+
+    Large files are read through ``mmap``, so decoding copies each array
+    out of the page cache individually instead of materializing the whole
+    payload as an intermediate ``bytes`` object first.
+    """
+    with open(path, "rb") as fileobj:
+        try:
+            mapped = mmap.mmap(fileobj.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):  # empty file or mmap-hostile filesystem
+            return loads(fileobj.read())
+        try:
+            return loads(mapped)
+        finally:
+            try:
+                mapped.close()
+            except BufferError:
+                # an in-flight decode error's traceback still pins views
+                # into the mapping; it is unmapped once that is collected
+                pass

@@ -69,6 +69,61 @@ class TestCacheBasics:
         assert len(cache) == 0 and cache.stats()["hits"] == 0
 
 
+class TestProtectPrefix:
+    def test_cold_inserts_rejected_at_capacity(self):
+        cache = RecoveryCache(max_entries=2, protect_prefix=True)
+        arch = tiny_arch()
+        for index in range(4):
+            cache.put(f"model-{index}", make_tiny_cnn(seed=index), arch, depth=0)
+        # the first two entries (the chain prefix) survive; later cold ids
+        # are rejected without the deep copy
+        assert "model-0" in cache and "model-1" in cache
+        assert "model-2" not in cache and "model-3" not in cache
+        assert cache.skipped_inserts == 2
+
+    def test_rejected_insert_does_not_copy(self, monkeypatch):
+        from repro.core import cache as cache_module
+
+        cache = RecoveryCache(max_entries=1, protect_prefix=True)
+        arch = tiny_arch()
+        cache.put("warm", make_tiny_cnn(seed=0), arch, depth=0)
+        copies = {"n": 0}
+        real_snapshot = cache_module._snapshot
+
+        def counting_snapshot(value):
+            copies["n"] += 1
+            return real_snapshot(value)
+
+        monkeypatch.setattr(cache_module, "_snapshot", counting_snapshot)
+        cache.put("cold", make_tiny_cnn(seed=1), arch, depth=0)
+        assert copies["n"] == 0
+
+    def test_warm_ids_still_updatable_at_capacity(self):
+        cache = RecoveryCache(max_entries=1, protect_prefix=True)
+        arch = tiny_arch()
+        cache.put("warm", make_tiny_cnn(seed=0), arch, depth=0)
+        cache.put("warm", make_tiny_cnn(seed=1), arch, depth=3)
+        model_and_depth = cache.get("warm")
+        assert model_and_depth is not None and model_and_depth[1] == 3
+
+    def test_clear_resets_skip_counter(self):
+        cache = RecoveryCache(max_entries=1, protect_prefix=True)
+        arch = tiny_arch()
+        cache.put("a", make_tiny_cnn(), arch, depth=0)
+        cache.put("b", make_tiny_cnn(), arch, depth=0)
+        assert cache.skipped_inserts == 1
+        cache.clear()
+        assert cache.skipped_inserts == 0
+
+    def test_default_policy_unchanged(self):
+        cache = RecoveryCache(max_entries=2)
+        arch = tiny_arch()
+        for index in range(3):
+            cache.put(f"model-{index}", make_tiny_cnn(seed=index), arch, depth=0)
+        assert "model-2" in cache and "model-0" not in cache
+        assert cache.skipped_inserts == 0
+
+
 class TestCachedRecovery:
     def test_results_identical_with_and_without_cache(self, chain_setup):
         service, ids, states = chain_setup

@@ -81,6 +81,111 @@ class TestErrors:
         with pytest.raises(TypeError):
             serialization.dumps({"f": lambda: None})
 
+    def test_truncated_header_length_rejected(self):
+        data = serialization.dumps({"x": np.ones(4)})
+        with pytest.raises(ValueError, match="truncated"):
+            serialization.loads(data[:8])
+
+    def test_truncated_header_rejected(self):
+        data = serialization.dumps({"x": np.ones(4)})
+        with pytest.raises(ValueError, match="truncated"):
+            serialization.loads(data[:20])
+
+    def test_truncated_payload_rejected(self):
+        data = serialization.dumps({"x": np.ones(64)})
+        with pytest.raises(ValueError, match="truncated"):
+            serialization.loads(data[:-16])
+
+    def test_corrupted_magic_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.state"
+        serialization.save({"x": np.ones(4)}, path)
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="magic"):
+            serialization.load(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "cut.state"
+        serialization.save({"x": np.ones(64)}, path)
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(ValueError, match="truncated"):
+            serialization.load(path)
+
+
+def _assert_trees_equal(original, restored):
+    if isinstance(original, np.ndarray):
+        assert isinstance(restored, np.ndarray)
+        assert restored.dtype == original.dtype
+        assert restored.shape == original.shape
+        assert np.array_equal(restored, original)
+    elif isinstance(original, dict):
+        assert list(restored) == list(original)
+        for key in original:
+            _assert_trees_equal(original[key], restored[key])
+    elif isinstance(original, (list, tuple)):
+        assert type(restored) is type(original) and len(restored) == len(original)
+        for a, b in zip(original, restored):
+            _assert_trees_equal(a, b)
+    else:
+        assert restored == original
+
+
+EDGE_TREE = OrderedDict(
+    [
+        ("empty", np.zeros((0, 3), dtype=np.float32)),
+        ("zero_dim", np.array(2.5, dtype=np.float64)),
+        ("view", np.arange(12, dtype=np.float32).reshape(3, 4)[:, ::2]),
+        ("fortran", np.asfortranarray(np.arange(6, dtype=np.int32).reshape(2, 3))),
+        ("nested", {"t": (np.ones(2), [np.int64(7), None]), "flag": True}),
+    ]
+)
+
+
+class TestStreamingCodec:
+    """The zero-copy writer/mmap reader must match the monolithic codec."""
+
+    def test_iter_serialized_concatenates_to_dumps(self):
+        chunks = list(serialization.iter_serialized(EDGE_TREE))
+        assert b"".join(chunks) == serialization.dumps(EDGE_TREE)
+
+    def test_dump_to_writes_identical_bytes(self, tmp_path):
+        path = tmp_path / "stream.state"
+        with open(path, "wb") as fileobj:
+            written = serialization.dump_to(EDGE_TREE, fileobj)
+        data = serialization.dumps(EDGE_TREE)
+        assert path.read_bytes() == data
+        assert written == len(data)
+
+    def test_mmap_load_round_trips_edge_cases(self, tmp_path):
+        path = tmp_path / "edge.state"
+        serialization.save(EDGE_TREE, path)
+        restored = serialization.load(path)
+        assert restored["empty"].shape == (0, 3)
+        assert restored["zero_dim"].shape == ()
+        assert restored["zero_dim"] == 2.5
+        assert np.array_equal(restored["view"], EDGE_TREE["view"])
+        assert np.array_equal(restored["fortran"], EDGE_TREE["fortran"])
+        assert restored["nested"]["t"][1] == [np.int64(7), None]
+        assert restored["nested"]["flag"] is True
+
+    def test_loads_accepts_memoryview(self):
+        data = serialization.dumps(EDGE_TREE)
+        restored = serialization.loads(memoryview(data))
+        _assert_trees_equal(EDGE_TREE, restored)
+
+    def test_loaded_arrays_are_writable_copies(self, tmp_path):
+        path = tmp_path / "own.state"
+        serialization.save({"w": np.ones(8, dtype=np.float32)}, path)
+        restored = serialization.load(path)
+        restored["w"][0] = 42.0  # must not be backed by the closed mmap
+        assert restored["w"][0] == 42.0
+
+    def test_streaming_does_not_copy_contiguous_arrays(self):
+        array = np.arange(16, dtype=np.float32)
+        _, views = serialization.serialized_views({"a": array})
+        assert views[0].obj is array
+
 
 class TestFiles:
     def test_save_load_file(self, tmp_path):
