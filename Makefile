@@ -1,6 +1,6 @@
 PY ?= python
 
-.PHONY: test bench-smoke api-docs
+.PHONY: test bench-smoke chaos api-docs
 
 # tier-1 suite (the repo's correctness gate)
 test:
@@ -9,6 +9,12 @@ test:
 # tier-1 tests + ~5s save/recover micro-benchmark; writes BENCH_pipeline.json
 bench-smoke:
 	$(PY) scripts/bench_smoke.py
+
+# fault-injection tests (fixed seeds) + chaos smoke; writes BENCH_chaos.json
+chaos:
+	PYTHONPATH=src $(PY) -m pytest -q tests/filestore/test_faults.py \
+		tests/core/test_crash_consistency.py tests/core/test_fsck.py
+	$(PY) scripts/chaos_smoke.py
 
 api-docs:
 	PYTHONPATH=src $(PY) scripts/generate_api_docs.py

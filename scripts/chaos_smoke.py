@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""CI chaos smoke: fault-injected saves, crash points, fsck repair.
+
+Exercises the robustness stack end to end, quickly:
+
+* every save approach (baseline / param_update / provenance) saves and
+  recovers a model **bitwise** through ``FaultInjector`` rates well above
+  the acceptance bar (>= 10% transient errors + outages), with
+  ``RetryPolicy`` absorbing the failures;
+* a crash matrix kills a baseline save at every operation index in turn
+  (``CrashPoint``), runs ``ModelManager.fsck`` after each death, and
+  requires every crash to repair to zero unrepaired issues with the
+  previously saved base model intact;
+* a short randomized-seed sweep repeats the retry scenario under fresh
+  fault schedules.
+
+Writes ``BENCH_chaos.json`` at the repo root (mirrored into
+``benchmarks/results/``) with the scenarios run, total retries taken,
+and ``repairs_needed`` — the count of unrepaired issues left anywhere,
+which must be 0 for a zero exit status.
+
+Usage::
+
+    python scripts/chaos_smoke.py [--sweep-seeds 3] [--out BENCH_chaos.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))  # for the tests.conftest tiny-model factory
+
+import numpy as np  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    ArchitectureRef,
+    BaselineSaveService,
+    ModelManager,
+    ModelSaveInfo,
+    ParameterUpdateSaveService,
+    ProvenanceSaveService,
+)
+from repro.docstore import DocumentStore  # noqa: E402
+from repro.faults import CrashPoint, FaultInjector, FaultyDocumentStore  # noqa: E402
+from repro.filestore import FileStore  # noqa: E402
+from repro.retry import RetryPolicy  # noqa: E402
+from tests.conftest import make_tiny_cnn  # noqa: E402
+
+SERVICES = {
+    "baseline": BaselineSaveService,
+    "param_update": ParameterUpdateSaveService,
+    "provenance": ProvenanceSaveService,
+}
+
+
+def tiny_arch() -> ArchitectureRef:
+    return ArchitectureRef.from_factory(
+        "tests.conftest", "make_tiny_cnn", {"num_classes": 10}
+    )
+
+
+def states_equal(model, other) -> bool:
+    state, restored = model.state_dict(), other.state_dict()
+    return all(np.array_equal(state[key], restored[key]) for key in state)
+
+
+def chaos_stores(workdir: Path, faults: FaultInjector, retry: RetryPolicy | None):
+    docs = FaultyDocumentStore(DocumentStore(), faults)
+    files = FileStore(workdir / "files", faults=faults, retry=retry, tmp_grace_s=0.0)
+    return docs, files
+
+
+def retry_scenario(approach: str, seed: int) -> dict:
+    """Flaky stores at >=10% rates: save + recover must be bitwise."""
+    faults = FaultInjector(
+        seed=seed,
+        error_rate=0.12,
+        outage_rate=0.12,
+        corrupt_rate=0.05,
+        torn_write_rate=0.05,
+        max_consecutive_failures=3,
+    )
+    retry = RetryPolicy(max_attempts=8, base_delay_s=0.0, sleep=lambda s: None)
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        docs, files = chaos_stores(workdir, faults, retry)
+        service = SERVICES[approach](docs, files, scratch_dir=workdir / "scratch", retry=retry)
+        manager = ModelManager(service)
+
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch(), use_case="U_1"))
+        derived = make_tiny_cnn(seed=2)
+        derived_id = service.save_model(
+            ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id, use_case="U_2")
+        )
+        bitwise = states_equal(base, service.recover_model(base_id).model) and (
+            states_equal(derived, service.recover_model(derived_id).model)
+        )
+        report = manager.fsck()
+    return {
+        "scenario": f"retry/{approach}",
+        "seed": seed,
+        "bitwise_recovery": bitwise,
+        "faults_injected": {
+            key: faults.stats[key]
+            for key in ("errors", "outages", "corruptions", "torn_writes")
+        },
+        "retries_taken": retry.retries_taken,
+        "unrepaired_issues": len(report.unrepaired),
+    }
+
+
+def crash_matrix_scenario(seed: int) -> dict:
+    """Kill a save at op 1, 2, 3, ...; fsck must repair every crash."""
+    faults = FaultInjector(seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        docs, files = chaos_stores(workdir, faults, retry=None)
+        service = BaselineSaveService(docs, files, scratch_dir=workdir / "scratch")
+        manager = ModelManager(service)
+
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch(), use_case="U_1"))
+
+        victim = make_tiny_cnn(seed=2)
+        save_info = ModelSaveInfo(
+            victim, tiny_arch(), base_model_id=base_id, use_case="U_3-1-1"
+        )
+        crashes = repaired = unrepaired = 0
+        base_losses = 0
+        for at in range(1, 500):
+            faults.arm_crash(at)
+            try:
+                service.save_model(save_info)
+            except CrashPoint:
+                crashes += 1
+                report = manager.fsck()
+                repaired += len([i for i in report.issues if i.repaired])
+                unrepaired += len(report.unrepaired)
+                if not states_equal(base, service.recover_model(base_id).model):
+                    base_losses += 1
+            else:
+                break
+        faults.crash_at = None
+        final_report = manager.fsck()
+        unrepaired += len(final_report.unrepaired)
+    return {
+        "scenario": "crash-matrix/baseline",
+        "seed": seed,
+        "crash_points": crashes,
+        "issues_repaired": repaired,
+        "unrepaired_issues": unrepaired,
+        "base_model_losses": base_losses,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sweep-seeds", type=int, default=3,
+                        help="randomized-seed retry runs per approach")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_chaos.json"))
+    args = parser.parse_args()
+
+    started = time.time()
+    scenarios = []
+    for approach in SERVICES:
+        scenarios.append(retry_scenario(approach, seed=13))
+    scenarios.append(crash_matrix_scenario(seed=0))
+    # randomized sweep: different fault schedules, same guarantees
+    sweep_base = int(time.time()) % 10_000
+    for offset in range(args.sweep_seeds):
+        approach = list(SERVICES)[offset % len(SERVICES)]
+        scenarios.append(retry_scenario(approach, seed=sweep_base + offset))
+
+    repairs_needed = sum(s.get("unrepaired_issues", 0) for s in scenarios)
+    bad_recoveries = sum(
+        1 for s in scenarios if s.get("bitwise_recovery") is False
+    ) + sum(s.get("base_model_losses", 0) for s in scenarios)
+    result = {
+        "suite": "chaos-smoke",
+        "elapsed_s": round(time.time() - started, 2),
+        "scenarios_run": len(scenarios),
+        "retries_taken": sum(s.get("retries_taken", 0) for s in scenarios),
+        "crash_points": sum(s.get("crash_points", 0) for s in scenarios),
+        "repairs_needed": repairs_needed,
+        "bitwise_failures": bad_recoveries,
+        "scenarios": scenarios,
+    }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    mirror = ROOT / "benchmarks" / "results"
+    if mirror.is_dir():
+        shutil.copy(out, mirror / out.name)
+    print(json.dumps({k: v for k, v in result.items() if k != "scenarios"}, indent=2))
+
+    if repairs_needed or bad_recoveries:
+        print("chaos smoke FAILED: unrepaired damage or non-bitwise recovery",
+              file=sys.stderr)
+        return 1
+    print(f"chaos smoke OK: {len(scenarios)} scenarios, "
+          f"{result['retries_taken']} retries absorbed, "
+          f"{result['crash_points']} crash points repaired")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,20 @@ Subpackages
 ``repro.workloads`` synthetic datasets, model relations, chain pretraining
 """
 
+from .errors import MMLibError, StoreCorruptionError, TransientStoreError
+from .faults import CrashPoint, FaultInjector, FaultyDocumentStore
+from .retry import RetryingDocumentStore, RetryPolicy
+
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "MMLibError",
+    "TransientStoreError",
+    "StoreCorruptionError",
+    "CrashPoint",
+    "FaultInjector",
+    "FaultyDocumentStore",
+    "RetryPolicy",
+    "RetryingDocumentStore",
+]

@@ -16,6 +16,7 @@ file store directories).  Examples::
           --state model.state --approach baseline
     mmlib --docs db --files blobs delete model-0123… --force
     mmlib --docs db --files blobs gc
+    mmlib --docs db --files blobs fsck
     mmlib probe --factory repro.nn.models:resnet18 \\
           --factory-kwargs '{"num_classes": 10, "scale": 0.25}'
     mmlib env
@@ -243,6 +244,19 @@ def cmd_gc(args) -> int:
     return 0
 
 
+def cmd_fsck(args) -> int:
+    """Verify documents/files/chunks/refcounts; repair what is safe."""
+    manager = _open_manager(args)
+    report = manager.fsck(
+        repair=not args.no_repair, verify_chunks=not args.no_verify_chunks
+    )
+    for issue in report.issues:
+        status = "repaired" if issue.repaired else "UNREPAIRED"
+        print(f"[{status}] {issue.kind}: {issue.detail}")
+    print(report.summary())
+    return 1 if report.unrepaired else 0
+
+
 def cmd_probe(args) -> int:
     """Probe a model's training reproducibility (optionally save/compare)."""
     from repro.core import ProbeSummary, probe_reproducibility, probe_training
@@ -369,6 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     gc_parser = commands.add_parser("gc", help="remove orphaned files from the file store")
     gc_parser.set_defaults(func=cmd_gc)
+
+    fsck_parser = commands.add_parser(
+        "fsck", help="verify and repair store consistency after crashes"
+    )
+    fsck_parser.add_argument(
+        "--no-repair", action="store_true",
+        help="report violations without touching the stores",
+    )
+    fsck_parser.add_argument(
+        "--no-verify-chunks", action="store_true",
+        help="skip re-hashing chunk payloads (faster on large stores)",
+    )
+    fsck_parser.set_defaults(func=cmd_fsck)
 
     verify_parser = commands.add_parser(
         "verify", help="recover + checksum-verify every model in the catalog"

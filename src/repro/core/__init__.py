@@ -32,6 +32,8 @@ from .errors import (
     ModelNotFoundError,
     RecoveryError,
     SaveError,
+    StoreCorruptionError,
+    TransientStoreError,
     VerificationError,
 )
 from .hashing import state_dict_hashes, state_dict_root_hash, tensor_hash
@@ -43,7 +45,13 @@ from .heuristics import (
     select_approach,
 )
 from .ids import is_model_id, new_model_id
-from .manager import DependentModelsError, ModelManager, ModelRecord
+from .manager import (
+    DependentModelsError,
+    FsckIssue,
+    FsckReport,
+    ModelManager,
+    ModelRecord,
+)
 from .merkle import DiffResult, MerkleNode, MerkleTree
 from .param_update import ParameterUpdateSaveService, extract_parameter_update
 from .probe import (
@@ -70,6 +78,8 @@ __all__ = [
     "AbstractSaveService",
     "AdaptiveSaveService",
     "DependentModelsError",
+    "FsckIssue",
+    "FsckReport",
     "ModelManager",
     "ModelRecord",
     "NEUTRAL_FORMAT",
@@ -94,6 +104,8 @@ __all__ = [
     "ModelNotFoundError",
     "RecoveryError",
     "SaveError",
+    "StoreCorruptionError",
+    "TransientStoreError",
     "VerificationError",
     "state_dict_hashes",
     "state_dict_root_hash",

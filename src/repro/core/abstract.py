@@ -22,9 +22,11 @@ from __future__ import annotations
 import json
 import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from ..nn import rng, serialization
+from ..retry import RetryingDocumentStore
 from ..nn.modules import Module
 from .dataset_manager import DatasetManager
 from .environment import EnvironmentInfo, check_environment, collect_environment
@@ -54,6 +56,9 @@ class AbstractSaveService:
     ``document_store`` needs a ``collection(name)`` method (the embedded
     :class:`~repro.docstore.DocumentStore` and the TCP client both qualify);
     ``file_store`` is a :class:`~repro.filestore.FileStore` or compatible.
+    ``retry`` (a :class:`~repro.retry.RetryPolicy`) makes document
+    operations retry transient store failures; pass the same policy to the
+    file store so both halves of a save share one backoff budget.
     """
 
     #: Set by subclasses; stored in every model document they save.
@@ -66,9 +71,13 @@ class AbstractSaveService:
         scratch_dir: str | Path | None = None,
         dataset_codec: str | None = None,
         chunked: bool = True,
+        retry=None,
     ):
+        if retry is not None:
+            document_store = RetryingDocumentStore(document_store, retry)
         self.documents = document_store
         self.files = file_store
+        self.retry = retry
         # chunked saves write parameters as content-addressed per-layer
         # chunks keyed by the Merkle leaf hashes (dedup across models; no
         # whole-blob re-hash).  Falls back to the monolithic codec for
@@ -84,17 +93,74 @@ class AbstractSaveService:
         self._scratch_dir = Path(scratch_dir) if scratch_dir else None
 
     # ------------------------------------------------------------------
-    # save (subclass responsibility)
+    # save
     # ------------------------------------------------------------------
 
     def save_model(self, save_info) -> str:
+        """Persist a model crash-consistently; returns its new id.
+
+        Template method: the approach-specific work happens in the
+        subclass's ``_save_model``, wrapped in a save transaction that
+        journals every store mutation.  A failed save rolls its steps
+        back; a crashed save leaves its journal for ``fsck`` to undo.
+        """
+        with self._save_transaction():
+            return self._save_model(save_info)
+
+    def _save_model(self, save_info) -> str:
         raise NotImplementedError
+
+    @contextmanager
+    def _save_transaction(self):
+        """Journal the enclosed save steps; roll back on failure.
+
+        Reentrant: nested saves (the provenance service saving its base
+        snapshot, the adaptive service delegating) join the outermost
+        transaction, so one save is one journal — exactly the unit a
+        crash must not tear.  :class:`BaseException` escapes (simulated
+        process death, interrupts) skip the rollback and leave the
+        journal on disk, which is what makes post-crash ``fsck`` honest.
+        """
+        journaled = hasattr(self.files, "begin_journal") and not getattr(
+            self.files, "journal_active", lambda: False
+        )()
+        if journaled:
+            self.files.begin_journal()
+        try:
+            yield
+        except Exception:
+            if journaled:
+                rollback = self.files.abort_journal()
+                self._delete_journaled_docs(rollback["docs"])
+            raise
+        except BaseException:
+            if journaled:
+                # a "dead" process runs no cleanup: detach, keep the file
+                self.files.abandon_journal()
+            raise
+        else:
+            if journaled:
+                self.files.commit_journal()
+
+    def _delete_journaled_docs(self, docs) -> None:
+        """Best-effort deletion of documents a rolled-back save inserted."""
+        for collection, doc_id in docs:
+            try:
+                self.documents.collection(collection).delete_one(doc_id)
+            except Exception:  # the store may be the thing that failed
+                pass
+
+    def _journal(self, op: str, **fields) -> None:
+        if hasattr(self.files, "journal_record"):
+            self.files.journal_record(op, **fields)
 
     # -- shared save helpers ----------------------------------------------
 
     def _save_environment(self) -> str:
         info = collect_environment()
-        return self.documents.collection(ENVIRONMENTS).insert_one(info.to_dict())
+        env_id = self.documents.collection(ENVIRONMENTS).insert_one(info.to_dict())
+        self._journal("doc", collection=ENVIRONMENTS, doc_id=env_id)
+        return env_id
 
     def _save_architecture(self, architecture: ArchitectureRef) -> dict:
         code_file_id = self.files.save_bytes(architecture.source.encode(), suffix=".py")
@@ -140,6 +206,9 @@ class AbstractSaveService:
         document["_id"] = model_id
         document["approach"] = document.get("approach", self.approach)
         document["saved_at"] = time.time()
+        # journal the intent first: a crash between journal append and
+        # insert rolls back a document that never landed, which is a no-op
+        self._journal("doc", collection=MODELS, doc_id=model_id)
         self.documents.collection(MODELS).insert_one(document)
         return model_id
 

@@ -65,9 +65,11 @@ class AdaptiveSaveService(AbstractSaveService):
         train_seconds_estimate: float = 60.0,
         recovers_per_save: float = 0.01,
         chunked: bool = True,
+        retry=None,
     ):
         super().__init__(
-            document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
+            document_store, file_store, scratch_dir, dataset_codec,
+            chunked=chunked, retry=retry,
         )
         self.cost_model = cost_model or CostModel()
         self.max_storage_bytes = max_storage_bytes
@@ -76,13 +78,16 @@ class AdaptiveSaveService(AbstractSaveService):
         self.recovers_per_save = recovers_per_save
         self._services = {
             APPROACH_BASELINE: BaselineSaveService(
-                document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
+                document_store, file_store, scratch_dir, dataset_codec,
+                chunked=chunked, retry=retry,
             ),
             APPROACH_PARAM_UPDATE: ParameterUpdateSaveService(
-                document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
+                document_store, file_store, scratch_dir, dataset_codec,
+                chunked=chunked, retry=retry,
             ),
             APPROACH_PROVENANCE: ProvenanceSaveService(
-                document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
+                document_store, file_store, scratch_dir, dataset_codec,
+                chunked=chunked, retry=retry,
             ),
         }
         #: the estimate behind the most recent save (for inspection/benches)
@@ -168,7 +173,7 @@ class AdaptiveSaveService(AbstractSaveService):
 
     # -- saving -----------------------------------------------------------------
 
-    def save_model(self, save_info) -> str:
+    def _save_model(self, save_info) -> str:
         """Profile the save, pick the cheapest feasible approach, delegate."""
         profile, chain_depth = self._profile(save_info)
         feasible = self._feasible_approaches(save_info)

@@ -20,7 +20,7 @@ class BaselineSaveService(AbstractSaveService):
 
     approach = APPROACH_BASELINE
 
-    def save_model(self, save_info: ModelSaveInfo) -> str:
+    def _save_model(self, save_info: ModelSaveInfo) -> str:
         """Save a complete snapshot; returns the new model id."""
         save_info.validate()
         environment_id = self._save_environment()

@@ -1,19 +1,25 @@
-"""Exception hierarchy for MMlib."""
+"""Exception hierarchy for MMlib.
+
+The root :class:`MMLibError` and the storage-level errors live in the
+package-leaf :mod:`repro.errors` (the file store cannot import this
+module without a cycle); they are re-exported here so MMlib callers keep
+one import site for the whole hierarchy.
+"""
 
 from __future__ import annotations
 
+from ..errors import MMLibError, StoreCorruptionError, TransientStoreError
+
 __all__ = [
     "MMLibError",
+    "TransientStoreError",
+    "StoreCorruptionError",
     "ModelNotFoundError",
     "EnvironmentMismatchError",
     "VerificationError",
     "RecoveryError",
     "SaveError",
 ]
-
-
-class MMLibError(Exception):
-    """Base class for all MMlib errors."""
 
 
 class ModelNotFoundError(MMLibError):

@@ -1,4 +1,4 @@
-"""High-level model management: catalog, lineage, retention.
+"""High-level model management: catalog, lineage, retention, repair.
 
 The paper's server "has to monitor every model that exists and has to be
 able to losslessly recover it when requested" (use case U_4).
@@ -6,18 +6,33 @@ able to losslessly recover it when requested" (use case U_4).
 it lists and queries the model catalog, walks lineage in both directions,
 reports storage, and deletes models safely (refusing to orphan derived
 models, cleaning up every referenced document and file).
+
+:meth:`ModelManager.fsck` is the post-crash consistency check: it rolls
+back saves that died mid-flight (via their intent journals), cross-checks
+documents against files, manifests against chunks, and refcounts against
+what the live manifests actually reference, repairing what it safely can.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from .abstract import AbstractSaveService
 from .errors import MMLibError, ModelNotFoundError
+from .hashing import tensor_hash
 from .recover import RecoveredModelInfo, StorageBreakdown
 from .schema import ENVIRONMENTS, MODELS, TRAIN_INFO, WRAPPERS
 
-__all__ = ["ModelRecord", "ModelManager", "DependentModelsError"]
+__all__ = [
+    "ModelRecord",
+    "ModelManager",
+    "DependentModelsError",
+    "FsckIssue",
+    "FsckReport",
+]
 
 
 class DependentModelsError(MMLibError):
@@ -38,6 +53,59 @@ class ModelRecord:
     @property
     def is_root(self) -> bool:
         return self.base_model_id is None
+
+
+@dataclass
+class FsckIssue:
+    """One consistency violation found by :meth:`ModelManager.fsck`.
+
+    ``kind`` is a stable machine-readable tag (``incomplete_save``,
+    ``missing_file``, ``missing_chunk``, ``corrupt_chunk``,
+    ``corrupt_manifest``, ``refcount_mismatch``, ``orphan_file``,
+    ``orphan_chunk``, ``orphan_document``, ``missing_base``,
+    ``missing_document``).
+    """
+
+    kind: str
+    detail: str
+    repaired: bool = False
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one verify-and-repair pass over the shared stores."""
+
+    issues: list[FsckIssue] = field(default_factory=list)
+    checked_models: int = 0
+    checked_files: int = 0
+    checked_chunks: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    @property
+    def repaired(self) -> list[FsckIssue]:
+        return [issue for issue in self.issues if issue.repaired]
+
+    @property
+    def unrepaired(self) -> list[FsckIssue]:
+        return [issue for issue in self.issues if not issue.repaired]
+
+    def add(self, kind: str, detail: str, repaired: bool = False) -> None:
+        self.issues.append(FsckIssue(kind, detail, repaired))
+
+    def summary(self) -> str:
+        counts = Counter(issue.kind for issue in self.issues)
+        breakdown = (
+            ", ".join(f"{kind}: {n}" for kind, n in sorted(counts.items()))
+            or "no issues"
+        )
+        return (
+            f"fsck: {self.checked_models} models, {self.checked_files} files, "
+            f"{self.checked_chunks} chunks checked; {breakdown} "
+            f"({len(self.repaired)} repaired, {len(self.unrepaired)} unrepaired)"
+        )
 
 
 class ModelManager:
@@ -326,3 +394,225 @@ class ModelManager:
         if hasattr(self.files, "gc_chunks"):
             self.files.gc_chunks()
         return {"files_removed": removed, "bytes_freed": before - self.files.total_bytes()}
+
+    # -- fsck: verify and repair --------------------------------------------
+
+    def fsck(self, repair: bool = True, verify_chunks: bool = True) -> FsckReport:
+        """Cross-check documents ↔ files ↔ chunks ↔ refcounts; repair.
+
+        Invariants checked, in order:
+
+        1. every intent journal belongs to a finished save — crashed
+           saves are rolled back (stores and documents), committed ones
+           merely discarded;
+        2. every model document's base model, environment/train documents,
+           and referenced files exist;
+        3. every manifest's chunks exist and (with ``verify_chunks``)
+           hash back to their content digests;
+        4. no blob exists that no document references (orphans from
+           crashes predating the journal, deleted);
+        5. chunk refcounts equal what the live manifests reference, and
+           no unreferenced chunk file remains.
+
+        With ``repair=False`` everything is reported but nothing is
+        touched.  Losses fsck cannot undo (a missing or corrupt chunk of
+        a live model) are reported as unrepaired issues.
+        """
+        report = FsckReport()
+        files = self.files
+
+        # 1. crashed saves: roll back their journaled steps, newest first
+        if hasattr(files, "incomplete_journals"):
+            for journal in files.incomplete_journals():
+                if journal.committed:
+                    if repair:
+                        journal.discard()
+                    report.add(
+                        "incomplete_save",
+                        f"committed journal {journal.save_id} was never removed",
+                        repaired=repair,
+                    )
+                    continue
+                if repair:
+                    stats = files.rollback_journal(journal)
+                    for collection, doc_id in stats["docs"]:
+                        try:
+                            self.documents.collection(collection).delete_one(doc_id)
+                        except Exception:
+                            pass  # the document may never have landed
+                    detail = (
+                        f"rolled back crashed save {journal.save_id}: "
+                        f"{stats['blobs_removed']} blobs, "
+                        f"{stats['chunks_removed']} chunks, "
+                        f"{stats['refs_released']} refs, "
+                        f"{len(stats['docs'])} documents"
+                    )
+                else:
+                    detail = (
+                        f"crashed save {journal.save_id} left "
+                        f"{len(journal.entries)} journaled steps behind"
+                    )
+                report.add("incomplete_save", detail, repaired=repair)
+
+        # 2. documents -> documents/files cross-checks
+        model_docs = {d["_id"]: d for d in self.documents.collection(MODELS).find()}
+        report.checked_models = len(model_docs)
+        referenced_files: set[str] = set()
+        live_envs: set[str] = set()
+        live_trains: set[str] = set()
+        for model_id, document in model_docs.items():
+            base = document.get("base_model")
+            if base and base not in model_docs:
+                report.add(
+                    "missing_base",
+                    f"model {model_id} derives from missing base model {base}",
+                )
+            for collection_name, doc_id, live in (
+                (ENVIRONMENTS, document.get("environment_id"), live_envs),
+                (TRAIN_INFO, document.get("train_info_id"), live_trains),
+            ):
+                if not doc_id:
+                    continue
+                live.add(doc_id)
+                try:
+                    self.documents.collection(collection_name).get(doc_id)
+                except KeyError:
+                    report.add(
+                        "missing_document",
+                        f"model {model_id} references missing "
+                        f"{collection_name} document {doc_id}",
+                    )
+            for file_id in self._referenced_files(document):
+                referenced_files.add(file_id)
+                if not files.exists(file_id):
+                    report.add(
+                        "missing_file",
+                        f"model {model_id} references missing file {file_id}",
+                    )
+        live_wrappers: set[str] = set()
+        for train_id in live_trains:
+            try:
+                train_document = self.documents.collection(TRAIN_INFO).get(train_id)
+            except KeyError:
+                continue  # already reported above
+            for key, value in train_document.items():
+                if isinstance(value, str) and key.endswith("_wrapper"):
+                    live_wrappers.add(value)
+        for wrapper_id in live_wrappers:
+            try:
+                wrapper_document = self.documents.collection(WRAPPERS).get(wrapper_id)
+            except KeyError:
+                report.add(
+                    "missing_document",
+                    f"train document references missing wrapper {wrapper_id}",
+                )
+                continue
+            state_file = wrapper_document.get("state_file_id")
+            if state_file:
+                referenced_files.add(state_file)
+                if not files.exists(state_file):
+                    report.add(
+                        "missing_file",
+                        f"wrapper {wrapper_id} references missing file {state_file}",
+                    )
+
+        # 3. manifests -> chunk existence and content digests
+        expected_refs: Counter = Counter()
+        verified: set[str] = set()
+        for file_id in sorted(referenced_files):
+            if not (
+                hasattr(files, "is_manifest_id")
+                and files.is_manifest_id(file_id)
+                and files.exists(file_id)
+            ):
+                continue
+            try:
+                manifest = files.read_manifest(file_id)
+            except (IOError, ValueError) as exc:
+                report.add("corrupt_manifest", f"manifest {file_id}: {exc}")
+                continue
+            for name, meta in manifest["layers"]:
+                digest = meta["chunk"]
+                expected_refs[digest] += 1
+                if not files.has_chunk(digest):
+                    report.add(
+                        "missing_chunk",
+                        f"manifest {file_id} layer {name!r} references "
+                        f"missing chunk {digest[:12]}…",
+                    )
+                    continue
+                if not verify_chunks or digest in verified:
+                    continue
+                verified.add(digest)
+                # read straight from disk: fsck audits what is stored,
+                # not what a faulty link would deliver
+                raw = files.chunks.get(digest)
+                try:
+                    array = np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(
+                        meta["shape"]
+                    )
+                    intact = tensor_hash(array) == digest
+                except (ValueError, TypeError):
+                    intact = False
+                if not intact:
+                    report.add(
+                        "corrupt_chunk",
+                        f"chunk {digest[:12]}… (layer {name!r} of {file_id}) "
+                        "does not hash back to its digest",
+                    )
+        report.checked_chunks = len(set(expected_refs))
+
+        # 4. orphan blobs nothing references
+        if hasattr(files, "file_ids"):
+            file_ids = files.file_ids()
+            report.checked_files = len(file_ids)
+            for file_id in file_ids:
+                if file_id in referenced_files:
+                    continue
+                if repair:
+                    files.delete(file_id)
+                report.add(
+                    "orphan_file",
+                    f"unreferenced file {file_id}"
+                    + (" (removed)" if repair else ""),
+                    repaired=repair,
+                )
+
+        # 5. refcounts vs. the live manifests; orphan chunk files
+        if hasattr(files, "chunks"):
+            outcome = files.chunks.reconcile(expected_refs, repair=repair)
+            for digest, (actual, wanted) in sorted(outcome["ref_fixes"].items()):
+                report.add(
+                    "refcount_mismatch",
+                    f"chunk {digest[:12]}…: stored refcount {actual}, "
+                    f"manifests reference it {wanted} time(s)",
+                    repaired=repair,
+                )
+            for name in outcome["orphan_chunks_removed"]:
+                report.add(
+                    "orphan_chunk",
+                    f"unreferenced chunk {name[:12]}…"
+                    + (" (removed)" if repair else ""),
+                    repaired=repair,
+                )
+
+        # 6. orphan documents (saves that crashed outside a journal)
+        for collection_name, live in (
+            (ENVIRONMENTS, live_envs),
+            (TRAIN_INFO, live_trains),
+            (WRAPPERS, live_wrappers),
+        ):
+            collection = self.documents.collection(collection_name)
+            for document in collection.find():
+                doc_id = document["_id"]
+                if doc_id in live:
+                    continue
+                if repair:
+                    collection.delete_one(doc_id)
+                report.add(
+                    "orphan_document",
+                    f"unreferenced {collection_name} document {doc_id}"
+                    + (" (removed)" if repair else ""),
+                    repaired=repair,
+                )
+        return report

@@ -56,15 +56,17 @@ class ParameterUpdateSaveService(AbstractSaveService):
         dataset_codec=None,
         use_merkle: bool = True,
         chunked: bool = True,
+        retry=None,
     ):
         super().__init__(
-            document_store, file_store, scratch_dir, dataset_codec, chunked=chunked
+            document_store, file_store, scratch_dir, dataset_codec,
+            chunked=chunked, retry=retry,
         )
         self.use_merkle = use_merkle
         #: hash comparisons performed by the most recent save (ablation metric)
         self.last_diff: DiffResult | None = None
 
-    def save_model(self, save_info: ModelSaveInfo) -> str:
+    def _save_model(self, save_info: ModelSaveInfo) -> str:
         """Save a model; full snapshot for initial models, update otherwise."""
         save_info.validate()
         if save_info.base_model_id is None:

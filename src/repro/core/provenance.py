@@ -24,7 +24,7 @@ from .errors import SaveError
 from .hashing import state_dict_hashes
 from .merkle import MerkleTree
 from .save_info import ModelSaveInfo, ProvenanceSaveInfo, TrainRunSpec
-from .schema import APPROACH_PROVENANCE
+from .schema import APPROACH_PROVENANCE, TRAIN_INFO
 from .train_service import TrainService
 from .wrappers import StateFileRestorableObjectWrapper
 
@@ -36,10 +36,10 @@ class ProvenanceSaveService(AbstractSaveService):
 
     approach = APPROACH_PROVENANCE
 
-    def save_model(self, save_info) -> str:
+    def _save_model(self, save_info) -> str:
         """Save either an initial snapshot or a provenance record."""
         if isinstance(save_info, ProvenanceSaveInfo):
-            return self.save_provenance(save_info)
+            return self._save_provenance(save_info)
         if isinstance(save_info, ModelSaveInfo):
             return self._save_initial(save_info)
         raise SaveError(
@@ -65,12 +65,17 @@ class ProvenanceSaveService(AbstractSaveService):
 
     def save_provenance(self, save_info: ProvenanceSaveInfo) -> str:
         """Persist a derived model as provenance data; returns the model id."""
+        with self._save_transaction():
+            return self._save_provenance(save_info)
+
+    def _save_provenance(self, save_info: ProvenanceSaveInfo) -> str:
         save_info.validate()
         if not self.model_exists(save_info.base_model_id):
             raise SaveError(f"base model {save_info.base_model_id!r} is not saved")
 
         environment_id = self._save_environment()
         train_info_id = save_info.train_service.save(self.documents, self.files)
+        self._journal("doc", collection=TRAIN_INFO, doc_id=train_info_id)
 
         provenance = {
             "train_spec": save_info.train_spec.to_dict(),

@@ -23,8 +23,10 @@ from ..core.schema import (
     APPROACH_PROVENANCE,
 )
 from ..docstore.engine import DocumentStore
+from ..faults import FaultInjector, FaultyDocumentStore
 from ..filestore.network import NetworkModel, SimulatedNetworkFileStore
 from ..filestore.store import FileStore
+from ..retry import RetryPolicy
 
 __all__ = ["SERVICE_CLASSES", "SharedStores", "Participant", "Server", "Node", "make_service"]
 
@@ -43,23 +45,37 @@ class SharedStores:
     documents: DocumentStore
     files: FileStore
     scratch_dir: Path
+    retry: RetryPolicy | None = None
 
     @classmethod
-    def at(cls, workdir: str | Path, network: NetworkModel | None = None) -> "SharedStores":
+    def at(
+        cls,
+        workdir: str | Path,
+        network: NetworkModel | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> "SharedStores":
         """Create fresh stores under ``workdir``.
 
         With ``network`` set, file transfers are charged against the given
-        link model (see :mod:`repro.filestore.network`).
+        link model (see :mod:`repro.filestore.network`).  ``faults`` turns
+        the deployment into a chaos environment: both stores inject the
+        configured failures, and ``retry`` (shared by every participant's
+        service) absorbs the transient ones.
         """
         workdir = Path(workdir)
         documents = DocumentStore(workdir / "documents")
+        if faults is not None:
+            documents = FaultyDocumentStore(documents, faults)
         if network is None:
-            files: FileStore = FileStore(workdir / "files")
+            files: FileStore = FileStore(workdir / "files", faults=faults, retry=retry)
         else:
-            files = SimulatedNetworkFileStore(workdir / "files", network)
+            files = SimulatedNetworkFileStore(
+                workdir / "files", network, faults=faults, retry=retry
+            )
         scratch = workdir / "scratch"
         scratch.mkdir(parents=True, exist_ok=True)
-        return cls(documents=documents, files=files, scratch_dir=scratch)
+        return cls(documents=documents, files=files, scratch_dir=scratch, retry=retry)
 
     def total_storage_bytes(self) -> int:
         return self.documents.storage_bytes() + self.files.total_bytes()
@@ -84,6 +100,7 @@ def make_service(
         scratch_dir=stores.scratch_dir,
         dataset_codec=dataset_codec,
         chunked=chunked,
+        retry=stores.retry,
     )
 
 

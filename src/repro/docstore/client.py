@@ -4,6 +4,20 @@
 API, so MMlib code can be pointed at either an in-process store or a remote
 one without changes — the same way the paper swaps a local MongoDB for one
 on a different machine.
+
+The client is built for an unreliable link (the motivating fleet uplink):
+connects and reads are bounded by timeouts, connection-level failures
+surface as the retryable typed :class:`TransientRemoteError` (never a bare
+``OSError``), a broken connection is re-established transparently, and an
+optional :class:`~repro.retry.RetryPolicy` retries transient failures with
+backoff.  A :class:`~repro.faults.FaultInjector` can be attached to
+simulate outages before requests leave the client.
+
+Retry caveat: a request whose *response* is lost may have executed on the
+server.  All MMlib document ops are either idempotent (get/find/replace/
+delete) or insert documents with client-generated ids (model documents),
+so a duplicate insert surfaces as :class:`DuplicateKeyError` rather than
+silent divergence.
 """
 
 from __future__ import annotations
@@ -12,14 +26,24 @@ import json
 import socket
 import threading
 
+from ..errors import MMLibError, TransientStoreError
 from .documents import DocumentError
 from .engine import DuplicateKeyError, NotFoundError
 
-__all__ = ["DocumentStoreClient", "RemoteCollection", "RemoteStoreError"]
+__all__ = [
+    "DocumentStoreClient",
+    "RemoteCollection",
+    "RemoteStoreError",
+    "TransientRemoteError",
+]
 
 
-class RemoteStoreError(RuntimeError):
+class RemoteStoreError(MMLibError, RuntimeError):
     """Raised for protocol-level failures talking to the store server."""
+
+
+class TransientRemoteError(TransientStoreError, RemoteStoreError):
+    """A retryable connection-level failure (timeout, reset, outage)."""
 
 
 _ERROR_KINDS = {
@@ -31,19 +55,69 @@ _ERROR_KINDS = {
 
 
 class DocumentStoreClient:
-    """Connection to a document-store server, handing out collections."""
+    """Connection to a document-store server, handing out collections.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+    ``timeout`` bounds reads on an established connection;
+    ``connect_timeout`` (default: ``timeout``) bounds connection
+    establishment.  ``retry`` retries transient failures, ``faults``
+    injects simulated outages (chaos testing).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        connect_timeout: float | None = None,
+        retry=None,
+        faults=None,
+    ):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connect_timeout = timeout if connect_timeout is None else connect_timeout
+        self._retry = retry
+        self._faults = faults
+        self._socket: socket.socket | None = None
+        self._reader = None
         self._lock = threading.Lock()
         self._next_id = 0
+        self._connect()
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            self._socket = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+            self._socket.settimeout(self._timeout)
+            self._reader = self._socket.makefile("rb")
+        except OSError as exc:
+            self._socket = None
+            self._reader = None
+            raise TransientRemoteError(
+                f"cannot connect to document store at "
+                f"{self._host}:{self._port}: {exc}"
+            ) from exc
+
+    def _teardown(self) -> None:
+        """Drop a connection whose stream state is no longer trustworthy."""
+        try:
+            if self._reader is not None:
+                self._reader.close()
+        except OSError:
+            pass
+        try:
+            if self._socket is not None:
+                self._socket.close()
+        except OSError:
+            pass
+        self._socket = None
+        self._reader = None
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._socket.close()
+        self._teardown()
 
     def __enter__(self) -> "DocumentStoreClient":
         return self
@@ -57,23 +131,55 @@ class DocumentStoreClient:
     def __getitem__(self, name: str) -> "RemoteCollection":
         return self.collection(name)
 
+    # -- requests ----------------------------------------------------------
+
     def request(self, collection: str, op: str, **args):
-        """Issue one request and return its result (or raise)."""
-        with self._lock:
-            self._next_id += 1
-            request_id = self._next_id
-            payload = json.dumps(
-                {"id": request_id, "collection": collection, "op": op, "args": args}
-            )
-            self._socket.sendall((payload + "\n").encode())
-            raw = self._reader.readline()
-        if not raw:
-            raise RemoteStoreError("connection closed by document-store server")
-        response = json.loads(raw.decode())
-        if response.get("ok"):
-            return response.get("result")
-        error_type = _ERROR_KINDS.get(response.get("kind"), RemoteStoreError)
-        raise error_type(response.get("error", "unknown remote error"))
+        """Issue one request and return its result (or raise).
+
+        Transient failures (injected outages, timeouts, resets, server
+        gone) raise :class:`TransientRemoteError`; with a retry policy the
+        request is retried over a fresh connection.
+        """
+
+        def attempt():
+            with self._lock:
+                if self._faults is not None:
+                    self._faults.fail_point(f"docs.{op}")
+                if self._socket is None:
+                    self._connect()
+                self._next_id += 1
+                request_id = self._next_id
+                payload = json.dumps(
+                    {"id": request_id, "collection": collection, "op": op, "args": args}
+                )
+                try:
+                    self._socket.sendall((payload + "\n").encode())
+                    raw = self._reader.readline()
+                except OSError as exc:  # timeout, reset, broken pipe
+                    self._teardown()
+                    raise TransientRemoteError(
+                        f"document-store connection failed during {op!r}: {exc}"
+                    ) from exc
+                if not raw:
+                    self._teardown()
+                    raise TransientRemoteError(
+                        "connection closed by document-store server"
+                    )
+            try:
+                response = json.loads(raw.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                self._teardown()
+                raise RemoteStoreError(
+                    f"malformed response from document-store server: {exc}"
+                ) from exc
+            if response.get("ok"):
+                return response.get("result")
+            error_type = _ERROR_KINDS.get(response.get("kind"), RemoteStoreError)
+            raise error_type(response.get("error", "unknown remote error"))
+
+        if self._retry is not None:
+            return self._retry.call(attempt, op=f"docs.{op}")
+        return attempt()
 
 
 class RemoteCollection:

@@ -14,6 +14,7 @@ client maps back to the engine's exception types.
 from __future__ import annotations
 
 import json
+import logging
 import socketserver
 import threading
 
@@ -41,7 +42,15 @@ _OPS = {
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         store: DocumentStore = self.server.store  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        log = logging.getLogger(__name__)
+        while True:
+            try:
+                raw = self.rfile.readline()
+            except OSError as exc:  # client reset mid-read: drop this connection
+                log.warning("docstore client %s read failed: %s", self.client_address, exc)
+                return
+            if not raw:
+                return  # clean EOF: client closed its side
             raw = raw.strip()
             if not raw:
                 continue
@@ -55,8 +64,12 @@ class _Handler(socketserver.StreamRequestHandler):
                     "kind": "protocol",
                     "error": str(exc),
                 }
-            self.wfile.write((json.dumps(response) + "\n").encode())
-            self.wfile.flush()
+            try:
+                self.wfile.write((json.dumps(response) + "\n").encode())
+                self.wfile.flush()
+            except OSError as exc:  # client vanished mid-response (broken pipe)
+                log.warning("docstore client %s write failed: %s", self.client_address, exc)
+                return
 
     @staticmethod
     def _dispatch(store: DocumentStore, request: dict) -> dict:

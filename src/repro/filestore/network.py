@@ -58,8 +58,20 @@ class SimulatedNetworkFileStore(FileStore):
     #: (a hex SHA-256 digest) — the cost of a deduplicated chunk upload.
     CHUNK_QUERY_BYTES = 64
 
-    def __init__(self, root: str | Path, network: NetworkModel, sleep: bool = False):
-        super().__init__(root)
+    def __init__(
+        self,
+        root: str | Path,
+        network: NetworkModel,
+        sleep: bool = False,
+        faults=None,
+        retry=None,
+        tmp_grace_s: float | None = None,
+        verify_reads: bool | None = None,
+    ):
+        kwargs = {"faults": faults, "retry": retry, "verify_reads": verify_reads}
+        if tmp_grace_s is not None:
+            kwargs["tmp_grace_s"] = tmp_grace_s
+        super().__init__(root, **kwargs)
         self.network = network
         self.sleep = sleep
         self.simulated_seconds = 0.0
@@ -75,10 +87,17 @@ class SimulatedNetworkFileStore(FileStore):
             time.sleep(cost)
 
     def save_bytes(self, data: bytes, suffix: str = "") -> str:
-        """Persist a payload, charging its upload against the link."""
+        """Persist a payload, charging its upload against the link.
+
+        The charge lands only once the write has succeeded — a failed
+        upload must not inflate ``bytes_sent``/``simulated_seconds``, or
+        chaos runs would report transfer budgets for data that never
+        crossed the link.
+        """
+        file_id = super().save_bytes(data, suffix=suffix)
         self._charge(len(data))
         self.bytes_sent += len(data)
-        return super().save_bytes(data, suffix=suffix)
+        return file_id
 
     def recover_bytes(self, file_id: str) -> bytes:
         """Load a payload, charging its download against the link."""

@@ -20,12 +20,17 @@ import hashlib
 import json
 import os
 import shutil
+import threading
+import time
 import uuid
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterable, Mapping
 
 import numpy as np
+
+from ..errors import StoreCorruptionError, TransientStoreError
+from .journal import JOURNAL_SUFFIX, SaveJournal
 
 try:
     import fcntl
@@ -42,6 +47,13 @@ MANIFEST_FORMAT = "mmlib-chunked-state-v1"
 
 #: Directory (under the store root) holding the content-addressed chunks.
 CHUNK_DIR_NAME = "chunks"
+
+#: Directory (under the store root) holding per-save intent journals.
+JOURNAL_DIR_NAME = "journal"
+
+#: Tmp files younger than this are assumed in-flight and never reaped —
+#: a concurrent saver may still be writing them (see PR-2 satellite fix).
+DEFAULT_TMP_GRACE_S = 600.0
 
 
 class FileNotFoundInStoreError(KeyError):
@@ -71,12 +83,20 @@ class ChunkStore:
     lock file, so multiple processes can share one store directory.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, tmp_grace_s: float = DEFAULT_TMP_GRACE_S):
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self._refs_path = self.root / "refcounts.json"
         self._lock_path = self.root / ".lock"
+        self.tmp_grace_s = float(tmp_grace_s)
+
+    def _tmp_expired(self, path: Path) -> bool:
+        """In-flight tmp files get a grace age before they count as orphans."""
+        try:
+            return path.stat().st_mtime <= time.time() - self.tmp_grace_s
+        except FileNotFoundError:
+            return False
 
     # -- locking / refcount persistence ------------------------------------
 
@@ -129,6 +149,20 @@ class ChunkStore:
         tmp.replace(path)
         return True
 
+    def write_torn(self, digest: str, buffer) -> Path:
+        """Simulate a torn write: persist only a partial tmp file.
+
+        Used by fault injection — the final chunk file is never created,
+        matching the atomic tmp+rename protocol, so the tear is exactly
+        the leftover a real mid-write crash leaves behind.
+        """
+        path = self._chunk_path(digest)
+        tmp = path.with_name(f"{path.name}-{uuid.uuid4().hex[:8]}.tmp")
+        data = bytes(buffer)
+        with open(tmp, "wb") as fileobj:
+            fileobj.write(data[: max(1, len(data) // 2)])
+        return tmp
+
     def get(self, digest: str) -> bytes:
         path = self._chunk_path(digest)
         try:
@@ -173,7 +207,12 @@ class ChunkStore:
         return self._load_refs().get(digest, 0)
 
     def gc(self) -> dict[str, int]:
-        """Delete unreferenced chunks and leftover tmp files; stats dict."""
+        """Delete unreferenced chunks and *expired* tmp files; stats dict.
+
+        Tmp files younger than ``tmp_grace_s`` are left alone: a
+        concurrent in-flight saver may still be writing them, and reaping
+        a live tmp file would tear that save's chunk from under it.
+        """
         removed = 0
         freed = 0
         with self._locked():
@@ -184,11 +223,49 @@ class ChunkStore:
             for path in self.objects_dir.iterdir():
                 if not path.is_file():
                     continue
-                if path.name.endswith(".tmp") or path.name not in live:
-                    freed += path.stat().st_size
-                    path.unlink(missing_ok=True)
-                    removed += 1
+                if path.name.endswith(".tmp"):
+                    if not self._tmp_expired(path):
+                        continue
+                elif path.name in live:
+                    continue
+                freed += path.stat().st_size
+                path.unlink(missing_ok=True)
+                removed += 1
         return {"chunks_removed": removed, "bytes_freed": freed}
+
+    def reconcile(self, expected_refs: Mapping[str, int], repair: bool = True) -> dict:
+        """Cross-check stored refcounts against ``expected_refs`` (fsck).
+
+        ``expected_refs`` is the ground truth recomputed from the live
+        manifests.  Reports (and with ``repair`` fixes) leaked or missing
+        refcounts and deletes orphan chunk files nothing references.
+        """
+        expected = {d: int(c) for d, c in expected_refs.items() if c > 0}
+        with self._locked():
+            refs = self._load_refs()
+            ref_fixes = {
+                digest: (refs.get(digest, 0), expected.get(digest, 0))
+                for digest in set(refs) | set(expected)
+                if refs.get(digest, 0) != expected.get(digest, 0)
+            }
+            orphans = [
+                path
+                for path in self.objects_dir.iterdir()
+                if path.is_file()
+                and not path.name.endswith(".tmp")
+                and path.name not in expected
+            ]
+            orphan_bytes = sum(path.stat().st_size for path in orphans)
+            if repair:
+                if ref_fixes:
+                    self._write_refs(expected)
+                for path in orphans:
+                    path.unlink(missing_ok=True)
+        return {
+            "ref_fixes": ref_fixes,
+            "orphan_chunks_removed": [path.name for path in orphans],
+            "orphan_bytes": orphan_bytes,
+        }
 
     # -- accounting -----------------------------------------------------------
 
@@ -222,37 +299,210 @@ class FileStore:
     chunk (keyed by its precomputed tensor hash) and only a small JSON
     manifest enters the flat blob namespace.  Identical layers across
     saves are stored once.
+
+    Robustness plumbing (all optional, all off by default):
+
+    * ``faults`` — a :class:`~repro.faults.FaultInjector` consulted at
+      every operation boundary (chaos testing);
+    * ``retry`` — a :class:`~repro.retry.RetryPolicy` applied around each
+      primitive operation, so transient failures are absorbed here and
+      callers only ever see a typed error once the budget is spent;
+    * per-save write-ahead intent journals (:meth:`begin_journal`) that
+      make multi-step saves all-or-nothing across crashes;
+    * ``verify_reads`` — re-hash chunk payloads on recovery and re-fetch
+      on mismatch; defaults to on exactly when ``faults``/``retry`` are
+      configured (a chaos or production-robust deployment) so benchmark
+      paths keep their cost profile.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(
+        self,
+        root: str | Path,
+        faults=None,
+        retry=None,
+        tmp_grace_s: float = DEFAULT_TMP_GRACE_S,
+        verify_reads: bool | None = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.faults = faults
+        self.retry = retry
+        self.tmp_grace_s = float(tmp_grace_s)
+        self.verify_reads = (
+            bool(faults is not None or retry is not None)
+            if verify_reads is None
+            else bool(verify_reads)
+        )
         self._chunks: ChunkStore | None = None
+        self._journal_local = threading.local()
         self._clean_orphaned_tmp_files()
 
     def _clean_orphaned_tmp_files(self) -> None:
-        """Drop ``*.tmp`` leftovers from saves interrupted mid-write."""
+        """Drop *expired* ``*.tmp`` leftovers from interrupted saves.
+
+        Young tmp files are spared: another process may be mid-write (the
+        tmp+rename protocol means they vanish on their own on success).
+        """
+        grace = self.tmp_grace_s
+        now = time.time()
         for path in self.root.iterdir():
-            if path.is_file() and path.name.endswith(".tmp"):
-                path.unlink(missing_ok=True)
+            if not (path.is_file() and path.name.endswith(".tmp")):
+                continue
+            try:
+                if path.stat().st_mtime <= now - grace:
+                    path.unlink(missing_ok=True)
+            except FileNotFoundError:
+                pass
 
     @property
     def chunks(self) -> ChunkStore:
         """The store's content-addressed chunk substore (lazily created)."""
         if self._chunks is None:
-            self._chunks = ChunkStore(self.root / CHUNK_DIR_NAME)
+            self._chunks = ChunkStore(
+                self.root / CHUNK_DIR_NAME, tmp_grace_s=self.tmp_grace_s
+            )
         return self._chunks
+
+    # -- fault/retry plumbing ---------------------------------------------------
+
+    def _fault(self, op: str, nbytes: int = 0) -> None:
+        if self.faults is not None:
+            self.faults.fail_point(op, nbytes=nbytes)
+
+    def _call(self, op: str, attempt, retry_on: tuple = (TransientStoreError,)):
+        """Run one primitive operation under the store's retry policy."""
+        if self.retry is None:
+            return attempt()
+        return self.retry.call(attempt, op=op, retry_on=retry_on)
+
+    # -- write-ahead intent journal ---------------------------------------------
+
+    @property
+    def journal_dir(self) -> Path:
+        return self.root / JOURNAL_DIR_NAME
+
+    def begin_journal(self) -> SaveJournal:
+        """Open a new intent journal and make it this thread's active one.
+
+        Store operations on this thread record their intents into the
+        active journal until :meth:`commit_journal` / :meth:`abort_journal`
+        closes it.  The journal is per-thread, so concurrent savers
+        sharing one store never interleave intents.
+        """
+        journal = SaveJournal.create(self.journal_dir)
+        self._journal_local.active = journal
+        return journal
+
+    def _active_journal(self) -> SaveJournal | None:
+        return getattr(self._journal_local, "active", None)
+
+    def journal_active(self) -> bool:
+        """True while this thread has an open save journal.
+
+        Nested save transactions (a service delegating to another over the
+        same store) use this to join the outer journal instead of opening
+        a second one.
+        """
+        return self._active_journal() is not None
+
+    def journal_record(self, op: str, **fields) -> None:
+        """Record one intent into the active journal (no-op without one)."""
+        journal = self._active_journal()
+        if journal is not None:
+            journal.record(op, **fields)
+
+    def commit_journal(self) -> None:
+        """Mark the active journal committed and drop it."""
+        journal = self._active_journal()
+        self._journal_local.active = None
+        if journal is not None:
+            journal.commit()
+
+    def abandon_journal(self) -> None:
+        """Detach the active journal, leaving its file on disk.
+
+        Crash simulation uses this: the "dead" process stops journaling
+        while the incomplete journal stays behind for fsck to find.
+        """
+        self._journal_local.active = None
+
+    def abort_journal(self) -> dict:
+        """Roll back the active journal's recorded steps (failed save)."""
+        journal = self._active_journal()
+        self._journal_local.active = None
+        if journal is None:
+            return {"blobs_removed": 0, "chunks_removed": 0, "refs_released": 0, "docs": []}
+        return self.rollback_journal(journal)
+
+    def incomplete_journals(self) -> list[SaveJournal]:
+        """Journals of saves that never finished (crashed mid-save)."""
+        if not self.journal_dir.exists():
+            return []
+        active = self._active_journal()
+        journals = []
+        for path in sorted(self.journal_dir.glob(f"*{JOURNAL_SUFFIX}")):
+            if active is not None and path == active.path:
+                continue  # this thread's own in-flight save
+            journals.append(SaveJournal.load(path))
+        return journals
+
+    def rollback_journal(self, journal: SaveJournal) -> dict:
+        """Undo a journal's recorded steps, newest first; returns stats.
+
+        Blobs are unlinked raw (not via :meth:`delete`) because ref
+        releases are rolled back through their own ``refs`` records —
+        deleting a manifest the normal way would release them twice.
+        Document intents cannot be undone here (the file store holds no
+        document-store handle); they are returned under ``"docs"`` for
+        the caller (the save transaction or fsck) to delete.
+        """
+        stats = {"blobs_removed": 0, "chunks_removed": 0, "refs_released": 0, "docs": []}
+        for entry in reversed(journal.entries):
+            op = entry.get("op")
+            if op == "doc":
+                stats["docs"].append((entry["collection"], entry["doc_id"]))
+            elif op == "blob":
+                path = self._path(entry["file_id"])
+                if path.exists():
+                    path.unlink(missing_ok=True)
+                    stats["blobs_removed"] += 1
+            elif op == "refs":
+                self.chunks.release_refs(entry["digests"])
+                stats["refs_released"] += len(entry["digests"])
+            elif op == "chunk":
+                digest = entry["digest"]
+                if self.chunks.refcount(digest) == 0 and self.chunks.has(digest):
+                    self.chunks._chunk_path(digest).unlink(missing_ok=True)
+                    stats["chunks_removed"] += 1
+        journal.discard()
+        return stats
 
     # -- save ------------------------------------------------------------------
 
     def save_bytes(self, data: bytes, suffix: str = "") -> str:
-        """Persist a byte payload; returns the generated file id."""
+        """Persist a byte payload; returns the generated file id.
+
+        The write is atomic (tmp+rename) and idempotent under retries:
+        every attempt targets the same content-derived file id.
+        """
         digest = hashlib.sha256(data).hexdigest()[:16]
         file_id = f"{digest}-{uuid.uuid4().hex[:12]}{suffix}"
         path = self._path(file_id)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(data)
-        tmp.replace(path)
+
+        def attempt() -> str:
+            self._fault("file.write", nbytes=len(data))
+            if self.faults is not None and self.faults.torn_write("file.write"):
+                tmp.write_bytes(data[: max(1, len(data) // 2)])
+                raise TransientStoreError(
+                    f"injected torn write for {file_id!r} (partial tmp left behind)"
+                )
+            tmp.write_bytes(data)
+            tmp.replace(path)
+            return file_id
+
+        file_id = self._call("file.write", attempt)
+        self.journal_record("blob", file_id=file_id)
         return file_id
 
     def save_file(self, source: str | Path) -> str:
@@ -264,12 +514,37 @@ class FileStore:
     # -- chunked state save/recover ---------------------------------------------
 
     def put_chunk(self, digest: str, buffer) -> bool:
-        """Store one content-addressed chunk; True iff bytes were written."""
-        return self.chunks.put(digest, buffer)
+        """Store one content-addressed chunk; True iff bytes were written.
+
+        Idempotent under retries (content addressing): a repeated attempt
+        after a torn write converges on the same chunk file.
+        """
+
+        def attempt() -> bool:
+            self._fault("chunk.write", nbytes=_buffer_nbytes(buffer))
+            if self.faults is not None and self.faults.torn_write("chunk.write"):
+                self.chunks.write_torn(digest, buffer)
+                raise TransientStoreError(
+                    f"injected torn chunk write for {digest[:12]}… (partial tmp left)"
+                )
+            return self.chunks.put(digest, buffer)
+
+        wrote = self._call("chunk.write", attempt)
+        if wrote:
+            self.journal_record("chunk", digest=digest)
+        return wrote
 
     def get_chunk(self, digest: str) -> bytes:
         """Fetch one chunk's payload by digest."""
-        return self.chunks.get(digest)
+
+        def attempt() -> bytes:
+            self._fault("chunk.read")
+            data = self.chunks.get(digest)
+            if self.faults is not None:
+                data = self.faults.corrupt("chunk.read", data)
+            return data
+
+        return self._call("chunk.read", attempt)
 
     def has_chunk(self, digest: str) -> bool:
         return self.chunks.has(digest)
@@ -306,26 +581,62 @@ class FileStore:
             )
             digests.append(digest)
         self.chunks.add_refs(digests)
+        self.journal_record("refs", digests=digests)
         manifest = json.dumps(
             {"format": MANIFEST_FORMAT, "layers": entries}, sort_keys=True
         ).encode()
         return self.save_bytes(manifest, suffix=suffix)
 
-    def recover_state_chunks(self, file_id: str) -> "OrderedDict[str, np.ndarray]":
-        """Rebuild the state dict a manifest describes (bitwise identical)."""
+    def recover_state_chunks(
+        self, file_id: str, verify: bool | None = None
+    ) -> "OrderedDict[str, np.ndarray]":
+        """Rebuild the state dict a manifest describes (bitwise identical).
+
+        With ``verify`` (default: the store's ``verify_reads`` flag) every
+        chunk payload is re-hashed against its content digest; a mismatch
+        — in-transit corruption on a flaky link — is re-fetched up to the
+        retry policy's attempt limit before surfacing as a typed
+        :class:`StoreCorruptionError`.
+        """
+        verify = self.verify_reads if verify is None else verify
         manifest = self.read_manifest(file_id)
         state: "OrderedDict[str, np.ndarray]" = OrderedDict()
         for name, meta in manifest["layers"]:
-            raw = self.get_chunk(meta["chunk"])
-            array = np.frombuffer(raw, dtype=np.dtype(meta["dtype"]))
-            state[name] = array.reshape(meta["shape"]).copy()
+            state[name] = self._recover_chunk_array(meta, verify)
         return state
+
+    def _recover_chunk_array(self, meta: dict, verify: bool) -> np.ndarray:
+        digest = meta["chunk"]
+        attempts = 1
+        if verify and self.retry is not None:
+            attempts = max(1, self.retry.max_attempts)
+        for attempt in range(1, attempts + 1):
+            raw = self.get_chunk(digest)
+            array = np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(
+                meta["shape"]
+            )
+            if not verify:
+                return array.copy()
+            # lazy import: repro.core imports this module at package init
+            from ..core.hashing import tensor_hash
+
+            if tensor_hash(array) == digest:
+                return array.copy()
+        raise StoreCorruptionError(
+            f"chunk {digest!r} is corrupt: payload hash mismatch persisted "
+            f"across {attempts} fetch attempt(s)"
+        )
 
     def read_manifest(self, file_id: str) -> dict:
         """Load and validate a manifest blob."""
-        payload = json.loads(self.recover_bytes(file_id).decode())
-        if payload.get("format") != MANIFEST_FORMAT:
-            raise IOError(
+        try:
+            payload = json.loads(self.recover_bytes(file_id).decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreCorruptionError(
+                f"file {file_id!r} is corrupt: not a parsable manifest ({exc})"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+            raise StoreCorruptionError(
                 f"file {file_id!r} is not a {MANIFEST_FORMAT} manifest"
             )
         return payload
@@ -342,18 +653,33 @@ class FileStore:
         return self.root / file_id
 
     def recover_bytes(self, file_id: str) -> bytes:
-        """Load a payload by file id, verifying the embedded digest."""
+        """Load a payload by file id, verifying the embedded digest.
+
+        A digest mismatch raises the typed :class:`StoreCorruptionError`
+        (an ``OSError`` subclass, so legacy ``IOError`` handlers still
+        apply); with a retry policy the read is re-attempted first, which
+        heals in-transit corruption from a chaos injector or flaky link.
+        """
         path = self._path(file_id)
-        if not path.exists():
-            raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
-        data = path.read_bytes()
-        expected = file_id.split("-", 1)[0]
-        actual = hashlib.sha256(data).hexdigest()[: len(expected)]
-        if actual != expected:
-            raise IOError(
-                f"stored file {file_id!r} is corrupt: digest {actual} != {expected}"
-            )
-        return data
+
+        def attempt() -> bytes:
+            self._fault("file.read")
+            if not path.exists():
+                raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
+            data = path.read_bytes()
+            if self.faults is not None:
+                data = self.faults.corrupt("file.read", data)
+            expected = file_id.split("-", 1)[0]
+            actual = hashlib.sha256(data).hexdigest()[: len(expected)]
+            if actual != expected:
+                raise StoreCorruptionError(
+                    f"stored file {file_id!r} is corrupt: digest {actual} != {expected}"
+                )
+            return data
+
+        return self._call(
+            "file.read", attempt, retry_on=(TransientStoreError, StoreCorruptionError)
+        )
 
     def recover_to(self, file_id: str, destination: str | Path) -> Path:
         """Copy a stored file out of the store to ``destination``."""
@@ -444,3 +770,4 @@ class FileStore:
         shutil.rmtree(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._chunks = None
+        self._journal_local = threading.local()

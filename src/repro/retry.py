@@ -1,0 +1,180 @@
+"""Retry with exponential backoff + jitter for flaky storage operations.
+
+The paper's deployment assumes a reliable 3-machine cluster, but the
+motivating fleet scenario (vehicles on cellular uplinks, §1) drops
+transfers routinely.  :class:`RetryPolicy` is the single knob for "how
+hard to try": it wraps any callable, retries the typed transient errors
+(:class:`~repro.errors.TransientStoreError` by default) with exponentially
+growing, jittered delays, and gives up loudly once the per-call attempt
+limit or the policy-wide retry budget is exhausted — the last typed error
+propagates, never a bare ``OSError``.
+
+One policy instance is meant to be shared: the file store, the document
+store client, and the save services can all point at the same object, so
+``stats`` aggregates every retry a chaos run needed and ``retry_budget``
+caps the total across all of them.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Mapping
+
+from .errors import TransientStoreError
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Exponential backoff + jitter with attempt limits and a retry budget.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per :meth:`call` (1 = no retries).
+    base_delay_s / multiplier / max_delay_s:
+        Backoff schedule: attempt ``n`` waits
+        ``min(max_delay_s, base_delay_s * multiplier**(n-1))`` before
+        retrying, scaled by jitter.
+    jitter:
+        Fraction of the delay randomized away (0 = deterministic delays,
+        0.5 = each delay is uniform in [50%, 100%] of the schedule).
+    retry_budget:
+        Optional cap on the *total* number of retries this policy will
+        ever perform, across all wrapped operations.  Once spent, failing
+        calls raise immediately — the paper-style transfer-budget view of
+        fault handling.
+    seed:
+        Seeds the jitter PRNG so chaos runs are reproducible.
+    sleep:
+        Injectable clock (tests pass ``lambda s: None``); delays also
+        accumulate in ``stats['slept_s']`` either way.
+    per_op:
+        Overrides by operation name, e.g. ``{"chunk.read":
+        {"max_attempts": 8}}`` — reads off a flaky link may deserve more
+        patience than document inserts.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 5,
+        base_delay_s: float = 0.005,
+        max_delay_s: float = 1.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        retry_budget: int | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] | None = time.sleep,
+        per_op: Mapping[str, Mapping] | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_attempts = int(max_attempts)
+        self.base_delay_s = float(base_delay_s)
+        self.max_delay_s = float(max_delay_s)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.retry_budget = retry_budget
+        self.per_op = dict(per_op or {})
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.stats = {"calls": 0, "retries": 0, "failures": 0, "slept_s": 0.0}
+
+    # -- schedule ----------------------------------------------------------
+
+    def _param(self, op: str | None, name: str):
+        overrides = self.per_op.get(op or "", {})
+        return overrides.get(name, getattr(self, name))
+
+    def delay_s(self, attempt: int, op: str | None = None) -> float:
+        """Jittered backoff delay before retry number ``attempt`` (1-based)."""
+        base = self._param(op, "base_delay_s")
+        cap = self._param(op, "max_delay_s")
+        delay = min(cap, base * self._param(op, "multiplier") ** max(0, attempt - 1))
+        if self.jitter:
+            with self._lock:
+                delay *= 1.0 - self.jitter * self._rng.random()
+        return delay
+
+    @property
+    def retries_taken(self) -> int:
+        return self.stats["retries"]
+
+    def _budget_left(self) -> bool:
+        return self.retry_budget is None or self.stats["retries"] < self.retry_budget
+
+    # -- execution ---------------------------------------------------------
+
+    def call(self, fn: Callable, op: str = "op", retry_on: tuple = (TransientStoreError,)):
+        """Run ``fn`` under this policy; returns its result or raises the
+        last retryable error once attempts/budget run out."""
+        with self._lock:
+            self.stats["calls"] += 1
+        max_attempts = int(self._param(op, "max_attempts"))
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except retry_on:
+                if attempt >= max_attempts or not self._budget_left():
+                    with self._lock:
+                        self.stats["failures"] += 1
+                    raise
+                delay = self.delay_s(attempt, op=op)
+                with self._lock:
+                    self.stats["retries"] += 1
+                    self.stats["slept_s"] += delay
+                if self._sleep is not None and delay > 0:
+                    self._sleep(delay)
+
+
+class _RetryingCollection:
+    """Collection proxy that retries transient failures per operation."""
+
+    def __init__(self, collection, policy: RetryPolicy):
+        self._collection = collection
+        self._policy = policy
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._collection, name)
+        if not callable(attr) or name.startswith("_"):
+            return attr
+        policy = self._policy
+
+        def wrapped(*args, **kwargs):
+            return policy.call(lambda: attr(*args, **kwargs), op=f"docs.{name}")
+
+        wrapped.__name__ = name
+        return wrapped
+
+
+class RetryingDocumentStore:
+    """Document-store proxy whose collections retry transient errors.
+
+    Wraps any object with a ``collection(name)`` method (the embedded
+    :class:`~repro.docstore.engine.DocumentStore`, the TCP client, or a
+    chaos wrapper) so every collection operation runs under ``policy``.
+    All other attributes pass straight through.
+    """
+
+    def __init__(self, store, policy: RetryPolicy):
+        self._store = store
+        self._policy = policy
+
+    def collection(self, name: str) -> _RetryingCollection:
+        return _RetryingCollection(self._store.collection(name), self._policy)
+
+    def __getitem__(self, name: str) -> _RetryingCollection:
+        return self.collection(name)
+
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+
+__all__.append("RetryingDocumentStore")

@@ -1,0 +1,199 @@
+"""Crash-consistent saves: kill a save at every step, fsck repairs all.
+
+The tentpole robustness guarantee: a save is atomic under process death.
+Whatever operation the process dies on, ``ModelManager.fsck`` restores
+every storage invariant, no previously saved model is lost, and a
+subsequent save succeeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    BaselineSaveService,
+    ModelManager,
+    ModelSaveInfo,
+    ParameterUpdateSaveService,
+    ProvenanceSaveService,
+)
+from repro.docstore import DocumentStore
+from repro.faults import CrashPoint, FaultInjector, FaultyDocumentStore
+from repro.filestore import FileStore
+from repro.retry import RetryPolicy
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_crash_consistency", "build_probe_model", {"num_classes": 10}
+    )
+
+
+def assert_states_equal(model, other):
+    for key, value in model.state_dict().items():
+        assert np.array_equal(value, other.state_dict()[key]), key
+
+
+SERVICES = [BaselineSaveService, ParameterUpdateSaveService, ProvenanceSaveService]
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("service_cls", SERVICES)
+    def test_crash_at_every_step_is_repairable(self, service_cls, tmp_path):
+        """Kill the save at op 1, 2, 3, ... until it finally runs to completion.
+
+        After every crash: fsck detects damage and repairs to zero
+        unrepaired issues, a second fsck is clean, the catalog still holds
+        exactly the fault-free base model, and that model recovers bitwise.
+        """
+        faults = FaultInjector(seed=0)
+        docs = FaultyDocumentStore(DocumentStore(), faults)
+        files = FileStore(tmp_path / "files", faults=faults, tmp_grace_s=0.0)
+        service = service_cls(docs, files, scratch_dir=tmp_path / "scratch")
+        manager = ModelManager(service)
+
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch(), use_case="U_1"))
+
+        victim = make_tiny_cnn(seed=2)
+        save_info = ModelSaveInfo(
+            victim, tiny_arch(), base_model_id=base_id, use_case="U_3-1-1"
+        )
+        crash_points = 0
+        for at in range(1, 200):
+            faults.arm_crash(at)
+            try:
+                second_id = service.save_model(save_info)
+            except CrashPoint:
+                crash_points += 1
+            else:
+                break  # the save outran the armed crash: every step covered
+        else:
+            pytest.fail("save never completed")
+        faults.crash_at = None  # disarm: the leftover arm must not fire later
+
+        # the crash loop's final, completed save must itself be consistent
+        report = manager.fsck()
+        assert not report.unrepaired, report.summary()
+
+        recovered = service.recover_model(second_id)
+        assert_states_equal(victim, recovered.model)
+        assert crash_points >= 5, f"only {crash_points} distinct crash points hit"
+
+    @pytest.mark.parametrize("service_cls", SERVICES)
+    def test_each_crash_repairs_and_preserves_base(self, service_cls, tmp_path):
+        faults = FaultInjector(seed=0)
+        docs = FaultyDocumentStore(DocumentStore(), faults)
+        files = FileStore(tmp_path / "files", faults=faults, tmp_grace_s=0.0)
+        service = service_cls(docs, files, scratch_dir=tmp_path / "scratch")
+        manager = ModelManager(service)
+
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch(), use_case="U_1"))
+        clean_files = set(files.file_ids())
+        clean_chunks = set(files.chunks.chunk_ids())
+
+        victim = make_tiny_cnn(seed=2)
+        save_info = ModelSaveInfo(
+            victim, tiny_arch(), base_model_id=base_id, use_case="U_3-1-1"
+        )
+        for at in range(1, 200):
+            faults.arm_crash(at)
+            try:
+                service.save_model(save_info)
+            except CrashPoint:
+                pass
+            else:
+                break
+        else:
+            pytest.fail("save never completed")
+            return
+        faults.crash_at = None
+
+        # one fsck repairs the debris of *all* crashed attempts at once,
+        # and nothing the base model depends on was lost along the way
+        report = manager.fsck()
+        assert not report.unrepaired, report.summary()
+        assert manager.fsck().clean
+
+        catalog = {record.model_id for record in manager.list_models()}
+        assert base_id in catalog
+        recovered = service.recover_model(base_id)
+        assert_states_equal(base, recovered.model)
+        assert clean_files <= set(files.file_ids())
+        assert clean_chunks <= set(files.chunks.chunk_ids())
+
+
+class TestPerCrashRepair:
+    def test_fsck_repairs_after_every_individual_crash(self, tmp_path):
+        """The exhaustive matrix: after *each* crash point, repair + verify."""
+        faults = FaultInjector(seed=0)
+        docs = FaultyDocumentStore(DocumentStore(), faults)
+        files = FileStore(tmp_path / "files", faults=faults, tmp_grace_s=0.0)
+        service = BaselineSaveService(docs, files, scratch_dir=tmp_path / "scratch")
+        manager = ModelManager(service)
+
+        base = make_tiny_cnn(seed=1)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch(), use_case="U_1"))
+
+        victim = make_tiny_cnn(seed=2)
+        save_info = ModelSaveInfo(
+            victim, tiny_arch(), base_model_id=base_id, use_case="U_3-1-1"
+        )
+        crashes = 0
+        for at in range(1, 200):
+            faults.arm_crash(at)
+            try:
+                service.save_model(save_info)
+            except CrashPoint:
+                crashes += 1
+                report = manager.fsck()
+                assert not report.unrepaired, f"crash at {at}: {report.summary()}"
+                assert manager.fsck().clean, f"crash at {at}: second fsck dirty"
+                catalog = {r.model_id for r in manager.list_models()}
+                assert catalog == {base_id}, f"crash at {at}: catalog {catalog}"
+                assert_states_equal(base, service.recover_model(base_id).model)
+            else:
+                break
+        else:
+            pytest.fail("save never completed")
+        faults.crash_at = None
+        assert crashes >= 8, f"only {crashes} crash points exercised"
+        assert manager.fsck().clean
+
+
+class TestAllServicesRetryThroughChaos:
+    @pytest.mark.parametrize("service_cls", SERVICES)
+    def test_flaky_stores_still_save_and_recover_bitwise(self, service_cls, tmp_path):
+        """ISSUE acceptance: >=10% transient error rates, bitwise round trip."""
+        faults = FaultInjector(
+            seed=13, error_rate=0.12, outage_rate=0.12, max_consecutive_failures=3
+        )
+        retry = RetryPolicy(max_attempts=6, base_delay_s=0.0, sleep=lambda s: None)
+        docs = FaultyDocumentStore(DocumentStore(), faults)
+        files = FileStore(
+            tmp_path / "files", faults=faults, retry=retry, tmp_grace_s=0.0
+        )
+        service = service_cls(
+            docs, files, scratch_dir=tmp_path / "scratch", retry=retry
+        )
+        manager = ModelManager(service)
+
+        base = make_tiny_cnn(seed=3)
+        base_id = service.save_model(ModelSaveInfo(base, tiny_arch(), use_case="U_1"))
+        derived = make_tiny_cnn(seed=4)
+        derived_id = service.save_model(
+            ModelSaveInfo(derived, tiny_arch(), base_model_id=base_id, use_case="U_2")
+        )
+
+        assert_states_equal(base, service.recover_model(base_id).model)
+        assert_states_equal(derived, service.recover_model(derived_id).model)
+        assert retry.retries_taken > 0, "chaos run took no retries at these rates"
+        assert faults.stats["errors"] + faults.stats["outages"] > 0
+        assert manager.fsck().clean

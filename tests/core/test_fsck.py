@@ -1,0 +1,201 @@
+"""fsck: verify-and-repair across documents, files, chunks, refcounts."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core import (
+    ArchitectureRef,
+    BaselineSaveService,
+    ModelManager,
+    ModelSaveInfo,
+)
+from repro.core.schema import ENVIRONMENTS
+from repro.docstore import DocumentStore
+from repro.filestore import FileStore
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_fsck", "build_probe_model", {"num_classes": 10}
+    )
+
+
+@pytest.fixture
+def setup(mem_doc_store, file_store):
+    service = BaselineSaveService(mem_doc_store, file_store)
+    manager = ModelManager(service)
+    model = make_tiny_cnn(seed=1)
+    model_id = service.save_model(ModelSaveInfo(model, tiny_arch(), use_case="U_1"))
+    return manager, service, file_store, model_id, model
+
+
+def kinds(report):
+    return {issue.kind for issue in report.issues}
+
+
+class TestFsckDetectAndRepair:
+    def test_clean_catalog_is_clean(self, setup):
+        manager, *_ = setup
+        report = manager.fsck()
+        assert report.clean
+        assert report.checked_models == 1
+        assert report.checked_chunks > 0
+
+    def test_orphan_file_is_removed(self, setup):
+        manager, _, files, _, _ = setup
+        orphan = files.save_bytes(b"debris from a pre-journal crash")
+        report = manager.fsck()
+        assert kinds(report) == {"orphan_file"}
+        assert not report.unrepaired
+        assert not files.exists(orphan)
+        assert manager.fsck().clean
+
+    def test_orphan_chunk_is_removed(self, setup):
+        manager, _, files, _, _ = setup
+        files.chunks.put("deadbeef" * 4, b"unreferenced payload")
+        report = manager.fsck()
+        assert kinds(report) == {"orphan_chunk"}
+        assert not report.unrepaired
+        assert not files.chunks.has("deadbeef" * 4)
+        assert manager.fsck().clean
+
+    def test_leaked_refcount_is_reconciled(self, setup):
+        manager, _, files, _, _ = setup
+        digest = files.chunks.chunk_ids()[0]
+        before = files.chunks.refcount(digest)
+        files.chunks.add_refs([digest])  # leak one reference
+        report = manager.fsck()
+        assert kinds(report) == {"refcount_mismatch"}
+        assert not report.unrepaired
+        assert files.chunks.refcount(digest) == before
+        assert manager.fsck().clean
+
+    def test_deflated_refcount_is_reconciled(self, setup):
+        manager, service, files, _, model = setup
+        # a second identical save dedups every chunk: refcounts go up by one
+        service.save_model(ModelSaveInfo(model, tiny_arch(), use_case="U_2"))
+        digest = files.chunks.chunk_ids()[0]
+        before = files.chunks.refcount(digest)
+        assert before >= 2
+        files.chunks.release_refs([digest])  # would let gc eat a live chunk
+        report = manager.fsck()
+        assert "refcount_mismatch" in kinds(report)
+        assert not report.unrepaired
+        assert files.chunks.refcount(digest) == before
+
+    def test_missing_chunk_is_unrepairable(self, setup):
+        manager, service, files, model_id, model = setup
+        digest = files.chunks.chunk_ids()[0]
+        (files.chunks.objects_dir / digest).unlink()
+        report = manager.fsck()
+        assert "missing_chunk" in kinds(report)
+        assert report.unrepaired, "data loss must be reported, not hidden"
+
+    def test_corrupt_chunk_is_detected(self, setup):
+        manager, _, files, _, _ = setup
+        digest = files.chunks.chunk_ids()[0]
+        path = files.chunks.objects_dir / digest
+        payload = bytearray(path.read_bytes())
+        payload[0] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        report = manager.fsck()
+        assert "corrupt_chunk" in kinds(report)
+        assert report.unrepaired
+
+    def test_corrupt_chunk_ignored_without_verify(self, setup):
+        manager, _, files, _, _ = setup
+        digest = files.chunks.chunk_ids()[0]
+        path = files.chunks.objects_dir / digest
+        payload = bytearray(path.read_bytes())
+        payload[0] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        assert manager.fsck(verify_chunks=False).clean
+
+    def test_orphan_environment_document_is_removed(self, setup):
+        manager, service, *_ = setup
+        service.documents.collection(ENVIRONMENTS).insert_one(
+            {"_id": "env-orphan", "python_version": "9.9"}
+        )
+        report = manager.fsck()
+        assert kinds(report) == {"orphan_document"}
+        assert not report.unrepaired
+        with pytest.raises(KeyError):
+            service.documents.collection(ENVIRONMENTS).get("env-orphan")
+
+    def test_missing_environment_document_is_reported(self, setup):
+        manager, service, _, model_id, _ = setup
+        document = service.documents.collection("models").get(model_id)
+        service.documents.collection(ENVIRONMENTS).delete_one(
+            document["environment_id"]
+        )
+        report = manager.fsck()
+        assert "missing_document" in kinds(report)
+        assert report.unrepaired
+
+    def test_repair_false_reports_without_touching(self, setup):
+        manager, _, files, _, _ = setup
+        orphan = files.save_bytes(b"leave me for the report")
+        report = manager.fsck(repair=False)
+        assert kinds(report) == {"orphan_file"}
+        assert report.unrepaired
+        assert files.exists(orphan)  # nothing was touched
+
+    def test_model_survives_repair(self, setup):
+        manager, service, files, model_id, model = setup
+        files.save_bytes(b"orphan one")
+        files.chunks.put("cafebabe" * 4, b"orphan two")
+        assert not manager.fsck().unrepaired
+        recovered = service.recover_model(model_id)
+        for key, value in model.state_dict().items():
+            assert np.array_equal(value, recovered.model.state_dict()[key]), key
+
+
+class TestFsckCli:
+    @pytest.fixture
+    def disk_setup(self, tmp_path):
+        docs_dir = str(tmp_path / "docs")
+        files_dir = str(tmp_path / "files")
+        files = FileStore(files_dir)
+        service = BaselineSaveService(DocumentStore(docs_dir), files)
+        model_id = service.save_model(
+            ModelSaveInfo(make_tiny_cnn(seed=2), tiny_arch(), use_case="U_1")
+        )
+        return docs_dir, files_dir, files, model_id
+
+    def run_cli(self, *argv):
+        return cli.main(list(argv))
+
+    def test_clean_store_exits_zero(self, disk_setup, capsys):
+        docs_dir, files_dir, _, _ = disk_setup
+        assert self.run_cli("--docs", docs_dir, "--files", files_dir, "fsck") == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_repairable_damage_exits_zero(self, disk_setup, capsys):
+        docs_dir, files_dir, files, _ = disk_setup
+        files.save_bytes(b"orphan blob")
+        assert self.run_cli("--docs", docs_dir, "--files", files_dir, "fsck") == 0
+        out = capsys.readouterr().out
+        assert "[repaired] orphan_file" in out
+
+    def test_data_loss_exits_nonzero(self, disk_setup, capsys):
+        docs_dir, files_dir, files, _ = disk_setup
+        digest = files.chunks.chunk_ids()[0]
+        (files.chunks.objects_dir / digest).unlink()
+        assert self.run_cli("--docs", docs_dir, "--files", files_dir, "fsck") == 1
+        assert "[UNREPAIRED] missing_chunk" in capsys.readouterr().out
+
+    def test_no_repair_flag_leaves_damage(self, disk_setup, capsys):
+        docs_dir, files_dir, files, _ = disk_setup
+        orphan = files.save_bytes(b"orphan blob")
+        code = self.run_cli(
+            "--docs", docs_dir, "--files", files_dir, "fsck", "--no-repair"
+        )
+        assert code == 1
+        assert files.exists(orphan)

@@ -115,3 +115,76 @@ class TestRemoteSortLimit:
         coll.insert_many([{"i": i} for i in (3, 1, 2)])
         ordered = coll.find(sort=[["i", -1]], limit=2)
         assert [d["i"] for d in ordered] == [3, 2]
+
+
+class TestServerRobustness:
+    def test_server_survives_abrupt_client_disconnect(self):
+        """A client dying mid-session must not take the handler thread down."""
+        import socket
+
+        store = DocumentStore()
+        with DocumentStoreServer(store, port=0) as server:
+            # half a request line, then a hard close
+            raw = socket.create_connection((server.host, server.port), timeout=2)
+            raw.sendall(b'{"id": 1, "collection": "m", "op"')
+            raw.close()
+            # a request sent and abandoned before reading the response
+            raw = socket.create_connection((server.host, server.port), timeout=2)
+            raw.sendall(
+                b'{"id": 1, "collection": "m", "op": "insert_one",'
+                b' "args": {"document": {"x": 1}}}\n'
+            )
+            raw.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                __import__("struct").pack("ii", 1, 0),  # RST on close
+            )
+            raw.close()
+            # the server must still accept and serve a well-behaved client
+            with DocumentStoreClient(server.host, server.port) as client:
+                doc_id = client["m"].insert_one({"survived": True})
+                assert client["m"].get(doc_id)["survived"] is True
+
+    def test_connect_to_dead_port_is_typed_and_retryable(self):
+        import socket
+
+        from repro.docstore.client import TransientRemoteError
+        from repro.errors import TransientStoreError
+
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        dead_port = placeholder.getsockname()[1]
+        placeholder.close()  # nobody listens here any more
+        with pytest.raises(TransientRemoteError) as excinfo:
+            DocumentStoreClient("127.0.0.1", dead_port, connect_timeout=0.5)
+        assert isinstance(excinfo.value, TransientStoreError)  # retryable
+
+    def test_client_retries_through_injected_outages(self):
+        from repro.faults import FaultInjector
+        from repro.retry import RetryPolicy
+
+        faults = FaultInjector(seed=2, outage_rate=0.4, max_consecutive_failures=2)
+        retry = RetryPolicy(max_attempts=5, base_delay_s=0.0, sleep=lambda s: None)
+        store = DocumentStore()
+        with DocumentStoreServer(store, port=0) as server:
+            with DocumentStoreClient(
+                server.host, server.port, retry=retry, faults=faults
+            ) as client:
+                coll = client["models"]
+                ids = [coll.insert_one({"i": i}) for i in range(20)]
+                for i, doc_id in enumerate(ids):
+                    assert coll.get(doc_id)["i"] == i
+        assert faults.stats["outages"] > 0
+        assert retry.retries_taken >= faults.stats["outages"]
+
+    def test_client_without_retry_surfaces_typed_outage(self):
+        from repro.errors import TransientStoreError
+        from repro.faults import FaultInjector
+
+        faults = FaultInjector(seed=0, outage_rate=1.0)
+        store = DocumentStore()
+        with DocumentStoreServer(store, port=0) as server:
+            with DocumentStoreClient(
+                server.host, server.port, faults=faults
+            ) as client:
+                with pytest.raises(TransientStoreError):
+                    client["m"].count()

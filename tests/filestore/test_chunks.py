@@ -1,6 +1,8 @@
 """Content-addressed chunk storage: dedup, refcounts, GC, network cost."""
 
 import json
+import os
+import time
 from collections import OrderedDict
 
 import numpy as np
@@ -159,10 +161,36 @@ class TestStoreHygiene:
         root = tmp_path / "s"
         store = FileStore(root)
         file_id = store.save_bytes(b"keep me")
-        (root / "leftover.update.tmp").write_bytes(b"junk")
+        leftover = root / "leftover.update.tmp"
+        leftover.write_bytes(b"junk")
+        # age it past the grace window: only *expired* tmp files are reaped
+        stale = time.time() - 3600
+        os.utime(leftover, (stale, stale))
         reopened = FileStore(root)
-        assert not (root / "leftover.update.tmp").exists()
+        assert not leftover.exists()
         assert reopened.recover_bytes(file_id) == b"keep me"
+
+    def test_fresh_tmp_files_survive_init(self, tmp_path):
+        """A young tmp file may belong to a concurrent in-flight save."""
+        root = tmp_path / "s"
+        FileStore(root)
+        in_flight = root / "concurrent-save.params.tmp"
+        in_flight.write_bytes(b"still being written")
+        FileStore(root)
+        assert in_flight.exists()
+
+    def test_gc_spares_fresh_tmp_but_reaps_expired(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        fresh = store.chunks.objects_dir / "deadbeef-12345678.tmp"
+        fresh.write_bytes(b"in flight")
+        expired = store.chunks.objects_dir / "cafebabe-87654321.tmp"
+        expired.write_bytes(b"orphaned tear")
+        stale = time.time() - 3600
+        os.utime(expired, (stale, stale))
+        stats = store.chunks.gc()
+        assert fresh.exists()
+        assert not expired.exists()
+        assert stats["chunks_removed"] == 1
 
 
 class TestNetworkChunkTransfer:
