@@ -1,14 +1,27 @@
 PY ?= python
 
-.PHONY: test bench-smoke chaos api-docs
+.PHONY: test lint bench-smoke bench-recovery chaos api-docs
 
 # tier-1 suite (the repo's correctness gate)
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
+# static checks: ruff when installed, syntax-only compile gate otherwise
+lint:
+	@if $(PY) -m ruff --version >/dev/null 2>&1; then \
+		$(PY) -m ruff check src tests scripts; \
+	else \
+		echo "ruff not installed; falling back to compileall syntax check"; \
+		$(PY) -m compileall -q src tests scripts; \
+	fi
+
 # tier-1 tests + ~5s save/recover micro-benchmark; writes BENCH_pipeline.json
 bench-smoke:
 	$(PY) scripts/bench_smoke.py
+
+# serial vs pipelined recovery accounting; writes BENCH_recovery.json
+bench-recovery:
+	$(PY) scripts/bench_recovery.py
 
 # fault-injection tests (fixed seeds) + chaos smoke; writes BENCH_chaos.json
 chaos:

@@ -54,6 +54,7 @@ from .manager import (
 )
 from .merkle import DiffResult, MerkleNode, MerkleTree
 from .param_update import ParameterUpdateSaveService, extract_parameter_update
+from .prefetch import ChainPrefetcher
 from .probe import (
     LayerRecord,
     ProbeComparison,
@@ -122,6 +123,7 @@ __all__ = [
     "MerkleTree",
     "ParameterUpdateSaveService",
     "extract_parameter_update",
+    "ChainPrefetcher",
     "LayerRecord",
     "ProbeComparison",
     "ProbeSummary",

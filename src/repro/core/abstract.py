@@ -59,6 +59,8 @@ class AbstractSaveService:
     ``retry`` (a :class:`~repro.retry.RetryPolicy`) makes document
     operations retry transient store failures; pass the same policy to the
     file store so both halves of a save share one backoff budget.
+    ``prefetcher`` (a :class:`~repro.core.prefetch.ChainPrefetcher`)
+    overlaps base-chain chunk transfers with recovery work.
     """
 
     #: Set by subclasses; stored in every model document they save.
@@ -72,12 +74,14 @@ class AbstractSaveService:
         dataset_codec: str | None = None,
         chunked: bool = True,
         retry=None,
+        prefetcher=None,
     ):
         if retry is not None:
             document_store = RetryingDocumentStore(document_store, retry)
         self.documents = document_store
         self.files = file_store
         self.retry = retry
+        self.prefetcher = prefetcher
         # chunked saves write parameters as content-addressed per-layer
         # chunks keyed by the Merkle leaf hashes (dedup across models; no
         # whole-blob re-hash).  Falls back to the monolithic codec for
@@ -270,6 +274,10 @@ class AbstractSaveService:
         """
         timings = {"load": 0.0, "recover": 0.0, "check_env": 0.0, "check_hash": 0.0}
         document = self._get_model_document(model_id)
+        if self.prefetcher is not None and document.get("base_model"):
+            # stream the whole base chain into the hot-chunk cache while
+            # the recursion below applies it level by level
+            self.prefetcher.prefetch_chain(model_id)
         # recovery rebuilds architectures and may replay training; none of
         # that must disturb the caller's RNG stream or determinism setting
         caller_rng = rng.get_rng_state()
@@ -402,6 +410,10 @@ class AbstractSaveService:
         execution_env: dict,
         cache: RecoveryCache | None = None,
     ) -> tuple[Module, int]:
+        if self.prefetcher is not None:
+            # this layer's diff is needed only after the (recursive) base
+            # recovery below — read it ahead so it overlaps that work
+            self.prefetcher.prefetch_file(document.get("update_file"))
         model, depth = self._recover_base(document, timings, execution_env, cache)
 
         started = time.perf_counter()

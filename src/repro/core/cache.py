@@ -37,11 +37,21 @@ class RecoveryCache:
     even when the catalog outgrows the cache.
     """
 
-    def __init__(self, max_entries: int = 64, protect_prefix: bool = False):
+    def __init__(
+        self,
+        max_entries: int = 64,
+        protect_prefix: bool = False,
+        chunk_cache=None,
+    ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.protect_prefix = protect_prefix
+        #: optional :class:`~repro.filestore.store.ChunkCache` shared with
+        #: the file store: model-level and chunk-level caching then form
+        #: one recovery plane that :meth:`clear`/:meth:`stats` treat as a
+        #: unit (a chain sweep that misses here still hits hot chunks)
+        self.chunk_cache = chunk_cache
         self._states: "OrderedDict[str, tuple[dict, ArchitectureRef, int]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -94,9 +104,14 @@ class RecoveryCache:
         self.hits = 0
         self.misses = 0
         self.skipped_inserts = 0
+        if self.chunk_cache is not None:
+            self.chunk_cache.clear()
 
     def stats(self) -> dict:
-        return {"entries": len(self._states), "hits": self.hits, "misses": self.misses}
+        stats = {"entries": len(self._states), "hits": self.hits, "misses": self.misses}
+        if self.chunk_cache is not None:
+            stats["chunk_cache"] = self.chunk_cache.stats()
+        return stats
 
 
 def _snapshot(value):

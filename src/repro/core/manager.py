@@ -160,7 +160,16 @@ class ModelManager:
 
     def lineage(self, model_id: str) -> list[ModelRecord]:
         """Records from ``model_id`` up to its chain root (inclusive)."""
-        return [self.get(mid) for mid in self.service.base_chain(model_id)]
+        chain = self.service.base_chain(model_id)
+        models = self.documents.collection(MODELS)
+        if hasattr(models, "get_many"):
+            # one round-trip for the whole chain instead of one per level;
+            # base_chain() just confirmed every id exists
+            derived_index = self._derived_index()
+            documents = models.get_many(chain)
+            if len(documents) == len(chain):
+                return [self._record(d, derived_index) for d in documents]
+        return [self.get(mid) for mid in chain]
 
     def descendants(self, model_id: str) -> list[ModelRecord]:
         """Every model transitively derived from ``model_id``."""
@@ -205,19 +214,25 @@ class ModelManager:
     def recover(self, model_id: str, **kwargs) -> RecoveredModelInfo:
         return self.service.recover_model(model_id, **kwargs)
 
-    def verify_catalog(self, use_cache: bool = True) -> dict[str, bool | None]:
+    def verify_catalog(
+        self, use_cache: bool = True, cache=None
+    ) -> dict[str, bool | None]:
         """Integrity sweep: recover and checksum-verify every model.
 
         With ``use_cache`` (default) a shared :class:`RecoveryCache` makes
         the sweep O(n) base recoveries instead of O(n²) — chain prefixes
-        are recovered once and reused.  Returns model id -> verified flag
+        are recovered once and reused.  Pass ``cache`` to reuse one
+        :class:`RecoveryCache` across sweeps (periodic monitoring then
+        pays the recovery cost only for models that changed) instead of
+        warming a fresh one every call.  Returns model id -> verified flag
         (``None`` when a model was saved without checksums).
         """
         from .cache import RecoveryCache
 
-        # chain sweeps recover bases first: protect that prefix instead of
-        # evicting it (and skip the deep copy for inserts that would churn)
-        cache = RecoveryCache(max_entries=256, protect_prefix=True) if use_cache else None
+        if cache is None and use_cache:
+            # chain sweeps recover bases first: protect that prefix instead
+            # of evicting it (and skip the deep copy for churn inserts)
+            cache = RecoveryCache(max_entries=256, protect_prefix=True)
         results: dict[str, bool | None] = {}
         for record in self.list_models():
             recovered = self.service.recover_model(record.model_id, cache=cache)

@@ -1,0 +1,171 @@
+"""Recovery-chain read-ahead: overlap chunk transfers with recovery work.
+
+PUA/MPA recovery is recursive — a model at chain depth *d* recovers its
+base first, then applies its own diff (or replays its training).  The
+transfers for the different chain levels are independent, so while one
+level's parameters are being applied the next level's manifest and chunks
+can already be crossing the link.  :class:`ChainPrefetcher` runs that
+read-ahead on a small worker pool, landing payloads in the file store's
+shared hot-chunk cache (:class:`~repro.filestore.store.ChunkCache`) where
+the recovery path — and any other reader — picks them up for free.
+
+Prefetching is strictly an optimization: every fetch error is swallowed
+(and counted), because the synchronous recovery path will re-fetch and
+surface real failures with its own retry/verify machinery.  The store's
+single-flight coalescing ensures a chunk raced by prefetcher and
+recovery crosses the link once.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+
+from .schema import MODELS
+
+__all__ = ["ChainPrefetcher"]
+
+#: Model-document fields that may reference a chunked-state manifest.
+_FILE_KEYS = ("parameters_file", "update_file")
+
+
+class ChainPrefetcher:
+    """Background read-ahead for recovery chains.
+
+    ``workers`` bounds concurrent prefetch tasks; ``max_chain_depth``
+    bounds how far up a base-model chain one request walks.  Use as a
+    context manager, or call :meth:`close` when done — in-flight work is
+    drained either way.
+    """
+
+    def __init__(
+        self,
+        document_store,
+        file_store,
+        workers: int = 2,
+        max_chain_depth: int = 64,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.documents = document_store
+        self.files = file_store
+        self.max_chain_depth = int(max_chain_depth)
+        self._pool = ThreadPoolExecutor(
+            max_workers=int(workers), thread_name_prefix="mmlib-prefetch"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, object] = {}
+        self._closed = False
+        self.files_prefetched = 0
+        self.chunks_prefetched = 0
+        self.errors = 0
+
+    def usable(self) -> bool:
+        """Prefetch pays off only when fetched chunks land somewhere shared.
+
+        Without a hot-chunk cache on the file store, read-ahead would
+        fetch payloads just to throw them away (and on a simulated link,
+        charge for them twice).
+        """
+        return (
+            getattr(self.files, "chunk_cache", None) is not None
+            and hasattr(self.files, "get_chunks")
+        )
+
+    # -- scheduling --------------------------------------------------------
+
+    def prefetch_file(self, file_id: str | None) -> None:
+        """Read ahead one chunked-state manifest and its chunks."""
+        if not file_id or not self.usable():
+            return
+        if not file_id.endswith(".manifest"):
+            return  # only manifests fan out into chunk fetches
+        self._submit(file_id, self._fetch_file, file_id)
+
+    def prefetch_chain(self, model_id: str | None) -> None:
+        """Read ahead every manifest along ``model_id``'s base chain.
+
+        Levels are fetched deepest-first — the same order the recursive
+        recovery consumes them — so the root snapshot streams in first
+        and each diff is warm by the time its turn comes.
+        """
+        if not model_id or not self.usable():
+            return
+        self._submit(f"chain:{model_id}", self._fetch_chain, model_id)
+
+    def _submit(self, key: str, fn, *args) -> None:
+        with self._lock:
+            if self._closed or key in self._inflight:
+                return
+            self._inflight[key] = self._pool.submit(self._run, key, fn, *args)
+
+    def _run(self, key: str, fn, *args) -> None:
+        try:
+            fn(*args)
+        except Exception:
+            with self._lock:
+                self.errors += 1
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # -- fetch bodies ------------------------------------------------------
+
+    def _fetch_file(self, file_id: str) -> None:
+        manifest = self.files.read_manifest(file_id)
+        digests = [meta["chunk"] for _, meta in manifest["layers"]]
+        self.files.get_chunks(digests)
+        with self._lock:
+            self.files_prefetched += 1
+            self.chunks_prefetched += len(set(digests))
+
+    def _fetch_chain(self, model_id: str) -> None:
+        models = self.documents.collection(MODELS)
+        chain_docs = []
+        seen: set[str] = set()
+        current: str | None = model_id
+        while current and current not in seen and len(chain_docs) < self.max_chain_depth:
+            seen.add(current)
+            try:
+                document = models.get(current)
+            except Exception:  # missing doc: stop walking, keep what we have
+                break
+            chain_docs.append(document)
+            current = document.get("base_model")
+        for document in reversed(chain_docs):  # deepest (root) level first
+            for key in _FILE_KEYS:
+                file_id = document.get(key)
+                if file_id and file_id.endswith(".manifest"):
+                    self._fetch_file(file_id)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every scheduled prefetch has finished."""
+        while True:
+            with self._lock:
+                futures = list(self._inflight.values())
+            if not futures:
+                return
+            wait(futures)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        self.drain()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ChainPrefetcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "files_prefetched": self.files_prefetched,
+                "chunks_prefetched": self.chunks_prefetched,
+                "errors": self.errors,
+                "inflight": len(self._inflight),
+            }

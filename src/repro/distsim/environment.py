@@ -54,6 +54,9 @@ class SharedStores:
         network: NetworkModel | None = None,
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
+        workers: int = 0,
+        pipeline_depth: int = 8,
+        chunk_cache_bytes: int = 0,
     ) -> "SharedStores":
         """Create fresh stores under ``workdir``.
 
@@ -62,16 +65,35 @@ class SharedStores:
         the deployment into a chaos environment: both stores inject the
         configured failures, and ``retry`` (shared by every participant's
         service) absorbs the transient ones.
+
+        The throughput knobs enable the parallel recovery plane:
+        ``workers`` bounds concurrent chunk transfers per batch,
+        ``pipeline_depth`` sets how many requests a simulated link keeps
+        in flight per latency window, and ``chunk_cache_bytes`` (0 = off)
+        sizes the in-process hot-chunk LRU.
         """
         workdir = Path(workdir)
         documents = DocumentStore(workdir / "documents")
         if faults is not None:
             documents = FaultyDocumentStore(documents, faults)
+        chunk_cache = chunk_cache_bytes if chunk_cache_bytes > 0 else None
         if network is None:
-            files: FileStore = FileStore(workdir / "files", faults=faults, retry=retry)
+            files: FileStore = FileStore(
+                workdir / "files",
+                faults=faults,
+                retry=retry,
+                workers=workers,
+                chunk_cache=chunk_cache,
+            )
         else:
             files = SimulatedNetworkFileStore(
-                workdir / "files", network, faults=faults, retry=retry
+                workdir / "files",
+                network,
+                faults=faults,
+                retry=retry,
+                workers=workers,
+                pipeline_depth=pipeline_depth,
+                chunk_cache=chunk_cache,
             )
         scratch = workdir / "scratch"
         scratch.mkdir(parents=True, exist_ok=True)
@@ -86,14 +108,26 @@ def make_service(
     stores: SharedStores,
     dataset_codec: str | None = None,
     chunked: bool = True,
+    prefetch_workers: int = 0,
 ) -> AbstractSaveService:
     """Instantiate the save service for an approach name.
 
     ``chunked=False`` forces the legacy monolithic parameter files (for
     ablations against the content-addressed chunk pipeline).
+    ``prefetch_workers > 0`` attaches a
+    :class:`~repro.core.prefetch.ChainPrefetcher` so base-chain chunk
+    transfers overlap recovery work (requires a chunk cache on the file
+    store to be effective).
     """
     if approach not in SERVICE_CLASSES:
         raise KeyError(f"unknown approach {approach!r}; options: {sorted(SERVICE_CLASSES)}")
+    prefetcher = None
+    if prefetch_workers > 0:
+        from ..core.prefetch import ChainPrefetcher
+
+        prefetcher = ChainPrefetcher(
+            stores.documents, stores.files, workers=prefetch_workers
+        )
     return SERVICE_CLASSES[approach](
         stores.documents,
         stores.files,
@@ -101,6 +135,7 @@ def make_service(
         dataset_codec=dataset_codec,
         chunked=chunked,
         retry=stores.retry,
+        prefetcher=prefetcher,
     )
 
 

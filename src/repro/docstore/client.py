@@ -54,13 +54,44 @@ _ERROR_KINDS = {
 }
 
 
+class _Connection:
+    """One TCP connection with its buffered reader and request-id counter."""
+
+    __slots__ = ("sock", "reader", "next_id")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.reader = sock.makefile("rb")
+        self.next_id = 0
+
+    def close(self) -> None:
+        try:
+            self.reader.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
 class DocumentStoreClient:
-    """Connection to a document-store server, handing out collections.
+    """Connection pool to a document-store server, handing out collections.
 
     ``timeout`` bounds reads on an established connection;
     ``connect_timeout`` (default: ``timeout``) bounds connection
     establishment.  ``retry`` retries transient failures, ``faults``
     injects simulated outages (chaos testing).
+
+    Requests no longer serialize behind one client-wide lock: up to
+    ``max_connections`` TCP connections are pooled, each used by one
+    thread at a time, so concurrent callers proceed in parallel.
+    :meth:`request_many` pipelines a batch of operations over a single
+    connection — up to ``pipeline_depth`` requests are written before the
+    first response is read, collapsing N round-trips into
+    ``ceil(N / pipeline_depth)``.  Every response's ``id`` is checked
+    against the request it answers; a mismatch poisons (closes) that
+    connection and surfaces as :class:`RemoteStoreError`.
     """
 
     def __init__(
@@ -71,53 +102,47 @@ class DocumentStoreClient:
         connect_timeout: float | None = None,
         retry=None,
         faults=None,
+        max_connections: int = 4,
+        pipeline_depth: int = 32,
     ):
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         self._host = host
         self._port = port
         self._timeout = timeout
         self._connect_timeout = timeout if connect_timeout is None else connect_timeout
         self._retry = retry
         self._faults = faults
-        self._socket: socket.socket | None = None
-        self._reader = None
-        self._lock = threading.Lock()
-        self._next_id = 0
-        self._connect()
+        self.pipeline_depth = int(pipeline_depth)
+        self._pool_lock = threading.Lock()
+        self._idle: list[_Connection] = []
+        self._slots = threading.BoundedSemaphore(int(max_connections))
+        # eager first connection: constructing a client against a dead
+        # endpoint must fail fast with a typed, retryable error
+        self._idle.append(self._open())
 
     # -- connection management --------------------------------------------
 
-    def _connect(self) -> None:
+    def _open(self) -> _Connection:
         try:
-            self._socket = socket.create_connection(
+            sock = socket.create_connection(
                 (self._host, self._port), timeout=self._connect_timeout
             )
-            self._socket.settimeout(self._timeout)
-            self._reader = self._socket.makefile("rb")
+            sock.settimeout(self._timeout)
+            return _Connection(sock)
         except OSError as exc:
-            self._socket = None
-            self._reader = None
             raise TransientRemoteError(
                 f"cannot connect to document store at "
                 f"{self._host}:{self._port}: {exc}"
             ) from exc
 
-    def _teardown(self) -> None:
-        """Drop a connection whose stream state is no longer trustworthy."""
-        try:
-            if self._reader is not None:
-                self._reader.close()
-        except OSError:
-            pass
-        try:
-            if self._socket is not None:
-                self._socket.close()
-        except OSError:
-            pass
-        self._socket = None
-        self._reader = None
-
     def close(self) -> None:
-        self._teardown()
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
 
     def __enter__(self) -> "DocumentStoreClient":
         return self
@@ -142,44 +167,121 @@ class DocumentStoreClient:
         """
 
         def attempt():
-            with self._lock:
-                if self._faults is not None:
-                    self._faults.fail_point(f"docs.{op}")
-                if self._socket is None:
-                    self._connect()
-                self._next_id += 1
-                request_id = self._next_id
-                payload = json.dumps(
-                    {"id": request_id, "collection": collection, "op": op, "args": args}
-                )
-                try:
-                    self._socket.sendall((payload + "\n").encode())
-                    raw = self._reader.readline()
-                except OSError as exc:  # timeout, reset, broken pipe
-                    self._teardown()
-                    raise TransientRemoteError(
-                        f"document-store connection failed during {op!r}: {exc}"
-                    ) from exc
-                if not raw:
-                    self._teardown()
-                    raise TransientRemoteError(
-                        "connection closed by document-store server"
-                    )
-            try:
-                response = json.loads(raw.decode())
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                self._teardown()
-                raise RemoteStoreError(
-                    f"malformed response from document-store server: {exc}"
-                ) from exc
-            if response.get("ok"):
-                return response.get("result")
-            error_type = _ERROR_KINDS.get(response.get("kind"), RemoteStoreError)
-            raise error_type(response.get("error", "unknown remote error"))
+            responses = self._exchange(collection, [(op, args)], op_label=op)
+            return self._unwrap(responses[0])
 
         if self._retry is not None:
             return self._retry.call(attempt, op=f"docs.{op}")
         return attempt()
+
+    def request_many(self, collection: str, requests: list[tuple[str, dict]]):
+        """Pipeline a batch of ``(op, args)`` requests over one connection.
+
+        All requests in a window of ``pipeline_depth`` are written before
+        the first response is read — one link round-trip per window rather
+        than per request.  Results come back in request order; the first
+        error response raises its mapped exception (the stream itself
+        stays in sync, so the connection survives).  With a retry policy
+        the whole batch retries as a unit on transient failure, so callers
+        should batch idempotent reads, not writes.
+        """
+        ops = [(op, dict(args)) for op, args in requests]
+        if not ops:
+            return []
+
+        def attempt():
+            responses = self._exchange(collection, ops, op_label=ops[0][0])
+            return [self._unwrap(response) for response in responses]
+
+        if self._retry is not None:
+            return self._retry.call(attempt, op=f"docs.{ops[0][0]}[{len(ops)}]")
+        return attempt()
+
+    def _exchange(
+        self, collection: str, ops: list[tuple[str, dict]], op_label: str
+    ) -> list[dict]:
+        """Run ops over one pooled connection; returns raw responses.
+
+        The connection returns to the pool only when every response was
+        read cleanly — on transport or framing errors it is closed instead,
+        since its stream state is no longer trustworthy.
+        """
+        if self._faults is not None:
+            self._faults.fail_point(f"docs.{op_label}")
+        self._slots.acquire()
+        conn = None
+        healthy = False
+        try:
+            with self._pool_lock:
+                if self._idle:
+                    conn = self._idle.pop()
+            if conn is None:
+                conn = self._open()
+            responses: list[dict] = []
+            for start in range(0, len(ops), self.pipeline_depth):
+                window = ops[start : start + self.pipeline_depth]
+                responses.extend(self._roundtrip(conn, collection, window))
+            healthy = True
+            return responses
+        finally:
+            if conn is not None:
+                if healthy:
+                    with self._pool_lock:
+                        self._idle.append(conn)
+                else:
+                    conn.close()
+            self._slots.release()
+
+    def _roundtrip(
+        self, conn: _Connection, collection: str, window: list[tuple[str, dict]]
+    ) -> list[dict]:
+        """Write one window of requests, then read and id-match responses."""
+        ids = []
+        lines = []
+        for op, args in window:
+            conn.next_id += 1
+            ids.append(conn.next_id)
+            lines.append(
+                json.dumps(
+                    {"id": conn.next_id, "collection": collection, "op": op, "args": args}
+                )
+            )
+        try:
+            conn.sock.sendall(("\n".join(lines) + "\n").encode())
+            raws = [conn.reader.readline() for _ in ids]
+        except OSError as exc:  # timeout, reset, broken pipe
+            raise TransientRemoteError(
+                f"document-store connection failed during {window[0][0]!r}: {exc}"
+            ) from exc
+        responses = []
+        for expected_id, raw in zip(ids, raws):
+            if not raw:
+                raise TransientRemoteError(
+                    "connection closed by document-store server"
+                )
+            try:
+                response = json.loads(raw.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise RemoteStoreError(
+                    f"malformed response from document-store server: {exc}"
+                ) from exc
+            received_id = response.get("id")
+            # id None means the server could not even parse the request
+            # line; responses arrive in order, so FIFO-attribute it
+            if received_id is not None and received_id != expected_id:
+                raise RemoteStoreError(
+                    f"response id {received_id} does not match request id "
+                    f"{expected_id}: pipelined stream out of sync"
+                )
+            responses.append(response)
+        return responses
+
+    @staticmethod
+    def _unwrap(response: dict):
+        if response.get("ok"):
+            return response.get("result")
+        error_type = _ERROR_KINDS.get(response.get("kind"), RemoteStoreError)
+        raise error_type(response.get("error", "unknown remote error"))
 
 
 class RemoteCollection:
@@ -213,6 +315,10 @@ class RemoteCollection:
     def get(self, doc_id: str) -> dict:
         return self._call("get", doc_id=doc_id)
 
+    def get_many(self, doc_ids: list[str]) -> list[dict]:
+        """Fetch many documents in one round-trip (missing ids skipped)."""
+        return self._call("get_many", doc_ids=list(doc_ids))
+
     def find_one(self, query: dict) -> dict | None:
         return self._call("find_one", query=query)
 
@@ -221,8 +327,31 @@ class RemoteCollection:
         query: dict | None = None,
         sort: list | None = None,
         limit: int | None = None,
+        skip: int = 0,
     ) -> list[dict]:
-        return self._call("find", query=query, sort=sort, limit=limit)
+        return self._call("find", query=query, sort=sort, limit=limit, skip=skip)
+
+    def find_pages(
+        self,
+        query: dict | None = None,
+        sort: list | None = None,
+        page_size: int = 256,
+    ):
+        """Iterate matching documents page by page (bounded responses).
+
+        Each page is one ``find`` with ``skip``/``limit``, so arbitrarily
+        large result sets never arrive as a single unbounded response
+        line.
+        """
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        skip = 0
+        while True:
+            page = self.find(query=query, sort=sort, limit=page_size, skip=skip)
+            yield from page
+            if len(page) < page_size:
+                return
+            skip += page_size
 
     def count(self, query: dict | None = None) -> int:
         return self._call("count", query=query)

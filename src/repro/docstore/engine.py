@@ -148,6 +148,17 @@ class Collection:
             raise NotFoundError(f"no document {doc_id!r} in {self.name!r}")
         return json.loads(json.dumps(document))
 
+    def get_many(self, doc_ids: list[str]) -> list[dict]:
+        """Fetch many documents by id in one call (one snapshot, one trip).
+
+        Results come back in ``doc_ids`` order; missing ids are silently
+        skipped rather than raising, so callers can diff the returned
+        ``_id`` set against what they asked for.
+        """
+        with self._lock:
+            found = [self._documents.get(str(doc_id)) for doc_id in doc_ids]
+        return [json.loads(json.dumps(doc)) for doc in found if doc is not None]
+
     def find_one(self, query: dict) -> dict | None:
         for document in self.find(query):
             return document
@@ -158,12 +169,15 @@ class Collection:
         query: dict | None = None,
         sort: list | None = None,
         limit: int | None = None,
+        skip: int = 0,
     ) -> list[dict]:
         """Documents matching ``query``, optionally sorted and limited.
 
         ``sort`` is a list of ``[field, direction]`` pairs (direction 1 for
         ascending, -1 for descending; dotted paths allowed) applied in
         order of significance, like MongoDB's.  Missing fields sort first.
+        ``skip`` drops that many results before ``limit`` applies, which
+        gives remote clients stable pagination over sorted results.
         """
         query = query or {}
         with self._lock:
@@ -181,6 +195,10 @@ class Collection:
                     key=lambda document: _sort_key(resolve_path(document, field)),
                     reverse=direction == -1,
                 )
+        if skip:
+            if skip < 0:
+                raise ValueError(f"skip must be >= 0, got {skip}")
+            results = results[skip:]
         if limit is not None:
             if limit < 0:
                 raise ValueError(f"limit must be >= 0, got {limit}")

@@ -32,6 +32,7 @@ _OPS = {
     "delete_one",
     "delete_many",
     "get",
+    "get_many",
     "find_one",
     "find",
     "count",
@@ -54,9 +55,10 @@ class _Handler(socketserver.StreamRequestHandler):
             raw = raw.strip()
             if not raw:
                 continue
+            request = None
+            response = None
             try:
                 request = json.loads(raw.decode())
-                response = self._dispatch(store, request)
             except Exception as exc:  # malformed request: report, keep serving
                 response = {
                     "id": None,
@@ -64,6 +66,20 @@ class _Handler(socketserver.StreamRequestHandler):
                     "kind": "protocol",
                     "error": str(exc),
                 }
+            if response is None:
+                try:
+                    response = self._dispatch(store, request)
+                except Exception as exc:  # bad args etc.: keep the request id
+                    # so pipelined clients can keep their streams in sync
+                    request_id = (
+                        request.get("id") if isinstance(request, dict) else None
+                    )
+                    response = {
+                        "id": request_id,
+                        "ok": False,
+                        "kind": "protocol",
+                        "error": str(exc),
+                    }
             try:
                 self.wfile.write((json.dumps(response) + "\n").encode())
                 self.wfile.flush()

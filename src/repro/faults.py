@@ -25,6 +25,7 @@ tests can tell retryable from fatal.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Callable
 
 from .errors import TransientStoreError
@@ -102,6 +103,10 @@ class FaultInjector:
         self.sleep = sleep
         self.max_consecutive_failures = max_consecutive_failures
         self._rng = random.Random(seed)
+        # one lock around every fault decision: the parallel save/recover
+        # paths hit the injector from worker threads, and an unguarded
+        # shared PRNG would make "seeded" chaos runs non-reproducible
+        self._lock = threading.RLock()
         self._consecutive: dict[str, int] = {}
         self.stats = {
             "ops": 0,
@@ -159,48 +164,55 @@ class FaultInjector:
         ``docs.insert_one``, ...); document-store ops use ``outage_rate``,
         everything else ``error_rate``.
         """
-        self.stats["ops"] += 1
-        if self.crash_at is not None and self._matches(op, self.crash_op):
-            self._crash_seen += 1
-            if self._crash_seen >= self.crash_at:
-                self.crash_at = None  # one-shot: repair code must run clean
-                self.stats["crashes"] += 1
-                raise CrashPoint(f"injected crash at {op!r} (op #{self.stats['ops']})")
-        if self.latency_rate and self._rng.random() < self.latency_rate:
-            self.stats["latency_spikes"] += 1
-            if self.sleep is not None and self.latency_s > 0:
-                self.sleep(self.latency_s)
-        is_docs = op.startswith("docs.")
-        rate = self.outage_rate if is_docs else self.error_rate
-        if rate and self._rng.random() < rate and self._allowed_to_fail(op):
-            self._register_failure(op)
-            if is_docs:
-                self.stats["outages"] += 1
-                raise TransientStoreError(f"injected document-store outage during {op!r}")
-            self.stats["errors"] += 1
-            raise TransientStoreError(f"injected transient I/O error during {op!r}")
-        self._consecutive[op] = 0
+        with self._lock:
+            self.stats["ops"] += 1
+            if self.crash_at is not None and self._matches(op, self.crash_op):
+                self._crash_seen += 1
+                if self._crash_seen >= self.crash_at:
+                    self.crash_at = None  # one-shot: repair code must run clean
+                    self.stats["crashes"] += 1
+                    raise CrashPoint(
+                        f"injected crash at {op!r} (op #{self.stats['ops']})"
+                    )
+            if self.latency_rate and self._rng.random() < self.latency_rate:
+                self.stats["latency_spikes"] += 1
+                if self.sleep is not None and self.latency_s > 0:
+                    self.sleep(self.latency_s)
+            is_docs = op.startswith("docs.")
+            rate = self.outage_rate if is_docs else self.error_rate
+            if rate and self._rng.random() < rate and self._allowed_to_fail(op):
+                self._register_failure(op)
+                if is_docs:
+                    self.stats["outages"] += 1
+                    raise TransientStoreError(
+                        f"injected document-store outage during {op!r}"
+                    )
+                self.stats["errors"] += 1
+                raise TransientStoreError(f"injected transient I/O error during {op!r}")
+            self._consecutive[op] = 0
 
     def torn_write(self, op: str) -> bool:
         """Should this write persist only a partial payload and fail?"""
-        if self.torn_write_rate and self._rng.random() < self.torn_write_rate:
-            if self._allowed_to_fail(op):
-                self._register_failure(op)
-                self.stats["torn_writes"] += 1
-                return True
-        return False
+        with self._lock:
+            if self.torn_write_rate and self._rng.random() < self.torn_write_rate:
+                if self._allowed_to_fail(op):
+                    self._register_failure(op)
+                    self.stats["torn_writes"] += 1
+                    return True
+            return False
 
     def corrupt(self, op: str, data: bytes) -> bytes:
         """Maybe flip one byte of ``data`` (in-transit read corruption)."""
-        if not data or not self.corrupt_rate:
+        with self._lock:
+            if not data or not self.corrupt_rate:
+                return data
+            if self._rng.random() < self.corrupt_rate:
+                self.stats["corruptions"] += 1
+                index = self._rng.randrange(len(data))
+                corrupted = bytearray(data)
+                corrupted[index] ^= 0xFF
+                return bytes(corrupted)
             return data
-        if self._rng.random() < self.corrupt_rate:
-            self.stats["corruptions"] += 1
-            index = self._rng.randrange(len(data))
-            corrupted = bytearray(data)
-            corrupted[index] ^= 0xFF
-            return bytes(corrupted)
-        return data
 
 
 class _FaultyCollection:

@@ -6,13 +6,20 @@ from .network import (
     NetworkModel,
     SimulatedNetworkFileStore,
 )
-from .store import ChunkNotFoundError, ChunkStore, FileNotFoundInStoreError, FileStore
+from .store import (
+    ChunkCache,
+    ChunkNotFoundError,
+    ChunkStore,
+    FileNotFoundInStoreError,
+    FileStore,
+)
 
 __all__ = [
     "CELLULAR_LTE",
     "INFINIBAND_100G",
     "NetworkModel",
     "SimulatedNetworkFileStore",
+    "ChunkCache",
     "ChunkNotFoundError",
     "ChunkStore",
     "FileNotFoundInStoreError",

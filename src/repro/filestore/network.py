@@ -10,6 +10,7 @@ code — it is a drop-in :class:`~repro.filestore.store.FileStore`.
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 
@@ -52,6 +53,14 @@ class SimulatedNetworkFileStore(FileStore):
     time (for end-to-end timing experiments); with ``sleep=False`` the cost
     is only accumulated in :attr:`simulated_seconds` so large sweeps stay
     fast while still reporting transfer budgets.
+
+    Batched chunk fetches (:meth:`FileStore.get_chunks`) are charged as a
+    *pipelined* transfer: latency is paid once per window of
+    ``pipeline_depth`` in-flight requests while the bandwidth term stays
+    the sum of all payload bytes — bandwidth is shared across concurrent
+    streams, not multiplied by them.  :attr:`round_trips` counts the
+    link-latency round-trips actually paid; :attr:`round_trips_saved`
+    counts the ones pipelining avoided versus a fully serial client.
     """
 
     #: Bytes exchanged to ask the server "do you already hold this chunk?"
@@ -67,22 +76,42 @@ class SimulatedNetworkFileStore(FileStore):
         retry=None,
         tmp_grace_s: float | None = None,
         verify_reads: bool | None = None,
+        pipeline_depth: int = 8,
+        workers: int = 0,
+        chunk_cache=None,
     ):
-        kwargs = {"faults": faults, "retry": retry, "verify_reads": verify_reads}
+        kwargs = {
+            "faults": faults,
+            "retry": retry,
+            "verify_reads": verify_reads,
+            "workers": workers,
+            "chunk_cache": chunk_cache,
+        }
         if tmp_grace_s is not None:
             kwargs["tmp_grace_s"] = tmp_grace_s
         super().__init__(root, **kwargs)
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         self.network = network
         self.sleep = sleep
+        self.pipeline_depth = int(pipeline_depth)
+        self._accounting_lock = threading.Lock()
         self.simulated_seconds = 0.0
         self.bytes_sent = 0
         self.bytes_received = 0
         self.chunks_deduplicated = 0
         self.chunk_bytes_deduplicated = 0
+        self.round_trips = 0
+        self.round_trips_saved = 0
 
-    def _charge(self, num_bytes: int) -> None:
-        cost = self.network.transfer_time(num_bytes)
-        self.simulated_seconds += cost
+    def _charge(self, num_bytes: int, round_trips: int = 1) -> None:
+        cost = (
+            round_trips * self.network.latency_s
+            + num_bytes / self.network.bandwidth_bytes_per_s
+        )
+        with self._accounting_lock:
+            self.simulated_seconds += cost
+            self.round_trips += round_trips
         if self.sleep:
             time.sleep(cost)
 
@@ -96,54 +125,90 @@ class SimulatedNetworkFileStore(FileStore):
         """
         file_id = super().save_bytes(data, suffix=suffix)
         self._charge(len(data))
-        self.bytes_sent += len(data)
+        with self._accounting_lock:
+            self.bytes_sent += len(data)
         return file_id
 
     def recover_bytes(self, file_id: str) -> bytes:
         """Load a payload, charging its download against the link."""
         data = super().recover_bytes(file_id)
         self._charge(len(data))
-        self.bytes_received += len(data)
+        with self._accounting_lock:
+            self.bytes_received += len(data)
         return data
 
-    def put_chunk(self, digest: str, buffer) -> bool:
+    def _put_chunk_data(self, digest: str, buffer) -> bool:
         """Upload one chunk, paying only for content the server lacks.
 
         Every put costs one digest round-trip (the existence query); the
         payload itself crosses the link only when the server does not
         already hold the chunk — dedup turns repeat uploads into
         near-free no-ops, exactly the delta-transfer win chunked saves
-        are after.
+        are after.  Overriding the write primitive (not :meth:`put_chunk`)
+        means parallel savers are charged identically to serial ones.
         """
         self._charge(self.CHUNK_QUERY_BYTES)
-        self.bytes_sent += self.CHUNK_QUERY_BYTES
+        with self._accounting_lock:
+            self.bytes_sent += self.CHUNK_QUERY_BYTES
         nbytes = buffer.nbytes if isinstance(buffer, memoryview) else len(buffer)
-        wrote = super().put_chunk(digest, buffer)
+        wrote = super()._put_chunk_data(digest, buffer)
         if wrote:
             self._charge(nbytes)
-            self.bytes_sent += nbytes
+            with self._accounting_lock:
+                self.bytes_sent += nbytes
         else:
-            self.chunks_deduplicated += 1
-            self.chunk_bytes_deduplicated += nbytes
+            with self._accounting_lock:
+                self.chunks_deduplicated += 1
+                self.chunk_bytes_deduplicated += nbytes
         return wrote
 
-    def get_chunk(self, digest: str) -> bytes:
-        """Download one chunk, charging its payload against the link."""
-        data = super().get_chunk(digest)
+    def _charged_read(self, digest: str) -> bytes:
+        """Download one chunk, charging its payload against the link.
+
+        Hot-chunk cache hits never reach this hook, so cached recoveries
+        are free — the whole point of sharing the cache with the recovery
+        plane.
+        """
+        data = super()._charged_read(digest)
         self._charge(len(data))
-        self.bytes_received += len(data)
+        with self._accounting_lock:
+            self.bytes_received += len(data)
         return data
+
+    def _charged_read_many(self, digests, workers) -> dict:
+        """Download a batch of chunks as one pipelined transfer.
+
+        Latency is paid once per window of ``pipeline_depth`` requests in
+        flight; payload bytes all cross the (shared-bandwidth) link.  The
+        difference between ``len(digests)`` serial round-trips and the
+        windows actually paid lands in :attr:`round_trips_saved`.
+        """
+        payloads = self._fetch_many(list(digests), workers)
+        n = len(payloads)
+        if n == 0:
+            return payloads
+        total = sum(len(data) for data in payloads.values())
+        windows = -(-n // self.pipeline_depth)  # ceil division
+        self._charge(total, round_trips=windows)
+        with self._accounting_lock:
+            self.bytes_received += total
+            self.round_trips_saved += n - windows
+        return payloads
 
     def has_chunk(self, digest: str) -> bool:
         """Existence probe; costs one digest round-trip."""
         self._charge(self.CHUNK_QUERY_BYTES)
-        self.bytes_sent += self.CHUNK_QUERY_BYTES
+        with self._accounting_lock:
+            self.bytes_sent += self.CHUNK_QUERY_BYTES
         return super().has_chunk(digest)
 
     def reset_accounting(self) -> None:
         """Zero the accumulated transfer time and byte counters."""
-        self.simulated_seconds = 0.0
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.chunks_deduplicated = 0
-        self.chunk_bytes_deduplicated = 0
+        with self._accounting_lock:
+            self.simulated_seconds = 0.0
+            self.bytes_sent = 0
+            self.bytes_received = 0
+            self.chunks_deduplicated = 0
+            self.chunk_bytes_deduplicated = 0
+            self.round_trips = 0
+            self.round_trips_saved = 0

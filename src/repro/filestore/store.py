@@ -24,6 +24,7 @@ import threading
 import time
 import uuid
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Mapping
 
@@ -37,7 +38,13 @@ try:
 except ImportError:  # non-posix platform: single-process locking only
     fcntl = None
 
-__all__ = ["FileStore", "ChunkStore", "FileNotFoundInStoreError", "ChunkNotFoundError"]
+__all__ = [
+    "FileStore",
+    "ChunkStore",
+    "ChunkCache",
+    "FileNotFoundInStoreError",
+    "ChunkNotFoundError",
+]
 
 #: File-id suffix that marks a blob as a chunked-state manifest.
 MANIFEST_SUFFIX = ".manifest"
@@ -55,6 +62,9 @@ JOURNAL_DIR_NAME = "journal"
 #: a concurrent saver may still be writing them (see PR-2 satellite fix).
 DEFAULT_TMP_GRACE_S = 600.0
 
+#: Default byte budget for an in-process hot-chunk LRU (see :class:`ChunkCache`).
+DEFAULT_CHUNK_CACHE_BYTES = 256 * 1024 * 1024
+
 
 class FileNotFoundInStoreError(KeyError):
     """Raised when recovering a file id that was never saved (or deleted)."""
@@ -68,6 +78,118 @@ def _buffer_nbytes(buffer) -> int:
     if isinstance(buffer, memoryview):
         return buffer.nbytes
     return len(buffer)
+
+
+class ChunkCache:
+    """Thread-safe LRU over chunk payloads, bounded by total bytes.
+
+    The recovery plane shares one instance between a :class:`FileStore`
+    (which consults it on every chunk read), the chain prefetcher (which
+    warms it ahead of the recovery cursor), and a
+    :class:`~repro.core.cache.RecoveryCache` (which carries it across
+    ``recover_model`` calls).  Chunks are immutable — content-addressed by
+    digest — so cached payloads never go stale; eviction is purely a
+    memory-budget decision.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CHUNK_CACHE_BYTES):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> bytes | None:
+        with self._lock:
+            data = self._entries.get(digest)
+            if data is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return data
+
+    def put(self, digest: str, data) -> None:
+        data = bytes(data)
+        if len(data) > self.max_bytes:
+            return  # would evict everything else for one cold chunk
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                return
+            self._entries[digest] = data
+            self.current_bytes += len(data)
+            while self.current_bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self.current_bytes -= len(evicted)
+                self.evictions += 1
+
+    def discard(self, digest: str) -> None:
+        """Drop one entry (a payload that failed digest verification)."""
+        with self._lock:
+            data = self._entries.pop(digest, None)
+            if data is not None:
+                self.current_bytes -= len(data)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class _SingleFlight:
+    """Collapse concurrent fetches of one key into a single leader fetch.
+
+    The prefetcher and a recovery running in parallel routinely ask for
+    the same chunk at the same moment; without coalescing, both would
+    cross the (possibly simulated) link and the transfer would be charged
+    twice.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight: dict[str, threading.Event] = {}
+
+    def begin(self, key: str) -> threading.Event | None:
+        """Returns ``None`` when the caller is the leader (must call
+        :meth:`done`), else the leader's event to wait on."""
+        with self._lock:
+            event = self._inflight.get(key)
+            if event is not None:
+                return event
+            self._inflight[key] = threading.Event()
+            return None
+
+    def done(self, key: str) -> None:
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
 
 
 class ChunkStore:
@@ -313,6 +435,17 @@ class FileStore:
       on mismatch; defaults to on exactly when ``faults``/``retry`` are
       configured (a chaos or production-robust deployment) so benchmark
       paths keep their cost profile.
+
+    Parallel transfer plane (all off by default, so the serial cost
+    profile of existing deployments is unchanged):
+
+    * ``workers`` — default concurrency for chunk I/O: with ``workers > 1``
+      :meth:`save_state_chunks`, :meth:`recover_state_chunks`, and
+      :meth:`get_chunks` fan out over a bounded ``ThreadPoolExecutor``;
+    * ``chunk_cache`` — an in-process hot-chunk LRU (a :class:`ChunkCache`
+      or a byte budget), consulted before every chunk read and shared with
+      the recovery-chain prefetcher.  Concurrent fetches of one digest are
+      coalesced into a single transfer while the cache is attached.
     """
 
     def __init__(
@@ -322,6 +455,8 @@ class FileStore:
         retry=None,
         tmp_grace_s: float = DEFAULT_TMP_GRACE_S,
         verify_reads: bool | None = None,
+        workers: int = 0,
+        chunk_cache: "ChunkCache | int | None" = None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -333,6 +468,11 @@ class FileStore:
             if verify_reads is None
             else bool(verify_reads)
         )
+        self.workers = int(workers)
+        if isinstance(chunk_cache, int):
+            chunk_cache = ChunkCache(max_bytes=chunk_cache) if chunk_cache > 0 else None
+        self.chunk_cache = chunk_cache
+        self._singleflight = _SingleFlight()
         self._chunks: ChunkStore | None = None
         self._journal_local = threading.local()
         self._clean_orphaned_tmp_files()
@@ -374,6 +514,28 @@ class FileStore:
         if self.retry is None:
             return attempt()
         return self.retry.call(attempt, op=op, retry_on=retry_on)
+
+    # -- parallel plane helpers --------------------------------------------------
+
+    def _effective_workers(self, workers: int | None, n_items: int) -> int:
+        """Concurrency for one batch: explicit override, else the store default."""
+        limit = self.workers if workers is None else int(workers)
+        if limit <= 1 or n_items <= 1:
+            return 1
+        return min(limit, n_items)
+
+    def _cache_get(self, digest: str) -> bytes | None:
+        if self.chunk_cache is None:
+            return None
+        return self.chunk_cache.get(digest)
+
+    def _cache_put(self, digest: str, data: bytes) -> None:
+        if self.chunk_cache is not None:
+            self.chunk_cache.put(digest, data)
+
+    def _cache_discard(self, digest: str) -> None:
+        if self.chunk_cache is not None:
+            self.chunk_cache.discard(digest)
 
     # -- write-ahead intent journal ---------------------------------------------
 
@@ -513,11 +675,11 @@ class FileStore:
 
     # -- chunked state save/recover ---------------------------------------------
 
-    def put_chunk(self, digest: str, buffer) -> bool:
-        """Store one content-addressed chunk; True iff bytes were written.
+    def _put_chunk_data(self, digest: str, buffer) -> bool:
+        """Write one chunk (fault/retry wrapped) without journaling.
 
-        Idempotent under retries (content addressing): a repeated attempt
-        after a torn write converges on the same chunk file.
+        The save journal is thread-local, so parallel savers write through
+        this primitive and the calling thread records the intents.
         """
 
         def attempt() -> bool:
@@ -529,13 +691,21 @@ class FileStore:
                 )
             return self.chunks.put(digest, buffer)
 
-        wrote = self._call("chunk.write", attempt)
+        return self._call("chunk.write", attempt)
+
+    def put_chunk(self, digest: str, buffer) -> bool:
+        """Store one content-addressed chunk; True iff bytes were written.
+
+        Idempotent under retries (content addressing): a repeated attempt
+        after a torn write converges on the same chunk file.
+        """
+        wrote = self._put_chunk_data(digest, buffer)
         if wrote:
             self.journal_record("chunk", digest=digest)
         return wrote
 
-    def get_chunk(self, digest: str) -> bytes:
-        """Fetch one chunk's payload by digest."""
+    def _read_chunk(self, digest: str) -> bytes:
+        """Fault/retry-wrapped chunk read, straight from the chunk store."""
 
         def attempt() -> bytes:
             self._fault("chunk.read")
@@ -546,6 +716,89 @@ class FileStore:
 
         return self._call("chunk.read", attempt)
 
+    def _charged_read(self, digest: str) -> bytes:
+        """One chunk fetch crossing the link (transfer-accounting hook)."""
+        return self._read_chunk(digest)
+
+    def _charged_read_many(self, digests: list[str], workers: int | None) -> dict[str, bytes]:
+        """One batched fetch crossing the link (transfer-accounting hook)."""
+        return self._fetch_many(digests, workers)
+
+    def _fetch_many(self, digests: list[str], workers: int | None) -> dict[str, bytes]:
+        """Concurrently read chunks over a bounded worker pool."""
+        n = self._effective_workers(workers, len(digests))
+        if n <= 1:
+            return {digest: self._read_chunk(digest) for digest in digests}
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            payloads = list(pool.map(self._read_chunk, digests))
+        return dict(zip(digests, payloads))
+
+    def get_chunk(self, digest: str) -> bytes:
+        """Fetch one chunk's payload by digest (hot-chunk cache first)."""
+        cached = self._cache_get(digest)
+        if cached is not None:
+            return cached
+        if self.chunk_cache is None:
+            return self._charged_read(digest)
+        leader_event = self._singleflight.begin(digest)
+        if leader_event is None:
+            try:
+                data = self._charged_read(digest)
+                self._cache_put(digest, data)
+                return data
+            finally:
+                self._singleflight.done(digest)
+        leader_event.wait()
+        cached = self._cache_get(digest)
+        if cached is not None:
+            return cached
+        return self._charged_read(digest)  # leader failed or entry evicted
+
+    def get_chunks(self, digests: Iterable[str], workers: int | None = None) -> dict[str, bytes]:
+        """Fetch many chunks concurrently; returns digest -> payload.
+
+        Duplicates are fetched once, cached chunks are served from the
+        hot-chunk LRU without touching the store, and concurrent callers
+        asking for the same digest share one transfer.  ``workers``
+        overrides the store's default concurrency for this batch.
+        """
+        unique = list(dict.fromkeys(digests))
+        results: dict[str, bytes] = {}
+        misses: list[str] = []
+        for digest in unique:
+            cached = self._cache_get(digest)
+            if cached is not None:
+                results[digest] = cached
+            else:
+                misses.append(digest)
+        if not misses:
+            return results
+        if self.chunk_cache is None:
+            results.update(self._charged_read_many(misses, workers))
+            return results
+        leaders: list[str] = []
+        waits: list[tuple[str, threading.Event]] = []
+        for digest in misses:
+            event = self._singleflight.begin(digest)
+            if event is None:
+                leaders.append(digest)
+            else:
+                waits.append((digest, event))
+        try:
+            if leaders:
+                fetched = self._charged_read_many(leaders, workers)
+                for digest, data in fetched.items():
+                    self._cache_put(digest, data)
+                results.update(fetched)
+        finally:
+            for digest in leaders:
+                self._singleflight.done(digest)
+        for digest, event in waits:
+            event.wait()
+            cached = self._cache_get(digest)
+            results[digest] = cached if cached is not None else self._charged_read(digest)
+        return results
+
     def has_chunk(self, digest: str) -> bool:
         return self.chunks.has(digest)
 
@@ -554,20 +807,25 @@ class FileStore:
         state: Mapping[str, np.ndarray],
         layer_hashes: Mapping[str, str],
         suffix: str = ".params" + MANIFEST_SUFFIX,
+        workers: int | None = None,
     ) -> str:
         """Save a flat state dict as per-layer chunks plus a manifest.
 
         ``layer_hashes`` maps each layer name to its already-computed
         tensor hash (the Merkle leaves) — the chunk ids.  Nothing is
         re-hashed here, and already-contiguous arrays are written from a
-        ``memoryview`` without copying.  Returns the manifest's file id,
-        which carries the ``.manifest`` suffix so recovery, deletion, and
-        sizing recognize it.
+        ``memoryview`` without copying.  With ``workers`` (default: the
+        store's ``workers`` setting) distinct chunks are written
+        concurrently; the crash-consistency journal is still recorded on
+        the calling thread, since journals are thread-local.  Returns the
+        manifest's file id, which carries the ``.manifest`` suffix so
+        recovery, deletion, and sizing recognize it.
         """
         if not suffix.endswith(MANIFEST_SUFFIX):
             raise ValueError(f"manifest suffix must end with {MANIFEST_SUFFIX!r}")
         entries = []
         digests = []
+        buffers = {}
         for name, array in state.items():
             digest = layer_hashes[name]
             payload = array if array.flags.c_contiguous else np.ascontiguousarray(array)
@@ -575,11 +833,25 @@ class FileStore:
                 buffer = memoryview(payload).cast("B")
             else:  # 0-d and empty arrays cannot be cast; both are tiny
                 buffer = payload.tobytes()
-            self.put_chunk(digest, buffer)
+            buffers.setdefault(digest, buffer)
             entries.append(
                 [name, {"chunk": digest, "dtype": array.dtype.str, "shape": list(array.shape)}]
             )
             digests.append(digest)
+        unique = list(buffers)
+        n = self._effective_workers(workers, len(unique))
+        if n <= 1:
+            for digest in unique:
+                self.put_chunk(digest, buffers[digest])
+        else:
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                wrote = list(
+                    pool.map(lambda d: self._put_chunk_data(d, buffers[d]), unique)
+                )
+            # journal intents on the calling thread (journals are thread-local)
+            for digest, written in zip(unique, wrote):
+                if written:
+                    self.journal_record("chunk", digest=digest)
         self.chunks.add_refs(digests)
         self.journal_record("refs", digests=digests)
         manifest = json.dumps(
@@ -588,7 +860,10 @@ class FileStore:
         return self.save_bytes(manifest, suffix=suffix)
 
     def recover_state_chunks(
-        self, file_id: str, verify: bool | None = None
+        self,
+        file_id: str,
+        verify: bool | None = None,
+        workers: int | None = None,
     ) -> "OrderedDict[str, np.ndarray]":
         """Rebuild the state dict a manifest describes (bitwise identical).
 
@@ -596,34 +871,65 @@ class FileStore:
         chunk payload is re-hashed against its content digest; a mismatch
         — in-transit corruption on a flaky link — is re-fetched up to the
         retry policy's attempt limit before surfacing as a typed
-        :class:`StoreCorruptionError`.
+        :class:`StoreCorruptionError`.  With ``workers`` (default: the
+        store's ``workers`` setting) chunks are fetched concurrently in one
+        batch and digest verification runs off the fetch critical path;
+        layer order in the returned dict always matches the manifest.
         """
         verify = self.verify_reads if verify is None else verify
         manifest = self.read_manifest(file_id)
+        layers = manifest["layers"]
         state: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        for name, meta in manifest["layers"]:
-            state[name] = self._recover_chunk_array(meta, verify)
+        n = self._effective_workers(workers, len(layers))
+        if n <= 1:
+            for name, meta in layers:
+                state[name] = self._recover_chunk_array(meta, verify)
+            return state
+        payloads = self.get_chunks([meta["chunk"] for _, meta in layers], workers=n)
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            arrays = list(
+                pool.map(
+                    lambda pair: self._recover_chunk_array(
+                        pair[1], verify, initial=payloads.get(pair[1]["chunk"])
+                    ),
+                    layers,
+                )
+            )
+        for (name, _), array in zip(layers, arrays):
+            state[name] = array
         return state
 
-    def _recover_chunk_array(self, meta: dict, verify: bool) -> np.ndarray:
+    def _recover_chunk_array(
+        self, meta: dict, verify: bool, initial: bytes | None = None
+    ) -> np.ndarray:
         digest = meta["chunk"]
         attempts = 1
         if verify and self.retry is not None:
             attempts = max(1, self.retry.max_attempts)
+        raw = initial
         for attempt in range(1, attempts + 1):
-            raw = self.get_chunk(digest)
-            array = np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(
-                meta["shape"]
-            )
-            if not verify:
-                return array.copy()
-            # lazy import: repro.core imports this module at package init
-            from ..core.hashing import tensor_hash
+            if raw is None:
+                raw = self.get_chunk(digest)
+            try:
+                array = np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(
+                    meta["shape"]
+                )
+            except ValueError:  # payload size disagrees with the manifest
+                array = None
+            if array is not None:
+                if not verify:
+                    return array.copy()
+                # lazy import: repro.core imports this module at package init
+                from ..core.hashing import tensor_hash
 
-            if tensor_hash(array) == digest:
-                return array.copy()
+                if tensor_hash(array) == digest:
+                    return array.copy()
+            # a poisoned cache entry would make every re-fetch return the
+            # same bad payload — drop it so the retry hits the store
+            self._cache_discard(digest)
+            raw = None
         raise StoreCorruptionError(
-            f"chunk {digest!r} is corrupt: payload hash mismatch persisted "
+            f"chunk {digest!r} is corrupt: payload mismatch persisted "
             f"across {attempts} fetch attempt(s)"
         )
 
@@ -771,3 +1077,5 @@ class FileStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self._chunks = None
         self._journal_local = threading.local()
+        if self.chunk_cache is not None:
+            self.chunk_cache.clear()

@@ -1,0 +1,184 @@
+"""Recovery-chain prefetch: read-ahead into the shared hot-chunk cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    ChainPrefetcher,
+    ModelSaveInfo,
+    ParameterUpdateSaveService,
+)
+from repro.core.schema import MODELS
+from repro.filestore import FileStore, NetworkModel, SimulatedNetworkFileStore
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_prefetch", "build_probe_model", {"num_classes": 10}
+    )
+
+
+def build_pua_chain(service, depth=4):
+    """A PUA chain; returns (ids, expected state dicts)."""
+    model = make_tiny_cnn(seed=1)
+    ids = [service.save_model(ModelSaveInfo(model, tiny_arch()))]
+    states = [model.state_dict()]
+    for level in range(depth - 1):
+        derived = make_tiny_cnn()
+        state = {k: v.copy() for k, v in states[-1].items()}
+        state["5.bias"] = state["5.bias"] + level + 1.0
+        derived.load_state_dict(state)
+        ids.append(
+            service.save_model(ModelSaveInfo(derived, tiny_arch(), base_model_id=ids[-1]))
+        )
+        states.append(derived.state_dict())
+    return ids, states
+
+
+@pytest.fixture
+def network_store(tmp_path):
+    link = NetworkModel(bandwidth_bytes_per_s=1_000_000, latency_s=0.01)
+    return SimulatedNetworkFileStore(
+        tmp_path / "files", link, workers=2, pipeline_depth=4, chunk_cache=1 << 20
+    )
+
+
+class TestUsability:
+    def test_requires_a_chunk_cache(self, mem_doc_store, tmp_path):
+        plain = FileStore(tmp_path / "plain")  # no cache: nowhere to land
+        assert not ChainPrefetcher(mem_doc_store, plain).usable()
+        cached = FileStore(tmp_path / "cached", chunk_cache=1 << 20)
+        assert ChainPrefetcher(mem_doc_store, cached).usable()
+
+    def test_invalid_workers(self, mem_doc_store, tmp_path):
+        store = FileStore(tmp_path / "files", chunk_cache=1 << 20)
+        with pytest.raises(ValueError):
+            ChainPrefetcher(mem_doc_store, store, workers=0)
+
+    def test_noop_without_cache_instead_of_wasted_fetches(
+        self, mem_doc_store, tmp_path
+    ):
+        plain = FileStore(tmp_path / "plain")
+        service = ParameterUpdateSaveService(mem_doc_store, plain)
+        ids, _ = build_pua_chain(service, depth=2)
+        with ChainPrefetcher(mem_doc_store, plain) as prefetcher:
+            prefetcher.prefetch_chain(ids[-1])
+            prefetcher.drain()
+            assert prefetcher.stats()["files_prefetched"] == 0
+
+
+class TestPrefetchFile:
+    def test_warms_the_cache_so_recovery_is_free(self, mem_doc_store, network_store):
+        service = ParameterUpdateSaveService(mem_doc_store, network_store)
+        ids, states = build_pua_chain(service, depth=1)
+        document = mem_doc_store.collection(MODELS).get(ids[0])
+        manifest_id = document["parameters_file"]
+
+        with ChainPrefetcher(mem_doc_store, network_store) as prefetcher:
+            prefetcher.prefetch_file(manifest_id)
+            prefetcher.drain()
+            assert prefetcher.stats()["chunks_prefetched"] > 0
+
+        network_store.reset_accounting()
+        state = network_store.recover_state_chunks(manifest_id, workers=2)
+        assert all(np.array_equal(state[k], states[0][k]) for k in states[0])
+        # every chunk came from the hot cache; only the manifest re-crossed
+        assert network_store.round_trips == 1
+
+    def test_non_manifest_ids_are_ignored(self, mem_doc_store, network_store):
+        with ChainPrefetcher(mem_doc_store, network_store) as prefetcher:
+            prefetcher.prefetch_file("someblob.bin")
+            prefetcher.prefetch_file(None)
+            prefetcher.drain()
+            assert prefetcher.stats()["files_prefetched"] == 0
+
+    def test_errors_are_swallowed_and_counted(self, mem_doc_store, network_store):
+        with ChainPrefetcher(mem_doc_store, network_store) as prefetcher:
+            prefetcher.prefetch_file("no-such-file.manifest")
+            prefetcher.drain()
+            assert prefetcher.stats()["errors"] == 1
+
+
+class TestPrefetchChain:
+    def test_whole_chain_lands_in_the_cache(self, mem_doc_store, network_store):
+        service = ParameterUpdateSaveService(mem_doc_store, network_store)
+        ids, states = build_pua_chain(service, depth=4)
+
+        with ChainPrefetcher(mem_doc_store, network_store) as prefetcher:
+            prefetcher.prefetch_chain(ids[-1])
+            prefetcher.drain()
+            # one full snapshot + three diffs
+            assert prefetcher.stats()["files_prefetched"] == 4
+
+        network_store.reset_accounting()
+        recovered = service.recover_model(ids[-1]).model.state_dict()
+        assert all(np.array_equal(recovered[k], states[-1][k]) for k in states[-1])
+        # chunk transfers were all pre-paid; what remains is manifests,
+        # architecture code, and metadata blobs — no pipelined batches
+        assert network_store.round_trips_saved == 0
+
+    def test_chain_walk_stops_on_missing_document(self, mem_doc_store, network_store):
+        service = ParameterUpdateSaveService(mem_doc_store, network_store)
+        ids, _ = build_pua_chain(service, depth=3)
+        # break the chain: the root document disappears
+        mem_doc_store.collection(MODELS).delete_one(ids[0])
+        with ChainPrefetcher(mem_doc_store, network_store) as prefetcher:
+            prefetcher.prefetch_chain(ids[-1])
+            prefetcher.drain()
+            # the two surviving levels still prefetched, nothing raised
+            assert prefetcher.stats()["files_prefetched"] == 2
+
+    def test_depth_cap_bounds_the_walk(self, mem_doc_store, network_store):
+        service = ParameterUpdateSaveService(mem_doc_store, network_store)
+        ids, _ = build_pua_chain(service, depth=5)
+        with ChainPrefetcher(
+            mem_doc_store, network_store, max_chain_depth=2
+        ) as prefetcher:
+            prefetcher.prefetch_chain(ids[-1])
+            prefetcher.drain()
+            assert prefetcher.stats()["files_prefetched"] == 2
+
+    def test_duplicate_requests_coalesce_while_inflight(
+        self, mem_doc_store, network_store
+    ):
+        service = ParameterUpdateSaveService(mem_doc_store, network_store)
+        ids, _ = build_pua_chain(service, depth=3)
+        with ChainPrefetcher(mem_doc_store, network_store) as prefetcher:
+            for _ in range(5):
+                prefetcher.prefetch_chain(ids[-1])
+            prefetcher.drain()
+            # at most one pass over the 3-level chain (scheduling may let a
+            # later request through after the first completes, not before)
+            assert prefetcher.stats()["files_prefetched"] % 3 == 0
+
+
+class TestServiceIntegration:
+    def test_recovery_with_prefetcher_is_bitwise_identical(
+        self, mem_doc_store, network_store
+    ):
+        prefetcher = ChainPrefetcher(mem_doc_store, network_store)
+        service = ParameterUpdateSaveService(
+            mem_doc_store, network_store, prefetcher=prefetcher
+        )
+        ids, states = build_pua_chain(service, depth=4)
+        with prefetcher:
+            for model_id, state in zip(ids, states):
+                recovered = service.recover_model(model_id).model.state_dict()
+                assert all(np.array_equal(recovered[k], state[k]) for k in state)
+            prefetcher.drain()
+            assert prefetcher.stats()["errors"] == 0
+
+    def test_closed_prefetcher_schedules_nothing(self, mem_doc_store, network_store):
+        service = ParameterUpdateSaveService(mem_doc_store, network_store)
+        ids, _ = build_pua_chain(service, depth=2)
+        prefetcher = ChainPrefetcher(mem_doc_store, network_store)
+        prefetcher.close()
+        prefetcher.prefetch_chain(ids[-1])  # must not raise or leak tasks
+        assert prefetcher.stats()["inflight"] == 0

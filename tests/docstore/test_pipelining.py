@@ -1,0 +1,216 @@
+"""Pipelined docstore protocol: id matching, batched ops, paging."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.docstore import (
+    DocumentStore,
+    DocumentStoreClient,
+    DocumentStoreServer,
+    NotFoundError,
+    RemoteStoreError,
+)
+from repro.docstore.client import TransientRemoteError
+
+
+@pytest.fixture
+def served_store():
+    store = DocumentStore()
+    with DocumentStoreServer(store, port=0) as server:
+        with DocumentStoreClient(server.host, server.port) as client:
+            yield store, client
+
+
+@pytest.fixture
+def rogue_server():
+    """A fake server that answers every request with a wrong response id."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+
+    def serve():
+        conn, _ = listener.accept()
+        reader = conn.makefile("rb")
+        try:
+            while reader.readline():
+                payload = {"id": 999_999, "ok": True, "result": None}
+                conn.sendall((json.dumps(payload) + "\n").encode())
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    yield host, port
+    listener.close()
+
+
+class TestResponseIdMatching:
+    def test_mismatched_response_id_raises(self, rogue_server):
+        """Regression: a stale/reordered response must never be attributed
+        to the wrong request — the client verifies every response id."""
+        host, port = rogue_server
+        client = DocumentStoreClient(host, port)
+        with pytest.raises(RemoteStoreError, match="out of sync"):
+            client.request("models", "count")
+
+    def test_mismatch_poisons_the_connection(self, rogue_server):
+        host, port = rogue_server
+        client = DocumentStoreClient(host, port)
+        with pytest.raises(RemoteStoreError):
+            client.request("models", "count")
+        # the desynchronized connection must not return to the pool
+        assert client._idle == []
+
+    def test_ids_strictly_increase_within_a_connection(self, served_store):
+        _, client = served_store
+        coll = client["m"]
+        for index in range(5):
+            coll.insert_one({"i": index})
+        # all five requests reused the single pooled connection
+        assert len(client._idle) == 1
+        assert client._idle[0].next_id == 5
+
+
+class TestRequestMany:
+    def test_results_come_back_in_request_order(self, served_store):
+        _, client = served_store
+        ids = client["m"].insert_many([{"i": i} for i in range(10)])
+        results = client.request_many(
+            "m", [("get", {"doc_id": doc_id}) for doc_id in reversed(ids)]
+        )
+        assert [doc["i"] for doc in results] == list(range(9, -1, -1))
+
+    def test_error_mid_batch_keeps_the_stream_in_sync(self, served_store):
+        _, client = served_store
+        coll = client["m"]
+        good = coll.insert_one({"i": 1})
+        with pytest.raises(NotFoundError):
+            client.request_many(
+                "m",
+                [
+                    ("get", {"doc_id": good}),
+                    ("get", {"doc_id": "missing-id"}),
+                    ("get", {"doc_id": good}),
+                ],
+            )
+        # an application-level error is a clean response, not a transport
+        # failure: the connection survives and later requests still work
+        assert coll.get(good)["i"] == 1
+        assert len(client._idle) == 1
+
+    def test_empty_batch(self, served_store):
+        _, client = served_store
+        assert client.request_many("m", []) == []
+
+    def test_concurrent_batches_from_many_threads(self, served_store):
+        _, client = served_store
+        ids = client["m"].insert_many([{"i": i} for i in range(20)])
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    docs = client.request_many(
+                        "m", [("get", {"doc_id": doc_id}) for doc_id in ids]
+                    )
+                    assert [d["i"] for d in docs] == list(range(20))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestSmallPipelineWindows:
+    def test_seven_ops_over_depth_two_windows(self):
+        store = DocumentStore()
+        with DocumentStoreServer(store, port=0) as server:
+            with DocumentStoreClient(
+                server.host, server.port, pipeline_depth=2
+            ) as client:
+                ids = client["m"].insert_many([{"i": i} for i in range(7)])
+                docs = client.request_many(
+                    "m", [("get", {"doc_id": doc_id}) for doc_id in ids]
+                )
+                assert [d["i"] for d in docs] == list(range(7))
+
+    def test_invalid_depth_rejected(self):
+        store = DocumentStore()
+        with DocumentStoreServer(store, port=0) as server:
+            with pytest.raises(ValueError):
+                DocumentStoreClient(server.host, server.port, pipeline_depth=0)
+            with pytest.raises(ValueError):
+                DocumentStoreClient(server.host, server.port, max_connections=0)
+
+
+class TestGetMany:
+    def test_order_matches_request_and_missing_are_skipped(self, served_store):
+        _, client = served_store
+        coll = client["m"]
+        ids = coll.insert_many([{"i": i} for i in range(4)])
+        wanted = [ids[3], "missing", ids[0], ids[2]]
+        docs = coll.get_many(wanted)
+        assert [d["i"] for d in docs] == [3, 0, 2]
+
+    def test_empty_and_duplicate_ids(self, served_store):
+        _, client = served_store
+        coll = client["m"]
+        assert coll.get_many([]) == []
+        doc_id = coll.insert_one({"i": 7})
+        docs = coll.get_many([doc_id, doc_id])
+        assert [d["i"] for d in docs] == [7, 7]
+
+    def test_engine_collection_get_many(self):
+        coll = DocumentStore().collection("m")
+        ids = [coll.insert_one({"i": i}) for i in range(3)]
+        docs = coll.get_many([ids[2], ids[0]])
+        assert [d["i"] for d in docs] == [2, 0]
+        # returned documents are copies, not aliases into the store
+        docs[0]["i"] = 99
+        assert coll.get(ids[2])["i"] == 2
+
+
+class TestFindPaging:
+    def test_find_with_skip(self, served_store):
+        _, client = served_store
+        coll = client["m"]
+        coll.insert_many([{"i": i} for i in range(10)])
+        page = coll.find({}, sort=[("i", 1)], skip=4, limit=3)
+        assert [d["i"] for d in page] == [4, 5, 6]
+
+    def test_engine_skip_validation(self):
+        coll = DocumentStore().collection("m")
+        with pytest.raises(ValueError):
+            coll.find({}, skip=-1)
+
+    def test_find_pages_streams_everything_once(self, served_store):
+        _, client = served_store
+        coll = client["m"]
+        coll.insert_many([{"i": i} for i in range(23)])
+        seen = [doc["i"] for doc in coll.find_pages({}, sort=[("i", 1)], page_size=5)]
+        assert seen == list(range(23))
+
+    def test_find_pages_invalid_page_size(self, served_store):
+        _, client = served_store
+        with pytest.raises(ValueError):
+            next(client["m"].find_pages({}, page_size=0))
+
+
+class TestPoolBehaviour:
+    def test_dead_endpoint_fails_fast_and_typed(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here any more
+        with pytest.raises(TransientRemoteError):
+            DocumentStoreClient("127.0.0.1", port, timeout=0.5)
