@@ -1,6 +1,6 @@
 PY ?= python
 
-.PHONY: test lint bench-smoke bench-recovery chaos api-docs
+.PHONY: test lint bench-smoke bench-recovery bench-cluster chaos api-docs
 
 # tier-1 suite (the repo's correctness gate)
 test:
@@ -22,6 +22,10 @@ bench-smoke:
 # serial vs pipelined recovery accounting; writes BENCH_recovery.json
 bench-recovery:
 	$(PY) scripts/bench_recovery.py
+
+# sharded recover throughput + replica-down failover; writes BENCH_cluster.json
+bench-cluster:
+	$(PY) scripts/bench_cluster.py
 
 # fault-injection tests (fixed seeds) + chaos smoke; writes BENCH_chaos.json
 chaos:

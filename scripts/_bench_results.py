@@ -1,0 +1,34 @@
+"""One code path for benchmark artifacts.
+
+Every benchmark script historically wrote its ``BENCH_*.json`` twice —
+once at the repo root, once under ``benchmarks/results/`` — with two
+separately-serialized payloads that could (and did) drift.
+:func:`write_results` makes ``benchmarks/results/`` the canonical
+location: the payload is serialized once, written there, and *copied*
+byte-for-byte to the repo root for quick inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Canonical home of benchmark artifacts; the repo-root copy is a mirror.
+RESULTS_DIR = ROOT / "benchmarks" / "results"
+
+
+def write_results(name: str, results: dict, mirror_to_root: bool = True) -> Path:
+    """Serialize ``results`` to ``benchmarks/results/<name>`` (canonical)
+    and copy the file to the repo root.  Returns the canonical path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    canonical = RESULTS_DIR / name
+    canonical.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {canonical.relative_to(ROOT)}")
+    if mirror_to_root:
+        mirror = ROOT / name
+        shutil.copy(canonical, mirror)
+        print(f"copied to {mirror.relative_to(ROOT)}")
+    return canonical

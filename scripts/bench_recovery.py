@@ -17,8 +17,8 @@ shared-bandwidth byte time), and ``round_trips``/``round_trips_saved``
 report how many latency payments pipelining avoided.  Both an InfiniBand
 (paper §4.1) and an LTE link (the motivating fleet uplink) are measured.
 
-Writes ``BENCH_recovery.json`` at the repo root and mirrors it into
-``benchmarks/results/``.  Exit status is non-zero unless pipelined
+Writes ``BENCH_recovery.json`` into ``benchmarks/results/`` (canonical;
+copied to the repo root).  Exit status is non-zero unless pipelined
 recovery is >= 2x faster than serial on the PUA chain over LTE
 (``--no-check`` records without enforcing).
 
@@ -31,7 +31,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import shutil
 import sys
 import tempfile
@@ -252,12 +251,9 @@ def main() -> int:
         "meets_2x": bool(pua_lte and pua_lte >= 2.0),
     }
 
-    payload = json.dumps(results, indent=2) + "\n"
-    for target in (ROOT / "BENCH_recovery.json",
-                   ROOT / "benchmarks" / "results" / "BENCH_recovery.json"):
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(payload)
-        print(f"wrote {target.relative_to(ROOT)}")
+    from _bench_results import write_results
+
+    write_results("BENCH_recovery.json", results)
 
     if not args.no_check and not results["acceptance"]["meets_2x"]:
         print(

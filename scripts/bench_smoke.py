@@ -6,8 +6,8 @@ MobileNetV2, and a chunked-vs-monolithic comparison over a ResNet-152
 chain of full snapshots with partial updates (the dedup sweet spot: every
 snapshot shares all but the classifier with its predecessor).
 
-Writes ``BENCH_pipeline.json`` at the repo root and mirrors it into
-``benchmarks/results/``.  Exit status is non-zero if the tier-1 suite
+Writes ``BENCH_pipeline.json`` into ``benchmarks/results/`` (canonical;
+copied to the repo root).  Exit status is non-zero if the tier-1 suite
 fails or (unless ``--no-check``) the chunked pipeline misses its
 acceptance bars: >= 30% fewer stored bytes and a better median
 time-to-save than the monolithic path on the partial-update chain.
@@ -21,7 +21,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import shutil
 import statistics
 import subprocess
@@ -206,11 +205,9 @@ def main() -> int:
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
-    payload = json.dumps(results, indent=2) + "\n"
-    for target in (ROOT / "BENCH_pipeline.json",
-                   ROOT / "benchmarks" / "results" / "BENCH_pipeline.json"):
-        target.write_text(payload)
-        print(f"wrote {target.relative_to(ROOT)}")
+    from _bench_results import write_results
+
+    write_results("BENCH_pipeline.json", results)
 
     failed = []
     if results["tier1_tests"].get("ran") and not results["tier1_tests"]["passed"]:

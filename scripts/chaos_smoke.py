@@ -14,8 +14,8 @@ Exercises the robustness stack end to end, quickly:
 * a short randomized-seed sweep repeats the retry scenario under fresh
   fault schedules.
 
-Writes ``BENCH_chaos.json`` at the repo root (mirrored into
-``benchmarks/results/``) with the scenarios run, total retries taken,
+Writes ``BENCH_chaos.json`` into ``benchmarks/results/`` (canonical;
+copied to the repo root) with the scenarios run, total retries taken,
 and ``repairs_needed`` — the count of unrepaired issues left anywhere,
 which must be 0 for a zero exit status.
 
@@ -195,11 +195,12 @@ def main() -> int:
         "scenarios": scenarios,
     }
 
+    from _bench_results import write_results
+
+    canonical = write_results("BENCH_chaos.json", result)
     out = Path(args.out)
-    out.write_text(json.dumps(result, indent=2) + "\n")
-    mirror = ROOT / "benchmarks" / "results"
-    if mirror.is_dir():
-        shutil.copy(out, mirror / out.name)
+    if out.resolve() != (ROOT / "BENCH_chaos.json").resolve():
+        shutil.copy(canonical, out)
     print(json.dumps({k: v for k, v in result.items() if k != "scenarios"}, indent=2))
 
     if repairs_needed or bad_recoveries:

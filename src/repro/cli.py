@@ -250,6 +250,9 @@ def cmd_fsck(args) -> int:
     report = manager.fsck(
         repair=not args.no_repair, verify_chunks=not args.no_verify_chunks
     )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 1 if report.unrepaired else 0
     for issue in report.issues:
         status = "repaired" if issue.repaired else "UNREPAIRED"
         print(f"[{status}] {issue.kind}: {issue.detail}")
@@ -394,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     fsck_parser.add_argument(
         "--no-verify-chunks", action="store_true",
         help="skip re-hashing chunk payloads (faster on large stores)",
+    )
+    fsck_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON (exit code still 1 when unrepaired "
+             "issues remain)",
     )
     fsck_parser.set_defaults(func=cmd_fsck)
 

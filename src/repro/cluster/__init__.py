@@ -1,0 +1,22 @@
+"""Cluster plane: sharded, replicated storage over member stores.
+
+Places content-addressed chunks, blobs, and metadata documents onto
+R-of-N member stores with a consistent-hash ring; writes need a quorum
+of owners, reads fail over in ring order with digest-verified
+read-repair, and membership changes stream only the keys whose ring
+ownership moved.  The sharded stores keep the exact single-store
+interfaces, so every MMlib service runs against a cluster unchanged.
+"""
+
+from .rebalance import ClusterRebalancer, replication_fsck
+from .ring import HashRing
+from .sharded_docs import ShardedDocumentStore
+from .sharded_store import ShardedFileStore
+
+__all__ = [
+    "HashRing",
+    "ShardedFileStore",
+    "ShardedDocumentStore",
+    "ClusterRebalancer",
+    "replication_fsck",
+]

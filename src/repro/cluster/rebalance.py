@@ -1,0 +1,369 @@
+"""Membership changes and replica-set health for the sharded file store.
+
+Two maintenance planes share this module:
+
+* :class:`ClusterRebalancer` — adds/removes members.  Consistent hashing
+  means only keys whose owner set actually changed move; the rebalancer
+  diffs the old and new rings over the cluster's key universe, streams
+  exactly those chunks/blobs over a bounded worker pool, and records
+  every completed move in an on-disk journal so an interrupted rebalance
+  resumes without re-copying.
+* :func:`replication_fsck` — cross-checks every replica set against the
+  ring's R: under-replicated keys are repaired from a surviving copy
+  (digest-verified first), stray replicas on non-owners are dropped once
+  the owners are whole, and per-member refcounts are synced.  This is
+  also what finishes quorum writes that succeeded degraded.
+
+Both operate on the members' *raw* storage primitives — no fault hooks,
+no link charges — because maintenance audits what is stored, not what a
+flaky link would deliver.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from ..filestore.store import ChunkNotFoundError, FileNotFoundInStoreError
+from .sharded_store import ShardedFileStore, _verify_blob
+
+__all__ = ["ClusterRebalancer", "replication_fsck"]
+
+#: Directory (under the sharded store's meta root) holding rebalance journals.
+REBALANCE_DIR_NAME = "rebalance"
+
+
+def _chunk_universe(store: ShardedFileStore) -> set[str]:
+    """Every chunk digest any member stores or refcounts."""
+    universe: set[str] = set()
+    for member in store.members.values():
+        universe.update(member.chunks.chunk_ids())
+        universe.update(member.chunks.export_refs())
+    return universe
+
+
+def _blob_universe(store: ShardedFileStore) -> set[str]:
+    universe: set[str] = set()
+    for member in store.members.values():
+        universe.update(member.file_ids())
+    return universe
+
+
+class ClusterRebalancer:
+    """Streams ring-ownership diffs when cluster membership changes.
+
+    The move journal (``<meta root>/rebalance/<id>.jsonl``) records one
+    line per completed move.  Re-running a rebalance with the same
+    ``journal_id`` — after a crash mid-stream — skips everything already
+    journaled and finishes the remainder; the journal is deleted on
+    completion.
+    """
+
+    def __init__(self, store: ShardedFileStore, workers: int = 4):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.workers = int(workers)
+        self.journal_dir = Path(store.root) / REBALANCE_DIR_NAME
+
+    # -- membership entry points --------------------------------------------
+
+    def add_member(self, name: str, member, journal_id: str | None = None) -> dict:
+        """Join ``member`` to the cluster and stream its share of keys in."""
+        if name in self.store.members:
+            raise ValueError(f"member {name!r} is already in the cluster")
+        old_ring = self.store.ring.copy()
+        self.store.members[name] = member
+        self.store.ring.add_member(name)
+        return self._migrate(old_ring, journal_id=journal_id)
+
+    def remove_member(self, name: str, journal_id: str | None = None) -> dict:
+        """Drain ``name`` and drop it: ownership recomputes without it, its
+        keys stream to their new owners (the leaving store still serves
+        as a copy source during the drain), then it leaves."""
+        if name not in self.store.members:
+            raise KeyError(f"member {name!r} is not in the cluster")
+        old_ring = self.store.ring.copy()
+        self.store.ring.remove_member(name)
+        stats = self._migrate(old_ring, journal_id=journal_id)
+        self.store.members.pop(name, None)
+        return stats
+
+    def resume(self, journal_id: str) -> dict:
+        """Finish an interrupted rebalance against the *current* ring.
+
+        Membership was already switched by the interrupted call and the
+        old ring is gone, so the remaining work is recomputed from actual
+        placement: every key whose holder set still differs from the
+        ring's owners gets its move, and journaled moves are skipped."""
+        return self._migrate(None, journal_id=journal_id)
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan(self, old_ring) -> list[dict]:
+        """Moves for every key whose owner set changed, deterministic order.
+
+        With ``old_ring`` (a membership change in progress) the plan is
+        the ring diff — only ownership that moved.  Without it (a resume,
+        where the pre-change ring no longer exists) the plan diffs what
+        members actually hold against the current ring."""
+        if old_ring is None:
+            return self._plan_from_placement()
+        store = self.store
+        moves: list[dict] = []
+        chunk_moved = old_ring.moved_keys(store.ring, sorted(_chunk_universe(store)))
+        for digest, (old_owners, new_owners) in chunk_moved.items():
+            moves.append(
+                {"kind": "chunk", "key": digest, "old": old_owners, "new": new_owners}
+            )
+        blob_moved = old_ring.moved_keys(store.ring, sorted(_blob_universe(store)))
+        for file_id, (old_owners, new_owners) in blob_moved.items():
+            moves.append(
+                {"kind": "blob", "key": file_id, "old": old_owners, "new": new_owners}
+            )
+        return moves
+
+    def _plan_from_placement(self) -> list[dict]:
+        store = self.store
+        moves: list[dict] = []
+        for digest in sorted(_chunk_universe(store)):
+            owners = store.ring.owners(digest)
+            holders = [
+                n for n in sorted(store.members)
+                if store.members[n].chunks.has(digest)
+            ]
+            if set(holders) != set(owners):
+                moves.append(
+                    {"kind": "chunk", "key": digest, "old": holders, "new": owners}
+                )
+        for file_id in sorted(_blob_universe(store)):
+            owners = store.ring.owners(file_id)
+            holders = [
+                n for n in sorted(store.members)
+                if store.members[n].exists(file_id)
+            ]
+            if set(holders) != set(owners):
+                moves.append(
+                    {"kind": "blob", "key": file_id, "old": holders, "new": owners}
+                )
+        return moves
+
+    # -- execution -----------------------------------------------------------
+
+    def _migrate(self, old_ring, journal_id: str | None = None) -> dict:
+        journal_id = journal_id or uuid.uuid4().hex[:12]
+        journal_path = self.journal_dir / f"{journal_id}.jsonl"
+        done: set[tuple[str, str]] = set()
+        if journal_path.exists():
+            for line in journal_path.read_text().splitlines():
+                if line.strip():
+                    entry = json.loads(line)
+                    done.add((entry["kind"], entry["key"]))
+        moves = [m for m in self._plan(old_ring) if (m["kind"], m["key"]) not in done]
+
+        stats = {
+            "journal_id": journal_id,
+            "planned": len(moves) + len(done),
+            "resumed_skips": len(done),
+            "chunks_moved": 0,
+            "blobs_moved": 0,
+            "replicas_dropped": 0,
+            "bytes_copied": 0,
+            "failed": 0,
+        }
+        if moves:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+            journal_lock = threading.Lock()
+
+            def execute(move: dict) -> None:
+                try:
+                    if move["kind"] == "chunk":
+                        copied, dropped = self._move_chunk(move["key"], move["new"])
+                        key_stat = "chunks_moved"
+                    else:
+                        copied, dropped = self._move_blob(move["key"], move["new"])
+                        key_stat = "blobs_moved"
+                except (KeyError, OSError):
+                    with journal_lock:
+                        stats["failed"] += 1
+                    return
+                with journal_lock:
+                    if copied:
+                        stats[key_stat] += 1
+                        stats["bytes_copied"] += copied
+                    stats["replicas_dropped"] += dropped
+                    with journal_path.open("a") as handle:
+                        handle.write(
+                            json.dumps({"kind": move["kind"], "key": move["key"]}) + "\n"
+                        )
+
+            if self.workers > 1 and len(moves) > 1:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    list(pool.map(execute, moves))
+            else:
+                for move in moves:
+                    execute(move)
+
+        if stats["failed"] == 0:
+            journal_path.unlink(missing_ok=True)
+        return stats
+
+    def _move_chunk(self, digest: str, new_owners: list[str]) -> tuple[int, int]:
+        """Copy one chunk to its new owners, then retire stale replicas.
+
+        Returns ``(bytes_copied, replicas_dropped)``.  The copy uses raw
+        chunk I/O: content addressing means a re-run (resume) converges
+        instead of duplicating, and refcounts travel with the data via
+        ``import_refs``/``forget_refs`` rather than being replayed."""
+        members = self.store.members
+        holders = [n for n in sorted(members) if n in members and members[n].chunks.has(digest)]
+        if not holders:  # refcount entry with no data anywhere: nothing to move
+            for name in sorted(members):
+                members[name].chunks.forget_refs([digest])
+            return 0, 0
+        source = next((n for n in new_owners if n in holders), holders[0])
+        data = members[source].chunks.get(digest)
+        refcount = max(members[n].chunks.refcount(digest) for n in holders)
+        copied = 0
+        for name in new_owners:
+            if name not in holders:
+                members[name].chunks.put(digest, data)
+                copied += len(data)
+            if refcount > 0:
+                members[name].chunks.import_refs({digest: refcount})
+        dropped = 0
+        for name in holders:
+            if name in new_owners:
+                continue
+            members[name].chunks.drop(digest)
+            members[name].chunks.forget_refs([digest])
+            dropped += 1
+        return copied, dropped
+
+    def _move_blob(self, file_id: str, new_owners: list[str]) -> tuple[int, int]:
+        members = self.store.members
+        holders = [n for n in sorted(members) if members[n].exists(file_id)]
+        if not holders:
+            return 0, 0
+        source = next((n for n in new_owners if n in holders), holders[0])
+        data = members[source]._read_blob_raw(file_id)
+        copied = 0
+        for name in new_owners:
+            if name not in holders:
+                members[name]._restore_blob(file_id, data)
+                copied += len(data)
+        dropped = 0
+        for name in holders:
+            if name in new_owners:
+                continue
+            members[name]._discard_blob(file_id)
+            dropped += 1
+        return copied, dropped
+
+
+def replication_fsck(store: ShardedFileStore, repair: bool = True) -> dict:
+    """Audit (and with ``repair`` restore) every replica set to R copies.
+
+    For each chunk and blob in the cluster's universe, the ring names the
+    members that *should* hold it.  Missing replicas are restored from a
+    surviving copy — chunk payloads tensor-hash-verified when manifest
+    metadata is known, blob payloads always verified against the
+    id-embedded digest, so corruption is never propagated; a copy that
+    fails verification leaves the key ``unrepairable`` instead.  Replicas
+    sitting on non-owners (left behind by an interrupted rebalance) are
+    dropped once every owner holds the key.
+    """
+    members = store.members
+    report = {
+        "chunks_checked": 0,
+        "blobs_checked": 0,
+        "under_replicated": [],
+        "repaired": [],
+        "strays_dropped": [],
+        "unrepairable": [],
+    }
+
+    for digest in sorted(_chunk_universe(store)):
+        report["chunks_checked"] += 1
+        owners = store.ring.owners(digest)
+        holders = [n for n in sorted(members) if members[n].chunks.has(digest)]
+        missing = [n for n in owners if n not in holders]
+        if missing:
+            report["under_replicated"].append(
+                {
+                    "kind": "chunk",
+                    "key": digest,
+                    "have": len(owners) - len(missing),
+                    "want": len(owners),
+                    "missing": missing,
+                }
+            )
+            if not holders:
+                report["unrepairable"].append({"kind": "chunk", "key": digest})
+                continue
+            if repair:
+                data = members[holders[0]].chunks.get(digest)
+                if store._verify_for_repair(digest, data) is False:
+                    report["unrepairable"].append({"kind": "chunk", "key": digest})
+                    continue
+                refcount = max(members[n].chunks.refcount(digest) for n in holders)
+                for name in missing:
+                    members[name].chunks.put(digest, data)
+                    if refcount > 0:
+                        members[name].chunks.import_refs({digest: refcount})
+                holders = sorted(set(holders) | set(missing))
+                report["repaired"].append({"kind": "chunk", "key": digest})
+                store._clear_degraded("chunk", digest)
+        if repair and all(n in holders for n in owners):
+            for name in holders:
+                if name in owners:
+                    continue
+                members[name].chunks.drop(digest)
+                members[name].chunks.forget_refs([digest])
+                report["strays_dropped"].append(
+                    {"kind": "chunk", "key": digest, "member": name}
+                )
+
+    for file_id in sorted(_blob_universe(store)):
+        report["blobs_checked"] += 1
+        owners = store.ring.owners(file_id)
+        holders = [n for n in sorted(members) if members[n].exists(file_id)]
+        missing = [n for n in owners if n not in holders]
+        if missing:
+            report["under_replicated"].append(
+                {
+                    "kind": "blob",
+                    "key": file_id,
+                    "have": len(owners) - len(missing),
+                    "want": len(owners),
+                    "missing": missing,
+                }
+            )
+            if repair:
+                data = None
+                for name in holders:  # first *intact* copy wins
+                    candidate = members[name]._read_blob_raw(file_id)
+                    if _verify_blob(file_id, candidate):
+                        data = candidate
+                        break
+                if data is None:
+                    report["unrepairable"].append({"kind": "blob", "key": file_id})
+                    continue
+                for name in missing:
+                    members[name]._restore_blob(file_id, data)
+                holders = sorted(set(holders) | set(missing))
+                report["repaired"].append({"kind": "blob", "key": file_id})
+                store._clear_degraded("blob", file_id)
+        if repair and all(n in holders for n in owners):
+            for name in holders:
+                if name in owners:
+                    continue
+                members[name]._discard_blob(file_id)
+                report["strays_dropped"].append(
+                    {"kind": "blob", "key": file_id, "member": name}
+                )
+
+    return report

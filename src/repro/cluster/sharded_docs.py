@@ -1,0 +1,460 @@
+"""Sharded, replicated document store with the engine's Collection API.
+
+Metadata documents get the same treatment as payload bytes: each
+document is placed on R member stores by ``collection/doc_id`` ring
+hash, writes need a quorum of owners, reads fail over in ring order and
+read-repair replicas found missing a document.  Queries have no routing
+key, so :meth:`_ShardedCollection.find` scatter-gathers every member,
+deduplicates replicas by ``_id``, and applies sort/skip/limit globally —
+per-member sorts cannot simply concatenate.
+
+Members are anything with the engine's ``collection(name)`` API: plain
+:class:`~repro.docstore.engine.DocumentStore`s, chaos-wrapped
+:class:`~repro.faults.FaultyDocumentStore`s, or TCP clients.  MMlib
+services take the sharded store wherever they take a document store.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Mapping
+
+from ..docstore.documents import new_object_id, validate_document
+from ..docstore.engine import DuplicateKeyError, NotFoundError, _sort_key
+from ..docstore.query import resolve_path
+from ..errors import QuorumWriteError
+from .ring import DEFAULT_VNODES, HashRing
+
+__all__ = ["ShardedDocumentStore"]
+
+#: A replica that raises one of these did not deliver; the client fails
+#: over (reads) or counts the replica un-acked (writes).
+_REPLICA_FAILURES = (NotFoundError, OSError)
+
+
+def _copy(document: dict) -> dict:
+    return json.loads(json.dumps(document))
+
+
+class _ShardedCollection:
+    """One logical collection spread over the cluster's members."""
+
+    def __init__(self, store: "ShardedDocumentStore", name: str):
+        self._store = store
+        self.name = name
+
+    def _owners(self, doc_id: str):
+        ring = self._store.ring
+        for member_name in ring.owners(f"{self.name}/{doc_id}"):
+            yield member_name, self._store.members[member_name].collection(self.name)
+
+    def _all_collections(self):
+        for member_name in sorted(self._store.members):
+            yield self._store.members[member_name].collection(self.name)
+
+    # -- writes --------------------------------------------------------------
+
+    def insert_one(self, document: dict) -> str:
+        """Quorum-insert one document; returns its (shared) ``_id``.
+
+        The id is generated *here*, once, so every replica stores the
+        same document.  A replica already holding the id acknowledges
+        (idempotent retry of a partially-acked insert); only when no
+        replica inserted anything fresh does the duplicate surface to the
+        caller as the engine's :class:`DuplicateKeyError`.
+        """
+        document = validate_document(document)
+        doc_id = str(document.get("_id") or new_object_id())
+        document["_id"] = doc_id
+        acks = 0
+        fresh = 0
+        duplicates = 0
+        owner_count = 0
+        last_error: Exception | None = None
+        for _, collection in self._owners(doc_id):
+            owner_count += 1
+            try:
+                collection.insert_one(_copy(document))
+                fresh += 1
+            except DuplicateKeyError:
+                duplicates += 1
+            except _REPLICA_FAILURES as exc:
+                last_error = exc
+                continue
+            acks += 1
+        if acks < self._store.write_quorum:
+            raise QuorumWriteError(
+                f"document {self.name}/{doc_id} reached {acks}/{owner_count} "
+                f"replicas (write quorum {self._store.write_quorum})"
+            ) from last_error
+        if duplicates and not fresh:
+            raise DuplicateKeyError(
+                f"duplicate _id {doc_id!r} in collection {self.name!r}"
+            )
+        if acks < owner_count:
+            self._store._note_degraded(self.name, doc_id)
+        return doc_id
+
+    def insert_many(self, documents: list[dict]) -> list[str]:
+        return [self.insert_one(document) for document in documents]
+
+    def replace_one(self, doc_id: str, document: dict) -> None:
+        """Replace on every owner; owners missing the document get it
+        inserted (write-time repair).  Raises :class:`NotFoundError` when
+        no replica holds ``doc_id`` at all."""
+        self.get(doc_id)  # existence check with failover; raises NotFoundError
+        document = validate_document(document)
+        document["_id"] = str(doc_id)
+        acks = 0
+        owner_count = 0
+        last_error: Exception | None = None
+        for _, collection in self._owners(doc_id):
+            owner_count += 1
+            try:
+                try:
+                    collection.replace_one(doc_id, _copy(document))
+                except NotFoundError:
+                    collection.insert_one(_copy(document))
+            except _REPLICA_FAILURES as exc:
+                last_error = exc
+                continue
+            acks += 1
+        if acks < self._store.write_quorum:
+            raise QuorumWriteError(
+                f"document {self.name}/{doc_id} replace reached {acks}/"
+                f"{owner_count} replicas (write quorum {self._store.write_quorum})"
+            ) from last_error
+
+    def update_one(self, query: dict, changes: dict) -> bool:
+        """Find the first match cluster-wide, then update it by ``_id`` on
+        every owner — replicas must converge on the same document, so the
+        query is resolved once, not once per member."""
+        target = self.find_one(query)
+        if target is None:
+            return False
+        doc_id = target["_id"]
+        acks = 0
+        owner_count = 0
+        last_error: Exception | None = None
+        for _, collection in self._owners(doc_id):
+            owner_count += 1
+            try:
+                if not collection.update_one({"_id": doc_id}, dict(changes)):
+                    # replica is missing the doc: repair it, with changes applied
+                    repaired = dict(target)
+                    repaired.update(validate_document(dict(changes)))
+                    repaired["_id"] = doc_id
+                    try:
+                        collection.insert_one(_copy(repaired))
+                    except DuplicateKeyError:
+                        pass
+            except _REPLICA_FAILURES as exc:
+                last_error = exc
+                continue
+            acks += 1
+        if acks < self._store.write_quorum:
+            raise QuorumWriteError(
+                f"document {self.name}/{doc_id} update reached {acks}/"
+                f"{owner_count} replicas (write quorum {self._store.write_quorum})"
+            ) from last_error
+        return True
+
+    def delete_one(self, doc_id: str) -> bool:
+        removed = False
+        acks = 0
+        owner_count = 0
+        last_error: Exception | None = None
+        for _, collection in self._owners(doc_id):
+            owner_count += 1
+            try:
+                removed = collection.delete_one(doc_id) or removed
+            except _REPLICA_FAILURES as exc:
+                last_error = exc
+                continue
+            acks += 1
+        if acks < self._store.write_quorum:
+            raise QuorumWriteError(
+                f"document {self.name}/{doc_id} delete reached {acks}/"
+                f"{owner_count} replicas (write quorum {self._store.write_quorum})"
+            ) from last_error
+        self._store._clear_degraded(self.name, str(doc_id))
+        return removed
+
+    def delete_many(self, query: dict) -> int:
+        """Resolve the query cluster-wide, then delete each match by id on
+        its owners; the count is logical documents, not replica files."""
+        matched = self.find(query)
+        for document in matched:
+            self.delete_one(document["_id"])
+        return len(matched)
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, doc_id: str) -> dict:
+        """Fetch by id with failover; a hit after misses read-repairs the
+        replicas found without the document."""
+        failed = []
+        unreachable = 0
+        for _, collection in self._owners(doc_id):
+            try:
+                document = collection.get(doc_id)
+            except NotFoundError:
+                failed.append(collection)
+                continue
+            except OSError:
+                unreachable += 1
+                continue
+            if failed or unreachable:
+                self._store._bump("failover_reads")
+                self._repair(failed, document)
+            return document
+        if unreachable and not failed:
+            raise NotFoundError(
+                f"no reachable replica of {doc_id!r} in {self.name!r}"
+            )
+        raise NotFoundError(f"no document {doc_id!r} in {self.name!r}")
+
+    def _repair(self, collections, document: dict) -> None:
+        for collection in collections:
+            try:
+                collection.insert_one(_copy(document))
+            except DuplicateKeyError:
+                continue
+            except _REPLICA_FAILURES:
+                self._store._bump("repair_failures")
+                continue
+            self._store._bump("read_repairs")
+        self._store._clear_degraded(self.name, document["_id"])
+
+    def get_many(self, doc_ids: list[str]) -> list[dict]:
+        """Batched fetch grouped by primary owner (one trip per member);
+        ids the batch missed fall back to per-id failover reads."""
+        groups: dict[str, list[str]] = {}
+        for doc_id in doc_ids:
+            primary = self._store.ring.primary(f"{self.name}/{doc_id}")
+            groups.setdefault(primary, []).append(str(doc_id))
+        found: dict[str, dict] = {}
+        for member_name in sorted(groups):
+            group = groups[member_name]
+            collection = self._store.members[member_name].collection(self.name)
+            try:
+                for document in collection.get_many(group):
+                    found[document["_id"]] = document
+            except OSError:
+                pass  # member down: the per-id fallback below fails over
+            for doc_id in group:
+                if doc_id in found:
+                    continue
+                try:
+                    found[doc_id] = self.get(doc_id)
+                except NotFoundError:
+                    continue  # missing ids are skipped, like the engine
+        return [found[str(doc_id)] for doc_id in doc_ids if str(doc_id) in found]
+
+    def find(
+        self,
+        query: dict | None = None,
+        sort: list | None = None,
+        limit: int | None = None,
+        skip: int = 0,
+    ) -> list[dict]:
+        """Scatter-gather query: every member is asked (replicas of a
+        document may sit anywhere), results are deduplicated by ``_id``,
+        and sort/skip/limit apply to the merged set so pagination is
+        cluster-wide, not per-shard.  Unreachable members are skipped —
+        their documents' other replicas answer for them."""
+        merged: dict[str, dict] = {}
+        for collection in self._all_collections():
+            try:
+                results = collection.find(query)
+            except OSError:
+                self._store._bump("failover_reads")
+                continue
+            for document in results:
+                merged.setdefault(document["_id"], document)
+        results = [merged[doc_id] for doc_id in sorted(merged)]
+        if sort:
+            for field, direction in reversed(list(sort)):
+                if direction not in (1, -1):
+                    raise ValueError(f"sort direction must be 1 or -1, got {direction}")
+                results.sort(
+                    key=lambda document: _sort_key(resolve_path(document, field)),
+                    reverse=direction == -1,
+                )
+        if skip:
+            if skip < 0:
+                raise ValueError(f"skip must be >= 0, got {skip}")
+            results = results[skip:]
+        if limit is not None:
+            if limit < 0:
+                raise ValueError(f"limit must be >= 0, got {limit}")
+            results = results[:limit]
+        return results
+
+    def find_one(self, query: dict) -> dict | None:
+        results = self.find(query, limit=1)
+        return results[0] if results else None
+
+    def count(self, query: dict | None = None) -> int:
+        return len(self.find(query))
+
+    def storage_bytes(self) -> int:
+        """Physical bytes across the cluster — replicas counted per copy."""
+        total = 0
+        for collection in self._all_collections():
+            try:
+                total += collection.storage_bytes()
+            except OSError:
+                continue
+        return total
+
+
+class ShardedDocumentStore:
+    """R-of-N replicated document store over named member stores.
+
+    Drop-in for the engine's :class:`~repro.docstore.engine.DocumentStore`
+    wherever MMlib takes one (services, save transactions, fsck): it has
+    the same ``collection``/``collection_names``/``drop_collection``/
+    ``storage_bytes`` surface, with replication underneath.
+    """
+
+    def __init__(
+        self,
+        members: Mapping[str, object],
+        replicas: int = 2,
+        write_quorum: int | None = None,
+        vnodes: int = DEFAULT_VNODES,
+    ):
+        if not members:
+            raise ValueError("a sharded document store needs at least one member")
+        self.members = dict(members)
+        self.ring = HashRing(sorted(self.members), replicas=replicas, vnodes=vnodes)
+        effective = min(replicas, len(self.members))
+        if write_quorum is None:
+            write_quorum = effective // 2 + 1
+        if not 1 <= write_quorum <= effective:
+            raise ValueError(
+                f"write_quorum must be in [1, {effective}], got {write_quorum}"
+            )
+        self.write_quorum = int(write_quorum)
+        self._stats_lock = threading.Lock()
+        self.cluster_stats = {
+            "failover_reads": 0,
+            "read_repairs": 0,
+            "degraded_writes": 0,
+            "repair_failures": 0,
+        }
+        self.degraded_keys: set[tuple[str, str]] = set()
+        self._collections: dict[str, _ShardedCollection] = {}
+        self._collections_lock = threading.Lock()
+
+    # -- stats bookkeeping (shared with _ShardedCollection) ------------------
+
+    def _bump(self, stat: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self.cluster_stats[stat] += by
+
+    def _note_degraded(self, collection: str, doc_id: str) -> None:
+        with self._stats_lock:
+            self.cluster_stats["degraded_writes"] += 1
+            self.degraded_keys.add((collection, doc_id))
+
+    def _clear_degraded(self, collection: str, doc_id: str) -> None:
+        with self._stats_lock:
+            self.degraded_keys.discard((collection, doc_id))
+
+    # -- store surface --------------------------------------------------------
+
+    def collection(self, name: str) -> _ShardedCollection:
+        with self._collections_lock:
+            existing = self._collections.get(name)
+            if existing is not None:
+                return existing
+            created = _ShardedCollection(self, name)
+            self._collections[name] = created
+            return created
+
+    def __getitem__(self, name: str) -> _ShardedCollection:
+        return self.collection(name)
+
+    def collection_names(self) -> list[str]:
+        names: set[str] = set()
+        for member in self.members.values():
+            try:
+                names.update(member.collection_names())
+            except OSError:
+                continue
+        return sorted(names)
+
+    def drop_collection(self, name: str) -> None:
+        for member in self.members.values():
+            member.drop_collection(name)
+        with self._collections_lock:
+            self._collections.pop(name, None)
+
+    def storage_bytes(self) -> int:
+        """Physical bytes across the cluster — replicas counted per copy."""
+        total = 0
+        for member in self.members.values():
+            try:
+                total += member.storage_bytes()
+            except OSError:
+                continue
+        return total
+
+    # -- membership (placement only; data movement is the rebalancer's) ------
+
+    def rebalance_documents(self) -> dict:
+        """Re-place every document according to the *current* ring: copy to
+        new owners missing it, drop replicas from non-owners.  Used after
+        membership changes; also heals under-replicated documents."""
+        copied = 0
+        dropped = 0
+        for name in self.collection_names():
+            sharded = self.collection(name)
+            merged: dict[str, dict] = {}
+            holders: dict[str, set[str]] = {}
+            for member_name in sorted(self.members):
+                collection = self.members[member_name].collection(name)
+                try:
+                    documents = collection.find({})
+                except OSError:
+                    continue
+                for document in documents:
+                    merged.setdefault(document["_id"], document)
+                    holders.setdefault(document["_id"], set()).add(member_name)
+            for doc_id, document in merged.items():
+                owners = set(self.ring.owners(f"{name}/{doc_id}"))
+                for member_name in owners - holders[doc_id]:
+                    try:
+                        self.members[member_name].collection(name).insert_one(
+                            _copy(document)
+                        )
+                        copied += 1
+                    except (DuplicateKeyError, OSError):
+                        continue
+                for member_name in holders[doc_id] - owners:
+                    try:
+                        if self.members[member_name].collection(name).delete_one(doc_id):
+                            dropped += 1
+                    except OSError:
+                        continue
+                self._clear_degraded(name, doc_id)
+        return {"documents_copied": copied, "replicas_dropped": dropped}
+
+    def add_member(self, name: str, store) -> dict:
+        """Add a member and re-place documents whose ownership moved."""
+        self.members[name] = store
+        self.ring.add_member(name)
+        return self.rebalance_documents()
+
+    def remove_member(self, name: str) -> dict:
+        """Drain and drop a member: ownership recomputes without it, its
+        documents stream to the new owners, then it leaves the cluster."""
+        if name not in self.members:
+            raise KeyError(f"member {name!r} is not in the cluster")
+        self.ring.remove_member(name)
+        stats = self.rebalance_documents()
+        self.members.pop(name, None)
+        return stats

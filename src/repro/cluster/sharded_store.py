@@ -1,0 +1,620 @@
+"""Sharded, replicated file store: quorum writes, failover reads, repair.
+
+:class:`ShardedFileStore` presents the exact :class:`~repro.filestore.store.FileStore`
+interface — save services, the recovery pipeline, the chain prefetcher,
+and ``fsck`` all run against it unchanged — while spreading chunks and
+blobs over N member stores placed by a consistent-hash :class:`HashRing`.
+
+Replication semantics:
+
+* **Writes** go to all R ring owners of a key; the write succeeds once
+  ``write_quorum`` (default a majority of R) members acknowledge, and a
+  short-of-quorum write raises the retryable
+  :class:`~repro.errors.QuorumWriteError`.  Chunk and blob writes are
+  content-addressed or target a fixed id, so the whole quorum write is
+  idempotent under the store's shared retry policy.  Writes that reach
+  quorum but not all R owners are tracked as *degraded* for the
+  replication fsck to finish.
+* **Reads** try replicas in ring order and fail over past dead or
+  corrupt members.  A successful failover read triggers *read-repair*:
+  the payload is written back to owners found missing it — after digest
+  verification, so a corrupt payload is never propagated.
+
+The sharded store itself holds no payload data: its root directory
+carries only the save-intent journals (and rebalance journals), which
+stay cluster-wide rather than per-member so crash recovery sees one
+consistent intent log.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import QuorumWriteError
+from ..filestore.store import (
+    ChunkNotFoundError,
+    FileNotFoundInStoreError,
+    FileStore,
+)
+from .ring import DEFAULT_VNODES, HashRing
+
+__all__ = ["ShardedFileStore"]
+
+#: Exceptions that mean "this replica did not deliver" on a read or
+#: write attempt: typed store errors are OSError subclasses, missing
+#: blobs/chunks are KeyError subclasses.
+_REPLICA_FAILURES = (KeyError, OSError)
+
+
+def _verify_blob(file_id: str, data: bytes) -> bool:
+    """Check ``data`` against the content-digest prefix embedded in the id."""
+    import hashlib
+
+    expected = file_id.split("-", 1)[0]
+    return hashlib.sha256(data).hexdigest()[: len(expected)] == expected
+
+
+class _ShardedChunkView:
+    """Ring-routed facade over the member stores' :class:`ChunkStore`s.
+
+    Quacks like a single ``ChunkStore`` so the inherited ``FileStore``
+    machinery (manifest save/delete, journal rollback, fsck reconcile)
+    works untouched: lookups fail over across a key's owners, mutations
+    fan out to them, and aggregate views union every member.
+    """
+
+    def __init__(self, store: "ShardedFileStore"):
+        self._store = store
+
+    def _owners(self, digest: str):
+        return self._store._owner_stores(digest)
+
+    def _all_members(self, digest: str | None = None):
+        """Member stores, a key's owners first (mid-rebalance data may
+        still sit on former owners)."""
+        store = self._store
+        if digest is None:
+            return [store.members[n] for n in sorted(store.members)]
+        owners = store.ring.owners(digest)
+        rest = sorted(set(store.members) - set(owners))
+        return [store.members[n] for n in owners + rest]
+
+    def _group(self, digests) -> dict[str, list[str]]:
+        """Group digest occurrences by owning member (multiplicity kept:
+        refcounts increment once per occurrence, exactly like the flat
+        store)."""
+        groups: dict[str, list[str]] = {}
+        for digest in digests:
+            for name in self._store.ring.owners(digest):
+                groups.setdefault(name, []).append(digest)
+        return groups
+
+    # -- chunk data ---------------------------------------------------------
+
+    def has(self, digest: str) -> bool:
+        return any(m.chunks.has(digest) for m in self._all_members(digest))
+
+    def get(self, digest: str) -> bytes:
+        for member in self._all_members(digest):
+            try:
+                return member.chunks.get(digest)
+            except ChunkNotFoundError:
+                continue
+        raise ChunkNotFoundError(f"no stored chunk with digest {digest!r}")
+
+    def put(self, digest: str, buffer) -> bool:
+        wrote = False
+        for _, member in self._owners(digest):
+            wrote = member.chunks.put(digest, buffer) or wrote
+        return wrote
+
+    def drop(self, digest: str) -> bool:
+        removed = False
+        for member in self._all_members(digest):
+            removed = member.chunks.drop(digest) or removed
+        return removed
+
+    def size_of(self, digest: str) -> int | None:
+        for member in self._all_members(digest):
+            size = member.chunks.size_of(digest)
+            if size is not None:
+                return size
+        return None
+
+    # -- reference counting -------------------------------------------------
+
+    def refcount(self, digest: str) -> int:
+        return max(
+            (member.chunks.refcount(digest) for member in self._all_members(digest)),
+            default=0,
+        )
+
+    def add_refs(self, digests) -> None:
+        for name, group in self._group(list(digests)).items():
+            self._store.members[name].chunks.add_refs(group)
+
+    def release_refs(self, digests) -> list[str]:
+        removed: set[str] = set()
+        for name, group in self._group(list(digests)).items():
+            removed.update(self._store.members[name].chunks.release_refs(group))
+        return sorted(removed)
+
+    def export_refs(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for member in self._all_members():
+            for digest, count in member.chunks.export_refs().items():
+                merged[digest] = max(merged.get(digest, 0), count)
+        return merged
+
+    def import_refs(self, counts: Mapping[str, int]) -> None:
+        per_member: dict[str, dict[str, int]] = {}
+        for digest, count in counts.items():
+            for name in self._store.ring.owners(digest):
+                per_member.setdefault(name, {})[digest] = count
+        for name, member_counts in per_member.items():
+            self._store.members[name].chunks.import_refs(member_counts)
+
+    def forget_refs(self, digests) -> None:
+        digests = set(digests)
+        for member in self._all_members():
+            member.chunks.forget_refs(digests)
+
+    def gc(self) -> dict[str, int]:
+        stats = {"chunks_removed": 0, "bytes_freed": 0}
+        for member in self._all_members():
+            member_stats = member.chunks.gc()
+            stats["chunks_removed"] += member_stats["chunks_removed"]
+            stats["bytes_freed"] += member_stats["bytes_freed"]
+        return stats
+
+    def reconcile(self, expected_refs: Mapping[str, int], repair: bool = True) -> dict:
+        """Per-member reconcile against the ring-owned slice of the truth.
+
+        Each member is held to exactly the digests the ring assigns it;
+        result keys are ``member:digest`` so one cluster-wide report can
+        say *where* a count leaked or an orphan sat.
+        """
+        merged: dict = {"ref_fixes": {}, "orphan_chunks_removed": [], "orphan_bytes": 0}
+        ring = self._store.ring
+        for name in sorted(self._store.members):
+            expected = {
+                digest: count
+                for digest, count in expected_refs.items()
+                if name in ring.owners(digest)
+            }
+            report = self._store.members[name].chunks.reconcile(expected, repair=repair)
+            for digest, fix in report["ref_fixes"].items():
+                merged["ref_fixes"][f"{name}:{digest}"] = fix
+            merged["orphan_chunks_removed"].extend(
+                f"{name}:{chunk}" for chunk in report["orphan_chunks_removed"]
+            )
+            merged["orphan_bytes"] += report["orphan_bytes"]
+        return merged
+
+    # -- accounting ---------------------------------------------------------
+
+    def chunk_ids(self) -> list[str]:
+        ids: set[str] = set()
+        for member in self._all_members():
+            ids.update(member.chunks.chunk_ids())
+        return sorted(ids)
+
+    def total_bytes(self) -> int:
+        """Physical bytes across the cluster — replicas counted per copy."""
+        return sum(member.chunks.total_bytes() for member in self._all_members())
+
+    def __len__(self) -> int:
+        return len(self.chunk_ids())
+
+
+class ShardedFileStore(FileStore):
+    """R-of-N replicated :class:`FileStore` over named member stores.
+
+    ``root`` is the cluster's *metadata* directory (intent journals,
+    rebalance journals) — payload bytes live only on the members, which
+    are plain :class:`FileStore`s or
+    :class:`~repro.filestore.network.SimulatedNetworkFileStore`s (each
+    charging its own link).  Fault injection and per-replica retry belong
+    on the members; the sharded layer's own ``retry`` re-runs whole
+    quorum writes, which are idempotent.
+
+    The hot-chunk cache and single-flight coalescing sit at this layer
+    (pass ``chunk_cache`` here, not to members), so a cache hit serves a
+    chunk without touching any replica link.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        members: Mapping[str, FileStore],
+        replicas: int = 2,
+        write_quorum: int | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        retry=None,
+        verify_reads: bool | None = None,
+        workers: int = 0,
+        chunk_cache=None,
+    ):
+        if not members:
+            raise ValueError("a sharded store needs at least one member")
+        self.members: dict[str, FileStore] = dict(members)
+        self.ring = HashRing(sorted(self.members), replicas=replicas, vnodes=vnodes)
+        effective = min(replicas, len(self.members))
+        if write_quorum is None:
+            write_quorum = effective // 2 + 1
+        if not 1 <= write_quorum <= effective:
+            raise ValueError(
+                f"write_quorum must be in [1, {effective}], got {write_quorum}"
+            )
+        self.write_quorum = int(write_quorum)
+        self._chunk_meta: dict[str, tuple[str, tuple[int, ...]]] = {}
+        self._meta_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.cluster_stats = {
+            "failover_reads": 0,
+            "read_repairs": 0,
+            "degraded_writes": 0,
+            "repair_failures": 0,
+        }
+        self.degraded_keys: set[tuple[str, str]] = set()
+        super().__init__(
+            root,
+            faults=None,
+            retry=retry,
+            verify_reads=verify_reads,
+            workers=workers,
+            chunk_cache=chunk_cache,
+        )
+        self._view = _ShardedChunkView(self)
+
+    # -- placement / bookkeeping helpers ------------------------------------
+
+    def _owner_stores(self, key: str) -> list[tuple[str, FileStore]]:
+        return [(name, self.members[name]) for name in self.ring.owners(key)]
+
+    def _bump(self, stat: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self.cluster_stats[stat] += by
+
+    def _note_degraded(self, kind: str, key: str) -> None:
+        with self._stats_lock:
+            self.cluster_stats["degraded_writes"] += 1
+            self.degraded_keys.add((kind, key))
+
+    def _clear_degraded(self, kind: str, key: str) -> None:
+        with self._stats_lock:
+            self.degraded_keys.discard((kind, key))
+
+    @property
+    def chunks(self) -> _ShardedChunkView:
+        return self._view
+
+    # -- chunk metadata for repair verification -----------------------------
+
+    def _harvest_chunk_meta(self, layers) -> None:
+        with self._meta_lock:
+            for _, meta in layers:
+                self._chunk_meta[meta["chunk"]] = (meta["dtype"], tuple(meta["shape"]))
+
+    def _verify_for_repair(self, digest: str, data: bytes) -> bool | None:
+        """Re-hash a chunk payload against its digest before propagating it.
+
+        Chunk digests are *tensor* hashes (dtype + shape + bytes), so
+        verification needs the layer metadata harvested from manifests.
+        Returns ``None`` when this store has not seen a manifest naming
+        the digest — the caller then skips byte-level verification but may
+        still repair (the payload came from a member's content-addressed
+        object file, the same trust level fsck operates at).
+        """
+        meta = self._chunk_meta.get(digest)
+        if meta is None:
+            return None
+        dtype, shape = meta
+        try:
+            array = np.frombuffer(data, dtype=np.dtype(dtype)).reshape(shape)
+        except ValueError:
+            return False
+        from ..core.hashing import tensor_hash
+
+        return tensor_hash(array) == digest
+
+    # -- quorum writes -------------------------------------------------------
+
+    def _put_chunk_data(self, digest: str, buffer) -> bool:
+        owners = self._owner_stores(digest)
+
+        def attempt() -> bool:
+            acks = 0
+            wrote_any = False
+            last_error: Exception | None = None
+            for _, member in owners:
+                try:
+                    wrote = member._put_chunk_data(digest, buffer)
+                except _REPLICA_FAILURES as exc:
+                    last_error = exc
+                    continue
+                acks += 1
+                wrote_any = wrote_any or wrote
+            if acks < self.write_quorum:
+                raise QuorumWriteError(
+                    f"chunk {digest[:12]}… reached {acks}/{len(owners)} replicas "
+                    f"(write quorum {self.write_quorum})"
+                ) from last_error
+            if acks < len(owners):
+                self._note_degraded("chunk", digest)
+            else:
+                self._clear_degraded("chunk", digest)
+            return wrote_any
+
+        return self._call("cluster.chunk_write", attempt)
+
+    def _write_blob(self, file_id: str, data: bytes) -> None:
+        owners = self._owner_stores(file_id)
+
+        def attempt() -> None:
+            acks = 0
+            last_error: Exception | None = None
+            for _, member in owners:
+                try:
+                    member._write_blob(file_id, data)
+                except _REPLICA_FAILURES as exc:
+                    last_error = exc
+                    continue
+                acks += 1
+            if acks < self.write_quorum:
+                raise QuorumWriteError(
+                    f"blob {file_id!r} reached {acks}/{len(owners)} replicas "
+                    f"(write quorum {self.write_quorum})"
+                ) from last_error
+            if acks < len(owners):
+                self._note_degraded("blob", file_id)
+            else:
+                self._clear_degraded("blob", file_id)
+
+        self._call("cluster.blob_write", attempt)
+
+    # -- failover reads + read-repair ---------------------------------------
+
+    def _read_chunk(self, digest: str) -> bytes:
+        owners = self._owner_stores(digest)
+        failed: list[tuple[str, FileStore]] = []
+        last_error: Exception | None = None
+        for name, member in owners:
+            try:
+                data = member._charged_read(digest)
+            except _REPLICA_FAILURES as exc:
+                failed.append((name, member))
+                last_error = exc
+                continue
+            if failed:
+                self._bump("failover_reads")
+                self._repair_chunk_replicas(digest, data, failed, source=member)
+            return data
+        if last_error is not None:
+            raise last_error
+        raise ChunkNotFoundError(f"no stored chunk with digest {digest!r}")
+
+    def _repair_chunk_replicas(
+        self,
+        digest: str,
+        data: bytes,
+        failed: list[tuple[str, FileStore]],
+        source: FileStore,
+    ) -> None:
+        """Write a failover-read payload back to owners missing it.
+
+        Skipped outright when the payload fails tensor-hash verification
+        — never replicate corruption.  Members whose read merely failed
+        transiently (the chunk file is present) are left alone.
+        """
+        if self._verify_for_repair(digest, data) is False:
+            return
+        refcount = source.chunks.refcount(digest)
+        repaired = False
+        for _, member in failed:
+            if member.chunks.has(digest):
+                continue
+            try:
+                member.chunks.put(digest, data)
+                if refcount > 0:
+                    member.chunks.import_refs({digest: refcount})
+            except OSError:
+                self._bump("repair_failures")
+                continue
+            repaired = True
+            self._bump("read_repairs")
+        if repaired:
+            self._clear_degraded("chunk", digest)
+
+    def _fetch_many(self, digests: list[str], workers: int | None) -> dict[str, bytes]:
+        """Batched fetch, grouped by primary owner for pipelined accounting.
+
+        Each group goes through the member's own batched read (one
+        pipelined transfer on simulated links); a group whose member
+        fails mid-batch falls back to per-digest failover reads.
+        """
+        groups: dict[str, list[str]] = {}
+        for digest in digests:
+            groups.setdefault(self.ring.primary(digest), []).append(digest)
+        results: dict[str, bytes] = {}
+        for name in sorted(groups):
+            group = groups[name]
+            try:
+                results.update(self.members[name]._charged_read_many(group, workers))
+            except _REPLICA_FAILURES:
+                for digest in group:
+                    results[digest] = self._read_chunk(digest)
+        return results
+
+    def recover_bytes(self, file_id: str) -> bytes:
+        owners = self._owner_stores(file_id)
+        failed: list[tuple[str, FileStore]] = []
+        last_error: Exception | None = None
+        for name, member in owners:
+            try:
+                # the member verifies the id-embedded digest, so a payload
+                # that comes back is safe to propagate on repair
+                data = member.recover_bytes(file_id)
+            except _REPLICA_FAILURES as exc:
+                failed.append((name, member))
+                last_error = exc
+                continue
+            if failed:
+                self._bump("failover_reads")
+                self._repair_blob_replicas(file_id, data, failed)
+            return data
+        if last_error is not None:
+            raise last_error
+        raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
+
+    def _repair_blob_replicas(
+        self, file_id: str, data: bytes, failed: list[tuple[str, FileStore]]
+    ) -> None:
+        repaired = False
+        for _, member in failed:
+            if member.exists(file_id):
+                continue
+            try:
+                member._restore_blob(file_id, data)
+            except OSError:
+                self._bump("repair_failures")
+                continue
+            repaired = True
+            self._bump("read_repairs")
+        if repaired:
+            self._clear_degraded("blob", file_id)
+
+    # -- manifest hooks (harvest repair metadata) ----------------------------
+
+    def save_state_chunks(self, state, layer_hashes, suffix=None, workers=None):
+        with self._meta_lock:
+            for name, array in state.items():
+                self._chunk_meta[layer_hashes[name]] = (
+                    array.dtype.str,
+                    tuple(array.shape),
+                )
+        kwargs = {} if suffix is None else {"suffix": suffix}
+        return super().save_state_chunks(state, layer_hashes, workers=workers, **kwargs)
+
+    def read_manifest(self, file_id: str) -> dict:
+        manifest = super().read_manifest(file_id)
+        self._harvest_chunk_meta(manifest["layers"])
+        return manifest
+
+    # -- raw blob primitives (fan out; rollback/fsck/repair plumbing) --------
+
+    def _all_member_stores(self, key: str | None = None) -> list[FileStore]:
+        if key is None:
+            return [self.members[n] for n in sorted(self.members)]
+        owners = self.ring.owners(key)
+        rest = sorted(set(self.members) - set(owners))
+        return [self.members[n] for n in owners + rest]
+
+    def _discard_blob(self, file_id: str) -> bool:
+        removed = False
+        for member in self._all_member_stores():
+            removed = member._discard_blob(file_id) or removed
+        return removed
+
+    def _blob_size(self, file_id: str) -> int:
+        for member in self._all_member_stores(file_id):
+            try:
+                return member._blob_size(file_id)
+            except FileNotFoundInStoreError:
+                continue
+        raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
+
+    def _read_blob_raw(self, file_id: str) -> bytes:
+        for member in self._all_member_stores(file_id):
+            try:
+                return member._read_blob_raw(file_id)
+            except FileNotFoundInStoreError:
+                continue
+        raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
+
+    def _restore_blob(self, file_id: str, data: bytes) -> None:
+        for _, member in self._owner_stores(file_id):
+            member._restore_blob(file_id, data)
+
+    # -- management ----------------------------------------------------------
+
+    def exists(self, file_id: str) -> bool:
+        return any(m.exists(file_id) for m in self._all_member_stores(file_id))
+
+    def has_chunk(self, digest: str) -> bool:
+        return self._view.has(digest)
+
+    def file_ids(self) -> list[str]:
+        ids: set[str] = set()
+        for member in self._all_member_stores():
+            ids.update(member.file_ids())
+        return sorted(ids)
+
+    def total_bytes(self) -> int:
+        """Physical bytes across the cluster — replicas counted per copy."""
+        return sum(member.total_bytes() for member in self._all_member_stores())
+
+    def gc_chunks(self) -> dict[str, int]:
+        stats = {"chunks_removed": 0, "bytes_freed": 0}
+        for member in self._all_member_stores():
+            member_stats = member.gc_chunks()
+            stats["chunks_removed"] += member_stats["chunks_removed"]
+            stats["bytes_freed"] += member_stats["bytes_freed"]
+        return stats
+
+    def clear(self) -> None:
+        for member in self._all_member_stores():
+            member.clear()
+        super().clear()
+        with self._meta_lock:
+            self._chunk_meta.clear()
+        with self._stats_lock:
+            self.degraded_keys.clear()
+
+    # -- cluster health / accounting -----------------------------------------
+
+    def replication_fsck(self, repair: bool = True) -> dict:
+        """Cross-check every replica set against R; see
+        :func:`repro.cluster.rebalance.replication_fsck`."""
+        from .rebalance import replication_fsck
+
+        return replication_fsck(self, repair=repair)
+
+    def cluster_accounting(self) -> dict:
+        """Aggregate the members' simulated-network counters.
+
+        ``simulated_seconds`` is the *max* across members, not the sum —
+        shards transfer in parallel, so cluster wall-clock is the slowest
+        member's link time.  Members without accounting (plain local
+        stores) contribute zeros.
+        """
+        totals = {
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "round_trips": 0,
+            "round_trips_saved": 0,
+            "chunks_deduplicated": 0,
+            "chunk_bytes_deduplicated": 0,
+        }
+        elapsed = 0.0
+        per_member: dict[str, dict] = {}
+        for name in sorted(self.members):
+            member = self.members[name]
+            if not hasattr(member, "simulated_seconds"):
+                continue
+            snapshot = {key: getattr(member, key) for key in totals}
+            snapshot["simulated_seconds"] = member.simulated_seconds
+            per_member[name] = snapshot
+            for key in totals:
+                totals[key] += snapshot[key]
+            elapsed = max(elapsed, member.simulated_seconds)
+        return {"members": per_member, "simulated_seconds": elapsed, **totals}
+
+    def reset_accounting(self) -> None:
+        for member in self.members.values():
+            if hasattr(member, "reset_accounting"):
+                member.reset_accounting()

@@ -8,12 +8,18 @@ one import site for the whole hierarchy.
 
 from __future__ import annotations
 
-from ..errors import MMLibError, StoreCorruptionError, TransientStoreError
+from ..errors import (
+    MMLibError,
+    QuorumWriteError,
+    StoreCorruptionError,
+    TransientStoreError,
+)
 
 __all__ = [
     "MMLibError",
     "TransientStoreError",
     "StoreCorruptionError",
+    "QuorumWriteError",
     "ModelNotFoundError",
     "EnvironmentMismatchError",
     "VerificationError",

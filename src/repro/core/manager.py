@@ -63,7 +63,7 @@ class FsckIssue:
     ``missing_file``, ``missing_chunk``, ``corrupt_chunk``,
     ``corrupt_manifest``, ``refcount_mismatch``, ``orphan_file``,
     ``orphan_chunk``, ``orphan_document``, ``missing_base``,
-    ``missing_document``).
+    ``missing_document``, ``under_replicated``).
     """
 
     kind: str
@@ -94,6 +94,22 @@ class FsckReport:
 
     def add(self, kind: str, detail: str, repaired: bool = False) -> None:
         self.issues.append(FsckIssue(kind, detail, repaired))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (``mmlib fsck --json``, dashboards)."""
+        return {
+            "clean": self.clean,
+            "checked_models": self.checked_models,
+            "checked_files": self.checked_files,
+            "checked_chunks": self.checked_chunks,
+            "repaired": len(self.repaired),
+            "unrepaired": len(self.unrepaired),
+            "issues": [
+                {"kind": issue.kind, "detail": issue.detail, "repaired": issue.repaired}
+                for issue in self.issues
+            ],
+            "summary": self.summary(),
+        }
 
     def summary(self) -> str:
         counts = Counter(issue.kind for issue in self.issues)
@@ -427,7 +443,10 @@ class ModelManager:
         4. no blob exists that no document references (orphans from
            crashes predating the journal, deleted);
         5. chunk refcounts equal what the live manifests reference, and
-           no unreferenced chunk file remains.
+           no unreferenced chunk file remains;
+        6. on a sharded store, every chunk and blob holds its full R
+           replicas — under-replicated keys are restored from a surviving
+           copy (digest-verified, never propagating corruption).
 
         With ``repair=False`` everything is reported but nothing is
         touched.  Losses fsck cannot undo (a missing or corrupt chunk of
@@ -611,7 +630,30 @@ class ModelManager:
                     repaired=repair,
                 )
 
-        # 6. orphan documents (saves that crashed outside a journal)
+        # 6. replica counts vs. the placement ring (sharded stores only):
+        # quorum writes that landed degraded, or members that lost disks,
+        # leave keys below R copies — restore them from a surviving replica
+        if hasattr(files, "replication_fsck"):
+            outcome = files.replication_fsck(repair=repair)
+            unrepairable = {
+                (entry["kind"], entry["key"]) for entry in outcome["unrepairable"]
+            }
+            repaired_keys = {
+                (entry["kind"], entry["key"]) for entry in outcome["repaired"]
+            }
+            for entry in outcome["under_replicated"]:
+                key = (entry["kind"], entry["key"])
+                fixed = key in repaired_keys and key not in unrepairable
+                report.add(
+                    "under_replicated",
+                    f"{entry['kind']} {entry['key'][:24]}…: {entry['have']}/"
+                    f"{entry['want']} replicas (missing on "
+                    f"{', '.join(entry['missing'])})"
+                    + (" (restored)" if fixed else ""),
+                    repaired=fixed,
+                )
+
+        # 7. orphan documents (saves that crashed outside a journal)
         for collection_name, live in (
             (ENVIRONMENTS, live_envs),
             (TRAIN_INFO, live_trains),

@@ -33,9 +33,13 @@ class ChainPrefetcher:
     """Background read-ahead for recovery chains.
 
     ``workers`` bounds concurrent prefetch tasks; ``max_chain_depth``
-    bounds how far up a base-model chain one request walks.  Use as a
-    context manager, or call :meth:`close` when done — in-flight work is
-    drained either way.
+    bounds how far up a base-model chain one request walks.  ``retry``
+    (a :class:`~repro.retry.RetryPolicy`, typically the one shared with
+    the stores) re-attempts a failed fetch before it lands in ``errors``
+    — on a flaky link a transient drop would otherwise waste the whole
+    read-ahead and leave the synchronous path cold.  Use as a context
+    manager, or call :meth:`close` when done — in-flight work is drained
+    either way.
     """
 
     def __init__(
@@ -44,11 +48,13 @@ class ChainPrefetcher:
         file_store,
         workers: int = 2,
         max_chain_depth: int = 64,
+        retry=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.documents = document_store
         self.files = file_store
+        self.retry = retry
         self.max_chain_depth = int(max_chain_depth)
         self._pool = ThreadPoolExecutor(
             max_workers=int(workers), thread_name_prefix="mmlib-prefetch"
@@ -101,7 +107,12 @@ class ChainPrefetcher:
 
     def _run(self, key: str, fn, *args) -> None:
         try:
-            fn(*args)
+            if self.retry is not None:
+                # retry transient drops under the shared policy; only a
+                # final failure counts as a lost prefetch
+                self.retry.call(lambda: fn(*args), op="prefetch.fetch")
+            else:
+                fn(*args)
         except Exception:
             with self._lock:
                 self.errors += 1

@@ -99,6 +99,74 @@ class SharedStores:
         scratch.mkdir(parents=True, exist_ok=True)
         return cls(documents=documents, files=files, scratch_dir=scratch, retry=retry)
 
+    @classmethod
+    def cluster_at(
+        cls,
+        workdir: str | Path,
+        shards: int = 4,
+        replicas: int = 2,
+        write_quorum: int | None = None,
+        network: NetworkModel | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        workers: int = 0,
+        pipeline_depth: int = 8,
+        chunk_cache_bytes: int = 0,
+    ) -> "SharedStores":
+        """Create *sharded* stores under ``workdir``: ``shards`` member
+        stores behind a :class:`~repro.cluster.ShardedFileStore` and a
+        :class:`~repro.cluster.ShardedDocumentStore`, R-of-N replicated.
+
+        Services, benchmarks, and fsck use the result exactly like the
+        single-store :meth:`at` deployment — the cluster plane hides
+        behind the same interfaces.  ``network``/``faults`` apply *per
+        member* (each shard is its own machine with its own link);
+        ``retry`` is shared by the members, the sharded layers, and every
+        participant's service.  The hot-chunk cache sits on the sharded
+        store, so a hit never touches a member link.
+        """
+        from ..cluster import ShardedDocumentStore, ShardedFileStore
+
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        workdir = Path(workdir)
+        doc_members: dict[str, DocumentStore] = {}
+        file_members: dict[str, FileStore] = {}
+        for index in range(shards):
+            name = f"shard-{index}"
+            documents = DocumentStore(workdir / name / "documents")
+            if faults is not None:
+                documents = FaultyDocumentStore(documents, faults)
+            doc_members[name] = documents
+            if network is None:
+                file_members[name] = FileStore(
+                    workdir / name / "files", faults=faults, retry=retry
+                )
+            else:
+                file_members[name] = SimulatedNetworkFileStore(
+                    workdir / name / "files",
+                    network,
+                    faults=faults,
+                    retry=retry,
+                    pipeline_depth=pipeline_depth,
+                )
+        chunk_cache = chunk_cache_bytes if chunk_cache_bytes > 0 else None
+        files = ShardedFileStore(
+            workdir / "cluster-meta",
+            file_members,
+            replicas=replicas,
+            write_quorum=write_quorum,
+            retry=retry,
+            workers=workers,
+            chunk_cache=chunk_cache,
+        )
+        documents = ShardedDocumentStore(
+            doc_members, replicas=replicas, write_quorum=write_quorum
+        )
+        scratch = workdir / "scratch"
+        scratch.mkdir(parents=True, exist_ok=True)
+        return cls(documents=documents, files=files, scratch_dir=scratch, retry=retry)
+
     def total_storage_bytes(self) -> int:
         return self.documents.storage_bytes() + self.files.total_bytes()
 
@@ -126,7 +194,10 @@ def make_service(
         from ..core.prefetch import ChainPrefetcher
 
         prefetcher = ChainPrefetcher(
-            stores.documents, stores.files, workers=prefetch_workers
+            stores.documents,
+            stores.files,
+            workers=prefetch_workers,
+            retry=stores.retry,
         )
     return SERVICE_CLASSES[approach](
         stores.documents,

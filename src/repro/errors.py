@@ -16,7 +16,12 @@ pre-existing handlers written against bare I/O errors keep working.
 
 from __future__ import annotations
 
-__all__ = ["MMLibError", "TransientStoreError", "StoreCorruptionError"]
+__all__ = [
+    "MMLibError",
+    "TransientStoreError",
+    "StoreCorruptionError",
+    "QuorumWriteError",
+]
 
 
 class MMLibError(Exception):
@@ -29,6 +34,15 @@ class TransientStoreError(MMLibError, OSError):
     Raised for injected chaos faults (transient I/O errors, torn writes,
     document-store outages) and for real connection-level failures in the
     document-store client.  Retry policies treat this type as retryable.
+    """
+
+
+class QuorumWriteError(TransientStoreError):
+    """A replicated write reached fewer members than its write quorum.
+
+    Retryable: replicated chunk and blob writes are content-addressed or
+    target a fixed id, so repeating the whole quorum write is idempotent —
+    members that already hold the payload simply acknowledge again.
     """
 
 

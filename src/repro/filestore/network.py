@@ -115,19 +115,20 @@ class SimulatedNetworkFileStore(FileStore):
         if self.sleep:
             time.sleep(cost)
 
-    def save_bytes(self, data: bytes, suffix: str = "") -> str:
+    def _write_blob(self, file_id: str, data: bytes) -> None:
         """Persist a payload, charging its upload against the link.
 
         The charge lands only once the write has succeeded — a failed
         upload must not inflate ``bytes_sent``/``simulated_seconds``, or
         chaos runs would report transfer budgets for data that never
-        crossed the link.
+        crossed the link.  Charging the write primitive (not
+        :meth:`save_bytes`) means replicated writes from a sharded store
+        are charged per member link, like any other client.
         """
-        file_id = super().save_bytes(data, suffix=suffix)
+        super()._write_blob(file_id, data)
         self._charge(len(data))
         with self._accounting_lock:
             self.bytes_sent += len(data)
-        return file_id
 
     def recover_bytes(self, file_id: str) -> bytes:
         """Load a payload, charging its download against the link."""

@@ -292,6 +292,24 @@ class ChunkStore:
         except FileNotFoundError:
             raise ChunkNotFoundError(f"no stored chunk with digest {digest!r}") from None
 
+    def drop(self, digest: str) -> bool:
+        """Unlink one chunk file regardless of refcounts; True iff removed.
+
+        Low-level repair/rollback primitive — normal deletion goes through
+        :meth:`release_refs`.
+        """
+        path = self._chunk_path(digest)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def size_of(self, digest: str) -> int | None:
+        """On-disk size of one chunk, or ``None`` when it is not stored."""
+        try:
+            return self._chunk_path(digest).stat().st_size
+        except FileNotFoundError:
+            return None
+
     # -- reference counting --------------------------------------------------
 
     def add_refs(self, digests: Iterable[str]) -> None:
@@ -327,6 +345,42 @@ class ChunkStore:
 
     def refcount(self, digest: str) -> int:
         return self._load_refs().get(digest, 0)
+
+    def export_refs(self) -> dict[str, int]:
+        """Snapshot of every stored refcount (rebalance/repair plumbing)."""
+        with self._locked():
+            return self._load_refs()
+
+    def import_refs(self, counts: Mapping[str, int]) -> None:
+        """Set refcounts for the given digests (overwriting existing ones).
+
+        Used when chunk ownership moves between stores: the receiving
+        store inherits the relinquishing store's counts verbatim instead
+        of replaying one :meth:`add_refs` per historical manifest.
+        """
+        counts = {d: int(c) for d, c in counts.items() if c > 0}
+        if not counts:
+            return
+        with self._locked():
+            refs = self._load_refs()
+            refs.update(counts)
+            self._write_refs(refs)
+
+    def forget_refs(self, digests: Iterable[str]) -> None:
+        """Drop refcount entries without touching chunk files.
+
+        The relinquishing side of a chunk migration: the bytes were
+        already handed to the new owner, so decrement-and-delete
+        (:meth:`release_refs`) would be wrong.
+        """
+        digests = set(digests)
+        if not digests:
+            return
+        with self._locked():
+            refs = self._load_refs()
+            remaining = {d: c for d, c in refs.items() if d not in digests}
+            if len(remaining) != len(refs):
+                self._write_refs(remaining)
 
     def gc(self) -> dict[str, int]:
         """Delete unreferenced chunks and *expired* tmp files; stats dict.
@@ -624,9 +678,7 @@ class FileStore:
             if op == "doc":
                 stats["docs"].append((entry["collection"], entry["doc_id"]))
             elif op == "blob":
-                path = self._path(entry["file_id"])
-                if path.exists():
-                    path.unlink(missing_ok=True)
+                if self._discard_blob(entry["file_id"]):
                     stats["blobs_removed"] += 1
             elif op == "refs":
                 self.chunks.release_refs(entry["digests"])
@@ -634,25 +686,29 @@ class FileStore:
             elif op == "chunk":
                 digest = entry["digest"]
                 if self.chunks.refcount(digest) == 0 and self.chunks.has(digest):
-                    self.chunks._chunk_path(digest).unlink(missing_ok=True)
+                    self.chunks.drop(digest)
                     stats["chunks_removed"] += 1
         journal.discard()
         return stats
 
     # -- save ------------------------------------------------------------------
 
-    def save_bytes(self, data: bytes, suffix: str = "") -> str:
-        """Persist a byte payload; returns the generated file id.
+    @staticmethod
+    def _new_file_id(data: bytes, suffix: str = "") -> str:
+        """Generate a blob id: content-digest prefix + uniquifier + suffix."""
+        digest = hashlib.sha256(data).hexdigest()[:16]
+        return f"{digest}-{uuid.uuid4().hex[:12]}{suffix}"
+
+    def _write_blob(self, file_id: str, data: bytes) -> None:
+        """Write one blob under an explicit id (fault/retry wrapped).
 
         The write is atomic (tmp+rename) and idempotent under retries:
-        every attempt targets the same content-derived file id.
+        every attempt targets the same file id.
         """
-        digest = hashlib.sha256(data).hexdigest()[:16]
-        file_id = f"{digest}-{uuid.uuid4().hex[:12]}{suffix}"
         path = self._path(file_id)
         tmp = path.with_name(path.name + ".tmp")
 
-        def attempt() -> str:
+        def attempt() -> None:
             self._fault("file.write", nbytes=len(data))
             if self.faults is not None and self.faults.torn_write("file.write"):
                 tmp.write_bytes(data[: max(1, len(data) // 2)])
@@ -661,9 +717,17 @@ class FileStore:
                 )
             tmp.write_bytes(data)
             tmp.replace(path)
-            return file_id
 
-        file_id = self._call("file.write", attempt)
+        self._call("file.write", attempt)
+
+    def save_bytes(self, data: bytes, suffix: str = "") -> str:
+        """Persist a byte payload; returns the generated file id.
+
+        The file id embeds a content digest prefix, so reads can detect
+        corruption without a separate checksum channel.
+        """
+        file_id = self._new_file_id(data, suffix)
+        self._write_blob(file_id, data)
         self.journal_record("blob", file_id=file_id)
         return file_id
 
@@ -958,6 +1022,43 @@ class FileStore:
             raise ValueError(f"invalid file id: {file_id!r}")
         return self.root / file_id
 
+    # Raw blob primitives: no fault hooks, no journaling.  Rollback, fsck,
+    # and replica repair operate on what is *stored*, not on what a flaky
+    # link would deliver, and a sharded store overrides these to fan out
+    # over its member stores.
+
+    def _discard_blob(self, file_id: str) -> bool:
+        """Unlink one blob; True iff it existed (rollback/repair path)."""
+        path = self._path(file_id)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def _blob_size(self, file_id: str) -> int:
+        """On-disk size of one blob."""
+        try:
+            return self._path(file_id).stat().st_size
+        except FileNotFoundError:
+            raise FileNotFoundInStoreError(
+                f"no stored file with id {file_id!r}"
+            ) from None
+
+    def _read_blob_raw(self, file_id: str) -> bytes:
+        """Read one blob straight from disk (no faults, no digest check)."""
+        try:
+            return self._path(file_id).read_bytes()
+        except FileNotFoundError:
+            raise FileNotFoundInStoreError(
+                f"no stored file with id {file_id!r}"
+            ) from None
+
+    def _restore_blob(self, file_id: str, data: bytes) -> None:
+        """Atomically write one blob outside the fault plane (repair path)."""
+        path = self._path(file_id)
+        tmp = path.with_name(f"{path.name}-{uuid.uuid4().hex[:8]}.tmp")
+        tmp.write_bytes(data)
+        tmp.replace(path)
+
     def recover_bytes(self, file_id: str) -> bytes:
         """Load a payload by file id, verifying the embedded digest.
 
@@ -1005,8 +1106,7 @@ class FileStore:
         Deleting a manifest releases its chunk references; chunks no other
         manifest still points at are deleted with it.
         """
-        path = self._path(file_id)
-        if not path.exists():
+        if not self.exists(file_id):
             return False
         if self.is_manifest_id(file_id):
             try:
@@ -1017,8 +1117,7 @@ class FileStore:
                 self.chunks.release_refs(
                     meta["chunk"] for _, meta in manifest["layers"]
                 )
-        path.unlink()
-        return True
+        return self._discard_blob(file_id)
 
     def size(self, file_id: str) -> int:
         """Logical size in bytes of one stored file.
@@ -1028,16 +1127,13 @@ class FileStore:
         of it is deduplicated on disk (see :meth:`total_bytes` for the
         physical view).
         """
-        path = self._path(file_id)
-        if not path.exists():
-            raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
-        size = path.stat().st_size
+        size = self._blob_size(file_id)
         if self.is_manifest_id(file_id):
             manifest = self.read_manifest(file_id)
             for _, meta in manifest["layers"]:
-                chunk_path = self.chunks._chunk_path(meta["chunk"])
-                if chunk_path.exists():
-                    size += chunk_path.stat().st_size
+                chunk_size = self.chunks.size_of(meta["chunk"])
+                if chunk_size is not None:
+                    size += chunk_size
         return size
 
     def total_bytes(self) -> int:

@@ -1,0 +1,165 @@
+"""Sharded document store: replication, scatter-gather queries, failover."""
+
+import pytest
+
+from repro.cluster import ShardedDocumentStore
+from repro.docstore import DocumentStore, DuplicateKeyError, NotFoundError
+
+
+def make_store(n=4, replicas=2, write_quorum=None) -> ShardedDocumentStore:
+    return ShardedDocumentStore(
+        {f"d{index}": DocumentStore() for index in range(n)},
+        replicas=replicas,
+        write_quorum=write_quorum,
+    )
+
+
+def holders(store: ShardedDocumentStore, collection: str, doc_id: str) -> set[str]:
+    found = set()
+    for name, member in store.members.items():
+        try:
+            member.collection(collection).get(doc_id)
+        except (KeyError, NotFoundError):
+            continue
+        found.add(name)
+    return found
+
+
+class TestReplicatedWrites:
+    def test_insert_replicates_to_ring_owners(self):
+        store = make_store()
+        doc_id = store.collection("models").insert_one({"approach": "baseline"})
+        owners = set(store.ring.owners(f"models/{doc_id}"))
+        assert len(owners) == 2
+        assert holders(store, "models", doc_id) == owners
+
+    def test_every_replica_stores_the_same_document(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"epoch": 3})
+        copies = [
+            store.members[name].collection("models").get(doc_id)
+            for name in store.ring.owners(f"models/{doc_id}")
+        ]
+        assert copies[0] == copies[1]
+        assert copies[0]["_id"] == doc_id
+
+    def test_duplicate_insert_raises(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        with pytest.raises(DuplicateKeyError):
+            collection.insert_one({"_id": doc_id, "k": 2})
+
+    def test_partially_acked_insert_retries_cleanly(self):
+        # replaying an insert that reached only some replicas must count
+        # the duplicates as acks, not as a conflict
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        owners = store.ring.owners(f"models/{doc_id}")
+        store.members[owners[0]].collection("models").delete_one(doc_id)
+        assert collection.insert_one({"_id": doc_id, "k": 1}) == doc_id
+        assert holders(store, "models", doc_id) == set(owners)
+
+    def test_update_one_converges_every_replica(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"epoch": 1, "tag": "keep"})
+        assert collection.update_one({"_id": doc_id}, {"epoch": 2}) is True
+        for name in store.ring.owners(f"models/{doc_id}"):
+            copy = store.members[name].collection("models").get(doc_id)
+            assert copy["epoch"] == 2 and copy["tag"] == "keep"
+
+    def test_delete_one_removes_every_replica(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        assert collection.delete_one(doc_id) is True
+        assert holders(store, "models", doc_id) == set()
+        assert collection.delete_one(doc_id) is False
+
+
+class TestScatterGatherQueries:
+    def test_find_deduplicates_replicas(self):
+        store = make_store()
+        collection = store.collection("models")
+        for index in range(10):
+            collection.insert_one({"rank": index})
+        assert collection.count() == 10  # not 20, despite R=2
+
+    def test_global_sort_skip_limit(self):
+        store = make_store()
+        collection = store.collection("models")
+        for index in range(10):
+            collection.insert_one({"rank": index})
+        page = collection.find({}, sort=[("rank", -1)], skip=2, limit=3)
+        assert [document["rank"] for document in page] == [7, 6, 5]
+
+    def test_find_with_query_filters_cluster_wide(self):
+        store = make_store()
+        collection = store.collection("models")
+        for index in range(6):
+            collection.insert_one({"rank": index, "even": index % 2 == 0})
+        assert collection.count({"even": True}) == 3
+
+    def test_get_many_preserves_request_order(self):
+        store = make_store()
+        collection = store.collection("models")
+        ids = [collection.insert_one({"rank": index}) for index in range(5)]
+        wanted = [ids[3], ids[0], ids[4]]
+        results = collection.get_many(wanted)
+        assert [document["_id"] for document in results] == wanted
+
+
+class TestFailover:
+    def test_get_fails_over_and_repairs_the_missing_replica(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        owners = store.ring.owners(f"models/{doc_id}")
+        store.members[owners[0]].collection("models").delete_one(doc_id)
+
+        document = collection.get(doc_id)
+        assert document["k"] == 1
+        assert holders(store, "models", doc_id) == set(owners)
+        assert store.cluster_stats["read_repairs"] >= 1
+
+    def test_get_missing_document_raises(self):
+        store = make_store()
+        with pytest.raises((KeyError, NotFoundError)):
+            store.collection("models").get("no-such-id")
+
+    def test_collection_names_union_across_members(self):
+        store = make_store()
+        store.collection("models").insert_one({"k": 1})
+        store.collection("wrappers").insert_one({"k": 2})
+        assert set(store.collection_names()) >= {"models", "wrappers"}
+
+
+class TestMembershipChanges:
+    def test_rebalance_documents_after_adding_a_member(self):
+        store = make_store(n=3)
+        collection = store.collection("models")
+        ids = [collection.insert_one({"rank": index}) for index in range(20)]
+
+        stats = store.add_member("d9", DocumentStore())
+        assert stats["documents_copied"] > 0
+        for doc_id in ids:
+            assert holders(store, "models", doc_id) == set(
+                store.ring.owners(f"models/{doc_id}")
+            )
+        assert collection.count() == 20
+
+    def test_remove_member_drains_its_documents(self):
+        store = make_store(n=4)
+        collection = store.collection("models")
+        ids = [collection.insert_one({"rank": index}) for index in range(20)]
+
+        store.remove_member("d0")
+        assert "d0" not in store.members
+        for doc_id in ids:
+            owners = set(store.ring.owners(f"models/{doc_id}"))
+            assert "d0" not in owners
+            assert holders(store, "models", doc_id) == owners
+        assert collection.count() == 20

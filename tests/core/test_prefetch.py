@@ -182,3 +182,55 @@ class TestServiceIntegration:
         prefetcher.close()
         prefetcher.prefetch_chain(ids[-1])  # must not raise or leak tasks
         assert prefetcher.stats()["inflight"] == 0
+
+
+class TestRetryPropagation:
+    def test_shared_retry_absorbs_transient_fetch_failures(
+        self, mem_doc_store, tmp_path
+    ):
+        from repro.faults import FaultInjector
+        from repro.retry import RetryPolicy
+
+        store = FileStore(tmp_path / "files", chunk_cache=1 << 20)
+        service = ParameterUpdateSaveService(mem_doc_store, store)
+        ids, _ = build_pua_chain(service, depth=3)
+
+        # the link turns flaky only once the chain exists on disk; each
+        # retried fetch makes forward progress through the chunk cache,
+        # so a generous attempt budget always converges
+        store.faults = FaultInjector(seed=21, error_rate=0.2,
+                                     max_consecutive_failures=3)
+        retry = RetryPolicy(max_attempts=25, base_delay_s=0.0, sleep=lambda s: None)
+        with ChainPrefetcher(mem_doc_store, store, retry=retry) as prefetcher:
+            prefetcher.prefetch_chain(ids[-1])
+            prefetcher.drain()
+            stats = prefetcher.stats()
+        assert stats["errors"] == 0
+        assert stats["chunks_prefetched"] > 0
+        assert retry.retries_taken > 0
+
+    def test_without_a_policy_failures_still_only_count(self, mem_doc_store, tmp_path):
+        from repro.faults import FaultInjector
+
+        store = FileStore(tmp_path / "files", chunk_cache=1 << 20)
+        service = ParameterUpdateSaveService(mem_doc_store, store)
+        ids, _ = build_pua_chain(service, depth=2)
+        store.faults = FaultInjector(seed=5, error_rate=1.0)
+
+        with ChainPrefetcher(mem_doc_store, store) as prefetcher:
+            prefetcher.prefetch_chain(ids[-1])
+            prefetcher.drain()
+            assert prefetcher.stats()["errors"] > 0  # swallowed, never raised
+
+    def test_make_service_wires_the_shared_policy_into_the_prefetcher(self, tmp_path):
+        from repro.distsim import SharedStores, make_service
+        from repro.retry import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=3, base_delay_s=0.0, sleep=lambda s: None)
+        stores = SharedStores.at(tmp_path, retry=retry, chunk_cache_bytes=1 << 20)
+        service = make_service("param_update", stores, prefetch_workers=1)
+        try:
+            assert service.prefetcher is not None
+            assert service.prefetcher.retry is retry
+        finally:
+            service.prefetcher.close()

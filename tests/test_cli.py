@@ -245,3 +245,37 @@ class TestVerifyAndSquash:
         ) == 0
         capsys.readouterr()
         assert run_cli("--docs", docs, "--files", files, "inspect", root_id) == 0
+
+
+class TestFsckJson:
+    def test_clean_store_emits_json_and_exits_zero(self, stores, saved_model, capsys):
+        docs, files = stores
+        assert run_cli("--docs", docs, "--files", files, "fsck", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["issues"] == []
+        assert payload["checked_models"] == 1
+
+    def test_unrepaired_issues_exit_one_with_machine_readable_report(
+        self, stores, saved_model, capsys
+    ):
+        docs, files = stores
+        model_id, _ = saved_model
+        # damage: the model's parameters manifest disappears from the store
+        document = DocumentStore(docs).collection("models").get(model_id)
+        FileStore(files).delete(document["parameters_file"])
+
+        code = run_cli(
+            "--docs", docs, "--files", files, "fsck", "--no-repair", "--json"
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["unrepaired"] > 0
+        assert any(issue["repaired"] is False for issue in payload["issues"])
+
+    def test_plain_output_unchanged_without_the_flag(self, stores, saved_model, capsys):
+        docs, files = stores
+        assert run_cli("--docs", docs, "--files", files, "fsck") == 0
+        out = capsys.readouterr().out
+        assert "fsck" in out or "issue" in out or "clean" in out
