@@ -83,13 +83,30 @@ class ClusterRebalancer:
     def remove_member(self, name: str, journal_id: str | None = None) -> dict:
         """Drain ``name`` and drop it: ownership recomputes without it, its
         keys stream to their new owners (the leaving store still serves
-        as a copy source during the drain), then it leaves."""
+        as a copy source during the drain), then it leaves.
+
+        When any move fails the drain is *incomplete*: keys that did not
+        copy may exist only on the leaver, so it stays in
+        ``store.members`` (off the ring, still readable as a source) and
+        the stats carry ``drained: False``.  Re-running ``remove_member``
+        with the same ``journal_id`` — or ``resume`` followed by another
+        ``remove_member`` — finishes the drain and then drops the member.
+        """
         if name not in self.store.members:
             raise KeyError(f"member {name!r} is not in the cluster")
-        old_ring = self.store.ring.copy()
-        self.store.ring.remove_member(name)
+        if name in self.store.ring:
+            old_ring = self.store.ring.copy()
+            self.store.ring.remove_member(name)
+        else:
+            # retrying a previously-failed drain: the ring change already
+            # happened, so plan from actual placement like resume() does
+            old_ring = None
         stats = self._migrate(old_ring, journal_id=journal_id)
+        if stats["failed"]:
+            stats["drained"] = False
+            return stats
         self.store.members.pop(name, None)
+        stats["drained"] = True
         return stats
 
     def resume(self, journal_id: str) -> dict:
@@ -342,16 +359,19 @@ def replication_fsck(store: ShardedFileStore, repair: bool = True) -> dict:
                     "missing": missing,
                 }
             )
+            # the intact-copy check runs even without repair so an
+            # audit-only pass still reports blobs that *cannot* be
+            # repaired; only the restore writes are gated on ``repair``
+            data = None
+            for name in holders:  # first *intact* copy wins
+                candidate = members[name]._read_blob_raw(file_id)
+                if _verify_blob(file_id, candidate):
+                    data = candidate
+                    break
+            if data is None:
+                report["unrepairable"].append({"kind": "blob", "key": file_id})
+                continue
             if repair:
-                data = None
-                for name in holders:  # first *intact* copy wins
-                    candidate = members[name]._read_blob_raw(file_id)
-                    if _verify_blob(file_id, candidate):
-                        data = candidate
-                        break
-                if data is None:
-                    report["unrepairable"].append({"kind": "blob", "key": file_id})
-                    continue
                 for name in missing:
                     members[name]._restore_blob(file_id, data)
                 holders = sorted(set(holders) | set(missing))

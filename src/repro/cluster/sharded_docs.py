@@ -23,14 +23,22 @@ from typing import Mapping
 from ..docstore.documents import new_object_id, validate_document
 from ..docstore.engine import DuplicateKeyError, NotFoundError, _sort_key
 from ..docstore.query import resolve_path
-from ..errors import QuorumWriteError
+from ..errors import QuorumWriteError, TransientStoreError
 from .ring import DEFAULT_VNODES, HashRing
 
-__all__ = ["ShardedDocumentStore"]
+__all__ = ["ShardedDocumentStore", "TOMBSTONES"]
 
 #: A replica that raises one of these did not deliver; the client fails
 #: over (reads) or counts the replica un-acked (writes).
 _REPLICA_FAILURES = (NotFoundError, OSError)
+
+#: Per-member collection recording quorum-acked deletes.  A tombstone's
+#: ``_id`` is ``"<collection>/<doc_id>"`` — exactly the deleted
+#: document's ring key, so tombstones and their documents always share
+#: owners.  Tombstones stop read-repair and rebalancing from
+#: resurrecting a delete that a failed replica missed, and are purged
+#: once no member holds the document anymore.
+TOMBSTONES = "__cluster_tombstones__"
 
 
 def _copy(document: dict) -> dict:
@@ -53,6 +61,59 @@ class _ShardedCollection:
         for member_name in sorted(self._store.members):
             yield self._store.members[member_name].collection(self.name)
 
+    # -- tombstones ----------------------------------------------------------
+
+    def _tombstone_key(self, doc_id: str) -> str:
+        return f"{self.name}/{doc_id}"
+
+    def _is_tombstoned(self, doc_id: str) -> bool:
+        """Whether any reachable owner records a quorum-acked delete of
+        ``doc_id``.  The tombstone id *is* the document's ring key, so
+        the owners consulted here are the ones the delete wrote to."""
+        tombstone_id = self._tombstone_key(doc_id)
+        for member_name in self._store.ring.owners(tombstone_id):
+            graves = self._store.members[member_name].collection(TOMBSTONES)
+            try:
+                graves.get(tombstone_id)
+            except (NotFoundError, OSError):
+                continue
+            return True
+        return False
+
+    def _tombstoned_ids(self) -> set[str]:
+        """Every doc id in this collection with a tombstone anywhere."""
+        prefix = f"{self.name}/"
+        ids: set[str] = set()
+        for member_name in sorted(self._store.members):
+            graves = self._store.members[member_name].collection(TOMBSTONES)
+            try:
+                stones = graves.find({})
+            except OSError:
+                continue
+            for stone in stones:
+                if stone["_id"].startswith(prefix):
+                    ids.add(stone["_id"][len(prefix):])
+        return ids
+
+    def _clear_tombstone(self, doc_id: str) -> None:
+        """Best-effort removal of a tombstone from the document's owners
+        (a fresh insert under a previously-deleted id supersedes it)."""
+        tombstone_id = self._tombstone_key(doc_id)
+        for member_name in self._store.ring.owners(tombstone_id):
+            graves = self._store.members[member_name].collection(TOMBSTONES)
+            try:
+                graves.delete_one(tombstone_id)
+            except OSError:
+                continue
+
+    def _reap(self, doc_id: str) -> None:
+        """Finish a quorum-acked delete on replicas that missed it."""
+        for collection in self._all_collections():
+            try:
+                collection.delete_one(doc_id)
+            except OSError:
+                continue
+
     # -- writes --------------------------------------------------------------
 
     def insert_one(self, document: dict) -> str:
@@ -67,6 +128,7 @@ class _ShardedCollection:
         document = validate_document(document)
         doc_id = str(document.get("_id") or new_object_id())
         document["_id"] = doc_id
+        self._clear_tombstone(doc_id)
         acks = 0
         fresh = 0
         duplicates = 0
@@ -161,13 +223,25 @@ class _ShardedCollection:
         return True
 
     def delete_one(self, doc_id: str) -> bool:
+        """Quorum-delete: each acking owner records a tombstone *and*
+        drops its copy.  A replica that missed the delete keeps the
+        document, but the tombstone stops read-repair and rebalancing
+        from resurrecting it — they finish the delete instead.  Partial
+        acks leave the key in the degraded set so maintenance retries."""
+        doc_id = str(doc_id)
+        tombstone_id = self._tombstone_key(doc_id)
         removed = False
         acks = 0
         owner_count = 0
         last_error: Exception | None = None
-        for _, collection in self._owners(doc_id):
+        for member_name, collection in self._owners(doc_id):
             owner_count += 1
+            graves = self._store.members[member_name].collection(TOMBSTONES)
             try:
+                try:
+                    graves.insert_one({"_id": tombstone_id})
+                except DuplicateKeyError:
+                    pass  # idempotent retry of a partially-acked delete
                 removed = collection.delete_one(doc_id) or removed
             except _REPLICA_FAILURES as exc:
                 last_error = exc
@@ -178,7 +252,10 @@ class _ShardedCollection:
                 f"document {self.name}/{doc_id} delete reached {acks}/"
                 f"{owner_count} replicas (write quorum {self._store.write_quorum})"
             ) from last_error
-        self._store._clear_degraded(self.name, str(doc_id))
+        if acks < owner_count:
+            self._store._note_degraded(self.name, doc_id)
+        else:
+            self._store._clear_degraded(self.name, doc_id)
         return removed
 
     def delete_many(self, query: dict) -> int:
@@ -193,7 +270,17 @@ class _ShardedCollection:
 
     def get(self, doc_id: str) -> dict:
         """Fetch by id with failover; a hit after misses read-repairs the
-        replicas found without the document."""
+        replicas found without the document.
+
+        A copy shadowed by a tombstone (a replica that missed a
+        quorum-acked delete) is *not* returned — the delete is finished
+        instead.  When replicas were unreachable and the document was
+        not found, absence is unproven, so the retryable
+        :class:`TransientStoreError` is raised rather than
+        :class:`NotFoundError` — callers like ``fsck`` must not
+        garbage-collect on the strength of a degraded read.
+        """
+        doc_id = str(doc_id)
         failed = []
         unreachable = 0
         for _, collection in self._owners(doc_id):
@@ -205,13 +292,17 @@ class _ShardedCollection:
             except OSError:
                 unreachable += 1
                 continue
+            if self._is_tombstoned(doc_id):
+                self._reap(doc_id)
+                raise NotFoundError(f"no document {doc_id!r} in {self.name!r}")
             if failed or unreachable:
                 self._store._bump("failover_reads")
                 self._repair(failed, document)
             return document
-        if unreachable and not failed:
-            raise NotFoundError(
-                f"no reachable replica of {doc_id!r} in {self.name!r}"
+        if unreachable:
+            raise TransientStoreError(
+                f"document {self.name}/{doc_id}: {unreachable} replica(s) "
+                "unreachable and the document was not proven absent"
             )
         raise NotFoundError(f"no document {doc_id!r} in {self.name!r}")
 
@@ -262,17 +353,35 @@ class _ShardedCollection:
         """Scatter-gather query: every member is asked (replicas of a
         document may sit anywhere), results are deduplicated by ``_id``,
         and sort/skip/limit apply to the merged set so pagination is
-        cluster-wide, not per-shard.  Unreachable members are skipped —
-        their documents' other replicas answer for them."""
+        cluster-wide, not per-shard.  Up to R-1 unreachable members are
+        tolerated — every document has R owners, so at least one replica
+        of each still answers.  At R or more unreachable members some
+        documents may have *no* reachable replica, and silently treating
+        them as absent would let callers (``fsck`` above all) mistake an
+        outage for deletion — that raises the retryable
+        :class:`TransientStoreError` instead.  Documents shadowed by a
+        tombstone (quorum-deleted, one stale replica left) are filtered
+        out rather than resurrected."""
         merged: dict[str, dict] = {}
+        unreachable = 0
         for collection in self._all_collections():
             try:
                 results = collection.find(query)
             except OSError:
                 self._store._bump("failover_reads")
+                unreachable += 1
                 continue
             for document in results:
                 merged.setdefault(document["_id"], document)
+        if unreachable >= self._store._effective_replicas():
+            raise TransientStoreError(
+                f"collection {self.name!r}: {unreachable} member(s) unreachable "
+                f"(replication factor {self._store._effective_replicas()}) — "
+                "query results cannot be proven complete"
+            )
+        if merged:
+            for doc_id in self._tombstoned_ids():
+                merged.pop(doc_id, None)
         results = [merged[doc_id] for doc_id in sorted(merged)]
         if sort:
             for field, direction in reversed(list(sort)):
@@ -364,6 +473,10 @@ class ShardedDocumentStore:
         with self._stats_lock:
             self.degraded_keys.discard((collection, doc_id))
 
+    def _effective_replicas(self) -> int:
+        """The replica count actually achievable with current membership."""
+        return min(self.ring.replicas, len(self.members))
+
     # -- store surface --------------------------------------------------------
 
     def collection(self, name: str) -> _ShardedCollection:
@@ -385,11 +498,17 @@ class ShardedDocumentStore:
                 names.update(member.collection_names())
             except OSError:
                 continue
+        names.discard(TOMBSTONES)  # bookkeeping, not user data
         return sorted(names)
 
     def drop_collection(self, name: str) -> None:
+        prefix = f"{name}/"
         for member in self.members.values():
             member.drop_collection(name)
+            graves = member.collection(TOMBSTONES)
+            for stone in graves.find({}):
+                if stone["_id"].startswith(prefix):
+                    graves.delete_one(stone["_id"])
         with self._collections_lock:
             self._collections.pop(name, None)
 
@@ -408,11 +527,45 @@ class ShardedDocumentStore:
     def rebalance_documents(self) -> dict:
         """Re-place every document according to the *current* ring: copy to
         new owners missing it, drop replicas from non-owners.  Used after
-        membership changes; also heals under-replicated documents."""
+        membership changes; also heals under-replicated documents.
+
+        Tombstoned documents are never re-propagated: a replica that
+        missed a quorum-acked delete gets the delete finished here
+        instead, and tombstones whose document is provably gone from
+        every member are purged."""
         copied = 0
         dropped = 0
+        # tombstones first: re-place each by its own id (which *is* the
+        # deleted document's ring key) and learn what is deleted before
+        # copying documents around
+        tombstoned: set[str] = set()
+        stone_holders: dict[str, set[str]] = {}
+        for member_name in sorted(self.members):
+            graves = self.members[member_name].collection(TOMBSTONES)
+            try:
+                stones = graves.find({})
+            except OSError:
+                continue
+            for stone in stones:
+                tombstoned.add(stone["_id"])
+                stone_holders.setdefault(stone["_id"], set()).add(member_name)
+        for tombstone_id, holding in stone_holders.items():
+            owners = set(self.ring.owners(tombstone_id))
+            for member_name in owners - holding:
+                try:
+                    self.members[member_name].collection(TOMBSTONES).insert_one(
+                        {"_id": tombstone_id}
+                    )
+                except (DuplicateKeyError, OSError):
+                    continue
+            for member_name in holding - owners:
+                try:
+                    self.members[member_name].collection(TOMBSTONES).delete_one(
+                        tombstone_id
+                    )
+                except OSError:
+                    continue
         for name in self.collection_names():
-            sharded = self.collection(name)
             merged: dict[str, dict] = {}
             holders: dict[str, set[str]] = {}
             for member_name in sorted(self.members):
@@ -425,6 +578,18 @@ class ShardedDocumentStore:
                     merged.setdefault(document["_id"], document)
                     holders.setdefault(document["_id"], set()).add(member_name)
             for doc_id, document in merged.items():
+                if f"{name}/{doc_id}" in tombstoned:
+                    # quorum-deleted: finish the delete, don't re-copy
+                    for member_name in holders[doc_id]:
+                        try:
+                            if self.members[member_name].collection(name).delete_one(
+                                doc_id
+                            ):
+                                dropped += 1
+                        except OSError:
+                            continue
+                    self._clear_degraded(name, doc_id)
+                    continue
                 owners = set(self.ring.owners(f"{name}/{doc_id}"))
                 for member_name in owners - holders[doc_id]:
                     try:
@@ -441,7 +606,44 @@ class ShardedDocumentStore:
                     except OSError:
                         continue
                 self._clear_degraded(name, doc_id)
-        return {"documents_copied": copied, "replicas_dropped": dropped}
+        purged = self._purge_dead_tombstones(tombstoned)
+        return {
+            "documents_copied": copied,
+            "replicas_dropped": dropped,
+            "tombstones_purged": purged,
+        }
+
+    def _purge_dead_tombstones(self, tombstoned: set[str]) -> int:
+        """Drop tombstones whose document no member holds anymore.
+
+        A tombstone is only purged when *every* member definitively
+        answered "not found" — an unreachable member might still hold a
+        stale copy that the tombstone must keep shadowing."""
+        purged = 0
+        for tombstone_id in sorted(tombstoned):
+            collection_name, _, doc_id = tombstone_id.partition("/")
+            gone = True
+            for member_name in sorted(self.members):
+                try:
+                    self.members[member_name].collection(collection_name).get(doc_id)
+                except NotFoundError:
+                    continue
+                except OSError:
+                    gone = False  # cannot prove the stale copy is gone
+                    break
+                gone = False
+                break
+            if not gone:
+                continue
+            for member_name in sorted(self.members):
+                try:
+                    self.members[member_name].collection(TOMBSTONES).delete_one(
+                        tombstone_id
+                    )
+                except OSError:
+                    continue
+            purged += 1
+        return purged
 
     def add_member(self, name: str, store) -> dict:
         """Add a member and re-place documents whose ownership moved."""

@@ -177,16 +177,35 @@ class _ShardedChunkView:
         Each member is held to exactly the digests the ring assigns it;
         result keys are ``member:digest`` so one cluster-wide report can
         say *where* a count leaked or an orphan sat.
+
+        A referenced digest whose owners are not yet all whole is also
+        kept on any non-owner holding it: mid-rebalance (or after a lost
+        owner disk) that stray may be the only surviving copy, and the
+        replication fsck that runs after reconcile needs it as the
+        repair source.  Only once every owner holds the key does a
+        non-owner replica count as an orphan — the same guard
+        :func:`~repro.cluster.rebalance.replication_fsck` applies before
+        dropping strays.
         """
         merged: dict = {"ref_fixes": {}, "orphan_chunks_removed": [], "orphan_bytes": 0}
         ring = self._store.ring
-        for name in sorted(self._store.members):
+        members = self._store.members
+        protected: dict[str, set[str]] = {}
+        for digest in expected_refs:
+            owners = ring.owners(digest)
+            if all(members[name].chunks.has(digest) for name in owners):
+                continue
+            for name in members:
+                if name not in owners and members[name].chunks.has(digest):
+                    protected.setdefault(name, set()).add(digest)
+        for name in sorted(members):
+            keep = protected.get(name, set())
             expected = {
                 digest: count
                 for digest, count in expected_refs.items()
-                if name in ring.owners(digest)
+                if name in ring.owners(digest) or digest in keep
             }
-            report = self._store.members[name].chunks.reconcile(expected, repair=repair)
+            report = members[name].chunks.reconcile(expected, repair=repair)
             for digest, fix in report["ref_fixes"].items():
                 merged["ref_fixes"][f"{name}:{digest}"] = fix
             merged["orphan_chunks_removed"].extend(

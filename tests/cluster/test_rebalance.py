@@ -124,6 +124,32 @@ class TestRemoveMember:
         with pytest.raises(KeyError):
             ClusterRebalancer(store).remove_member("m9")
 
+    def test_failed_drain_keeps_the_leaver_as_a_copy_source(self, populated):
+        # keys whose move failed may exist only on the leaver; dropping
+        # it anyway would orphan them unrecoverably
+        store, service, model, model_id = populated
+        rebalancer = ClusterRebalancer(store, workers=1)
+        original = rebalancer._move_chunk
+
+        def broken(digest, new_owners):
+            raise OSError("injected copy failure")
+
+        rebalancer._move_chunk = broken
+        stats = rebalancer.remove_member("m3")
+        assert stats["failed"] > 0
+        assert stats["drained"] is False
+        assert "m3" in store.members  # retained: may hold sole copies
+        assert "m3" not in store.ring
+
+        # heal the copy path and retry under the same journal
+        rebalancer._move_chunk = original
+        stats = rebalancer.remove_member("m3", journal_id=stats["journal_id"])
+        assert stats["failed"] == 0
+        assert stats["drained"] is True
+        assert "m3" not in store.members
+        assert_placement_matches_ring(store)
+        assert states_equal(model, service.recover_model(model_id).model)
+
 
 class TestResume:
     def test_interrupted_rebalance_resumes_from_the_journal(self, populated, tmp_path):
@@ -210,6 +236,21 @@ class TestReplicationFsck:
             "strays_dropped"
         ]
         assert not store.members[stray].chunks.has(digest)
+
+    def test_audit_only_run_reports_blob_with_no_intact_copy(self, populated):
+        # repair=False must still surface blobs that *cannot* be
+        # repaired, or an audit exits clean on an unrecoverable cluster
+        store, *_ = populated
+        file_id = sorted(blob_placement(store))[0]
+        owners = store.ring.owners(file_id)
+        store.members[owners[0]]._discard_blob(file_id)  # under-replicate
+        for name in owners[1:]:  # corrupt every surviving copy at rest
+            if store.members[name].exists(file_id):
+                store.members[name]._restore_blob(file_id, b"garbage")
+
+        audit = replication_fsck(store, repair=False)
+        assert {"kind": "blob", "key": file_id} in audit["unrepairable"]
+        assert audit["repaired"] == []  # audit-only: nothing written
 
     def test_key_lost_everywhere_is_unrepairable(self, populated):
         store, *_ = populated

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.cluster import ShardedDocumentStore
+from repro.cluster.sharded_docs import TOMBSTONES
 from repro.docstore import DocumentStore, DuplicateKeyError, NotFoundError
+from repro.errors import TransientStoreError
 
 
 def make_store(n=4, replicas=2, write_quorum=None) -> ShardedDocumentStore:
@@ -12,6 +14,48 @@ def make_store(n=4, replicas=2, write_quorum=None) -> ShardedDocumentStore:
         replicas=replicas,
         write_quorum=write_quorum,
     )
+
+
+class DownableStore:
+    """Document-store member whose collections go dark on demand."""
+
+    def __init__(self):
+        self._inner = DocumentStore()
+        self.down = False
+
+    def collection(self, name):
+        store, inner = self, self._inner.collection(name)
+
+        class _Proxy:
+            def __getattr__(self, attr):
+                value = getattr(inner, attr)
+                if not callable(value):
+                    return value
+
+                def guarded(*args, **kwargs):
+                    if store.down:
+                        raise OSError("member down")
+                    return value(*args, **kwargs)
+
+                return guarded
+
+        return _Proxy()
+
+    def collection_names(self):
+        if self.down:
+            raise OSError("member down")
+        return self._inner.collection_names()
+
+    def drop_collection(self, name):
+        self._inner.drop_collection(name)
+
+    def storage_bytes(self):
+        return self._inner.storage_bytes()
+
+
+def make_downable(n=4, replicas=2):
+    members = {f"d{index}": DownableStore() for index in range(n)}
+    return ShardedDocumentStore(members, replicas=replicas), members
 
 
 def holders(store: ShardedDocumentStore, collection: str, doc_id: str) -> set[str]:
@@ -135,6 +179,127 @@ class TestFailover:
         store.collection("models").insert_one({"k": 1})
         store.collection("wrappers").insert_one({"k": 2})
         assert set(store.collection_names()) >= {"models", "wrappers"}
+
+
+class TestTombstones:
+    def test_stale_replica_does_not_resurrect_a_quorum_delete(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        owners = store.ring.owners(f"models/{doc_id}")
+        assert collection.delete_one(doc_id) is True
+        # a replica that somehow kept the document (missed delete)
+        store.members[owners[0]].collection("models").insert_one(
+            {"_id": doc_id, "k": 1}
+        )
+
+        with pytest.raises(NotFoundError):
+            collection.get(doc_id)
+        # the failover read finished the delete instead of repairing
+        # the stale copy back onto the other owners
+        assert holders(store, "models", doc_id) == set()
+
+    def test_find_filters_tombstoned_documents(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        owners = store.ring.owners(f"models/{doc_id}")
+        collection.delete_one(doc_id)
+        store.members[owners[0]].collection("models").insert_one(
+            {"_id": doc_id, "k": 1}
+        )
+
+        assert collection.find() == []
+        assert collection.count() == 0
+
+    def test_delete_with_a_down_replica_stays_deleted_after_healing(self):
+        store, members = make_downable(n=5, replicas=3)
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        owners = store.ring.owners(f"models/{doc_id}")
+        members[owners[2]].down = True
+        assert collection.delete_one(doc_id) is True  # quorum: 2 of 3
+        assert ("models", doc_id) in store.degraded_keys
+
+        members[owners[2]].down = False
+        # the healed replica still holds the document, but the
+        # tombstone wins: reads finish the delete, never resurrect
+        with pytest.raises(NotFoundError):
+            collection.get(doc_id)
+        assert holders(store, "models", doc_id) == set()
+
+    def test_rebalance_reaps_stale_copies_and_purges_dead_tombstones(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        owners = store.ring.owners(f"models/{doc_id}")
+        collection.delete_one(doc_id)
+        store.members[owners[0]].collection("models").insert_one(
+            {"_id": doc_id, "k": 1}
+        )
+
+        stats = store.rebalance_documents()
+        assert holders(store, "models", doc_id) == set()
+        assert stats["tombstones_purged"] >= 1
+        for member in store.members.values():
+            assert member.collection(TOMBSTONES).find({}) == []
+
+    def test_reinsert_under_a_deleted_id_supersedes_the_tombstone(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        collection.delete_one(doc_id)
+        assert collection.insert_one({"_id": doc_id, "k": 2}) == doc_id
+        assert collection.get(doc_id)["k"] == 2
+        assert collection.count({"k": 2}) == 1
+
+    def test_tombstone_collection_is_not_user_visible(self):
+        store = make_store()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        collection.delete_one(doc_id)
+        assert TOMBSTONES not in store.collection_names()
+
+
+class TestTransientUnavailability:
+    def test_get_with_all_owners_down_raises_transient_error(self):
+        # an outage must not masquerade as absence: fsck would
+        # garbage-collect blobs of documents it cannot see
+        store, members = make_downable()
+        collection = store.collection("models")
+        doc_id = collection.insert_one({"k": 1})
+        for name in store.ring.owners(f"models/{doc_id}"):
+            members[name].down = True
+        with pytest.raises(TransientStoreError):
+            collection.get(doc_id)
+
+    def test_get_with_one_owner_down_does_not_prove_absence(self):
+        store, members = make_downable()
+        collection = store.collection("models")
+        doc_id = "no-such-id"
+        owners = store.ring.owners(f"models/{doc_id}")
+        members[owners[0]].down = True
+        with pytest.raises(TransientStoreError):
+            collection.get(doc_id)
+
+    def test_find_tolerates_fewer_than_r_members_down(self):
+        store, members = make_downable(n=4, replicas=2)
+        collection = store.collection("models")
+        for index in range(8):
+            collection.insert_one({"rank": index})
+        members["d0"].down = True
+        # every document still has a reachable replica
+        assert collection.count() == 8
+
+    def test_find_raises_once_r_members_are_down(self):
+        store, members = make_downable(n=4, replicas=2)
+        collection = store.collection("models")
+        for index in range(8):
+            collection.insert_one({"rank": index})
+        members["d0"].down = True
+        members["d1"].down = True
+        with pytest.raises(TransientStoreError):
+            collection.find({})
 
 
 class TestMembershipChanges:

@@ -249,6 +249,38 @@ class TestManagerIntegration:
         recovered = service.recover_model(model_id, verify=False)
         assert states_equal(model, recovered.model)
 
+    def test_fsck_preserves_sole_copy_stranded_on_a_non_owner(self, tmp_path):
+        # interrupted rebalance: a chunk's only surviving copy sits on a
+        # member the ring does not assign it to.  fsck's orphan sweep
+        # must treat that stray as the repair source for the missing
+        # owners — not delete it — or fsck itself loses data.
+        store = make_cluster(tmp_path, replicas=2)
+        service = BaselineSaveService(make_docs(), store)
+        model = make_tiny_cnn(seed=6)
+        model_id = service.save_model(ModelSaveInfo(model, tiny_arch()))
+        manager = ModelManager(service)
+
+        digest = sorted(chunk_universe(store))[0]
+        owners = store.ring.owners(digest)
+        stray = next(n for n in sorted(store.members) if n not in owners)
+        data = store.members[owners[0]].chunks.get(digest)
+        refcount = store.members[owners[0]].chunks.refcount(digest)
+        store.members[stray].chunks.put(digest, data)
+        store.members[stray].chunks.import_refs({digest: refcount})
+        for name in owners:
+            store.members[name].chunks.drop(digest)
+            store.members[name].chunks.forget_refs([digest])
+
+        report = manager.fsck(repair=True)
+        assert not report.unrepaired
+        # the owners are whole again and only then was the stray retired
+        for name in owners:
+            assert store.members[name].chunks.has(digest)
+        assert not store.members[stray].chunks.has(digest)
+        recovered = service.recover_model(model_id, verify=True)
+        assert recovered.verified is True
+        assert states_equal(model, recovered.model)
+
     def test_gc_runs_unmodified_over_the_cluster(self, tmp_path):
         store = make_cluster(tmp_path, replicas=2)
         service = BaselineSaveService(make_docs(), store)
