@@ -1,6 +1,6 @@
 PY ?= python
 
-.PHONY: test lint bench-smoke bench-recovery bench-cluster chaos api-docs
+.PHONY: test lint bench-smoke bench-recovery bench-cluster chaos api-docs stats-demo
 
 # tier-1 suite (the repo's correctness gate)
 test:
@@ -35,3 +35,8 @@ chaos:
 
 api-docs:
 	PYTHONPATH=src $(PY) scripts/generate_api_docs.py
+
+# observability smoke: clustered save/recover, then dump metrics and traces
+stats-demo:
+	PYTHONPATH=src $(PY) -m repro.cli stats --demo --prometheus
+	PYTHONPATH=src $(PY) -m repro.cli trace --demo --last 20

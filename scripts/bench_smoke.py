@@ -32,6 +32,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.core import BaselineSaveService, ModelSaveInfo  # noqa: E402
 from repro.core.save_info import ArchitectureRef  # noqa: E402
 from repro.docstore import DocumentStore  # noqa: E402
@@ -153,6 +154,76 @@ def chain_benchmark(workdir: Path, scale: float, snapshots: int) -> dict:
     }
 
 
+def obs_overhead_benchmark(
+    workdir: Path, scale: float, iterations: int = 12, warmup: int = 2
+) -> dict:
+    """The same save/recover loop with the observability plane on vs off.
+
+    Fresh services are constructed inside each mode — instrument handles
+    are cached at construction time, so flipping the default registry
+    only affects components built afterwards.  The first ``warmup``
+    iterations of each mode prime caches and are excluded from medians.
+    """
+    arch = arch_ref("mobilenetv2", scale)
+
+    def build(label: str, enabled: bool):
+        # Instrument handles are cached at construction time, so a service
+        # built while the plane is disabled keeps its null instruments even
+        # after the defaults are switched back on.
+        obs.set_enabled(enabled)
+        try:
+            service = BaselineSaveService(
+                DocumentStore(), FileStore(workdir / f"obs-{label}"), chunked=True
+            )
+            model = create_model(
+                "mobilenetv2", num_classes=NUM_CLASSES, scale=scale, seed=3
+            )
+        finally:
+            obs.set_enabled(True)
+        return service, model
+
+    modes = {
+        "off": {"rig": build("off", False), "save_ms": [], "recover_ms": []},
+        "on": {"rig": build("on", True), "save_ms": [], "recover_ms": []},
+    }
+    # Interleave the two modes within each iteration so machine drift
+    # (caches, thermal, background load) hits both equally.
+    for level in range(iterations):
+        for mode in modes.values():
+            service, model = mode["rig"]
+            if level:
+                perturb_classifier(model, 0.01 * level)
+            started = time.perf_counter()
+            model_id = service.save_model(ModelSaveInfo(model, arch))
+            mode["save_ms"].append((time.perf_counter() - started) * 1e3)
+            started = time.perf_counter()
+            service.recover_model(model_id, verify=False)
+            mode["recover_ms"].append((time.perf_counter() - started) * 1e3)
+
+    def medians(mode: dict) -> dict:
+        return {
+            "save_ms_median": round(statistics.median(mode["save_ms"][warmup:]), 2),
+            "recover_ms_median": round(
+                statistics.median(mode["recover_ms"][warmup:]), 2
+            ),
+        }
+
+    disabled = medians(modes["off"])
+    enabled = medians(modes["on"])
+    save_overhead = enabled["save_ms_median"] / disabled["save_ms_median"] - 1
+    recover_overhead = (
+        enabled["recover_ms_median"] / disabled["recover_ms_median"] - 1
+    )
+    return {
+        "iterations": iterations,
+        "enabled": enabled,
+        "disabled": disabled,
+        "save_overhead_pct": round(save_overhead * 100, 2),
+        "recover_overhead_pct": round(recover_overhead * 100, 2),
+        "within_5pct": save_overhead <= 0.05 and recover_overhead <= 0.05,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--skip-tests", action="store_true",
@@ -202,6 +273,13 @@ def main() -> int:
         print(f"median TTS: chunked {chain['chunked']['tts_ms_median']} ms vs "
               f"monolithic {chain['monolithic']['tts_ms_median']} ms "
               f"(x{chain['tts_speedup']})")
+
+        print("== obs overhead: instrumented vs disabled ==")
+        results["obs_overhead"] = obs_overhead_benchmark(workdir, args.scale)
+        overhead = results["obs_overhead"]
+        print(f"save {overhead['save_overhead_pct']:+.1f}%  "
+              f"recover {overhead['recover_overhead_pct']:+.1f}%  "
+              f"(within 5%: {overhead['within_5pct']})")
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 

@@ -20,6 +20,9 @@ file store directories).  Examples::
     mmlib probe --factory repro.nn.models:resnet18 \\
           --factory-kwargs '{"num_classes": 10, "scale": 0.25}'
     mmlib env
+    mmlib stats --prometheus --demo
+    mmlib trace --demo --tree
+    mmlib events --demo --kind read_repair
 """
 
 from __future__ import annotations
@@ -324,6 +327,96 @@ def cmd_env(args) -> int:
     return 0
 
 
+def _run_obs_demo() -> None:
+    """Exercise a clustered save/recover so the observability plane has
+    real traffic to show: three shards behind a simulated link, a chunk
+    cache, and a chain prefetcher — one recover produces a trace tree
+    spanning service → prefetcher → sharded store → member → network."""
+    import tempfile
+
+    from repro.core import ModelSaveInfo
+    from repro.core.save_info import ArchitectureRef
+    from repro.distsim.environment import SharedStores, make_service
+    from repro.filestore.network import NetworkModel
+    from repro.nn.models import create_model
+
+    with tempfile.TemporaryDirectory(prefix="mmlib-obs-demo-") as workdir:
+        stores = SharedStores.cluster_at(
+            workdir,
+            shards=3,
+            replicas=2,
+            network=NetworkModel(bandwidth_bytes_per_s=1e9, latency_s=1e-4),
+            workers=2,
+            chunk_cache_bytes=8 << 20,
+        )
+        service = make_service("param_update", stores, prefetch_workers=2)
+        model = create_model("mobilenetv2", num_classes=10, scale=0.25, seed=0)
+        arch = ArchitectureRef.from_factory(
+            "repro.nn.models", "create_model",
+            {"name": "mobilenetv2", "num_classes": 10, "scale": 0.25},
+        )
+        base_id = service.save_model(ModelSaveInfo(model, arch, use_case="demo"))
+        derived_id = service.save_model(
+            ModelSaveInfo(model, arch, base_model_id=base_id, use_case="demo")
+        )
+        service.recover_model(derived_id)
+        if service.prefetcher is not None:
+            service.prefetcher.close()
+
+
+def cmd_stats(args) -> int:
+    """Dump the process-wide metrics registry (JSON or Prometheus text)."""
+    from repro import obs
+
+    obs.preregister_default_families()
+    if args.demo:
+        _run_obs_demo()
+    registry = obs.registry()
+    if args.prometheus:
+        sys.stdout.write(registry.to_prometheus())
+    else:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Dump recorded trace spans (JSON-lines, or nested trees)."""
+    from repro import obs
+
+    if args.demo:
+        _run_obs_demo()
+    tracer = obs.tracer()
+    if args.tree:
+        trees = [tracer.tree(trace_id) for trace_id in tracer.trace_ids()]
+        if args.last:
+            trees = trees[-args.last:]
+        print(json.dumps(trees, indent=2))
+        return 0
+    output = tracer.to_jsonl(last=args.last or None)
+    if output:
+        print(output)
+    elif not args.demo:
+        print(
+            "no spans recorded in this process (tracing is in-process; "
+            "try --demo)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_events(args) -> int:
+    """Dump the structured event log (JSON-lines)."""
+    from repro import obs
+
+    if args.demo:
+        _run_obs_demo()
+    log = obs.events()
+    events = log.events(kind=args.kind or None, last=args.last or None)
+    for entry in events:
+        print(json.dumps(entry.to_dict(), sort_keys=True))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -433,6 +526,47 @@ def build_parser() -> argparse.ArgumentParser:
     probe_parser.add_argument("--save", help="write the probe summary JSON here")
     probe_parser.add_argument("--compare", help="compare against a saved summary JSON")
     probe_parser.set_defaults(func=cmd_probe)
+
+    stats_parser = commands.add_parser(
+        "stats", help="dump the process-wide metrics registry"
+    )
+    stats_parser.add_argument(
+        "--prometheus", action="store_true",
+        help="Prometheus text exposition instead of JSON",
+    )
+    stats_parser.add_argument(
+        "--demo", action="store_true",
+        help="run a clustered save/recover first so there is traffic to show",
+    )
+    stats_parser.set_defaults(func=cmd_stats)
+
+    trace_parser = commands.add_parser(
+        "trace", help="dump recorded save/recover trace spans"
+    )
+    trace_parser.add_argument(
+        "--last", type=int, default=0, help="only the most recent N spans/trees"
+    )
+    trace_parser.add_argument(
+        "--tree", action="store_true", help="nested trace trees instead of JSON-lines"
+    )
+    trace_parser.add_argument(
+        "--demo", action="store_true",
+        help="run a clustered save/recover first so there are spans to show",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+
+    events_parser = commands.add_parser(
+        "events", help="dump the structured event log"
+    )
+    events_parser.add_argument("--kind", help="only events of this kind")
+    events_parser.add_argument(
+        "--last", type=int, default=0, help="only the most recent N events"
+    )
+    events_parser.add_argument(
+        "--demo", action="store_true",
+        help="run a clustered save/recover first so there are events to show",
+    )
+    events_parser.set_defaults(func=cmd_events)
 
     env_parser = commands.add_parser("env", help="print/lock/check the environment")
     env_parser.add_argument("--full", action="store_true", help="include the package list")

@@ -27,6 +27,7 @@ import uuid
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
+from .. import obs
 from ..filestore.store import ChunkNotFoundError, FileNotFoundInStoreError
 from .sharded_store import ShardedFileStore, _verify_blob
 
@@ -195,6 +196,13 @@ class ClusterRebalancer:
             self.journal_dir.mkdir(parents=True, exist_ok=True)
             journal_lock = threading.Lock()
 
+            registry = obs.registry()
+            obs_moves = registry.counter(
+                "mmlib_rebalance_moves_total", "Rebalance moves completed")
+            obs_failed = registry.counter(
+                "mmlib_rebalance_failures_total", "Rebalance moves that failed")
+            events = obs.events()
+
             def execute(move: dict) -> None:
                 try:
                     if move["kind"] == "chunk":
@@ -206,12 +214,18 @@ class ClusterRebalancer:
                 except (KeyError, OSError):
                     with journal_lock:
                         stats["failed"] += 1
+                    obs_failed.inc()
                     return
                 with journal_lock:
                     if copied:
                         stats[key_stat] += 1
                         stats["bytes_copied"] += copied
                     stats["replicas_dropped"] += dropped
+                if copied:
+                    obs_moves.inc()
+                    events.emit(
+                        "rebalance_move", kind=move["kind"], key=move["key"],
+                        bytes_copied=copied, to=list(move["new"]))
                     with journal_path.open("a") as handle:
                         handle.write(
                             json.dumps({"kind": move["kind"], "key": move["key"]}) + "\n"

@@ -20,6 +20,7 @@ import json
 import threading
 from typing import Mapping
 
+from .. import obs
 from ..docstore.documents import new_object_id, validate_document
 from ..docstore.engine import DuplicateKeyError, NotFoundError, _sort_key
 from ..docstore.query import resolve_path
@@ -146,6 +147,7 @@ class _ShardedCollection:
                 continue
             acks += 1
         if acks < self._store.write_quorum:
+            self._store._note_quorum_failure(self.name, doc_id, acks)
             raise QuorumWriteError(
                 f"document {self.name}/{doc_id} reached {acks}/{owner_count} "
                 f"replicas (write quorum {self._store.write_quorum})"
@@ -183,6 +185,7 @@ class _ShardedCollection:
                 continue
             acks += 1
         if acks < self._store.write_quorum:
+            self._store._note_quorum_failure(self.name, doc_id, acks)
             raise QuorumWriteError(
                 f"document {self.name}/{doc_id} replace reached {acks}/"
                 f"{owner_count} replicas (write quorum {self._store.write_quorum})"
@@ -216,6 +219,7 @@ class _ShardedCollection:
                 continue
             acks += 1
         if acks < self._store.write_quorum:
+            self._store._note_quorum_failure(self.name, doc_id, acks)
             raise QuorumWriteError(
                 f"document {self.name}/{doc_id} update reached {acks}/"
                 f"{owner_count} replicas (write quorum {self._store.write_quorum})"
@@ -248,6 +252,7 @@ class _ShardedCollection:
                 continue
             acks += 1
         if acks < self._store.write_quorum:
+            self._store._note_quorum_failure(self.name, doc_id, acks)
             raise QuorumWriteError(
                 f"document {self.name}/{doc_id} delete reached {acks}/"
                 f"{owner_count} replicas (write quorum {self._store.write_quorum})"
@@ -316,6 +321,9 @@ class _ShardedCollection:
                 self._store._bump("repair_failures")
                 continue
             self._store._bump("read_repairs")
+            self._store._obs_events.emit(
+                "read_repair", plane="docs", collection=self.name,
+                key=document["_id"])
         self._store._clear_degraded(self.name, document["_id"])
 
     def get_many(self, doc_ids: list[str]) -> list[dict]:
@@ -457,21 +465,50 @@ class ShardedDocumentStore:
         self.degraded_keys: set[tuple[str, str]] = set()
         self._collections: dict[str, _ShardedCollection] = {}
         self._collections_lock = threading.Lock()
+        registry = obs.registry()
+        self._obs_events = obs.events()
+        self._obs_cluster = {
+            "failover_reads": registry.counter(
+                "mmlib_cluster_failover_reads_total",
+                "Reads served by a non-primary replica", plane="docs"),
+            "read_repairs": registry.counter(
+                "mmlib_cluster_read_repairs_total",
+                "Replica copies healed during reads", plane="docs"),
+            "degraded_writes": registry.counter(
+                "mmlib_cluster_degraded_writes_total",
+                "Writes acked below full replication", plane="docs"),
+            "repair_failures": registry.counter(
+                "mmlib_cluster_repair_failures_total",
+                "Read-repair attempts that failed", plane="docs"),
+        }
+        self._obs_quorum_failures = registry.counter(
+            "mmlib_cluster_quorum_write_failures_total",
+            "Writes that missed quorum", plane="docs")
 
     # -- stats bookkeeping (shared with _ShardedCollection) ------------------
 
     def _bump(self, stat: str, by: int = 1) -> None:
         with self._stats_lock:
             self.cluster_stats[stat] += by
+        self._obs_cluster[stat].inc(by)
 
     def _note_degraded(self, collection: str, doc_id: str) -> None:
         with self._stats_lock:
             self.cluster_stats["degraded_writes"] += 1
             self.degraded_keys.add((collection, doc_id))
+        self._obs_cluster["degraded_writes"].inc()
+        self._obs_events.emit(
+            "degraded_write", plane="docs", collection=collection, key=doc_id)
 
     def _clear_degraded(self, collection: str, doc_id: str) -> None:
         with self._stats_lock:
             self.degraded_keys.discard((collection, doc_id))
+
+    def _note_quorum_failure(self, collection: str, doc_id: str, acks: int) -> None:
+        self._obs_quorum_failures.inc()
+        self._obs_events.emit(
+            "quorum_write_failed", plane="docs", collection=collection,
+            key=doc_id, acks=acks, quorum=self.write_quorum)
 
     def _effective_replicas(self) -> int:
         """The replica count actually achievable with current membership."""

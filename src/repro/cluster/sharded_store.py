@@ -34,6 +34,7 @@ from typing import Mapping
 
 import numpy as np
 
+from .. import obs
 from ..errors import QuorumWriteError
 from ..filestore.store import (
     ChunkNotFoundError,
@@ -280,6 +281,25 @@ class ShardedFileStore(FileStore):
             "repair_failures": 0,
         }
         self.degraded_keys: set[tuple[str, str]] = set()
+        registry = obs.registry()
+        self._obs_events = obs.events()
+        self._obs_cluster = {
+            "failover_reads": registry.counter(
+                "mmlib_cluster_failover_reads_total",
+                "Reads served by a non-primary replica", plane="files"),
+            "read_repairs": registry.counter(
+                "mmlib_cluster_read_repairs_total",
+                "Replica copies healed during reads", plane="files"),
+            "degraded_writes": registry.counter(
+                "mmlib_cluster_degraded_writes_total",
+                "Writes acked below full replication", plane="files"),
+            "repair_failures": registry.counter(
+                "mmlib_cluster_repair_failures_total",
+                "Read-repair attempts that failed", plane="files"),
+        }
+        self._obs_quorum_failures = registry.counter(
+            "mmlib_cluster_quorum_write_failures_total",
+            "Writes that missed quorum", plane="files")
         super().__init__(
             root,
             faults=None,
@@ -298,11 +318,14 @@ class ShardedFileStore(FileStore):
     def _bump(self, stat: str, by: int = 1) -> None:
         with self._stats_lock:
             self.cluster_stats[stat] += by
+        self._obs_cluster[stat].inc(by)
 
     def _note_degraded(self, kind: str, key: str) -> None:
         with self._stats_lock:
             self.cluster_stats["degraded_writes"] += 1
             self.degraded_keys.add((kind, key))
+        self._obs_cluster["degraded_writes"].inc()
+        self._obs_events.emit("degraded_write", plane="files", kind=kind, key=key)
 
     def _clear_degraded(self, kind: str, key: str) -> None:
         with self._stats_lock:
@@ -359,6 +382,10 @@ class ShardedFileStore(FileStore):
                 acks += 1
                 wrote_any = wrote_any or wrote
             if acks < self.write_quorum:
+                self._obs_quorum_failures.inc()
+                self._obs_events.emit(
+                    "quorum_write_failed", plane="files", kind="chunk",
+                    key=digest, acks=acks, quorum=self.write_quorum)
                 raise QuorumWriteError(
                     f"chunk {digest[:12]}… reached {acks}/{len(owners)} replicas "
                     f"(write quorum {self.write_quorum})"
@@ -385,6 +412,10 @@ class ShardedFileStore(FileStore):
                     continue
                 acks += 1
             if acks < self.write_quorum:
+                self._obs_quorum_failures.inc()
+                self._obs_events.emit(
+                    "quorum_write_failed", plane="files", kind="blob",
+                    key=file_id, acks=acks, quorum=self.write_quorum)
                 raise QuorumWriteError(
                     f"blob {file_id!r} reached {acks}/{len(owners)} replicas "
                     f"(write quorum {self.write_quorum})"
@@ -402,20 +433,22 @@ class ShardedFileStore(FileStore):
         owners = self._owner_stores(digest)
         failed: list[tuple[str, FileStore]] = []
         last_error: Exception | None = None
-        for name, member in owners:
-            try:
-                data = member._charged_read(digest)
-            except _REPLICA_FAILURES as exc:
-                failed.append((name, member))
-                last_error = exc
-                continue
-            if failed:
-                self._bump("failover_reads")
-                self._repair_chunk_replicas(digest, data, failed, source=member)
-            return data
-        if last_error is not None:
-            raise last_error
-        raise ChunkNotFoundError(f"no stored chunk with digest {digest!r}")
+        with self._obs_tracer.span("cluster.chunk_read", digest=digest) as sp:
+            for name, member in owners:
+                try:
+                    data = member._charged_read(digest)
+                except _REPLICA_FAILURES as exc:
+                    failed.append((name, member))
+                    last_error = exc
+                    continue
+                sp.set(member=name, failovers=len(failed))
+                if failed:
+                    self._bump("failover_reads")
+                    self._repair_chunk_replicas(digest, data, failed, source=member)
+                return data
+            if last_error is not None:
+                raise last_error
+            raise ChunkNotFoundError(f"no stored chunk with digest {digest!r}")
 
     def _repair_chunk_replicas(
         self,
@@ -446,6 +479,7 @@ class ShardedFileStore(FileStore):
                 continue
             repaired = True
             self._bump("read_repairs")
+            self._obs_events.emit("read_repair", plane="files", kind="chunk", key=digest)
         if repaired:
             self._clear_degraded("chunk", digest)
 
@@ -462,11 +496,15 @@ class ShardedFileStore(FileStore):
         results: dict[str, bytes] = {}
         for name in sorted(groups):
             group = groups[name]
-            try:
-                results.update(self.members[name]._charged_read_many(group, workers))
-            except _REPLICA_FAILURES:
-                for digest in group:
-                    results[digest] = self._read_chunk(digest)
+            with self._obs_tracer.span(
+                "cluster.member_fetch", member=name, n=len(group)
+            ) as sp:
+                try:
+                    results.update(self.members[name]._charged_read_many(group, workers))
+                except _REPLICA_FAILURES:
+                    sp.set(failover=True)
+                    for digest in group:
+                        results[digest] = self._read_chunk(digest)
         return results
 
     def recover_bytes(self, file_id: str) -> bytes:
@@ -504,6 +542,7 @@ class ShardedFileStore(FileStore):
                 continue
             repaired = True
             self._bump("read_repairs")
+            self._obs_events.emit("read_repair", plane="files", kind="blob", key=file_id)
         if repaired:
             self._clear_degraded("blob", file_id)
 

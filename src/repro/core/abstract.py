@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import json
 import tempfile
-import time
 from contextlib import contextmanager
 from pathlib import Path
 
+from .. import obs
 from ..nn import rng, serialization
 from ..retry import RetryingDocumentStore
 from ..nn.modules import Module
@@ -75,6 +75,7 @@ class AbstractSaveService:
         chunked: bool = True,
         retry=None,
         prefetcher=None,
+        clock=None,
     ):
         if retry is not None:
             document_store = RetryingDocumentStore(document_store, retry)
@@ -82,6 +83,19 @@ class AbstractSaveService:
         self.files = file_store
         self.retry = retry
         self.prefetcher = prefetcher
+        # injectable time source: every save/recover timing reads through
+        # it, so fake-clock tests assert exact ttr breakdowns
+        self.clock = clock if clock is not None else obs.clock()
+        registry = obs.registry()
+        self._obs_tracer = obs.tracer()
+        self._obs_saves = registry.counter(
+            "mmlib_saves_total", "Models saved", approach=self.approach)
+        self._obs_recovers = registry.counter(
+            "mmlib_recovers_total", "Models recovered", approach=self.approach)
+        self._obs_save_seconds = registry.histogram(
+            "mmlib_save_seconds", "save_model wall time", approach=self.approach)
+        self._obs_recover_seconds = registry.histogram(
+            "mmlib_recover_seconds", "recover_model wall time", approach=self.approach)
         # chunked saves write parameters as content-addressed per-layer
         # chunks keyed by the Merkle leaf hashes (dedup across models; no
         # whole-blob re-hash).  Falls back to the monolithic codec for
@@ -108,8 +122,14 @@ class AbstractSaveService:
         journals every store mutation.  A failed save rolls its steps
         back; a crashed save leaves its journal for ``fsck`` to undo.
         """
-        with self._save_transaction():
-            return self._save_model(save_info)
+        with self._obs_tracer.span("service.save_model", approach=self.approach) as sp:
+            started = self.clock.perf()
+            with self._save_transaction():
+                model_id = self._save_model(save_info)
+            self._obs_save_seconds.observe(self.clock.perf() - started)
+            self._obs_saves.inc()
+            sp.set(model_id=model_id)
+            return model_id
 
     def _save_model(self, save_info) -> str:
         raise NotImplementedError
@@ -209,7 +229,7 @@ class AbstractSaveService:
         document = dict(document)
         document["_id"] = model_id
         document["approach"] = document.get("approach", self.approach)
-        document["saved_at"] = time.time()
+        document["saved_at"] = self.clock.now()
         # journal the intent first: a crash between journal append and
         # insert rolls back a document that never landed, which is a no-op
         self._journal("doc", collection=MODELS, doc_id=model_id)
@@ -272,56 +292,63 @@ class AbstractSaveService:
         recovering many models of one chain does O(n) instead of O(n²)
         base recoveries.
         """
-        timings = {"load": 0.0, "recover": 0.0, "check_env": 0.0, "check_hash": 0.0}
-        document = self._get_model_document(model_id)
-        if self.prefetcher is not None and document.get("base_model"):
-            # stream the whole base chain into the hot-chunk cache while
-            # the recursion below applies it level by level
-            self.prefetcher.prefetch_chain(model_id)
-        # recovery rebuilds architectures and may replay training; none of
-        # that must disturb the caller's RNG stream or determinism setting
-        caller_rng = rng.get_rng_state()
-        caller_det = rng.deterministic_algorithms_enabled()
-        try:
-            model, depth = self._recover_from_document(
-                document, timings, execution_env or {}, cache
+        with self._obs_tracer.span(
+            "service.recover_model", model_id=model_id, approach=self.approach
+        ) as sp:
+            recover_started = self.clock.perf()
+            timings = {"load": 0.0, "recover": 0.0, "check_env": 0.0, "check_hash": 0.0}
+            document = self._get_model_document(model_id)
+            if self.prefetcher is not None and document.get("base_model"):
+                # stream the whole base chain into the hot-chunk cache while
+                # the recursion below applies it level by level
+                self.prefetcher.prefetch_chain(model_id)
+            # recovery rebuilds architectures and may replay training; none of
+            # that must disturb the caller's RNG stream or determinism setting
+            caller_rng = rng.get_rng_state()
+            caller_det = rng.deterministic_algorithms_enabled()
+            try:
+                model, depth = self._recover_from_document(
+                    document, timings, execution_env or {}, cache
+                )
+            finally:
+                rng.set_rng_state(caller_rng)
+                rng.use_deterministic_algorithms(caller_det)
+
+            if check_env:
+                started = self.clock.perf()
+                saved_env = EnvironmentInfo.from_dict(
+                    self.documents.collection(ENVIRONMENTS).get(document["environment_id"])
+                )
+                check_environment(saved_env)
+                timings["check_env"] = self.clock.perf() - started
+
+            verified: bool | None = None
+            if verify:
+                started = self.clock.perf()
+                stored_root = document.get("merkle_root")
+                if stored_root is not None:
+                    actual_root = MerkleTree.from_state_dict(model.state_dict()).root_hash
+                    if actual_root != stored_root:
+                        raise VerificationError(
+                            f"recovered model {model_id} fails checksum verification: "
+                            f"{actual_root} != stored {stored_root}"
+                        )
+                    verified = True
+                timings["check_hash"] = self.clock.perf() - started
+
+            self._obs_recover_seconds.observe(self.clock.perf() - recover_started)
+            self._obs_recovers.inc()
+            sp.set(depth=depth)
+            return RecoveredModelInfo(
+                model_id=model_id,
+                model=model,
+                approach=document.get("approach", "unknown"),
+                base_model_id=document.get("base_model"),
+                use_case=document.get("use_case"),
+                timings=timings,
+                verified=verified,
+                recovery_depth=depth,
             )
-        finally:
-            rng.set_rng_state(caller_rng)
-            rng.use_deterministic_algorithms(caller_det)
-
-        if check_env:
-            started = time.perf_counter()
-            saved_env = EnvironmentInfo.from_dict(
-                self.documents.collection(ENVIRONMENTS).get(document["environment_id"])
-            )
-            check_environment(saved_env)
-            timings["check_env"] = time.perf_counter() - started
-
-        verified: bool | None = None
-        if verify:
-            started = time.perf_counter()
-            stored_root = document.get("merkle_root")
-            if stored_root is not None:
-                actual_root = MerkleTree.from_state_dict(model.state_dict()).root_hash
-                if actual_root != stored_root:
-                    raise VerificationError(
-                        f"recovered model {model_id} fails checksum verification: "
-                        f"{actual_root} != stored {stored_root}"
-                    )
-                verified = True
-            timings["check_hash"] = time.perf_counter() - started
-
-        return RecoveredModelInfo(
-            model_id=model_id,
-            model=model,
-            approach=document.get("approach", "unknown"),
-            base_model_id=document.get("base_model"),
-            use_case=document.get("use_case"),
-            timings=timings,
-            verified=verified,
-            recovery_depth=depth,
-        )
 
     # -- per-document recovery ---------------------------------------------
 
@@ -338,39 +365,43 @@ class AbstractSaveService:
             if hit is not None:
                 return hit
 
-        architecture: ArchitectureRef | None = None
-        if document.get("parameters_file"):
-            architecture = self._load_architecture(document, timings)
-            model, depth = self._recover_snapshot(document, timings, architecture), 0
-        else:
-            approach = document.get("approach")
-            if approach == APPROACH_PARAM_UPDATE:
-                model, depth = self._recover_param_update(
-                    document, timings, execution_env, cache
-                )
-            elif approach == APPROACH_PROVENANCE:
-                model, depth = self._recover_provenance(
-                    document, timings, execution_env, cache
-                )
+        with self._obs_tracer.span(
+            "recover.document", doc_id=doc_id,
+            approach=document.get("approach", "unknown"),
+        ):
+            architecture: ArchitectureRef | None = None
+            if document.get("parameters_file"):
+                architecture = self._load_architecture(document, timings)
+                model, depth = self._recover_snapshot(document, timings, architecture), 0
             else:
-                raise RecoveryError(
-                    f"model document {doc_id} has neither parameters nor a "
-                    f"recoverable approach (approach={approach!r})"
-                )
-            if cache is not None:
-                # derived models share their base's architecture (the
-                # relations the paper covers keep the architecture fixed)
-                architecture = cache.architecture_of(document.get("base_model"))
+                approach = document.get("approach")
+                if approach == APPROACH_PARAM_UPDATE:
+                    model, depth = self._recover_param_update(
+                        document, timings, execution_env, cache
+                    )
+                elif approach == APPROACH_PROVENANCE:
+                    model, depth = self._recover_provenance(
+                        document, timings, execution_env, cache
+                    )
+                else:
+                    raise RecoveryError(
+                        f"model document {doc_id} has neither parameters nor a "
+                        f"recoverable approach (approach={approach!r})"
+                    )
+                if cache is not None:
+                    # derived models share their base's architecture (the
+                    # relations the paper covers keep the architecture fixed)
+                    architecture = cache.architecture_of(document.get("base_model"))
 
-        if cache is not None and doc_id is not None and architecture is not None:
-            cache.put(doc_id, model, architecture, depth)
-        return model, depth
+            if cache is not None and doc_id is not None and architecture is not None:
+                cache.put(doc_id, model, architecture, depth)
+            return model, depth
 
     def _load_architecture(self, document: dict, timings: dict) -> ArchitectureRef:
-        started = time.perf_counter()
+        started = self.clock.perf()
         payload = document["architecture"]
         source = self.files.recover_bytes(payload["code_file_id"]).decode()
-        timings["load"] += time.perf_counter() - started
+        timings["load"] += self.clock.perf() - started
         return ArchitectureRef.from_dict(payload, source=source)
 
     def _recover_snapshot(
@@ -378,14 +409,14 @@ class AbstractSaveService:
     ) -> Module:
         if architecture is None:
             architecture = self._load_architecture(document, timings)
-        started = time.perf_counter()
+        started = self.clock.perf()
         state = self._load_state_file(document["parameters_file"])
-        timings["load"] += time.perf_counter() - started
+        timings["load"] += self.clock.perf() - started
 
-        started = time.perf_counter()
+        started = self.clock.perf()
         model = architecture.build()
         model.load_state_dict(state)
-        timings["recover"] += time.perf_counter() - started
+        timings["recover"] += self.clock.perf() - started
         return model
 
     def _recover_base(
@@ -416,16 +447,16 @@ class AbstractSaveService:
             self.prefetcher.prefetch_file(document.get("update_file"))
         model, depth = self._recover_base(document, timings, execution_env, cache)
 
-        started = time.perf_counter()
+        started = self.clock.perf()
         update_state = self._load_state_file(document["update_file"])
-        timings["load"] += time.perf_counter() - started
+        timings["load"] += self.clock.perf() - started
 
-        started = time.perf_counter()
+        started = self.clock.perf()
         # merge layer-wise, prioritizing the derived model's parameters
         merged = model.state_dict()
         merged.update(update_state)
         model.load_state_dict(merged)
-        timings["recover"] += time.perf_counter() - started
+        timings["recover"] += self.clock.perf() - started
         return model, depth + 1
 
     def _recover_provenance(
@@ -437,7 +468,7 @@ class AbstractSaveService:
     ) -> tuple[Module, int]:
         model, depth = self._recover_base(document, timings, execution_env, cache)
 
-        started = time.perf_counter()
+        started = self.clock.perf()
         train_info_id = document["train_info_id"]
         train_document = self.documents.collection(TRAIN_INFO).get(train_info_id)
         provenance = document["provenance"]
@@ -455,9 +486,9 @@ class AbstractSaveService:
                     f"{provenance['dataset_reference']!r}; pass its location via "
                     "execution_env={'dataset_root': ...}"
                 )
-        timings["load"] += time.perf_counter() - started
+        timings["load"] += self.clock.perf() - started
 
-        started = time.perf_counter()
+        started = self.clock.perf()
         spec = TrainRunSpec.from_dict(provenance["train_spec"])
         service = load_train_service(train_info_id, self.documents, self.files, refs)
         previous_rng = rng.get_rng_state()
@@ -473,7 +504,7 @@ class AbstractSaveService:
         finally:
             rng.set_rng_state(previous_rng)
             rng.use_deterministic_algorithms(previous_det)
-        timings["recover"] += time.perf_counter() - started
+        timings["recover"] += self.clock.perf() - started
         return model, depth + 1
 
     # ------------------------------------------------------------------

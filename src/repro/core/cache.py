@@ -19,6 +19,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from .. import obs
 from ..nn.modules import Module
 from .save_info import ArchitectureRef
 
@@ -57,6 +58,11 @@ class RecoveryCache:
         self.misses = 0
         #: at-capacity cold inserts skipped without copying (protect_prefix)
         self.skipped_inserts = 0
+        registry = obs.registry()
+        self._obs_hits = registry.counter(
+            "mmlib_recovery_cache_hits_total", "Recovery-cache model hits")
+        self._obs_misses = registry.counter(
+            "mmlib_recovery_cache_misses_total", "Recovery-cache model misses")
 
     def __contains__(self, model_id: str) -> bool:
         return model_id in self._states
@@ -69,8 +75,10 @@ class RecoveryCache:
         entry = self._states.get(model_id)
         if entry is None:
             self.misses += 1
+            self._obs_misses.inc()
             return None
         self.hits += 1
+        self._obs_hits.inc()
         state, architecture, depth = entry
         model = architecture.build()
         model.load_state_dict(state)

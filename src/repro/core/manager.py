@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from .abstract import AbstractSaveService
 from .errors import MMLibError, ModelNotFoundError
 from .hashing import tensor_hash
@@ -79,6 +80,7 @@ class FsckReport:
     checked_models: int = 0
     checked_files: int = 0
     checked_chunks: int = 0
+    step_seconds: dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -104,6 +106,7 @@ class FsckReport:
             "checked_chunks": self.checked_chunks,
             "repaired": len(self.repaired),
             "unrepaired": len(self.unrepaired),
+            "step_seconds": dict(self.step_seconds),
             "issues": [
                 {"kind": issue.kind, "detail": issue.detail, "repaired": issue.repaired}
                 for issue in self.issues
@@ -122,6 +125,39 @@ class FsckReport:
             f"{self.checked_chunks} chunks checked; {breakdown} "
             f"({len(self.repaired)} repaired, {len(self.unrepaired)} unrepaired)"
         )
+
+
+class _FsckSteps:
+    """Times fsck's sequential passes, one trace span per step.
+
+    fsck is one long linear function; rather than re-nest each numbered
+    section, ``start`` closes the previous step (recording its duration
+    into the report) and opens the next.  Call ``finish`` after the last
+    section.
+    """
+
+    def __init__(self, report: FsckReport):
+        self._report = report
+        self._tracer = obs.tracer()
+        self._clock = obs.clock()
+        self._name: str | None = None
+        self._ctx = None
+        self._started = 0.0
+
+    def start(self, name: str) -> None:
+        self.finish()
+        self._ctx = self._tracer.span(f"fsck.{name}")
+        self._ctx.__enter__()
+        self._name = name
+        self._started = self._clock.perf()
+
+    def finish(self) -> None:
+        if self._name is None:
+            return
+        self._report.step_seconds[self._name] = self._clock.perf() - self._started
+        self._ctx.__exit__(None, None, None)
+        self._name = None
+        self._ctx = None
 
 
 class ModelManager:
@@ -224,6 +260,39 @@ class ModelManager:
 
     def total_storage_bytes(self) -> int:
         return sum(b.total for b in self.storage_report().values())
+
+    # -- observability ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One JSON-able snapshot of everything this deployment measures.
+
+        ``metrics`` is the process-wide registry snapshot (every counter,
+        gauge, and histogram family); the remaining keys are per-component
+        views taken from whichever optional layers this service was
+        actually assembled with — a plain local FileStore contributes no
+        cluster or network section.
+        """
+        out: dict = {"metrics": obs.registry().snapshot()}
+        files = self.files
+        cache = getattr(files, "chunk_cache", None)
+        if cache is not None:
+            out["chunk_cache"] = cache.stats()
+        if hasattr(files, "cluster_stats"):
+            out["cluster_files"] = dict(files.cluster_stats)
+        if hasattr(files, "round_trips"):
+            out["network"] = {
+                "round_trips": files.round_trips,
+                "round_trips_saved": files.round_trips_saved,
+                "bytes_sent": getattr(files, "bytes_sent", 0),
+                "bytes_received": getattr(files, "bytes_received", 0),
+            }
+        documents = self.documents
+        if hasattr(documents, "cluster_stats"):
+            out["cluster_docs"] = dict(documents.cluster_stats)
+        prefetcher = getattr(self.service, "prefetcher", None)
+        if prefetcher is not None:
+            out["prefetcher"] = prefetcher.stats()
+        return out
 
     # -- recovery (delegation) ------------------------------------------------------------
 
@@ -454,8 +523,10 @@ class ModelManager:
         """
         report = FsckReport()
         files = self.files
+        steps = _FsckSteps(report)
 
         # 1. crashed saves: roll back their journaled steps, newest first
+        steps.start("journals")
         if hasattr(files, "incomplete_journals"):
             for journal in files.incomplete_journals():
                 if journal.committed:
@@ -489,6 +560,7 @@ class ModelManager:
                 report.add("incomplete_save", detail, repaired=repair)
 
         # 2. documents -> documents/files cross-checks
+        steps.start("documents")
         model_docs = {d["_id"]: d for d in self.documents.collection(MODELS).find()}
         report.checked_models = len(model_docs)
         referenced_files: set[str] = set()
@@ -551,6 +623,7 @@ class ModelManager:
                     )
 
         # 3. manifests -> chunk existence and content digests
+        steps.start("chunks")
         expected_refs: Counter = Counter()
         verified: set[str] = set()
         for file_id in sorted(referenced_files):
@@ -597,6 +670,7 @@ class ModelManager:
         report.checked_chunks = len(set(expected_refs))
 
         # 4. orphan blobs nothing references
+        steps.start("orphan_files")
         if hasattr(files, "file_ids"):
             file_ids = files.file_ids()
             report.checked_files = len(file_ids)
@@ -613,6 +687,7 @@ class ModelManager:
                 )
 
         # 5. refcounts vs. the live manifests; orphan chunk files
+        steps.start("refcounts")
         if hasattr(files, "chunks"):
             outcome = files.chunks.reconcile(expected_refs, repair=repair)
             for digest, (actual, wanted) in sorted(outcome["ref_fixes"].items()):
@@ -633,6 +708,7 @@ class ModelManager:
         # 6. replica counts vs. the placement ring (sharded stores only):
         # quorum writes that landed degraded, or members that lost disks,
         # leave keys below R copies — restore them from a surviving replica
+        steps.start("replication")
         if hasattr(files, "replication_fsck"):
             outcome = files.replication_fsck(repair=repair)
             unrepairable = {
@@ -654,6 +730,7 @@ class ModelManager:
                 )
 
         # 7. orphan documents (saves that crashed outside a journal)
+        steps.start("orphan_documents")
         for collection_name, live in (
             (ENVIRONMENTS, live_envs),
             (TRAIN_INFO, live_trains),
@@ -672,4 +749,16 @@ class ModelManager:
                     + (" (removed)" if repair else ""),
                     repaired=repair,
                 )
+        steps.finish()
+
+        registry = obs.registry()
+        events = obs.events()
+        for kind, n in Counter(issue.kind for issue in report.issues).items():
+            registry.counter(
+                "mmlib_fsck_issues_total", "Fsck issues found by kind", kind=kind
+            ).inc(n)
+        for issue in report.repaired:
+            registry.counter(
+                "mmlib_fsck_repairs_total", "Fsck issues repaired").inc()
+            events.emit("fsck_repair", issue=issue.kind, detail=issue.detail)
         return report

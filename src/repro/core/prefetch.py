@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 
+from .. import obs
 from .schema import MODELS
 
 __all__ = ["ChainPrefetcher"]
@@ -65,6 +66,15 @@ class ChainPrefetcher:
         self.files_prefetched = 0
         self.chunks_prefetched = 0
         self.errors = 0
+        registry = obs.registry()
+        self._obs_tracer = obs.tracer()
+        self._obs_events = obs.events()
+        self._obs_files = registry.counter(
+            "mmlib_prefetch_files_total", "Manifests read ahead")
+        self._obs_chunks = registry.counter(
+            "mmlib_prefetch_chunks_total", "Chunks read ahead")
+        self._obs_errors = registry.counter(
+            "mmlib_prefetch_errors_total", "Prefetch tasks that failed")
 
     def usable(self) -> bool:
         """Prefetch pays off only when fetched chunks land somewhere shared.
@@ -100,22 +110,33 @@ class ChainPrefetcher:
         self._submit(f"chain:{model_id}", self._fetch_chain, model_id)
 
     def _submit(self, key: str, fn, *args) -> None:
+        # captured on the submitting thread so worker-thread spans join the
+        # caller's trace tree (the recover_model span, typically)
+        parent = self._obs_tracer.current_id()
         with self._lock:
             if self._closed or key in self._inflight:
                 return
-            self._inflight[key] = self._pool.submit(self._run, key, fn, *args)
+            self._inflight[key] = self._pool.submit(self._run, key, parent, fn, *args)
 
-    def _run(self, key: str, fn, *args) -> None:
+    def _run(self, key: str, parent, fn, *args) -> None:
         try:
-            if self.retry is not None:
-                # retry transient drops under the shared policy; only a
-                # final failure counts as a lost prefetch
-                self.retry.call(lambda: fn(*args), op="prefetch.fetch")
-            else:
-                fn(*args)
-        except Exception:
+            with self._obs_tracer.attach(parent):
+                with self._obs_tracer.span(
+                    "prefetch.chain" if key.startswith("chain:") else "prefetch.file",
+                    key=key,
+                ):
+                    if self.retry is not None:
+                        # retry transient drops under the shared policy; only a
+                        # final failure counts as a lost prefetch
+                        self.retry.call(lambda: fn(*args), op="prefetch.fetch")
+                    else:
+                        fn(*args)
+        except Exception as exc:
             with self._lock:
                 self.errors += 1
+            self._obs_errors.inc()
+            self._obs_events.emit(
+                "prefetch_error", key=key, exception=type(exc).__name__)
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
@@ -126,9 +147,12 @@ class ChainPrefetcher:
         manifest = self.files.read_manifest(file_id)
         digests = [meta["chunk"] for _, meta in manifest["layers"]]
         self.files.get_chunks(digests)
+        unique = len(set(digests))
         with self._lock:
             self.files_prefetched += 1
-            self.chunks_prefetched += len(set(digests))
+            self.chunks_prefetched += unique
+        self._obs_files.inc()
+        self._obs_chunks.inc(unique)
 
     def _fetch_chain(self, model_id: str) -> None:
         models = self.documents.collection(MODELS)

@@ -17,9 +17,9 @@ Model counts per flow match Table 3: ``2 + num_nodes * 2 * iterations``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..core.save_info import ModelSaveInfo
 from ..core.schema import APPROACH_PROVENANCE
 from ..workloads.pretrain import ModelChain
@@ -56,14 +56,16 @@ def _save_step(
     chain_use_case: str,
     base_model_id: str | None,
     approach: str,
+    clock=None,
 ):
     """Save one chain snapshot through a participant's service; returns
     (model id, tts seconds)."""
+    clock = clock if clock is not None else obs.clock()
     step = chain.step(chain_use_case)
     model = chain.build_model(chain_use_case)
     architecture = chain.config.architecture_ref()
 
-    started = time.perf_counter()
+    started = clock.perf()
     if approach == APPROACH_PROVENANCE and step.run is not None:
         save_info = step.run.to_provenance_info(
             base_model_id, trained_model=model, use_case=use_case
@@ -78,7 +80,7 @@ def _save_step(
                 use_case=use_case,
             )
         )
-    tts = time.perf_counter() - started
+    tts = clock.perf() - started
     participant.saved_models[use_case] = model_id
     return model_id, tts
 
@@ -92,6 +94,7 @@ def run_evaluation_flow(
     recover_verify: bool = True,
     dataset_codec: str | None = None,
     concurrent_nodes: bool = False,
+    clock=None,
 ) -> FlowMetrics:
     """Execute one evaluation flow; returns all measurements.
 
@@ -112,13 +115,15 @@ def run_evaluation_flow(
             f"chain provides only {chain.config.iterations}; rebuild the chain "
             f"with iterations={flow.iterations}"
         )
+    clock = clock if clock is not None else obs.clock()
     metrics = FlowMetrics(approach=approach, flow_name=flow.name)
     server = Server(approach, stores, dataset_codec=dataset_codec)
     nodes = [Node(i, approach, stores, dataset_codec=dataset_codec) for i in range(flow.num_nodes)]
 
     def record_save(participant, use_case, chain_use_case, base_id):
         model_id, tts = _save_step(
-            participant, chain, use_case, chain_use_case, base_id, approach
+            participant, chain, use_case, chain_use_case, base_id, approach,
+            clock=clock,
         )
         breakdown = participant.service.model_save_size(model_id)
         metrics.add(
@@ -183,11 +188,11 @@ def run_evaluation_flow(
     if measure_recover:
         # U_4: the server recovers every monitored model.
         for record in metrics.records:
-            started = time.perf_counter()
+            started = clock.perf()
             recovered = server.service.recover_model(
                 record.model_id, verify=recover_verify
             )
-            record.ttr_seconds = time.perf_counter() - started
+            record.ttr_seconds = clock.perf() - started
             record.ttr_timings = dict(recovered.timings)
             record.recovery_depth = recovered.recovery_depth
 

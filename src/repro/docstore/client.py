@@ -26,6 +26,7 @@ import json
 import socket
 import threading
 
+from .. import obs
 from ..errors import MMLibError, TransientStoreError
 from .documents import DocumentError
 from .engine import DuplicateKeyError, NotFoundError
@@ -119,6 +120,13 @@ class DocumentStoreClient:
         self._pool_lock = threading.Lock()
         self._idle: list[_Connection] = []
         self._slots = threading.BoundedSemaphore(int(max_connections))
+        registry = obs.registry()
+        self._obs_tracer = obs.tracer()
+        self._obs_requests = registry.counter(
+            "mmlib_docstore_requests_total", "Document-store requests sent")
+        self._obs_windows = registry.counter(
+            "mmlib_docstore_pipeline_windows_total",
+            "Pipelined request windows (round trips) paid")
         # eager first connection: constructing a client against a dead
         # endpoint must fail fast with a typed, retryable error
         self._idle.append(self._open())
@@ -218,9 +226,16 @@ class DocumentStoreClient:
             if conn is None:
                 conn = self._open()
             responses: list[dict] = []
-            for start in range(0, len(ops), self.pipeline_depth):
-                window = ops[start : start + self.pipeline_depth]
-                responses.extend(self._roundtrip(conn, collection, window))
+            windows = -(-len(ops) // self.pipeline_depth)
+            with self._obs_tracer.span(
+                "docs.request_many" if len(ops) > 1 else "docs.request",
+                op=op_label, n=len(ops), windows=windows,
+            ):
+                for start in range(0, len(ops), self.pipeline_depth):
+                    window = ops[start : start + self.pipeline_depth]
+                    responses.extend(self._roundtrip(conn, collection, window))
+            self._obs_requests.inc(len(ops))
+            self._obs_windows.inc(windows)
             healthy = True
             return responses
         finally:

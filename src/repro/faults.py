@@ -28,6 +28,7 @@ import random
 import threading
 from typing import Callable
 
+from . import obs
 from .errors import TransientStoreError
 
 __all__ = ["CrashPoint", "FaultInjector", "FaultyDocumentStore"]
@@ -120,8 +121,17 @@ class FaultInjector:
         self.crash_at = None
         self.crash_op = "*"
         self._crash_seen = 0
+        self._obs_events = obs.events()
+        self._obs_registry = obs.registry()
         if crash_at is not None:
             self.arm_crash(crash_at, op=crash_op)
+
+    def _record(self, kind: str, op: str) -> None:
+        """Mirror one injected fault into the registry and event log."""
+        self._obs_registry.counter(
+            "mmlib_faults_injected_total", "Faults injected by kind",
+            kind=kind).inc()
+        self._obs_events.emit("fault", fault=kind, op=op)
 
     # -- crash points ------------------------------------------------------
 
@@ -171,11 +181,13 @@ class FaultInjector:
                 if self._crash_seen >= self.crash_at:
                     self.crash_at = None  # one-shot: repair code must run clean
                     self.stats["crashes"] += 1
+                    self._record("crash", op)
                     raise CrashPoint(
                         f"injected crash at {op!r} (op #{self.stats['ops']})"
                     )
             if self.latency_rate and self._rng.random() < self.latency_rate:
                 self.stats["latency_spikes"] += 1
+                self._record("latency_spike", op)
                 if self.sleep is not None and self.latency_s > 0:
                     self.sleep(self.latency_s)
             is_docs = op.startswith("docs.")
@@ -184,10 +196,12 @@ class FaultInjector:
                 self._register_failure(op)
                 if is_docs:
                     self.stats["outages"] += 1
+                    self._record("outage", op)
                     raise TransientStoreError(
                         f"injected document-store outage during {op!r}"
                     )
                 self.stats["errors"] += 1
+                self._record("error", op)
                 raise TransientStoreError(f"injected transient I/O error during {op!r}")
             self._consecutive[op] = 0
 
@@ -198,6 +212,7 @@ class FaultInjector:
                 if self._allowed_to_fail(op):
                     self._register_failure(op)
                     self.stats["torn_writes"] += 1
+                    self._record("torn_write", op)
                     return True
             return False
 
@@ -208,6 +223,7 @@ class FaultInjector:
                 return data
             if self._rng.random() < self.corrupt_rate:
                 self.stats["corruptions"] += 1
+                self._record("corruption", op)
                 index = self._rng.randrange(len(data))
                 corrupted = bytearray(data)
                 corrupted[index] ^= 0xFF

@@ -14,6 +14,7 @@ import threading
 import time
 from pathlib import Path
 
+from .. import obs
 from .store import FileStore
 
 __all__ = ["NetworkModel", "SimulatedNetworkFileStore", "INFINIBAND_100G", "CELLULAR_LTE"]
@@ -103,17 +104,39 @@ class SimulatedNetworkFileStore(FileStore):
         self.chunk_bytes_deduplicated = 0
         self.round_trips = 0
         self.round_trips_saved = 0
+        registry = obs.registry()
+        self._obs_round_trips = registry.counter(
+            "mmlib_network_round_trips_total", "Simulated network round trips")
+        self._obs_round_trips_saved = registry.counter(
+            "mmlib_network_round_trips_saved_total",
+            "Round trips avoided by request pipelining")
+        self._obs_bytes_sent = registry.counter(
+            "mmlib_network_bytes_total", "Simulated bytes moved", direction="sent")
+        self._obs_bytes_received = registry.counter(
+            "mmlib_network_bytes_total", "Simulated bytes moved", direction="received")
+        self._obs_dedup_chunks = registry.counter(
+            "mmlib_network_chunks_deduplicated_total",
+            "Chunk uploads skipped because the server held the content")
+        self._obs_sim_seconds = registry.counter(
+            "mmlib_network_simulated_seconds_total",
+            "Simulated link time consumed by transfers")
 
     def _charge(self, num_bytes: int, round_trips: int = 1) -> None:
         cost = (
             round_trips * self.network.latency_s
             + num_bytes / self.network.bandwidth_bytes_per_s
         )
-        with self._accounting_lock:
-            self.simulated_seconds += cost
-            self.round_trips += round_trips
-        if self.sleep:
-            time.sleep(cost)
+        with self._obs_tracer.span(
+            "net.transfer", nbytes=num_bytes, round_trips=round_trips,
+            simulated_s=cost,
+        ):
+            with self._accounting_lock:
+                self.simulated_seconds += cost
+                self.round_trips += round_trips
+            self._obs_round_trips.inc(round_trips)
+            self._obs_sim_seconds.inc(cost)
+            if self.sleep:
+                time.sleep(cost)
 
     def _write_blob(self, file_id: str, data: bytes) -> None:
         """Persist a payload, charging its upload against the link.
@@ -129,6 +152,7 @@ class SimulatedNetworkFileStore(FileStore):
         self._charge(len(data))
         with self._accounting_lock:
             self.bytes_sent += len(data)
+        self._obs_bytes_sent.inc(len(data))
 
     def recover_bytes(self, file_id: str) -> bytes:
         """Load a payload, charging its download against the link."""
@@ -136,6 +160,7 @@ class SimulatedNetworkFileStore(FileStore):
         self._charge(len(data))
         with self._accounting_lock:
             self.bytes_received += len(data)
+        self._obs_bytes_received.inc(len(data))
         return data
 
     def _put_chunk_data(self, digest: str, buffer) -> bool:
@@ -151,16 +176,19 @@ class SimulatedNetworkFileStore(FileStore):
         self._charge(self.CHUNK_QUERY_BYTES)
         with self._accounting_lock:
             self.bytes_sent += self.CHUNK_QUERY_BYTES
+        self._obs_bytes_sent.inc(self.CHUNK_QUERY_BYTES)
         nbytes = buffer.nbytes if isinstance(buffer, memoryview) else len(buffer)
         wrote = super()._put_chunk_data(digest, buffer)
         if wrote:
             self._charge(nbytes)
             with self._accounting_lock:
                 self.bytes_sent += nbytes
+            self._obs_bytes_sent.inc(nbytes)
         else:
             with self._accounting_lock:
                 self.chunks_deduplicated += 1
                 self.chunk_bytes_deduplicated += nbytes
+            self._obs_dedup_chunks.inc()
         return wrote
 
     def _charged_read(self, digest: str) -> bytes:
@@ -174,6 +202,7 @@ class SimulatedNetworkFileStore(FileStore):
         self._charge(len(data))
         with self._accounting_lock:
             self.bytes_received += len(data)
+        self._obs_bytes_received.inc(len(data))
         return data
 
     def _charged_read_many(self, digests, workers) -> dict:
@@ -194,6 +223,8 @@ class SimulatedNetworkFileStore(FileStore):
         with self._accounting_lock:
             self.bytes_received += total
             self.round_trips_saved += n - windows
+        self._obs_bytes_received.inc(total)
+        self._obs_round_trips_saved.inc(n - windows)
         return payloads
 
     def has_chunk(self, digest: str) -> bool:
@@ -201,6 +232,7 @@ class SimulatedNetworkFileStore(FileStore):
         self._charge(self.CHUNK_QUERY_BYTES)
         with self._accounting_lock:
             self.bytes_sent += self.CHUNK_QUERY_BYTES
+        self._obs_bytes_sent.inc(self.CHUNK_QUERY_BYTES)
         return super().has_chunk(digest)
 
     def reset_accounting(self) -> None:

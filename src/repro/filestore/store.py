@@ -30,6 +30,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from .. import obs
 from ..errors import StoreCorruptionError, TransientStoreError
 from .journal import JOURNAL_SUFFIX, SaveJournal
 
@@ -102,21 +103,34 @@ class ChunkCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        registry = obs.registry()
+        self._obs_hits = registry.counter(
+            "mmlib_chunk_cache_hits_total", "Chunk cache hits")
+        self._obs_misses = registry.counter(
+            "mmlib_chunk_cache_misses_total", "Chunk cache misses")
+        self._obs_evictions = registry.counter(
+            "mmlib_chunk_cache_evictions_total", "Chunk cache LRU evictions")
+        self._obs_bytes = registry.gauge(
+            "mmlib_chunk_cache_bytes", "Bytes currently cached")
+        self._obs_events = obs.events()
 
     def get(self, digest: str) -> bytes | None:
         with self._lock:
             data = self._entries.get(digest)
             if data is None:
                 self.misses += 1
+                self._obs_misses.inc()
                 return None
             self._entries.move_to_end(digest)
             self.hits += 1
+            self._obs_hits.inc()
             return data
 
     def put(self, digest: str, data) -> None:
         data = bytes(data)
         if len(data) > self.max_bytes:
             return  # would evict everything else for one cold chunk
+        evicted_count = 0
         with self._lock:
             if digest in self._entries:
                 self._entries.move_to_end(digest)
@@ -124,9 +138,15 @@ class ChunkCache:
             self._entries[digest] = data
             self.current_bytes += len(data)
             while self.current_bytes > self.max_bytes:
-                _, evicted = self._entries.popitem(last=False)
+                evicted_digest, evicted = self._entries.popitem(last=False)
                 self.current_bytes -= len(evicted)
                 self.evictions += 1
+                evicted_count += 1
+                self._obs_events.emit(
+                    "cache_evict", digest=evicted_digest, nbytes=len(evicted))
+            self._obs_bytes.set(self.current_bytes)
+        if evicted_count:
+            self._obs_evictions.inc(evicted_count)
 
     def discard(self, digest: str) -> None:
         """Drop one entry (a payload that failed digest verification)."""
@@ -134,6 +154,7 @@ class ChunkCache:
             data = self._entries.pop(digest, None)
             if data is not None:
                 self.current_bytes -= len(data)
+                self._obs_bytes.set(self.current_bytes)
 
     def __contains__(self, digest: str) -> bool:
         with self._lock:
@@ -150,6 +171,7 @@ class ChunkCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self._obs_bytes.set(0)
 
     def stats(self) -> dict:
         with self._lock:
@@ -529,6 +551,10 @@ class FileStore:
         self._singleflight = _SingleFlight()
         self._chunks: ChunkStore | None = None
         self._journal_local = threading.local()
+        self._obs_tracer = obs.tracer()
+        self._obs_coalesced = obs.registry().counter(
+            "mmlib_chunk_cache_coalesced_total",
+            "Chunk fetches coalesced by single-flight")
         self._clean_orphaned_tmp_files()
 
     def _clean_orphaned_tmp_files(self) -> None:
@@ -813,6 +839,7 @@ class FileStore:
             finally:
                 self._singleflight.done(digest)
         leader_event.wait()
+        self._obs_coalesced.inc()
         cached = self._cache_get(digest)
         if cached is not None:
             return cached
@@ -827,41 +854,46 @@ class FileStore:
         overrides the store's default concurrency for this batch.
         """
         unique = list(dict.fromkeys(digests))
-        results: dict[str, bytes] = {}
-        misses: list[str] = []
-        for digest in unique:
-            cached = self._cache_get(digest)
-            if cached is not None:
-                results[digest] = cached
-            else:
-                misses.append(digest)
-        if not misses:
+        with self._obs_tracer.span("store.get_chunks", n=len(unique)) as sp:
+            results: dict[str, bytes] = {}
+            misses: list[str] = []
+            for digest in unique:
+                cached = self._cache_get(digest)
+                if cached is not None:
+                    results[digest] = cached
+                else:
+                    misses.append(digest)
+            sp.set(misses=len(misses))
+            if not misses:
+                return results
+            if self.chunk_cache is None:
+                results.update(self._charged_read_many(misses, workers))
+                return results
+            leaders: list[str] = []
+            waits: list[tuple[str, threading.Event]] = []
+            for digest in misses:
+                event = self._singleflight.begin(digest)
+                if event is None:
+                    leaders.append(digest)
+                else:
+                    waits.append((digest, event))
+            if waits:
+                self._obs_coalesced.inc(len(waits))
+                sp.set(coalesced=len(waits))
+            try:
+                if leaders:
+                    fetched = self._charged_read_many(leaders, workers)
+                    for digest, data in fetched.items():
+                        self._cache_put(digest, data)
+                    results.update(fetched)
+            finally:
+                for digest in leaders:
+                    self._singleflight.done(digest)
+            for digest, event in waits:
+                event.wait()
+                cached = self._cache_get(digest)
+                results[digest] = cached if cached is not None else self._charged_read(digest)
             return results
-        if self.chunk_cache is None:
-            results.update(self._charged_read_many(misses, workers))
-            return results
-        leaders: list[str] = []
-        waits: list[tuple[str, threading.Event]] = []
-        for digest in misses:
-            event = self._singleflight.begin(digest)
-            if event is None:
-                leaders.append(digest)
-            else:
-                waits.append((digest, event))
-        try:
-            if leaders:
-                fetched = self._charged_read_many(leaders, workers)
-                for digest, data in fetched.items():
-                    self._cache_put(digest, data)
-                results.update(fetched)
-        finally:
-            for digest in leaders:
-                self._singleflight.done(digest)
-        for digest, event in waits:
-            event.wait()
-            cached = self._cache_get(digest)
-            results[digest] = cached if cached is not None else self._charged_read(digest)
-        return results
 
     def has_chunk(self, digest: str) -> bool:
         return self.chunks.has(digest)
@@ -887,6 +919,10 @@ class FileStore:
         """
         if not suffix.endswith(MANIFEST_SUFFIX):
             raise ValueError(f"manifest suffix must end with {MANIFEST_SUFFIX!r}")
+        with self._obs_tracer.span("store.save_chunks", layers=len(state)):
+            return self._save_state_chunks(state, layer_hashes, suffix, workers)
+
+    def _save_state_chunks(self, state, layer_hashes, suffix, workers) -> str:
         entries = []
         digests = []
         buffers = {}
@@ -941,27 +977,29 @@ class FileStore:
         layer order in the returned dict always matches the manifest.
         """
         verify = self.verify_reads if verify is None else verify
-        manifest = self.read_manifest(file_id)
-        layers = manifest["layers"]
-        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        n = self._effective_workers(workers, len(layers))
-        if n <= 1:
-            for name, meta in layers:
-                state[name] = self._recover_chunk_array(meta, verify)
-            return state
-        payloads = self.get_chunks([meta["chunk"] for _, meta in layers], workers=n)
-        with ThreadPoolExecutor(max_workers=n) as pool:
-            arrays = list(
-                pool.map(
-                    lambda pair: self._recover_chunk_array(
-                        pair[1], verify, initial=payloads.get(pair[1]["chunk"])
-                    ),
-                    layers,
+        with self._obs_tracer.span("store.recover_chunks", file_id=file_id) as sp:
+            manifest = self.read_manifest(file_id)
+            layers = manifest["layers"]
+            sp.set(layers=len(layers))
+            state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+            n = self._effective_workers(workers, len(layers))
+            if n <= 1:
+                for name, meta in layers:
+                    state[name] = self._recover_chunk_array(meta, verify)
+                return state
+            payloads = self.get_chunks([meta["chunk"] for _, meta in layers], workers=n)
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                arrays = list(
+                    pool.map(
+                        lambda pair: self._recover_chunk_array(
+                            pair[1], verify, initial=payloads.get(pair[1]["chunk"])
+                        ),
+                        layers,
+                    )
                 )
-            )
-        for (name, _), array in zip(layers, arrays):
-            state[name] = array
-        return state
+            for (name, _), array in zip(layers, arrays):
+                state[name] = array
+            return state
 
     def _recover_chunk_array(
         self, meta: dict, verify: bool, initial: bytes | None = None

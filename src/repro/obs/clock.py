@@ -1,0 +1,78 @@
+"""Injectable time sources for deterministic timing instrumentation.
+
+Every timed code path in the repo (``ttr_timings`` breakdowns, span
+durations, flow TTS measurements) reads time through a :class:`Clock`
+instead of calling :func:`time.perf_counter` directly.  Production uses
+the process-wide :class:`SystemClock`; tests inject a :class:`FakeClock`
+whose monotonic reading advances by a fixed tick per call, which turns
+"the load phase took some wall time" into "the load phase took exactly
+2 ticks" — assertable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SystemClock", "FakeClock"]
+
+
+class Clock:
+    """Time-source interface: wall clock, monotonic counter, sleep."""
+
+    def now(self) -> float:
+        """Wall-clock seconds since the epoch (timestamps in documents)."""
+        raise NotImplementedError
+
+    def perf(self) -> float:
+        """Monotonic high-resolution seconds (interval measurements)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real process clocks (:mod:`time`)."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def perf(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests: each ``perf()`` call advances time.
+
+    With ``tick=1.0`` every timed section whose body makes no nested
+    clock calls measures exactly 1.0 "seconds", so timing breakdowns
+    become exact equalities.  ``sleep`` advances the clock without
+    blocking, and ``advance`` moves it manually.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0, wall_start: float = 1.7e9):
+        self._perf = float(start)
+        self.tick = float(tick)
+        self._wall = float(wall_start)
+        self.perf_calls = 0
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._wall
+
+    def perf(self) -> float:
+        value = self._perf
+        self._perf += self.tick
+        self.perf_calls += 1
+        return value
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        self._perf += float(seconds)
+        self._wall += float(seconds)

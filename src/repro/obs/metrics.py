@@ -1,0 +1,389 @@
+"""Thread-safe, zero-dependency metrics registry.
+
+The paper evaluates MMlib entirely through measurement; this module gives
+every subsystem one place to report what it did.  A :class:`Registry`
+holds labeled *families* of counters, gauges, and fixed-bucket
+histograms, and exports them as a JSON snapshot or Prometheus exposition
+text.  Instruments are cheap (one lock, one float), get-or-create by
+``(name, labels)``, and aggregate across component instances — the
+per-instance attributes the subsystems already carry (``ChunkCache.hits``,
+``RetryPolicy.stats`` …) remain the per-object view, while the registry
+is the deployment-wide export path.
+
+Naming scheme (documented in docs/ARCHITECTURE.md): counters end in
+``_total``, gauges are bare nouns, histograms end in ``_seconds`` (or
+another unit); everything is prefixed ``mmlib_<subsystem>_``.
+
+``Registry.disabled()`` returns a process-wide null registry whose
+instruments are shared no-op singletons — the ``REPRO_OBS=off`` mode
+compiles instrumentation down to attribute lookups and empty calls.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "NullRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket boundaries (seconds): spans save/recover
+#: latencies from sub-millisecond chunk ops to multi-second chain replays.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value (one labeled child of a family)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down (cache bytes, inflight requests)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative buckets, Prometheus-style)."""
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        self._counts = [0] * (len(self.buckets) + 1)  # +inf bucket last
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+inf`` last."""
+        with self._lock:
+            counts = list(self._counts)
+        out = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled registry."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    buckets = DEFAULT_BUCKETS
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_counts(self) -> list:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One named metric with labeled children."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str, buckets=None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: dict[tuple, object] = {}
+
+    def child(self, labels: tuple):
+        instrument = self.children.get(labels)
+        if instrument is None:
+            if self.kind == "histogram":
+                instrument = Histogram(self.buckets or DEFAULT_BUCKETS)
+            else:
+                instrument = _KINDS[self.kind]()
+            self.children[labels] = instrument
+        return instrument
+
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> None:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Registry:
+    """Get-or-create registry of metric families.
+
+    ``counter``/``gauge``/``histogram`` return the instrument for
+    ``(name, labels)``, creating family and child on first use — the same
+    call is both declaration and lookup, so instrumented code needs no
+    registration phase.  A name keeps the kind it was created with;
+    asking for it as a different kind raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    @staticmethod
+    def disabled() -> "NullRegistry":
+        """The shared no-op registry (``REPRO_OBS=off`` mode)."""
+        return _NULL_REGISTRY
+
+    # -- instrument access --------------------------------------------------
+
+    def _get(self, name: str, kind: str, help_text: str, labels: dict, buckets=None):
+        label_key = tuple(sorted(labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                _check_name(name)
+                family = _Family(name, kind, help_text, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family.kind}, "
+                    f"requested as a {kind}"
+                )
+            if help_text and not family.help:
+                family.help = help_text
+            return family.child(label_key)
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "", buckets=None, **labels) -> Histogram:
+        return self._get(name, "histogram", help, labels, buckets=buckets)
+
+    # -- introspection ------------------------------------------------------
+
+    def families(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of one counter/gauge child (0.0 when absent)."""
+        label_key = tuple(sorted(labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0.0
+            instrument = family.children.get(label_key)
+        if instrument is None:
+            return 0.0
+        return instrument.value
+
+    def reset(self) -> None:
+        """Zero every instrument in place (instrument handles stay valid).
+
+        Components cache their instruments at construction, so tests reset
+        values rather than swapping registries out from under them.
+        """
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            for instrument in family.children.values():
+                instrument._reset()
+
+    # -- exporters ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every family and labeled child."""
+        out: dict = {}
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, family in families:
+            series = []
+            for label_key in sorted(family.children):
+                instrument = family.children[label_key]
+                entry: dict = {"labels": dict(label_key)}
+                if family.kind == "histogram":
+                    entry["count"] = instrument.count
+                    entry["sum"] = instrument.sum
+                    entry["buckets"] = [
+                        [("+Inf" if bound == float("inf") else bound), count]
+                        for bound, count in instrument.cumulative_counts()
+                    ]
+                else:
+                    entry["value"] = instrument.value
+                series.append(entry)
+            out[name] = {"type": family.kind, "help": family.help, "series": series}
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, family in families:
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for label_key in sorted(family.children):
+                instrument = family.children[label_key]
+                base_labels = dict(label_key)
+                if family.kind == "histogram":
+                    for bound, count in instrument.cumulative_counts():
+                        le = "+Inf" if bound == float("inf") else repr(bound)
+                        lines.append(
+                            f"{name}_bucket{_fmt_labels({**base_labels, 'le': le})} {count}"
+                        )
+                    lines.append(f"{name}_sum{_fmt_labels(base_labels)} {instrument.sum}")
+                    lines.append(f"{name}_count{_fmt_labels(base_labels)} {instrument.count}")
+                else:
+                    value = instrument.value
+                    if value == int(value):
+                        value = int(value)
+                    lines.append(f"{name}{_fmt_labels(base_labels)} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class NullRegistry(Registry):
+    """Registry whose instruments are shared no-ops (near-zero cost)."""
+
+    def __init__(self):
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def _get(self, name, kind, help_text, labels, buckets=None):
+        return _NULL_INSTRUMENT
+
+    def value(self, name: str, **labels) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def to_prometheus(self) -> str:
+        return ""
+
+
+_NULL_REGISTRY = NullRegistry()

@@ -22,6 +22,7 @@ import threading
 import time
 from typing import Callable, Mapping
 
+from . import obs
 from .errors import TransientStoreError
 
 __all__ = ["RetryPolicy"]
@@ -84,6 +85,8 @@ class RetryPolicy:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.stats = {"calls": 0, "retries": 0, "failures": 0, "slept_s": 0.0}
+        self._obs_events = obs.events()
+        self._obs_registry = obs.registry()
 
     # -- schedule ----------------------------------------------------------
 
@@ -121,15 +124,27 @@ class RetryPolicy:
             attempt += 1
             try:
                 return fn()
-            except retry_on:
+            except retry_on as exc:
                 if attempt >= max_attempts or not self._budget_left():
                     with self._lock:
                         self.stats["failures"] += 1
+                    self._obs_registry.counter(
+                        "mmlib_retry_exhausted_total",
+                        "Calls that exhausted retries", op=op).inc()
+                    self._obs_events.emit(
+                        "retry_exhausted", op=op, attempts=attempt,
+                        exception=type(exc).__name__)
                     raise
                 delay = self.delay_s(attempt, op=op)
                 with self._lock:
                     self.stats["retries"] += 1
                     self.stats["slept_s"] += delay
+                self._obs_registry.counter(
+                    "mmlib_retry_attempts_total",
+                    "Retry attempts after failure", op=op).inc()
+                self._obs_events.emit(
+                    "retry", op=op, attempt=attempt, delay_s=delay,
+                    exception=type(exc).__name__)
                 if self._sleep is not None and delay > 0:
                     self._sleep(delay)
 

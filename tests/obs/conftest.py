@@ -1,0 +1,17 @@
+"""Fixtures for the observability-plane tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    """Zero the process-wide metrics and clear span/event buffers.
+
+    Values are reset in place, so instrument handles cached by components
+    built in earlier tests stay valid.
+    """
+    obs.reset()
+    yield
+    obs.reset()

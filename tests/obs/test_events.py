@@ -1,0 +1,89 @@
+"""The structured event log and the injectable clock."""
+
+import json
+
+from repro.obs import EventLog, FakeClock, NullEventLog, SystemClock
+
+
+class TestEventLog:
+    def test_emit_records_in_order_with_sequence(self):
+        log = EventLog(clock=FakeClock(wall_start=100.0))
+        log.emit("retry", op="docs.get", attempt=1)
+        log.emit("fault", fault="outage")
+        first, second = log.events()
+        assert (first.kind, first.seq) == ("retry", 1)
+        assert (second.kind, second.seq) == ("fault", 2)
+        assert first.fields == {"op": "docs.get", "attempt": 1}
+        assert first.wall == 100.0
+
+    def test_filter_by_kind_and_last(self):
+        log = EventLog(clock=FakeClock())
+        for index in range(4):
+            log.emit("retry", attempt=index)
+        log.emit("fault")
+        assert log.count("retry") == 4
+        assert log.count("fault") == 1
+        assert [e.fields["attempt"] for e in log.events(kind="retry", last=2)] == [2, 3]
+
+    def test_ring_buffer_bounds_memory(self):
+        log = EventLog(clock=FakeClock(), max_events=3)
+        for index in range(5):
+            log.emit("retry", attempt=index)
+        assert [e.fields["attempt"] for e in log.events()] == [2, 3, 4]
+        assert [e.seq for e in log.events()] == [3, 4, 5]  # seq keeps counting
+
+    def test_to_dict_flattens_fields(self):
+        log = EventLog(clock=FakeClock(wall_start=5.0))
+        log.emit("cache_evict", digest="abc", nbytes=10)
+        [event] = log.events()
+        assert event.to_dict() == {
+            "kind": "cache_evict", "seq": 1, "wall": 5.0,
+            "digest": "abc", "nbytes": 10,
+        }
+
+    def test_jsonl_export(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("retry", op="x")
+        log.emit("fault", fault="torn_write")
+        lines = log.to_jsonl().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["retry", "fault"]
+
+    def test_reset_clears(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("retry")
+        log.reset()
+        assert log.events() == []
+        assert log.to_jsonl() == ""
+
+    def test_null_log_is_a_noop(self):
+        log = NullEventLog()
+        log.emit("retry", op="x")
+        assert not log.enabled
+        assert log.events() == []
+        assert log.count("retry") == 0
+        assert log.to_jsonl() == ""
+
+
+class TestClocks:
+    def test_system_clock_perf_is_monotonic(self):
+        clock = SystemClock()
+        assert clock.perf() <= clock.perf()
+        assert clock.now() > 1e9  # wall time, unix epoch seconds
+
+    def test_fake_clock_auto_advances_per_perf_read(self):
+        clock = FakeClock(start=10.0, tick=1.0)
+        assert clock.perf() == 10.0  # pre-advance read: deltas are exact ticks
+        assert clock.perf() == 11.0
+        assert clock.perf_calls == 2
+
+    def test_fake_clock_records_sleeps_without_waiting(self):
+        clock = FakeClock(tick=0.5)
+        clock.sleep(2.0)
+        clock.sleep(0.25)
+        assert clock.sleeps == [2.0, 0.25]
+
+    def test_fake_clock_advance(self):
+        clock = FakeClock(start=0.0, tick=1.0, wall_start=50.0)
+        clock.advance(5.0)
+        assert clock.now() == 55.0
+        assert clock.perf() == 5.0

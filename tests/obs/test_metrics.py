@@ -1,0 +1,187 @@
+"""The metrics registry: instruments, families, exporters, null mode."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Counter, Gauge, Histogram, NullRegistry, Registry
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_histogram_observe_and_cumulative(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+        assert histogram.cumulative_counts() == [
+            (0.1, 1),
+            (1.0, 3),
+            (10.0, 4),
+            (float("inf"), 5),
+        ]
+
+    def test_histogram_boundary_is_inclusive(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(1.0)
+        assert histogram.cumulative_counts() == [(1.0, 1), (float("inf"), 1)]
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_same_call_is_declaration_and_lookup(self):
+        registry = Registry()
+        a = registry.counter("mmlib_test_total", "help", op="x")
+        b = registry.counter("mmlib_test_total", op="x")
+        assert a is b
+        a.inc()
+        assert registry.value("mmlib_test_total", op="x") == 1.0
+
+    def test_label_order_does_not_matter(self):
+        registry = Registry()
+        a = registry.counter("mmlib_test_total", a="1", b="2")
+        b = registry.counter("mmlib_test_total", b="2", a="1")
+        assert a is b
+
+    def test_distinct_labels_distinct_children(self):
+        registry = Registry()
+        registry.counter("mmlib_test_total", op="x").inc()
+        registry.counter("mmlib_test_total", op="y").inc(2)
+        assert registry.value("mmlib_test_total", op="x") == 1.0
+        assert registry.value("mmlib_test_total", op="y") == 2.0
+
+    def test_kind_conflict_raises(self):
+        registry = Registry()
+        registry.counter("mmlib_test_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("mmlib_test_total")
+
+    def test_invalid_name_raises(self):
+        registry = Registry()
+        for bad in ("", "9starts_with_digit", "has-dash", "has space"):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.counter(bad)
+
+    def test_value_of_absent_series_is_zero(self):
+        registry = Registry()
+        assert registry.value("mmlib_never_seen_total") == 0.0
+        registry.counter("mmlib_test_total", op="x")
+        assert registry.value("mmlib_test_total", op="other") == 0.0
+
+    def test_reset_zeroes_in_place(self):
+        registry = Registry()
+        handle = registry.counter("mmlib_test_total")
+        handle.inc(7)
+        registry.reset()
+        assert handle.value == 0.0
+        handle.inc()  # the cached handle keeps working after reset
+        assert registry.value("mmlib_test_total") == 1.0
+
+    def test_snapshot_shape(self):
+        registry = Registry()
+        registry.counter("mmlib_test_total", "things", op="x").inc(3)
+        registry.histogram("mmlib_test_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["mmlib_test_total"] == {
+            "type": "counter",
+            "help": "things",
+            "series": [{"labels": {"op": "x"}, "value": 3.0}],
+        }
+        histogram = snapshot["mmlib_test_seconds"]["series"][0]
+        assert histogram["count"] == 1
+        assert histogram["buckets"] == [[1.0, 1], ["+Inf", 1]]
+        json.dumps(snapshot)  # fully JSON-serializable
+
+
+PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""  # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"  # more labels
+    r" [0-9.eE+-]+(inf)?$"                # value
+)
+
+
+class TestPrometheusExport:
+    def test_every_line_is_valid_exposition(self):
+        registry = Registry()
+        registry.counter("mmlib_test_total", "helpful", op="save").inc(3)
+        registry.gauge("mmlib_test_bytes").set(128)
+        registry.histogram("mmlib_test_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = registry.to_prometheus()
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) mmlib_\w+", line), line
+            else:
+                assert PROM_LINE.match(line), line
+
+    def test_histogram_series(self):
+        registry = Registry()
+        registry.histogram("mmlib_test_seconds", buckets=(1.0,)).observe(0.5)
+        text = registry.to_prometheus()
+        assert 'mmlib_test_seconds_bucket{le="1.0"} 1' in text
+        assert 'mmlib_test_seconds_bucket{le="+Inf"} 1' in text
+        assert "mmlib_test_seconds_sum 0.5" in text
+        assert "mmlib_test_seconds_count 1" in text
+
+    def test_label_escaping(self):
+        registry = Registry()
+        registry.counter("mmlib_test_total", detail='say "hi"\nbye\\now').inc()
+        text = registry.to_prometheus()
+        assert 'detail="say \\"hi\\"\\nbye\\\\now"' in text
+
+    def test_whole_values_render_as_ints(self):
+        registry = Registry()
+        registry.counter("mmlib_test_total").inc(3)
+        assert "mmlib_test_total 3" in registry.to_prometheus().splitlines()
+
+    def test_empty_registry_exports_empty(self):
+        assert Registry().to_prometheus() == ""
+        assert Registry().snapshot() == {}
+
+
+class TestNullRegistry:
+    def test_disabled_is_shared_singleton(self):
+        assert Registry.disabled() is Registry.disabled()
+        assert isinstance(Registry.disabled(), NullRegistry)
+        assert not Registry.disabled().enabled
+        assert Registry().enabled
+
+    def test_instruments_are_shared_noops(self):
+        registry = NullRegistry()
+        counter = registry.counter("mmlib_test_total")
+        assert counter is registry.gauge("anything_else")
+        counter.inc()
+        counter.observe(1.0)
+        counter.set(5)
+        assert counter.value == 0.0
+        assert counter.cumulative_counts() == []
+        assert counter.buckets == DEFAULT_BUCKETS
+
+    def test_exports_empty(self):
+        registry = NullRegistry()
+        registry.counter("mmlib_test_total").inc()
+        assert registry.snapshot() == {}
+        assert registry.to_prometheus() == ""
+        assert registry.value("mmlib_test_total") == 0.0

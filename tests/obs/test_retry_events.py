@@ -1,0 +1,100 @@
+"""Retry and fault instrumentation: events, counters, pinned backoff."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.errors import TransientStoreError
+from repro.faults import FaultInjector
+from repro.retry import RetryPolicy
+
+
+def flaky(failures: int, result="ok"):
+    """A callable that raises ``failures`` transient errors, then succeeds."""
+    remaining = {"n": failures}
+
+    def fn():
+        if remaining["n"]:
+            remaining["n"] -= 1
+            raise TransientStoreError("injected")
+        return result
+
+    return fn
+
+
+def recompute_delays(policy: RetryPolicy, attempts: int) -> list[float]:
+    """The jittered backoff sequence a fresh policy with these knobs emits."""
+    rng = random.Random(0)  # the policy's seed
+    delays = []
+    for attempt in range(1, attempts + 1):
+        delay = min(
+            policy.max_delay_s,
+            policy.base_delay_s * policy.multiplier ** (attempt - 1),
+        )
+        delay *= 1.0 - policy.jitter * rng.random()
+        delays.append(delay)
+    return delays
+
+
+class TestRetryEvents:
+    def test_each_retry_emits_event_and_counter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.01, sleep=None)
+        assert policy.call(flaky(3), op="docs.get") == "ok"
+        events = obs.events().events(kind="retry")
+        assert [e.fields["attempt"] for e in events] == [1, 2, 3]
+        assert {e.fields["op"] for e in events} == {"docs.get"}
+        assert {e.fields["exception"] for e in events} == {"TransientStoreError"}
+        assert obs.registry().value("mmlib_retry_attempts_total", op="docs.get") == 3
+
+    def test_event_delays_match_the_seeded_backoff_sequence(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.01, multiplier=2.0,
+            jitter=0.5, seed=0, sleep=None,
+        )
+        policy.call(flaky(4), op="chunk.read")
+        events = obs.events().events(kind="retry")
+        observed = [e.fields["delay_s"] for e in events]
+        assert observed == pytest.approx(recompute_delays(policy, 4))
+
+    def test_exhaustion_emits_terminal_event(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, sleep=None)
+        with pytest.raises(TransientStoreError):
+            policy.call(flaky(99), op="file.write")
+        [exhausted] = obs.events().events(kind="retry_exhausted")
+        assert exhausted.fields == {
+            "op": "file.write", "attempts": 3, "exception": "TransientStoreError",
+        }
+        assert obs.registry().value("mmlib_retry_exhausted_total", op="file.write") == 1
+        # two retries happened before the terminal third attempt
+        assert obs.registry().value("mmlib_retry_attempts_total", op="file.write") == 2
+
+    def test_success_without_failures_emits_nothing(self):
+        policy = RetryPolicy(max_attempts=3, sleep=None)
+        policy.call(lambda: 42, op="quiet")
+        assert obs.events().count("retry") == 0
+        assert obs.registry().value("mmlib_retry_attempts_total", op="quiet") == 0
+
+
+class TestFaultEvents:
+    def test_every_injected_fault_is_an_event_and_a_counter(self):
+        faults = FaultInjector(seed=7, error_rate=0.3, sleep=None)
+        policy = RetryPolicy(max_attempts=100, base_delay_s=0.0, sleep=None)
+
+        def op():
+            faults.fail_point("chunk.read")
+            return "done"
+
+        for _ in range(50):
+            assert policy.call(op, op="chunk.read") == "done"
+
+        injected = faults.stats["errors"]
+        assert injected > 0  # seed 7 at 30% over 50+ ops must fire
+        assert obs.events().count("fault") == injected
+        assert (
+            obs.registry().value("mmlib_faults_injected_total", kind="error")
+            == injected
+        )
+        # every injected transient fault was absorbed by exactly one retry
+        assert obs.events().count("retry") == injected
+        assert policy.stats["retries"] == injected

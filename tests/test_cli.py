@@ -279,3 +279,83 @@ class TestFsckJson:
         assert run_cli("--docs", docs, "--files", files, "fsck") == 0
         out = capsys.readouterr().out
         assert "fsck" in out or "issue" in out or "clean" in out
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        from repro import obs
+
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_stats_prometheus_is_valid_exposition(self, saved_model, capsys):
+        import re
+
+        assert run_cli("stats", "--prometheus") == 0
+        out = capsys.readouterr().out
+        line_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9.eE+-]+$"
+        )
+        for line in out.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) ", line), line
+            else:
+                assert line_re.match(line), line
+        # preregistered families make the core surface visible even at zero
+        for family in (
+            "mmlib_chunk_cache_hits_total",
+            "mmlib_retry_attempts_total",
+            "mmlib_network_round_trips_total",
+            "mmlib_cluster_quorum_write_failures_total",
+        ):
+            assert family in out
+        # the in-process save above reached the same global registry
+        assert 'mmlib_saves_total{approach="baseline"} 1' in out
+
+    def test_stats_json_snapshot(self, saved_model, capsys):
+        assert run_cli("stats") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mmlib_saves_total"]["type"] == "counter"
+        [saves] = [
+            s for s in payload["mmlib_saves_total"]["series"]
+            if s["labels"] == {"approach": "baseline"}
+        ]
+        assert saves["value"] == 1
+
+    def test_trace_jsonl_shows_in_process_spans(self, saved_model, capsys):
+        assert run_cli("trace", "--last", "50") == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        spans = [json.loads(line) for line in lines]
+        assert any(span["name"] == "service.save_model" for span in spans)
+        assert all(
+            {"span_id", "trace_id", "duration_s", "status"} <= set(span)
+            for span in spans
+        )
+
+    def test_trace_empty_process_hints_at_demo(self, capsys):
+        assert run_cli("trace") == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "--demo" in captured.err
+
+    def test_events_filter_by_kind(self, capsys):
+        from repro import obs
+
+        obs.event("retry", op="docs.get", attempt=1)
+        obs.event("fault", fault="outage")
+        assert run_cli("events", "--kind", "retry") == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["retry"]
+
+    def test_fsck_json_includes_step_timings(self, stores, saved_model, capsys):
+        docs, files = stores
+        assert run_cli("--docs", docs, "--files", files, "fsck", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        steps = payload["step_seconds"]
+        assert set(steps) == {
+            "journals", "documents", "chunks", "orphan_files",
+            "refcounts", "replication", "orphan_documents",
+        }
+        assert all(seconds >= 0.0 for seconds in steps.values())
