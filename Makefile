@@ -30,6 +30,7 @@ bench-cluster:
 # fault-injection tests (fixed seeds) + chaos smoke; writes BENCH_chaos.json
 chaos:
 	PYTHONPATH=src $(PY) -m pytest -q tests/filestore/test_faults.py \
+		tests/filestore/test_segments.py \
 		tests/core/test_crash_consistency.py tests/core/test_fsck.py
 	$(PY) scripts/chaos_smoke.py
 

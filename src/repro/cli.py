@@ -61,7 +61,10 @@ def _open_manager(args):
 
     if not args.docs or not args.files:
         raise CliError("this command requires --docs and --files store directories")
-    service = BaselineSaveService(DocumentStore(args.docs), FileStore(args.files))
+    service = BaselineSaveService(
+        DocumentStore(args.docs),
+        FileStore(args.files, layout=getattr(args, "layout", None)),
+    )
     return ModelManager(service)
 
 
@@ -83,7 +86,10 @@ def _service_for(args, approach: str):
     }
     if approach not in services:
         raise CliError(f"unknown approach {approach!r}; options: {sorted(services)}")
-    return services[approach](DocumentStore(args.docs), FileStore(args.files))
+    return services[approach](
+        DocumentStore(args.docs),
+        FileStore(args.files, layout=getattr(args, "layout", None)),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -371,6 +377,12 @@ def cmd_stats(args) -> int:
     obs.preregister_default_families()
     if args.demo:
         _run_obs_demo()
+    if args.docs and args.files and not args.prometheus:
+        # opening the stores folds their per-component views (segment
+        # layout gauges included) into the snapshot
+        manager = _open_manager(args)
+        print(json.dumps(manager.stats(), indent=2, sort_keys=True))
+        return 0
     registry = obs.registry()
     if args.prometheus:
         sys.stdout.write(registry.to_prometheus())
@@ -429,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--docs", help="document store directory")
     parser.add_argument("--files", help="file store directory")
+    parser.add_argument(
+        "--layout", choices=["files", "segments"], default=None,
+        help="chunk layout when opening the file store (default: "
+             "auto-detect on disk, else segments)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     list_parser = commands.add_parser("list", help="list saved models")

@@ -164,6 +164,10 @@ class _ShardedChunkView:
         for member in self._all_members():
             member.chunks.forget_refs(digests)
 
+    def flush(self) -> int:
+        """Fan the group-fsync durability barrier out to every member."""
+        return sum(member.chunks.flush() for member in self._all_members())
+
     def gc(self) -> dict[str, int]:
         stats = {"chunks_removed": 0, "bytes_freed": 0}
         for member in self._all_members():
@@ -171,6 +175,69 @@ class _ShardedChunkView:
             stats["chunks_removed"] += member_stats["chunks_removed"]
             stats["bytes_freed"] += member_stats["bytes_freed"]
         return stats
+
+    def audit(self, repair: bool = True, verify: bool = False) -> dict:
+        """Aggregate segment audits across members that support them.
+
+        Listy fields are prefixed ``member:item`` like :meth:`reconcile`;
+        members on the file-per-chunk layout contribute nothing.
+        """
+        merged = {
+            "layout": "sharded",
+            "segments_checked": 0,
+            "torn_segments": [],
+            "tmp_segments_removed": 0,
+            "entries_added": 0,
+            "entries_dropped": [],
+            "crc_failures": [],
+            "compaction": [],
+        }
+        audited = False
+        store = self._store
+        for name in sorted(store.members):
+            audit = getattr(store.members[name].chunks, "audit", None)
+            if not callable(audit):
+                continue
+            audited = True
+            report = audit(repair=repair, verify=verify)
+            merged["segments_checked"] += report["segments_checked"]
+            merged["tmp_segments_removed"] += report["tmp_segments_removed"]
+            merged["entries_added"] += report["entries_added"]
+            for field in ("torn_segments", "entries_dropped", "crc_failures"):
+                merged[field].extend(f"{name}:{item}" for item in report[field])
+            if report["compaction"] is not None:
+                merged["compaction"].append(f"{name}:{report['compaction']}")
+        return merged if audited else None
+
+    def segment_stats(self) -> dict | None:
+        """Cluster-wide segment gauges, or ``None`` without segment members."""
+        merged = {
+            "layout": "sharded",
+            "segment_count": 0,
+            "sealed_segments": 0,
+            "chunks": 0,
+            "live_bytes": 0,
+            "dead_bytes": 0,
+            "compaction_debt_bytes": 0,
+            "pending_compaction": False,
+            "members": {},
+        }
+        store = self._store
+        for name in sorted(store.members):
+            stats_fn = getattr(store.members[name].chunks, "segment_stats", None)
+            if not callable(stats_fn):
+                continue
+            stats = stats_fn()
+            merged["members"][name] = stats
+            for key in ("segment_count", "sealed_segments", "chunks",
+                        "live_bytes", "dead_bytes", "compaction_debt_bytes"):
+                merged[key] += stats[key]
+            merged["pending_compaction"] |= stats["pending_compaction"]
+        if not merged["members"]:
+            return None
+        total = merged["live_bytes"] + merged["dead_bytes"]
+        merged["live_ratio"] = (merged["live_bytes"] / total) if total else 1.0
+        return merged
 
     def reconcile(self, expected_refs: Mapping[str, int], repair: bool = True) -> dict:
         """Per-member reconcile against the ring-owned slice of the truth.

@@ -64,7 +64,8 @@ class FsckIssue:
     ``missing_file``, ``missing_chunk``, ``corrupt_chunk``,
     ``corrupt_manifest``, ``refcount_mismatch``, ``orphan_file``,
     ``orphan_chunk``, ``orphan_document``, ``missing_base``,
-    ``missing_document``, ``under_replicated``).
+    ``missing_document``, ``under_replicated``, ``torn_segment``,
+    ``segment_index``, ``segment_crc``, ``segment_compaction``).
     """
 
     kind: str
@@ -81,6 +82,7 @@ class FsckReport:
     checked_files: int = 0
     checked_chunks: int = 0
     step_seconds: dict = field(default_factory=dict)
+    segments: dict | None = None
 
     @property
     def clean(self) -> bool:
@@ -107,6 +109,7 @@ class FsckReport:
             "repaired": len(self.repaired),
             "unrepaired": len(self.unrepaired),
             "step_seconds": dict(self.step_seconds),
+            "segments": self.segments,
             "issues": [
                 {"kind": issue.kind, "detail": issue.detail, "repaired": issue.repaired}
                 for issue in self.issues
@@ -286,6 +289,12 @@ class ModelManager:
                 "bytes_sent": getattr(files, "bytes_sent", 0),
                 "bytes_received": getattr(files, "bytes_received", 0),
             }
+        chunk_store = getattr(files, "chunks", None)
+        segment_stats = getattr(chunk_store, "segment_stats", None)
+        if callable(segment_stats):
+            snapshot = segment_stats()
+            if snapshot is not None:
+                out["segments"] = snapshot
         documents = self.documents
         if hasattr(documents, "cluster_stats"):
             out["cluster_docs"] = dict(documents.cluster_stats)
@@ -505,6 +514,10 @@ class ModelManager:
         1. every intent journal belongs to a finished save — crashed
            saves are rolled back (stores and documents), committed ones
            merely discarded;
+        1b. on a segment-layout chunk store, every segment's footer and
+           record framing is intact — torn tails are truncated, the
+           chunk index is rebuilt from disk, and an interrupted
+           compaction is rolled forward or back;
         2. every model document's base model, environment/train documents,
            and referenced files exist;
         3. every manifest's chunks exist and (with ``verify_chunks``)
@@ -558,6 +571,56 @@ class ModelManager:
                         f"{len(journal.entries)} journaled steps behind"
                     )
                 report.add("incomplete_save", detail, repaired=repair)
+
+        # 1b. segment-layout stores: audit footers/record framing, rebuild
+        # the chunk index from disk, finish interrupted compactions
+        steps.start("segments")
+        chunk_store = getattr(files, "chunks", None)
+        audit = getattr(chunk_store, "audit", None)
+        if callable(audit):
+            outcome = audit(repair=repair, verify=verify_chunks)
+            if outcome is not None:
+                report.segments = outcome
+                for name in outcome.get("torn_segments", ()):
+                    report.add(
+                        "torn_segment",
+                        f"segment {name} had a torn tail"
+                        + (" (truncated)" if repair else ""),
+                        repaired=repair,
+                    )
+                for digest in outcome.get("entries_dropped", ()):
+                    report.add(
+                        "segment_index",
+                        f"index entry {digest[:24]}… pointed at missing "
+                        "segment bytes" + (" (dropped)" if repair else ""),
+                        repaired=repair,
+                    )
+                if outcome.get("entries_added"):
+                    report.add(
+                        "segment_index",
+                        f"rebuilt {outcome['entries_added']} index "
+                        "entr(y/ies) from segment scans",
+                        repaired=True,
+                    )
+                for digest in outcome.get("crc_failures", ()):
+                    report.add(
+                        "segment_crc",
+                        f"segment record for chunk {digest[:24]}… fails "
+                        "its CRC check",
+                    )
+                compaction = outcome.get("compaction")
+                if compaction:
+                    actions = (
+                        compaction
+                        if isinstance(compaction, list)
+                        else [compaction]
+                    )
+                    for action in actions:
+                        report.add(
+                            "segment_compaction",
+                            f"interrupted compaction: {action}",
+                            repaired=repair and "pending" not in str(action),
+                        )
 
         # 2. documents -> documents/files cross-checks
         steps.start("documents")
@@ -652,14 +715,16 @@ class ModelManager:
                     continue
                 verified.add(digest)
                 # read straight from disk: fsck audits what is stored,
-                # not what a faulty link would deliver
-                raw = files.chunks.get(digest)
+                # not what a faulty link would deliver; a segment store
+                # raises on CRC failure where file-per-chunk would hand
+                # back the rotten bytes — both count as corruption here
                 try:
+                    raw = files.chunks.get(digest)
                     array = np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(
                         meta["shape"]
                     )
                     intact = tensor_hash(array) == digest
-                except (ValueError, TypeError):
+                except (OSError, KeyError, ValueError, TypeError):
                     intact = False
                 if not intact:
                     report.add(

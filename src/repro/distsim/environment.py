@@ -57,6 +57,7 @@ class SharedStores:
         workers: int = 0,
         pipeline_depth: int = 8,
         chunk_cache_bytes: int = 0,
+        layout: str | None = None,
     ) -> "SharedStores":
         """Create fresh stores under ``workdir``.
 
@@ -84,6 +85,7 @@ class SharedStores:
                 retry=retry,
                 workers=workers,
                 chunk_cache=chunk_cache,
+                layout=layout,
             )
         else:
             files = SimulatedNetworkFileStore(
@@ -93,6 +95,7 @@ class SharedStores:
                 retry=retry,
                 workers=workers,
                 pipeline_depth=pipeline_depth,
+                layout=layout,
                 chunk_cache=chunk_cache,
             )
         scratch = workdir / "scratch"
@@ -112,6 +115,7 @@ class SharedStores:
         workers: int = 0,
         pipeline_depth: int = 8,
         chunk_cache_bytes: int = 0,
+        layout: str | None = None,
     ) -> "SharedStores":
         """Create *sharded* stores under ``workdir``: ``shards`` member
         stores behind a :class:`~repro.cluster.ShardedFileStore` and a
@@ -140,7 +144,8 @@ class SharedStores:
             doc_members[name] = documents
             if network is None:
                 file_members[name] = FileStore(
-                    workdir / name / "files", faults=faults, retry=retry
+                    workdir / name / "files", faults=faults, retry=retry,
+                    layout=layout,
                 )
             else:
                 file_members[name] = SimulatedNetworkFileStore(
@@ -149,6 +154,7 @@ class SharedStores:
                     faults=faults,
                     retry=retry,
                     pipeline_depth=pipeline_depth,
+                    layout=layout,
                 )
         chunk_cache = chunk_cache_bytes if chunk_cache_bytes > 0 else None
         files = ShardedFileStore(

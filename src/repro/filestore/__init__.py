@@ -6,6 +6,11 @@ from .network import (
     NetworkModel,
     SimulatedNetworkFileStore,
 )
+from .segments import (
+    DEFAULT_SEGMENT_BYTES,
+    SegmentChunkStore,
+    SegmentCompactor,
+)
 from .store import (
     ChunkCache,
     ChunkNotFoundError,
@@ -22,6 +27,9 @@ __all__ = [
     "ChunkCache",
     "ChunkNotFoundError",
     "ChunkStore",
+    "DEFAULT_SEGMENT_BYTES",
     "FileNotFoundInStoreError",
     "FileStore",
+    "SegmentChunkStore",
+    "SegmentCompactor",
 ]

@@ -80,6 +80,9 @@ class SimulatedNetworkFileStore(FileStore):
         pipeline_depth: int = 8,
         workers: int = 0,
         chunk_cache=None,
+        layout: str | None = None,
+        durability: str | None = None,
+        segment_bytes: int | None = None,
     ):
         kwargs = {
             "faults": faults,
@@ -87,6 +90,9 @@ class SimulatedNetworkFileStore(FileStore):
             "verify_reads": verify_reads,
             "workers": workers,
             "chunk_cache": chunk_cache,
+            "layout": layout,
+            "durability": durability,
+            "segment_bytes": segment_bytes,
         }
         if tmp_grace_s is not None:
             kwargs["tmp_grace_s"] = tmp_grace_s

@@ -63,6 +63,22 @@ JOURNAL_DIR_NAME = "journal"
 #: a concurrent saver may still be writing them (see PR-2 satellite fix).
 DEFAULT_TMP_GRACE_S = 600.0
 
+#: Durability levels for chunk writes.  ``"none"`` never fsyncs (the
+#: historical file-per-chunk behavior), ``"chunk"`` fsyncs every write
+#: before acknowledging it, and ``"group"`` defers durability to one
+#: batched :meth:`ChunkStore.flush` per save — fsync-before-ack at the
+#: manifest boundary instead of per chunk.
+DURABILITY_MODES = ("none", "group", "chunk")
+
+#: Supported physical chunk layouts behind :class:`FileStore`.
+CHUNK_LAYOUTS = ("files", "segments")
+
+#: Layout used for brand-new stores when none is requested explicitly.
+DEFAULT_LAYOUT = "segments"
+
+#: Environment override for the default layout of brand-new stores.
+LAYOUT_ENV_VAR = "REPRO_CHUNK_LAYOUT"
+
 #: Default byte budget for an in-process hot-chunk LRU (see :class:`ChunkCache`).
 DEFAULT_CHUNK_CACHE_BYTES = 256 * 1024 * 1024
 
@@ -227,13 +243,38 @@ class ChunkStore:
     lock file, so multiple processes can share one store directory.
     """
 
-    def __init__(self, root: str | Path, tmp_grace_s: float = DEFAULT_TMP_GRACE_S):
+    def __init__(
+        self,
+        root: str | Path,
+        tmp_grace_s: float = DEFAULT_TMP_GRACE_S,
+        durability: str = "none",
+    ):
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
+            )
         self.root = Path(root)
-        self.objects_dir = self.root / "objects"
-        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.root.mkdir(parents=True, exist_ok=True)
         self._refs_path = self.root / "refcounts.json"
         self._lock_path = self.root / ".lock"
         self.tmp_grace_s = float(tmp_grace_s)
+        self.durability = durability
+        #: Optional chaos hook with the ``FaultInjector.fail_point``
+        #: signature, consulted by long-running maintenance (compaction).
+        self.fault_hook = None
+        self._obs_fsyncs = obs.registry().counter(
+            "mmlib_chunk_fsyncs_total", "fsync calls issued for chunk durability")
+        self._init_physical()
+
+    def _init_physical(self) -> None:
+        """Create the physical layout (hook for alternate backends)."""
+        self.objects_dir = self.root / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self._pending_sync: list[Path] = []
+        self._pending_lock = threading.Lock()
+        self._obs_files_created = obs.registry().counter(
+            "mmlib_chunk_files_created_total",
+            "Chunk files created (file-per-chunk layout)")
 
     def _tmp_expired(self, path: Path) -> bool:
         """In-flight tmp files get a grace age before they count as orphans."""
@@ -269,9 +310,13 @@ class ChunkStore:
 
     # -- chunk data ---------------------------------------------------------
 
-    def _chunk_path(self, digest: str) -> Path:
+    @staticmethod
+    def _check_digest(digest: str) -> None:
         if not digest or "/" in digest or digest.startswith("."):
             raise ValueError(f"invalid chunk digest: {digest!r}")
+
+    def _chunk_path(self, digest: str) -> Path:
+        self._check_digest(digest)
         return self.objects_dir / digest
 
     def has(self, digest: str) -> bool:
@@ -290,8 +335,67 @@ class ChunkStore:
         tmp = path.with_name(f"{path.name}-{uuid.uuid4().hex[:8]}.tmp")
         with open(tmp, "wb") as fileobj:
             fileobj.write(buffer)
+            if self.durability == "chunk":
+                fileobj.flush()
+                os.fsync(fileobj.fileno())
+                self._obs_fsyncs.inc()
         tmp.replace(path)
+        self._obs_files_created.inc()
+        if self.durability == "group":
+            with self._pending_lock:
+                self._pending_sync.append(path)
         return True
+
+    def flush(self) -> int:
+        """Make every acknowledged-but-unsynced chunk durable; fsync count.
+
+        ``"group"`` durability defers per-chunk fsyncs to this one batched
+        call (a save flushes once before publishing its manifest).  Under
+        the other modes nothing is ever pending and this is a no-op.
+        """
+        if self.durability != "group":
+            return 0
+        with self._pending_lock:
+            pending, self._pending_sync = self._pending_sync, []
+        synced = 0
+        for path in pending:
+            try:
+                fd = os.open(path, os.O_RDONLY)
+            except FileNotFoundError:
+                continue  # raced with a delete: nothing left to sync
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            synced += 1
+        if synced:
+            self._obs_fsyncs.inc(synced)
+        return synced
+
+    def locate(self, digest: str) -> tuple[Path, int, int]:
+        """Physical location of one chunk: ``(path, offset, length)``.
+
+        Lets layout-agnostic tooling (fsck damage drills, debuggers) find
+        the stored bytes without knowing the backend's file geometry.
+        """
+        path = self._chunk_path(digest)
+        try:
+            return path, 0, path.stat().st_size
+        except FileNotFoundError:
+            raise ChunkNotFoundError(f"no stored chunk with digest {digest!r}") from None
+
+    def _delete_payload(self, digest: str) -> int:
+        """Remove one chunk's stored bytes; returns the bytes freed."""
+        path = self._chunk_path(digest)
+        try:
+            size = path.stat().st_size
+        except FileNotFoundError:
+            return 0
+        path.unlink(missing_ok=True)
+        return size
+
+    def _flush_index(self) -> None:
+        """Persist index mutations (no-op here: the filesystem is the index)."""
 
     def write_torn(self, digest: str, buffer) -> Path:
         """Simulate a torn write: persist only a partial tmp file.
@@ -320,9 +424,10 @@ class ChunkStore:
         Low-level repair/rollback primitive — normal deletion goes through
         :meth:`release_refs`.
         """
-        path = self._chunk_path(digest)
-        existed = path.exists()
-        path.unlink(missing_ok=True)
+        existed = self.has(digest)
+        if existed:
+            self._delete_payload(digest)
+            self._flush_index()
         return existed
 
     def size_of(self, digest: str) -> int | None:
@@ -362,7 +467,9 @@ class ChunkStore:
                     removed.append(digest)
             self._write_refs(refs)
             for digest in removed:
-                self._chunk_path(digest).unlink(missing_ok=True)
+                self._delete_payload(digest)
+            if removed:
+                self._flush_index()
         return removed
 
     def refcount(self, digest: str) -> int:
@@ -411,25 +518,30 @@ class ChunkStore:
         concurrent in-flight saver may still be writing them, and reaping
         a live tmp file would tear that save's chunk from under it.
         """
-        removed = 0
-        freed = 0
         with self._locked():
             refs = self._load_refs()
             live = {d for d, count in refs.items() if count > 0}
             if live != set(refs):
                 self._write_refs({d: refs[d] for d in live})
-            for path in self.objects_dir.iterdir():
-                if not path.is_file():
-                    continue
-                if path.name.endswith(".tmp"):
-                    if not self._tmp_expired(path):
-                        continue
-                elif path.name in live:
-                    continue
-                freed += path.stat().st_size
-                path.unlink(missing_ok=True)
-                removed += 1
+            removed, freed = self._sweep_unreferenced(live)
         return {"chunks_removed": removed, "bytes_freed": freed}
+
+    def _sweep_unreferenced(self, live: set) -> tuple[int, int]:
+        """Delete dead payloads and expired tmp files (runs under the lock)."""
+        removed = 0
+        freed = 0
+        for path in self.objects_dir.iterdir():
+            if not path.is_file():
+                continue
+            if path.name.endswith(".tmp"):
+                if not self._tmp_expired(path):
+                    continue
+            elif path.name in live:
+                continue
+            freed += path.stat().st_size
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed, freed
 
     def reconcile(self, expected_refs: Mapping[str, int], repair: bool = True) -> dict:
         """Cross-check stored refcounts against ``expected_refs`` (fsck).
@@ -446,41 +558,38 @@ class ChunkStore:
                 for digest in set(refs) | set(expected)
                 if refs.get(digest, 0) != expected.get(digest, 0)
             }
-            orphans = [
-                path
-                for path in self.objects_dir.iterdir()
-                if path.is_file()
-                and not path.name.endswith(".tmp")
-                and path.name not in expected
-            ]
-            orphan_bytes = sum(path.stat().st_size for path in orphans)
+            entries = self._payload_entries()
+            orphans = sorted(d for d in entries if d not in expected)
+            orphan_bytes = sum(entries[d] for d in orphans)
             if repair:
                 if ref_fixes:
                     self._write_refs(expected)
-                for path in orphans:
-                    path.unlink(missing_ok=True)
+                for digest in orphans:
+                    self._delete_payload(digest)
+                if orphans:
+                    self._flush_index()
         return {
             "ref_fixes": ref_fixes,
-            "orphan_chunks_removed": [path.name for path in orphans],
+            "orphan_chunks_removed": orphans,
             "orphan_bytes": orphan_bytes,
         }
 
     # -- accounting -----------------------------------------------------------
 
-    def chunk_ids(self) -> list[str]:
-        return sorted(
-            p.name
+    def _payload_entries(self) -> dict[str, int]:
+        """Stored ``digest -> payload size`` map (accounting/fsck hook)."""
+        return {
+            p.name: p.stat().st_size
             for p in self.objects_dir.iterdir()
             if p.is_file() and not p.name.endswith(".tmp")
-        )
+        }
+
+    def chunk_ids(self) -> list[str]:
+        return sorted(self._payload_entries())
 
     def total_bytes(self) -> int:
-        """Physical bytes held by chunks (deduplicated storage)."""
-        return sum(
-            p.stat().st_size
-            for p in self.objects_dir.iterdir()
-            if p.is_file() and not p.name.endswith(".tmp")
-        )
+        """Physical bytes held by chunk payloads (deduplicated storage)."""
+        return sum(self._payload_entries().values())
 
     def __len__(self) -> int:
         return len(self.chunk_ids())
@@ -533,9 +642,21 @@ class FileStore:
         verify_reads: bool | None = None,
         workers: int = 0,
         chunk_cache: "ChunkCache | int | None" = None,
+        layout: str | None = None,
+        durability: str | None = None,
+        segment_bytes: int | None = None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.layout = self._resolve_layout(layout)
+        if durability is not None and durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
+            )
+        self.durability = durability or (
+            "group" if self.layout == "segments" else "none"
+        )
+        self.segment_bytes = segment_bytes
         self.faults = faults
         self.retry = retry
         self.tmp_grace_s = float(tmp_grace_s)
@@ -574,13 +695,50 @@ class FileStore:
             except FileNotFoundError:
                 pass
 
+    def _resolve_layout(self, layout: str | None) -> str:
+        """Pick the chunk layout: explicit > on-disk > env var > default.
+
+        An existing store keeps whatever layout its chunk directory was
+        created with, so reopening never silently migrates data.
+        """
+        if layout is not None:
+            if layout not in CHUNK_LAYOUTS:
+                raise ValueError(
+                    f"layout must be one of {CHUNK_LAYOUTS}, got {layout!r}"
+                )
+            return layout
+        chunk_root = self.root / CHUNK_DIR_NAME
+        if (chunk_root / "segments").is_dir():
+            return "segments"
+        if (chunk_root / "objects").is_dir():
+            return "files"
+        env = os.environ.get(LAYOUT_ENV_VAR, "")
+        if env in CHUNK_LAYOUTS:
+            return env
+        return DEFAULT_LAYOUT
+
     @property
     def chunks(self) -> ChunkStore:
         """The store's content-addressed chunk substore (lazily created)."""
         if self._chunks is None:
-            self._chunks = ChunkStore(
-                self.root / CHUNK_DIR_NAME, tmp_grace_s=self.tmp_grace_s
-            )
+            if self.layout == "segments":
+                from .segments import SegmentChunkStore
+
+                kwargs = {}
+                if self.segment_bytes is not None:
+                    kwargs["segment_bytes"] = self.segment_bytes
+                self._chunks = SegmentChunkStore(
+                    self.root / CHUNK_DIR_NAME,
+                    tmp_grace_s=self.tmp_grace_s,
+                    durability=self.durability,
+                    **kwargs,
+                )
+            else:
+                self._chunks = ChunkStore(
+                    self.root / CHUNK_DIR_NAME,
+                    tmp_grace_s=self.tmp_grace_s,
+                    durability=self.durability,
+                )
         return self._chunks
 
     # -- fault/retry plumbing ---------------------------------------------------
@@ -952,6 +1110,9 @@ class FileStore:
             for digest, written in zip(unique, wrote):
                 if written:
                     self.journal_record("chunk", digest=digest)
+        # group fsync: one durability barrier for the whole batch, before
+        # the refs/manifest publish acknowledges the save
+        self.chunks.flush()
         self.chunks.add_refs(digests)
         self.journal_record("refs", digests=digests)
         manifest = json.dumps(

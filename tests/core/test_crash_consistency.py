@@ -43,9 +43,15 @@ def assert_states_equal(model, other):
 SERVICES = [BaselineSaveService, ParameterUpdateSaveService, ProvenanceSaveService]
 
 
+@pytest.fixture(params=["files", "segments"])
+def layout(request):
+    """Every crash matrix must hold on both chunk layouts."""
+    return request.param
+
+
 class TestCrashMatrix:
     @pytest.mark.parametrize("service_cls", SERVICES)
-    def test_crash_at_every_step_is_repairable(self, service_cls, tmp_path):
+    def test_crash_at_every_step_is_repairable(self, service_cls, layout, tmp_path):
         """Kill the save at op 1, 2, 3, ... until it finally runs to completion.
 
         After every crash: fsck detects damage and repairs to zero
@@ -54,7 +60,9 @@ class TestCrashMatrix:
         """
         faults = FaultInjector(seed=0)
         docs = FaultyDocumentStore(DocumentStore(), faults)
-        files = FileStore(tmp_path / "files", faults=faults, tmp_grace_s=0.0)
+        files = FileStore(
+            tmp_path / "files", faults=faults, tmp_grace_s=0.0, layout=layout
+        )
         service = service_cls(docs, files, scratch_dir=tmp_path / "scratch")
         manager = ModelManager(service)
 
@@ -87,10 +95,12 @@ class TestCrashMatrix:
         assert crash_points >= 5, f"only {crash_points} distinct crash points hit"
 
     @pytest.mark.parametrize("service_cls", SERVICES)
-    def test_each_crash_repairs_and_preserves_base(self, service_cls, tmp_path):
+    def test_each_crash_repairs_and_preserves_base(self, service_cls, layout, tmp_path):
         faults = FaultInjector(seed=0)
         docs = FaultyDocumentStore(DocumentStore(), faults)
-        files = FileStore(tmp_path / "files", faults=faults, tmp_grace_s=0.0)
+        files = FileStore(
+            tmp_path / "files", faults=faults, tmp_grace_s=0.0, layout=layout
+        )
         service = service_cls(docs, files, scratch_dir=tmp_path / "scratch")
         manager = ModelManager(service)
 
@@ -131,11 +141,13 @@ class TestCrashMatrix:
 
 
 class TestPerCrashRepair:
-    def test_fsck_repairs_after_every_individual_crash(self, tmp_path):
+    def test_fsck_repairs_after_every_individual_crash(self, layout, tmp_path):
         """The exhaustive matrix: after *each* crash point, repair + verify."""
         faults = FaultInjector(seed=0)
         docs = FaultyDocumentStore(DocumentStore(), faults)
-        files = FileStore(tmp_path / "files", faults=faults, tmp_grace_s=0.0)
+        files = FileStore(
+            tmp_path / "files", faults=faults, tmp_grace_s=0.0, layout=layout
+        )
         service = BaselineSaveService(docs, files, scratch_dir=tmp_path / "scratch")
         manager = ModelManager(service)
 
@@ -170,7 +182,9 @@ class TestPerCrashRepair:
 
 class TestAllServicesRetryThroughChaos:
     @pytest.mark.parametrize("service_cls", SERVICES)
-    def test_flaky_stores_still_save_and_recover_bitwise(self, service_cls, tmp_path):
+    def test_flaky_stores_still_save_and_recover_bitwise(
+        self, service_cls, layout, tmp_path
+    ):
         """ISSUE acceptance: >=10% transient error rates, bitwise round trip."""
         faults = FaultInjector(
             seed=13, error_rate=0.12, outage_rate=0.12, max_consecutive_failures=3
@@ -178,7 +192,8 @@ class TestAllServicesRetryThroughChaos:
         retry = RetryPolicy(max_attempts=6, base_delay_s=0.0, sleep=lambda s: None)
         docs = FaultyDocumentStore(DocumentStore(), faults)
         files = FileStore(
-            tmp_path / "files", faults=faults, retry=retry, tmp_grace_s=0.0
+            tmp_path / "files", faults=faults, retry=retry, tmp_grace_s=0.0,
+            layout=layout,
         )
         service = service_cls(
             docs, files, scratch_dir=tmp_path / "scratch", retry=retry

@@ -27,6 +27,12 @@ def tiny_arch():
     )
 
 
+@pytest.fixture(params=["files", "segments"])
+def file_store(tmp_path, request):
+    """Override the global fixture: fsck must hold on both chunk layouts."""
+    return FileStore(tmp_path / "files", layout=request.param)
+
+
 @pytest.fixture
 def setup(mem_doc_store, file_store):
     service = BaselineSaveService(mem_doc_store, file_store)
@@ -38,6 +44,23 @@ def setup(mem_doc_store, file_store):
 
 def kinds(report):
     return {issue.kind for issue in report.issues}
+
+
+def destroy_chunk(files, digest):
+    """Layout-agnostic data loss: drop the stored payload out from under
+    the refcounts (unlink for file-per-chunk, index removal for segments)."""
+    files.chunks.drop(digest)
+
+
+def flip_chunk_byte(files, digest):
+    """Layout-agnostic bit rot: flip the first stored payload byte in place."""
+    path, offset, length = files.chunks.locate(digest)
+    assert length > 0
+    with open(path, "r+b") as fileobj:
+        fileobj.seek(offset)
+        byte = fileobj.read(1)
+        fileobj.seek(offset)
+        fileobj.write(bytes([byte[0] ^ 0xFF]))
 
 
 class TestFsckDetectAndRepair:
@@ -93,7 +116,7 @@ class TestFsckDetectAndRepair:
     def test_missing_chunk_is_unrepairable(self, setup):
         manager, service, files, model_id, model = setup
         digest = files.chunks.chunk_ids()[0]
-        (files.chunks.objects_dir / digest).unlink()
+        destroy_chunk(files, digest)
         report = manager.fsck()
         assert "missing_chunk" in kinds(report)
         assert report.unrepaired, "data loss must be reported, not hidden"
@@ -101,10 +124,7 @@ class TestFsckDetectAndRepair:
     def test_corrupt_chunk_is_detected(self, setup):
         manager, _, files, _, _ = setup
         digest = files.chunks.chunk_ids()[0]
-        path = files.chunks.objects_dir / digest
-        payload = bytearray(path.read_bytes())
-        payload[0] ^= 0xFF
-        path.write_bytes(bytes(payload))
+        flip_chunk_byte(files, digest)
         report = manager.fsck()
         assert "corrupt_chunk" in kinds(report)
         assert report.unrepaired
@@ -112,10 +132,7 @@ class TestFsckDetectAndRepair:
     def test_corrupt_chunk_ignored_without_verify(self, setup):
         manager, _, files, _, _ = setup
         digest = files.chunks.chunk_ids()[0]
-        path = files.chunks.objects_dir / digest
-        payload = bytearray(path.read_bytes())
-        payload[0] ^= 0xFF
-        path.write_bytes(bytes(payload))
+        flip_chunk_byte(files, digest)
         assert manager.fsck(verify_chunks=False).clean
 
     def test_orphan_environment_document_is_removed(self, setup):
@@ -187,7 +204,7 @@ class TestFsckCli:
     def test_data_loss_exits_nonzero(self, disk_setup, capsys):
         docs_dir, files_dir, files, _ = disk_setup
         digest = files.chunks.chunk_ids()[0]
-        (files.chunks.objects_dir / digest).unlink()
+        destroy_chunk(files, digest)
         assert self.run_cli("--docs", docs_dir, "--files", files_dir, "fsck") == 1
         assert "[UNREPAIRED] missing_chunk" in capsys.readouterr().out
 

@@ -14,7 +14,7 @@ ARCH = ArchitectureRef.from_factory(
 )
 
 FSCK_STEPS = (
-    "journals", "documents", "chunks", "orphan_files",
+    "journals", "segments", "documents", "chunks", "orphan_files",
     "refcounts", "replication", "orphan_documents",
 )
 

@@ -180,7 +180,8 @@ class TestStoreHygiene:
         assert in_flight.exists()
 
     def test_gc_spares_fresh_tmp_but_reaps_expired(self, tmp_path):
-        store = FileStore(tmp_path / "s")
+        # pokes objects_dir: this invariant is file-per-chunk specific
+        store = FileStore(tmp_path / "s", layout="files")
         fresh = store.chunks.objects_dir / "deadbeef-12345678.tmp"
         fresh.write_bytes(b"in flight")
         expired = store.chunks.objects_dir / "cafebabe-87654321.tmp"

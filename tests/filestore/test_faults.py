@@ -114,7 +114,10 @@ class TestRetryAbsorbsTransients:
     def test_torn_write_leaves_tear_then_retry_converges(self, tmp_path):
         faults = FaultInjector(seed=1, torn_write_rate=0.5)
         retry = no_sleep_policy()
-        store = FileStore(tmp_path / "s", faults=faults, retry=retry, tmp_grace_s=0.0)
+        store = FileStore(
+            tmp_path / "s", faults=faults, retry=retry, tmp_grace_s=0.0,
+            layout="files",  # the *.tmp tear below is file-per-chunk specific
+        )
         payload = np.arange(64, dtype=np.float32)
         digest = tensor_hash(payload)
         assert store.put_chunk(digest, payload.data) is True

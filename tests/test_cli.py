@@ -355,7 +355,7 @@ class TestObservabilityCommands:
         payload = json.loads(capsys.readouterr().out)
         steps = payload["step_seconds"]
         assert set(steps) == {
-            "journals", "documents", "chunks", "orphan_files",
+            "journals", "segments", "documents", "chunks", "orphan_files",
             "refcounts", "replication", "orphan_documents",
         }
         assert all(seconds >= 0.0 for seconds in steps.values())
