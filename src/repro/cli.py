@@ -17,6 +17,8 @@ file store directories).  Examples::
     mmlib --docs db --files blobs delete model-0123… --force
     mmlib --docs db --files blobs gc
     mmlib --docs db --files blobs fsck
+    mmlib --cluster deploy heal --json
+    mmlib --cluster deploy stats --prometheus
     mmlib probe --factory repro.nn.models:resnet18 \\
           --factory-kwargs '{"num_classes": 10, "scale": 0.25}'
     mmlib env
@@ -59,8 +61,27 @@ def _open_manager(args):
     from repro.docstore import DocumentStore
     from repro.filestore import FileStore
 
+    cluster = getattr(args, "cluster", None)
+    if cluster:
+        from repro.distsim.environment import SharedStores, make_service
+
+        workdir = Path(cluster)
+        shards = sorted(p for p in workdir.glob("shard-*") if p.is_dir())
+        if not shards:
+            raise CliError(f"no shard-* member directories under {workdir}")
+        stores = SharedStores.cluster_at(
+            workdir,
+            shards=len(shards),
+            replicas=getattr(args, "replicas", 2),
+            layout=getattr(args, "layout", None),
+            self_heal=True,
+        )
+        return ModelManager(make_service("baseline", stores))
     if not args.docs or not args.files:
-        raise CliError("this command requires --docs and --files store directories")
+        raise CliError(
+            "this command requires --docs and --files store directories "
+            "(or --cluster for a sharded deployment)"
+        )
     service = BaselineSaveService(
         DocumentStore(args.docs),
         FileStore(args.files, layout=getattr(args, "layout", None)),
@@ -269,6 +290,41 @@ def cmd_fsck(args) -> int:
     return 1 if report.unrepaired else 0
 
 
+def cmd_heal(args) -> int:
+    """Drain handoff hints and run a full anti-entropy sweep, now."""
+    manager = _open_manager(args)
+    report = manager.heal(repair=not args.no_repair, deep=not args.shallow)
+    if not report.get("cluster"):
+        print("not a clustered deployment: nothing to heal", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["converged"] else 1
+    hints = report.get("hints")
+    if hints:
+        print(
+            f"hints: {hints['pending_before']} pending -> "
+            f"{hints['pending_after']} ({hints['delivered']} delivered, "
+            f"{hints['stale']} stale, {hints['failures']} failures)"
+        )
+    else:
+        print("hints: none pending")
+    sweep = report["anti_entropy"]
+    print(
+        f"anti-entropy: {sweep['scanned']} keys scanned, "
+        f"{sweep['repaired']} repaired, {sweep['deferred']} deferred, "
+        f"{sweep['unrepairable']} unrepairable, backlog {sweep['backlog']}"
+    )
+    unhealthy = sorted(
+        name for name, snap in report.get("health", {}).items()
+        if snap["state"] != "healthy"
+    )
+    if unhealthy:
+        print(f"unhealthy members: {', '.join(unhealthy)}")
+    print("converged" if report["converged"] else "NOT converged")
+    return 0 if report["converged"] else 1
+
+
 def cmd_probe(args) -> int:
     """Probe a model's training reproducibility (optionally save/compare)."""
     from repro.core import ProbeSummary, probe_reproducibility, probe_training
@@ -377,14 +433,19 @@ def cmd_stats(args) -> int:
     obs.preregister_default_families()
     if args.demo:
         _run_obs_demo()
-    if args.docs and args.files and not args.prometheus:
+    opened = (args.docs and args.files) or getattr(args, "cluster", None)
+    if opened and not args.prometheus:
         # opening the stores folds their per-component views (segment
-        # layout gauges included) into the snapshot
+        # layout, cluster health, pending hints) into the snapshot
         manager = _open_manager(args)
         print(json.dumps(manager.stats(), indent=2, sort_keys=True))
         return 0
     registry = obs.registry()
     if args.prometheus:
+        if opened:
+            # opening the deployment primes its gauges (member health,
+            # pending hints, segment occupancy) into the registry
+            _open_manager(args).stats()
         sys.stdout.write(registry.to_prometheus())
     else:
         print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
@@ -441,6 +502,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--docs", help="document store directory")
     parser.add_argument("--files", help="file store directory")
+    parser.add_argument(
+        "--cluster",
+        help="clustered deployment directory (as laid out by "
+             "SharedStores.cluster_at: shard-*/ members plus cluster-meta/); "
+             "replaces --docs/--files",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica count when opening a --cluster deployment (default 2)",
+    )
     parser.add_argument(
         "--layout", choices=["files", "segments"], default=None,
         help="chunk layout when opening the file store (default: "
@@ -543,6 +614,24 @@ def build_parser() -> argparse.ArgumentParser:
     probe_parser.add_argument("--save", help="write the probe summary JSON here")
     probe_parser.add_argument("--compare", help="compare against a saved summary JSON")
     probe_parser.set_defaults(func=cmd_probe)
+
+    heal_parser = commands.add_parser(
+        "heal",
+        help="drain handoff hints and anti-entropy repair a --cluster "
+             "deployment",
+    )
+    heal_parser.add_argument(
+        "--no-repair", action="store_true",
+        help="audit only: report divergence without writing",
+    )
+    heal_parser.add_argument(
+        "--shallow", action="store_true",
+        help="skip reading/verifying every replica; only restore missing "
+             "copies",
+    )
+    heal_parser.add_argument("--json", action="store_true",
+                             help="full report as JSON")
+    heal_parser.set_defaults(func=cmd_heal)
 
     stats_parser = commands.add_parser(
         "stats", help="dump the process-wide metrics registry"

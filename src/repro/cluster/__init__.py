@@ -6,8 +6,17 @@ of owners, reads fail over in ring order with digest-verified
 read-repair, and membership changes stream only the keys whose ring
 ownership moved.  The sharded stores keep the exact single-store
 interfaces, so every MMlib service runs against a cluster unchanged.
+
+The self-healing layer rides on top: a :class:`FailureDetector` scores
+member health from op outcomes and probes, :class:`HintLog`/
+:class:`HintDeliverer` turn degraded quorum writes into durable,
+replayable IOUs, and :class:`AntiEntropyScanner` diffs replica sets in
+the background through the same per-key heal path ``fsck`` uses.
 """
 
+from .antientropy import AntiEntropyScanner, repair_blob, repair_chunk
+from .health import FailureDetector, HealthMonitor
+from .hints import HintDeliverer, HintLog
 from .rebalance import ClusterRebalancer, replication_fsck
 from .ring import HashRing
 from .sharded_docs import ShardedDocumentStore
@@ -19,4 +28,11 @@ __all__ = [
     "ShardedDocumentStore",
     "ClusterRebalancer",
     "replication_fsck",
+    "FailureDetector",
+    "HealthMonitor",
+    "HintLog",
+    "HintDeliverer",
+    "AntiEntropyScanner",
+    "repair_chunk",
+    "repair_blob",
 ]

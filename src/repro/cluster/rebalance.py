@@ -12,7 +12,10 @@ Two maintenance planes share this module:
   ring's R: under-replicated keys are repaired from a surviving copy
   (digest-verified first), stray replicas on non-owners are dropped once
   the owners are whole, and per-member refcounts are synced.  This is
-  also what finishes quorum writes that succeeded degraded.
+  also what finishes quorum writes that succeeded degraded.  The per-key
+  heal itself lives in :mod:`repro.cluster.antientropy`, shared with the
+  online :class:`~repro.cluster.antientropy.AntiEntropyScanner` so
+  offline and online repair semantics cannot diverge.
 
 Both operate on the members' *raw* storage primitives — no fault hooks,
 no link charges — because maintenance audits what is stored, not what a
@@ -28,29 +31,18 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from .. import obs
-from ..filestore.store import ChunkNotFoundError, FileNotFoundInStoreError
-from .sharded_store import ShardedFileStore, _verify_blob
+from .antientropy import (
+    blob_universe as _blob_universe,
+    chunk_universe as _chunk_universe,
+    repair_blob,
+    repair_chunk,
+)
+from .sharded_store import ShardedFileStore
 
 __all__ = ["ClusterRebalancer", "replication_fsck"]
 
 #: Directory (under the sharded store's meta root) holding rebalance journals.
 REBALANCE_DIR_NAME = "rebalance"
-
-
-def _chunk_universe(store: ShardedFileStore) -> set[str]:
-    """Every chunk digest any member stores or refcounts."""
-    universe: set[str] = set()
-    for member in store.members.values():
-        universe.update(member.chunks.chunk_ids())
-        universe.update(member.chunks.export_refs())
-    return universe
-
-
-def _blob_universe(store: ShardedFileStore) -> set[str]:
-    universe: set[str] = set()
-    for member in store.members.values():
-        universe.update(member.file_ids())
-    return universe
 
 
 class ClusterRebalancer:
@@ -307,7 +299,6 @@ def replication_fsck(store: ShardedFileStore, repair: bool = True) -> dict:
     sitting on non-owners (left behind by an interrupted rebalance) are
     dropped once every owner holds the key.
     """
-    members = store.members
     report = {
         "chunks_checked": 0,
         "blobs_checked": 0,
@@ -317,87 +308,35 @@ def replication_fsck(store: ShardedFileStore, repair: bool = True) -> dict:
         "unrepairable": [],
     }
 
-    for digest in sorted(_chunk_universe(store)):
-        report["chunks_checked"] += 1
-        owners = store.ring.owners(digest)
-        holders = [n for n in sorted(members) if members[n].chunks.has(digest)]
-        missing = [n for n in owners if n not in holders]
-        if missing:
+    def fold(result: dict) -> None:
+        kind, key = result["kind"], result["key"]
+        gone = result["missing"] + result["unreachable"]
+        if gone:
             report["under_replicated"].append(
                 {
-                    "kind": "chunk",
-                    "key": digest,
-                    "have": len(owners) - len(missing),
-                    "want": len(owners),
-                    "missing": missing,
+                    "kind": kind,
+                    "key": key,
+                    "have": len(result["owners"]) - len(gone),
+                    "want": len(result["owners"]),
+                    "missing": gone,
                 }
             )
-            if not holders:
-                report["unrepairable"].append({"kind": "chunk", "key": digest})
-                continue
-            if repair:
-                data = members[holders[0]].chunks.get(digest)
-                if store._verify_for_repair(digest, data) is False:
-                    report["unrepairable"].append({"kind": "chunk", "key": digest})
-                    continue
-                refcount = max(members[n].chunks.refcount(digest) for n in holders)
-                for name in missing:
-                    members[name].chunks.put(digest, data)
-                    if refcount > 0:
-                        members[name].chunks.import_refs({digest: refcount})
-                holders = sorted(set(holders) | set(missing))
-                report["repaired"].append({"kind": "chunk", "key": digest})
-                store._clear_degraded("chunk", digest)
-        if repair and all(n in holders for n in owners):
-            for name in holders:
-                if name in owners:
-                    continue
-                members[name].chunks.drop(digest)
-                members[name].chunks.forget_refs([digest])
-                report["strays_dropped"].append(
-                    {"kind": "chunk", "key": digest, "member": name}
-                )
+        if result["status"] == "unrepairable":
+            report["unrepairable"].append({"kind": kind, "key": key})
+        if result["repaired_to"] or result["corrupt_healed"]:
+            report["repaired"].append({"kind": kind, "key": key})
+            store._clear_degraded(kind, key)
+        for member in result["strays_dropped"]:
+            report["strays_dropped"].append(
+                {"kind": kind, "key": key, "member": member}
+            )
+
+    for digest in sorted(_chunk_universe(store)):
+        report["chunks_checked"] += 1
+        fold(repair_chunk(store, digest, repair=repair))
 
     for file_id in sorted(_blob_universe(store)):
         report["blobs_checked"] += 1
-        owners = store.ring.owners(file_id)
-        holders = [n for n in sorted(members) if members[n].exists(file_id)]
-        missing = [n for n in owners if n not in holders]
-        if missing:
-            report["under_replicated"].append(
-                {
-                    "kind": "blob",
-                    "key": file_id,
-                    "have": len(owners) - len(missing),
-                    "want": len(owners),
-                    "missing": missing,
-                }
-            )
-            # the intact-copy check runs even without repair so an
-            # audit-only pass still reports blobs that *cannot* be
-            # repaired; only the restore writes are gated on ``repair``
-            data = None
-            for name in holders:  # first *intact* copy wins
-                candidate = members[name]._read_blob_raw(file_id)
-                if _verify_blob(file_id, candidate):
-                    data = candidate
-                    break
-            if data is None:
-                report["unrepairable"].append({"kind": "blob", "key": file_id})
-                continue
-            if repair:
-                for name in missing:
-                    members[name]._restore_blob(file_id, data)
-                holders = sorted(set(holders) | set(missing))
-                report["repaired"].append({"kind": "blob", "key": file_id})
-                store._clear_degraded("blob", file_id)
-        if repair and all(n in holders for n in owners):
-            for name in holders:
-                if name in owners:
-                    continue
-                members[name]._discard_blob(file_id)
-                report["strays_dropped"].append(
-                    {"kind": "blob", "key": file_id, "member": name}
-                )
+        fold(repair_blob(store, file_id, repair=repair))
 
     return report

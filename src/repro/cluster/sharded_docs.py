@@ -20,6 +20,7 @@ import json
 import threading
 from typing import Mapping
 
+from .. import deadline as deadline_mod
 from .. import obs
 from ..docstore.documents import new_object_id, validate_document
 from ..docstore.engine import DuplicateKeyError, NotFoundError, _sort_key
@@ -134,9 +135,14 @@ class _ShardedCollection:
         fresh = 0
         duplicates = 0
         owner_count = 0
+        missed: list[str] = []
         last_error: Exception | None = None
-        for _, collection in self._owners(doc_id):
+        for member_name, collection in self._owners(doc_id):
             owner_count += 1
+            deadline_mod.check("docs.insert_one")
+            if not self._store._member_allowed(member_name):
+                missed.append(member_name)
+                continue
             try:
                 collection.insert_one(_copy(document))
                 fresh += 1
@@ -144,7 +150,11 @@ class _ShardedCollection:
                 duplicates += 1
             except _REPLICA_FAILURES as exc:
                 last_error = exc
+                if isinstance(exc, OSError):
+                    self._store._member_down(member_name)
+                missed.append(member_name)
                 continue
+            self._store._member_up(member_name)
             acks += 1
         if acks < self._store.write_quorum:
             self._store._note_quorum_failure(self.name, doc_id, acks)
@@ -156,8 +166,10 @@ class _ShardedCollection:
             raise DuplicateKeyError(
                 f"duplicate _id {doc_id!r} in collection {self.name!r}"
             )
-        if acks < owner_count:
+        if missed:
             self._store._note_degraded(self.name, doc_id)
+            for member_name in missed:
+                self._store._hint(member_name, self.name, doc_id)
         return doc_id
 
     def insert_many(self, documents: list[dict]) -> list[str]:
@@ -172,9 +184,14 @@ class _ShardedCollection:
         document["_id"] = str(doc_id)
         acks = 0
         owner_count = 0
+        missed: list[str] = []
         last_error: Exception | None = None
-        for _, collection in self._owners(doc_id):
+        for member_name, collection in self._owners(doc_id):
             owner_count += 1
+            deadline_mod.check("docs.replace_one")
+            if not self._store._member_allowed(member_name):
+                missed.append(member_name)
+                continue
             try:
                 try:
                     collection.replace_one(doc_id, _copy(document))
@@ -182,7 +199,11 @@ class _ShardedCollection:
                     collection.insert_one(_copy(document))
             except _REPLICA_FAILURES as exc:
                 last_error = exc
+                if isinstance(exc, OSError):
+                    self._store._member_down(member_name)
+                missed.append(member_name)
                 continue
+            self._store._member_up(member_name)
             acks += 1
         if acks < self._store.write_quorum:
             self._store._note_quorum_failure(self.name, doc_id, acks)
@@ -190,6 +211,10 @@ class _ShardedCollection:
                 f"document {self.name}/{doc_id} replace reached {acks}/"
                 f"{owner_count} replicas (write quorum {self._store.write_quorum})"
             ) from last_error
+        if missed:
+            self._store._note_degraded(self.name, doc_id)
+            for member_name in missed:
+                self._store._hint(member_name, self.name, doc_id)
 
     def update_one(self, query: dict, changes: dict) -> bool:
         """Find the first match cluster-wide, then update it by ``_id`` on
@@ -201,9 +226,14 @@ class _ShardedCollection:
         doc_id = target["_id"]
         acks = 0
         owner_count = 0
+        missed: list[str] = []
         last_error: Exception | None = None
-        for _, collection in self._owners(doc_id):
+        for member_name, collection in self._owners(doc_id):
             owner_count += 1
+            deadline_mod.check("docs.update_one")
+            if not self._store._member_allowed(member_name):
+                missed.append(member_name)
+                continue
             try:
                 if not collection.update_one({"_id": doc_id}, dict(changes)):
                     # replica is missing the doc: repair it, with changes applied
@@ -216,7 +246,11 @@ class _ShardedCollection:
                         pass
             except _REPLICA_FAILURES as exc:
                 last_error = exc
+                if isinstance(exc, OSError):
+                    self._store._member_down(member_name)
+                missed.append(member_name)
                 continue
+            self._store._member_up(member_name)
             acks += 1
         if acks < self._store.write_quorum:
             self._store._note_quorum_failure(self.name, doc_id, acks)
@@ -224,6 +258,10 @@ class _ShardedCollection:
                 f"document {self.name}/{doc_id} update reached {acks}/"
                 f"{owner_count} replicas (write quorum {self._store.write_quorum})"
             ) from last_error
+        if missed:
+            self._store._note_degraded(self.name, doc_id)
+            for member_name in missed:
+                self._store._hint(member_name, self.name, doc_id)
         return True
 
     def delete_one(self, doc_id: str) -> bool:
@@ -237,9 +275,14 @@ class _ShardedCollection:
         removed = False
         acks = 0
         owner_count = 0
+        missed: list[str] = []
         last_error: Exception | None = None
         for member_name, collection in self._owners(doc_id):
             owner_count += 1
+            deadline_mod.check("docs.delete_one")
+            if not self._store._member_allowed(member_name):
+                missed.append(member_name)
+                continue
             graves = self._store.members[member_name].collection(TOMBSTONES)
             try:
                 try:
@@ -249,7 +292,11 @@ class _ShardedCollection:
                 removed = collection.delete_one(doc_id) or removed
             except _REPLICA_FAILURES as exc:
                 last_error = exc
+                if isinstance(exc, OSError):
+                    self._store._member_down(member_name)
+                missed.append(member_name)
                 continue
+            self._store._member_up(member_name)
             acks += 1
         if acks < self._store.write_quorum:
             self._store._note_quorum_failure(self.name, doc_id, acks)
@@ -257,8 +304,12 @@ class _ShardedCollection:
                 f"document {self.name}/{doc_id} delete reached {acks}/"
                 f"{owner_count} replicas (write quorum {self._store.write_quorum})"
             ) from last_error
-        if acks < owner_count:
+        if missed:
             self._store._note_degraded(self.name, doc_id)
+            # the hint's delivery consults the tombstone, so replaying it
+            # finishes the delete on the member that missed it
+            for member_name in missed:
+                self._store._hint(member_name, self.name, doc_id)
         else:
             self._store._clear_degraded(self.name, doc_id)
         return removed
@@ -288,15 +339,22 @@ class _ShardedCollection:
         doc_id = str(doc_id)
         failed = []
         unreachable = 0
-        for _, collection in self._owners(doc_id):
+        for member_name, collection in self._owners(doc_id):
+            deadline_mod.check("docs.get")
+            if not self._store._member_allowed(member_name):
+                unreachable += 1  # breaker open: absence stays unproven
+                continue
             try:
                 document = collection.get(doc_id)
             except NotFoundError:
+                self._store._member_up(member_name)
                 failed.append(collection)
                 continue
             except OSError:
+                self._store._member_down(member_name)
                 unreachable += 1
                 continue
+            self._store._member_up(member_name)
             if self._is_tombstoned(doc_id):
                 self._reap(doc_id)
                 raise NotFoundError(f"no document {doc_id!r} in {self.name!r}")
@@ -372,13 +430,21 @@ class _ShardedCollection:
         out rather than resurrected."""
         merged: dict[str, dict] = {}
         unreachable = 0
-        for collection in self._all_collections():
+        for member_name in sorted(self._store.members):
+            collection = self._store.members[member_name].collection(self.name)
+            deadline_mod.check("docs.find")
+            if not self._store._member_allowed(member_name):
+                self._store._bump("failover_reads")
+                unreachable += 1  # breaker open: results may be incomplete
+                continue
             try:
                 results = collection.find(query)
             except OSError:
+                self._store._member_down(member_name)
                 self._store._bump("failover_reads")
                 unreachable += 1
                 continue
+            self._store._member_up(member_name)
             for document in results:
                 merged.setdefault(document["_id"], document)
         if unreachable >= self._store._effective_replicas():
@@ -442,10 +508,17 @@ class ShardedDocumentStore:
         replicas: int = 2,
         write_quorum: int | None = None,
         vnodes: int = DEFAULT_VNODES,
+        detector=None,
+        hint_log=None,
     ):
         if not members:
             raise ValueError("a sharded document store needs at least one member")
         self.members = dict(members)
+        self.detector = detector
+        self.hints = hint_log
+        if detector is not None:
+            for name in self.members:
+                detector.add_member(name)
         self.ring = HashRing(sorted(self.members), replicas=replicas, vnodes=vnodes)
         effective = min(replicas, len(self.members))
         if write_quorum is None:
@@ -513,6 +586,78 @@ class ShardedDocumentStore:
     def _effective_replicas(self) -> int:
         """The replica count actually achievable with current membership."""
         return min(self.ring.replicas, len(self.members))
+
+    # -- failure-detector / hint feeds (all no-ops when not wired) -----------
+
+    def _member_allowed(self, name: str) -> bool:
+        return self.detector is None or self.detector.allow(name)
+
+    def _member_up(self, name: str) -> None:
+        if self.detector is not None:
+            self.detector.record_success(name)
+
+    def _member_down(self, name: str) -> None:
+        if self.detector is not None:
+            self.detector.record_failure(name)
+
+    def _hint(self, name: str, collection: str, doc_id: str) -> None:
+        if self.hints is not None:
+            self.hints.record(name, "doc", str(doc_id), collection=collection)
+
+    # -- hinted handoff delivery ---------------------------------------------
+
+    def hint_appliers(self) -> dict:
+        """Kind → applier callables for a :class:`~repro.cluster.hints.HintDeliverer`."""
+        return {"doc": self._apply_doc_hint}
+
+    def _apply_doc_hint(self, member_name: str, hint) -> bool:
+        """Deliver one document IOU, tombstone-safely.
+
+        Hints carry no document body; delivery decides from *current*
+        cluster state.  A document tombstoned since the hint was recorded
+        gets the tombstone (and the delete finished) — replaying a hint
+        never resurrects a quorum-acked delete.  Otherwise the live copy
+        is read from a surviving owner and replicated to the member.
+        Returns ``False`` (stale) when the member or its ownership is
+        gone, or no owner holds the document anymore; raises the member's
+        transient errors through so the deliverer retries later.
+        """
+        collection_name = hint.get("collection")
+        doc_id = str(hint["key"])
+        member = self.members.get(member_name)
+        if member is None or collection_name is None:
+            return False
+        ring_key = f"{collection_name}/{doc_id}"
+        if member_name not in self.ring.owners(ring_key):
+            return False  # ownership moved on (rebalance since the write)
+        sharded = self.collection(collection_name)
+        if sharded._is_tombstoned(doc_id):
+            graves = member.collection(TOMBSTONES)
+            try:
+                graves.insert_one({"_id": ring_key})
+            except DuplicateKeyError:
+                pass
+            member.collection(collection_name).delete_one(doc_id)
+            self._clear_degraded(collection_name, doc_id)
+            return True
+        document = None
+        for name in self.ring.owners(ring_key):
+            if name == member_name:
+                continue
+            try:
+                document = self.members[name].collection(collection_name).get(doc_id)
+                break
+            except (NotFoundError, OSError):
+                continue
+        if document is None:
+            return False  # no surviving replica: delete converged or data lost
+        target = member.collection(collection_name)
+        try:
+            target.insert_one(_copy(document))
+        except DuplicateKeyError:
+            target.replace_one(doc_id, _copy(document))
+        self._clear_degraded(collection_name, doc_id)
+        return True
 
     # -- store surface --------------------------------------------------------
 

@@ -34,8 +34,9 @@ from typing import Mapping
 
 import numpy as np
 
+from .. import deadline as deadline_mod
 from .. import obs
-from ..errors import QuorumWriteError
+from ..errors import QuorumWriteError, StoreCorruptionError, TransientStoreError
 from ..filestore.store import (
     ChunkNotFoundError,
     FileNotFoundInStoreError,
@@ -49,6 +50,27 @@ __all__ = ["ShardedFileStore"]
 #: write attempt: typed store errors are OSError subclasses, missing
 #: blobs/chunks are KeyError subclasses.
 _REPLICA_FAILURES = (KeyError, OSError)
+
+
+def _classify_failure(exc: Exception) -> str:
+    """What a per-replica failure says about the replica.
+
+    ``corrupt``
+        The member answered, but its copy failed digest verification —
+        the member is *alive* and its copy needs overwriting, not the
+        failure detector's attention.
+    ``missing``
+        The member answered "I don't have it" — alive, repairable by a
+        plain copy.
+    ``unreachable``
+        The member did not answer (transient I/O, outage): feed the
+        failure detector, never write repairs at it.
+    """
+    if isinstance(exc, StoreCorruptionError):
+        return "corrupt"
+    if isinstance(exc, KeyError):
+        return "missing"
+    return "unreachable"
 
 
 def _verify_blob(file_id: str, data: bytes) -> bool:
@@ -325,6 +347,8 @@ class ShardedFileStore(FileStore):
         verify_reads: bool | None = None,
         workers: int = 0,
         chunk_cache=None,
+        detector=None,
+        hint_log=None,
     ):
         if not members:
             raise ValueError("a sharded store needs at least one member")
@@ -338,6 +362,11 @@ class ShardedFileStore(FileStore):
                 f"write_quorum must be in [1, {effective}], got {write_quorum}"
             )
         self.write_quorum = int(write_quorum)
+        self.detector = detector
+        self.hints = hint_log
+        if detector is not None:
+            for name in self.members:
+                detector.add_member(name)
         self._chunk_meta: dict[str, tuple[str, tuple[int, ...]]] = {}
         self._meta_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -381,6 +410,23 @@ class ShardedFileStore(FileStore):
 
     def _owner_stores(self, key: str) -> list[tuple[str, FileStore]]:
         return [(name, self.members[name]) for name in self.ring.owners(key)]
+
+    # -- failure-detector / hint feeds (all no-ops when not wired) -----------
+
+    def _member_allowed(self, name: str) -> bool:
+        return self.detector is None or self.detector.allow(name)
+
+    def _member_up(self, name: str) -> None:
+        if self.detector is not None:
+            self.detector.record_success(name)
+
+    def _member_down(self, name: str) -> None:
+        if self.detector is not None:
+            self.detector.record_failure(name)
+
+    def _hint(self, name: str, kind: str, key: str) -> None:
+        if self.hints is not None:
+            self.hints.record(name, kind, key)
 
     def _bump(self, stat: str, by: int = 1) -> None:
         with self._stats_lock:
@@ -439,13 +485,22 @@ class ShardedFileStore(FileStore):
         def attempt() -> bool:
             acks = 0
             wrote_any = False
+            missed: list[str] = []
             last_error: Exception | None = None
-            for _, member in owners:
+            for name, member in owners:
+                deadline_mod.check("cluster.chunk_write")
+                if not self._member_allowed(name):
+                    missed.append(name)  # breaker open: fast-fail the replica
+                    continue
                 try:
                     wrote = member._put_chunk_data(digest, buffer)
                 except _REPLICA_FAILURES as exc:
                     last_error = exc
+                    if _classify_failure(exc) == "unreachable":
+                        self._member_down(name)
+                    missed.append(name)
                     continue
+                self._member_up(name)
                 acks += 1
                 wrote_any = wrote_any or wrote
             if acks < self.write_quorum:
@@ -457,8 +512,10 @@ class ShardedFileStore(FileStore):
                     f"chunk {digest[:12]}… reached {acks}/{len(owners)} replicas "
                     f"(write quorum {self.write_quorum})"
                 ) from last_error
-            if acks < len(owners):
+            if missed:
                 self._note_degraded("chunk", digest)
+                for name in missed:
+                    self._hint(name, "chunk", digest)
             else:
                 self._clear_degraded("chunk", digest)
             return wrote_any
@@ -470,13 +527,22 @@ class ShardedFileStore(FileStore):
 
         def attempt() -> None:
             acks = 0
+            missed: list[str] = []
             last_error: Exception | None = None
-            for _, member in owners:
+            for name, member in owners:
+                deadline_mod.check("cluster.blob_write")
+                if not self._member_allowed(name):
+                    missed.append(name)
+                    continue
                 try:
                     member._write_blob(file_id, data)
                 except _REPLICA_FAILURES as exc:
                     last_error = exc
+                    if _classify_failure(exc) == "unreachable":
+                        self._member_down(name)
+                    missed.append(name)
                     continue
+                self._member_up(name)
                 acks += 1
             if acks < self.write_quorum:
                 self._obs_quorum_failures.inc()
@@ -487,8 +553,10 @@ class ShardedFileStore(FileStore):
                     f"blob {file_id!r} reached {acks}/{len(owners)} replicas "
                     f"(write quorum {self.write_quorum})"
                 ) from last_error
-            if acks < len(owners):
+            if missed:
                 self._note_degraded("blob", file_id)
+                for name in missed:
+                    self._hint(name, "blob", file_id)
             else:
                 self._clear_degraded("blob", file_id)
 
@@ -498,20 +566,42 @@ class ShardedFileStore(FileStore):
 
     def _read_chunk(self, digest: str) -> bytes:
         owners = self._owner_stores(digest)
-        failed: list[tuple[str, FileStore]] = []
+        missing: list[tuple[str, FileStore]] = []
+        corrupt: list[tuple[str, FileStore]] = []
+        skipped = 0
         last_error: Exception | None = None
         with self._obs_tracer.span("cluster.chunk_read", digest=digest) as sp:
             for name, member in owners:
+                deadline_mod.check("cluster.chunk_read")
+                if not self._member_allowed(name):
+                    skipped += 1
+                    last_error = TransientStoreError(
+                        f"replica {name!r} skipped: circuit breaker open"
+                    )
+                    continue
                 try:
                     data = member._charged_read(digest)
                 except _REPLICA_FAILURES as exc:
-                    failed.append((name, member))
                     last_error = exc
+                    kind = _classify_failure(exc)
+                    if kind == "corrupt":
+                        # the member answered; its *copy* is bad
+                        self._member_up(name)
+                        corrupt.append((name, member))
+                    elif kind == "missing":
+                        self._member_up(name)
+                        missing.append((name, member))
+                    else:
+                        self._member_down(name)
                     continue
-                sp.set(member=name, failovers=len(failed))
-                if failed:
+                self._member_up(name)
+                failovers = len(missing) + len(corrupt) + skipped
+                sp.set(member=name, failovers=failovers)
+                if failovers:
                     self._bump("failover_reads")
-                    self._repair_chunk_replicas(digest, data, failed, source=member)
+                    self._repair_chunk_replicas(
+                        digest, data, missing, corrupt, source=member
+                    )
                 return data
             if last_error is not None:
                 raise last_error
@@ -521,32 +611,49 @@ class ShardedFileStore(FileStore):
         self,
         digest: str,
         data: bytes,
-        failed: list[tuple[str, FileStore]],
+        missing: list[tuple[str, FileStore]],
+        corrupt: list[tuple[str, FileStore]],
         source: FileStore,
     ) -> None:
-        """Write a failover-read payload back to owners missing it.
+        """Write a failover-read payload back to owners that failed it.
 
-        Skipped outright when the payload fails tensor-hash verification
-        — never replicate corruption.  Members whose read merely failed
-        transiently (the chunk file is present) are left alone.
+        ``missing`` owners (answered "not found") get a plain copy;
+        ``corrupt`` owners (answered with bytes that failed verification)
+        get their copy overwritten — a replica that failed digest
+        verification is never left as-is *and* never used as a source.
+        Owners that were unreachable are in neither list: repair writes
+        at a dead member would be wasted (or, under fault simulation,
+        dishonest) — hinted handoff and anti-entropy own that path.
+        Skipped outright when the payload itself fails verification —
+        never replicate corruption.
         """
         if self._verify_for_repair(digest, data) is False:
             return
         refcount = source.chunks.refcount(digest)
         repaired = False
-        for _, member in failed:
-            if member.chunks.has(digest):
-                continue
+
+        def heal(member: FileStore, overwrite: bool) -> bool:
             try:
+                if overwrite:
+                    member.chunks.drop(digest)
+                elif member.chunks.has(digest):
+                    return False  # raced another repair: already healed
                 member.chunks.put(digest, data)
                 if refcount > 0:
                     member.chunks.import_refs({digest: refcount})
             except OSError:
                 self._bump("repair_failures")
-                continue
-            repaired = True
+                return False
             self._bump("read_repairs")
-            self._obs_events.emit("read_repair", plane="files", kind="chunk", key=digest)
+            self._obs_events.emit(
+                "read_repair", plane="files", kind="chunk", key=digest,
+                overwrote_corrupt=overwrite)
+            return True
+
+        for _, member in missing:
+            repaired = heal(member, overwrite=False) or repaired
+        for _, member in corrupt:
+            repaired = heal(member, overwrite=True) or repaired
         if repaired:
             self._clear_degraded("chunk", digest)
 
@@ -566,50 +673,97 @@ class ShardedFileStore(FileStore):
             with self._obs_tracer.span(
                 "cluster.member_fetch", member=name, n=len(group)
             ) as sp:
+                if not self._member_allowed(name):
+                    # primary's breaker is open: go straight to failover
+                    # reads instead of burning a timeout on the batch
+                    sp.set(failover=True, breaker_open=True)
+                    for digest in group:
+                        results[digest] = self._read_chunk(digest)
+                    continue
                 try:
                     results.update(self.members[name]._charged_read_many(group, workers))
-                except _REPLICA_FAILURES:
+                except _REPLICA_FAILURES as exc:
+                    if _classify_failure(exc) == "unreachable":
+                        self._member_down(name)
                     sp.set(failover=True)
                     for digest in group:
                         results[digest] = self._read_chunk(digest)
+                else:
+                    self._member_up(name)
         return results
 
     def recover_bytes(self, file_id: str) -> bytes:
         owners = self._owner_stores(file_id)
-        failed: list[tuple[str, FileStore]] = []
+        missing: list[tuple[str, FileStore]] = []
+        corrupt: list[tuple[str, FileStore]] = []
+        skipped = 0
         last_error: Exception | None = None
         for name, member in owners:
+            deadline_mod.check("cluster.blob_read")
+            if not self._member_allowed(name):
+                skipped += 1
+                last_error = TransientStoreError(
+                    f"replica {name!r} skipped: circuit breaker open"
+                )
+                continue
             try:
                 # the member verifies the id-embedded digest, so a payload
                 # that comes back is safe to propagate on repair
                 data = member.recover_bytes(file_id)
             except _REPLICA_FAILURES as exc:
-                failed.append((name, member))
                 last_error = exc
+                kind = _classify_failure(exc)
+                if kind == "corrupt":
+                    self._member_up(name)
+                    corrupt.append((name, member))
+                elif kind == "missing":
+                    self._member_up(name)
+                    missing.append((name, member))
+                else:
+                    self._member_down(name)
                 continue
-            if failed:
+            self._member_up(name)
+            if missing or corrupt or skipped:
                 self._bump("failover_reads")
-                self._repair_blob_replicas(file_id, data, failed)
+                self._repair_blob_replicas(file_id, data, missing, corrupt)
             return data
         if last_error is not None:
             raise last_error
         raise FileNotFoundInStoreError(f"no stored file with id {file_id!r}")
 
     def _repair_blob_replicas(
-        self, file_id: str, data: bytes, failed: list[tuple[str, FileStore]]
+        self,
+        file_id: str,
+        data: bytes,
+        missing: list[tuple[str, FileStore]],
+        corrupt: list[tuple[str, FileStore]],
     ) -> None:
+        """Mirror of :meth:`_repair_chunk_replicas` for blob reads: plain
+        copies to owners that lacked the blob, overwrites at owners whose
+        copy failed the id-embedded digest check, nothing at unreachable
+        owners."""
         repaired = False
-        for _, member in failed:
-            if member.exists(file_id):
-                continue
+
+        def heal(member: FileStore, overwrite: bool) -> bool:
             try:
+                if overwrite:
+                    member._discard_blob(file_id)
+                elif member.exists(file_id):
+                    return False  # raced another repair: already healed
                 member._restore_blob(file_id, data)
             except OSError:
                 self._bump("repair_failures")
-                continue
-            repaired = True
+                return False
             self._bump("read_repairs")
-            self._obs_events.emit("read_repair", plane="files", kind="blob", key=file_id)
+            self._obs_events.emit(
+                "read_repair", plane="files", kind="blob", key=file_id,
+                overwrote_corrupt=overwrite)
+            return True
+
+        for _, member in missing:
+            repaired = heal(member, overwrite=False) or repaired
+        for _, member in corrupt:
+            repaired = heal(member, overwrite=True) or repaired
         if repaired:
             self._clear_degraded("blob", file_id)
 
@@ -699,6 +853,89 @@ class ShardedFileStore(FileStore):
             self._chunk_meta.clear()
         with self._stats_lock:
             self.degraded_keys.clear()
+
+    # -- hinted handoff delivery ---------------------------------------------
+
+    def hint_appliers(self) -> dict:
+        """Kind → applier callables for a :class:`~repro.cluster.hints.HintDeliverer`."""
+        return {"chunk": self._apply_chunk_hint, "blob": self._apply_blob_hint}
+
+    def _hint_source_chunk(self, digest: str, exclude: str):
+        """A verified (or unverifiable-but-present) payload from any member
+        other than ``exclude``, plus its refcount; ``(None, 0)`` if gone."""
+        fallback = None
+        fallback_refs = 0
+        for name in sorted(self.members):
+            if name == exclude:
+                continue
+            member = self.members[name]
+            try:
+                if not member.chunks.has(digest):
+                    continue
+                candidate = member.chunks.get(digest)
+                refcount = member.chunks.refcount(digest)
+            except (KeyError, OSError):
+                continue
+            verdict = self._verify_for_repair(digest, candidate)
+            if verdict is False:
+                continue  # corrupt copy: never a handoff source
+            if verdict is True:
+                return candidate, refcount
+            if fallback is None:
+                fallback, fallback_refs = candidate, refcount
+        return fallback, fallback_refs
+
+    def _apply_chunk_hint(self, member_name: str, hint) -> bool:
+        """Deliver one chunk IOU.  Idempotent and tombstone-free: chunks
+        are content-addressed, so "deliver" is "copy verified bytes".
+
+        Returns ``False`` (stale) when the member or its ownership is
+        gone, or no copy survives anywhere (the chunk was GC'd since);
+        returns ``True`` once the member holds the chunk.  Raises the
+        member's transient errors through — the deliverer retries later.
+        """
+        digest = hint["key"]
+        member = self.members.get(member_name)
+        if member is None or member_name not in self.ring.owners(digest):
+            return False  # membership or ownership moved on: IOU is moot
+        if member.chunks.has(digest):
+            self._clear_degraded("chunk", digest)
+            return True  # read-repair or anti-entropy got there first
+        data, refcount = self._hint_source_chunk(digest, exclude=member_name)
+        if data is None:
+            return False  # no surviving copy: nothing left to hand off
+        # the *hooked* write path, not raw chunk I/O: delivery must fail
+        # honestly while the member is down (or simulated down)
+        member._put_chunk_data(digest, data)
+        if refcount > 0:
+            member.chunks.import_refs({digest: refcount})
+        self._clear_degraded("chunk", digest)
+        return True
+
+    def _apply_blob_hint(self, member_name: str, hint) -> bool:
+        file_id = hint["key"]
+        member = self.members.get(member_name)
+        if member is None or member_name not in self.ring.owners(file_id):
+            return False
+        if member.exists(file_id):
+            self._clear_degraded("blob", file_id)
+            return True
+        data = None
+        for name in sorted(self.members):
+            if name == member_name:
+                continue
+            try:
+                candidate = self.members[name]._read_blob_raw(file_id)
+            except (KeyError, OSError):
+                continue
+            if _verify_blob(file_id, candidate):
+                data = candidate
+                break
+        if data is None:
+            return False
+        member._write_blob(file_id, data)  # hooked path: honest while down
+        self._clear_degraded("blob", file_id)
+        return True
 
     # -- cluster health / accounting -----------------------------------------
 

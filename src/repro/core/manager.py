@@ -298,6 +298,19 @@ class ModelManager:
         documents = self.documents
         if hasattr(documents, "cluster_stats"):
             out["cluster_docs"] = dict(documents.cluster_stats)
+        detector = getattr(files, "detector", None) or getattr(
+            documents, "detector", None)
+        if detector is not None:
+            out["health"] = detector.snapshot()
+        hint_log = getattr(files, "hints", None) or getattr(
+            documents, "hints", None)
+        if hint_log is not None:
+            out["hints"] = {
+                "pending": hint_log.pending_counts(),
+                "total_pending": hint_log.total_pending(),
+                "pending_bytes": hint_log.pending_bytes(),
+                **hint_log.stats,
+            }
         prefetcher = getattr(self.service, "prefetcher", None)
         if prefetcher is not None:
             out["prefetcher"] = prefetcher.stats()
@@ -504,6 +517,96 @@ class ModelManager:
             self.files.gc_chunks()
         return {"files_removed": removed, "bytes_freed": before - self.files.total_bytes()}
 
+    # -- self-healing (sharded deployments) ---------------------------------
+
+    def _hint_deliverer(self, hint_log):
+        """A foreground deliverer over every hint kind this deployment has."""
+        from ..cluster.hints import HintDeliverer
+
+        appliers: dict = {}
+        for store in (self.files, self.documents):
+            factory = getattr(store, "hint_appliers", None)
+            if callable(factory):
+                appliers.update(factory())
+        return HintDeliverer(
+            hint_log, getattr(self.files, "detector", None), appliers
+        )
+
+    def _probe_down_members(self) -> None:
+        """Give members the detector holds DOWN a chance to recover *now*.
+
+        Explicit repair entry points (``heal``, ``fsck``) should not wait
+        out breaker cooldowns: each down member is pinged directly,
+        enough consecutive successes to clear the recovery threshold, so
+        a member that actually returned is re-admitted before the hint
+        drain is gated on it.
+        """
+        detector = getattr(self.files, "detector", None)
+        if detector is None:
+            return
+        members = getattr(self.files, "members", {})
+        for name in detector.down_members():
+            ping = getattr(members.get(name), "ping", None)
+            if not callable(ping):
+                continue
+            for _ in range(detector.recovery_threshold):
+                try:
+                    ping()
+                except (OSError, KeyError):
+                    detector.record_failure(name)
+                    break
+                else:
+                    detector.record_success(name)
+
+    def heal(self, repair: bool = True, deep: bool = True) -> dict:
+        """One foreground self-heal pass over a sharded deployment.
+
+        Drains the hinted-handoff log (replaying quorum-write IOUs into
+        members that are back), then runs a full anti-entropy sweep —
+        with ``deep``, every reachable replica is read and
+        digest-verified, not just counted.  ``repair=False`` audits both
+        without writing.  On a non-clustered deployment this is a no-op
+        report (``{"cluster": False}``); steady-state deployments run
+        the same machinery continuously via the background
+        :class:`~repro.cluster.HintDeliverer` and
+        :class:`~repro.cluster.AntiEntropyScanner` threads — this method
+        is the operator's "converge now and tell me" button
+        (``mmlib heal``).
+        """
+        files = self.files
+        if not hasattr(files, "replication_fsck"):
+            return {"cluster": False}
+        from ..cluster import AntiEntropyScanner
+
+        report: dict = {"cluster": True}
+        detector = getattr(files, "detector", None)
+        self._probe_down_members()
+        if detector is not None:
+            report["health"] = detector.snapshot()
+        hint_log = getattr(files, "hints", None)
+        if hint_log is not None:
+            pending_before = hint_log.total_pending()
+            deliverer = self._hint_deliverer(hint_log)
+            drained = deliverer.drain() if repair else False
+            report["hints"] = {
+                "pending_before": pending_before,
+                "pending_after": hint_log.total_pending(),
+                "drained": drained,
+                "delivered": deliverer.stats["delivered"],
+                "stale": deliverer.stats["stale"],
+                "failures": deliverer.stats["failures"],
+            }
+        scanner = AntiEntropyScanner(files, detector=detector, deep=deep)
+        report["anti_entropy"] = scanner.full_sweep(repair=repair)
+        report["converged"] = (
+            report.get("hints", {}).get("pending_after", 0) == 0
+            and report["anti_entropy"]["backlog"] == 0
+        )
+        obs.events().emit(
+            "heal_pass", repair=repair, converged=report["converged"],
+            backlog=report["anti_entropy"]["backlog"])
+        return report
+
     # -- fsck: verify and repair --------------------------------------------
 
     def fsck(self, repair: bool = True, verify_chunks: bool = True) -> FsckReport:
@@ -528,7 +631,11 @@ class ModelManager:
            no unreferenced chunk file remains;
         6. on a sharded store, every chunk and blob holds its full R
            replicas — under-replicated keys are restored from a surviving
-           copy (digest-verified, never propagating corruption).
+           copy (digest-verified, never propagating corruption);
+        6b. no hinted-handoff IOUs remain pending — after the replica
+           repair above, leftover hints are drained (delivered or
+           resolved as stale); hints still owed to an unreachable member
+           are reported unrepaired.
 
         With ``repair=False`` everything is reported but nothing is
         touched.  Losses fsck cannot undo (a missing or corrupt chunk of
@@ -793,6 +900,29 @@ class ModelManager:
                     + (" (restored)" if fixed else ""),
                     repaired=fixed,
                 )
+
+        # 6b. hinted-handoff backlog: a healthy cluster owes nothing.
+        # Step 6 restored the replicas themselves, so pending hints are
+        # now satisfied (or still undeliverable) — drain resolves them as
+        # stale/delivered; whatever stays pending targets a member that
+        # is still unreachable.
+        steps.start("hints")
+        hint_log = getattr(files, "hints", None)
+        if hint_log is not None and hint_log.total_pending():
+            pending_before = hint_log.total_pending()
+            if repair:
+                self._probe_down_members()
+                self._hint_deliverer(hint_log).drain()
+            remaining = hint_log.total_pending()
+            detail = f"{pending_before} handoff hint(s) pending"
+            if repair:
+                detail += (
+                    f" ({pending_before - remaining} drained, "
+                    f"{remaining} still owed)"
+                )
+            report.add(
+                "pending_hints", detail, repaired=repair and remaining == 0
+            )
 
         # 7. orphan documents (saves that crashed outside a journal)
         steps.start("orphan_documents")

@@ -1,0 +1,113 @@
+"""Ambient per-operation deadlines, threaded through the storage stack.
+
+A dead cluster member must cost one fast circuit-breaker trip, not a
+full retry budget on every request.  Circuit breakers handle the steady
+state; deadlines bound the *transition* — the first few requests that
+discover a member died mid-operation.  Rather than adding a ``timeout=``
+parameter to every method between a save service and a socket, the
+deadline rides a :class:`contextvars.ContextVar`: the caller opens a
+scope, and every retry loop, replica iteration, and client round-trip
+underneath consults it::
+
+    from repro import deadline
+
+    with deadline.scope(0.5):          # this op gets 500 ms, total
+        service.recover_model(model_id)
+
+Consumers call :func:`remaining` (``None`` = no deadline) to cap their
+own waits, or :func:`check` to raise the typed
+:class:`~repro.errors.DeadlineExceededError` once time is spent.  Scopes
+nest; an inner scope can only *tighten* the ambient deadline, never
+extend it past the outer one.  Context variables propagate into
+``ThreadPoolExecutor`` work only if the submitter copies the context —
+the storage stack's fan-out helpers check the deadline at the submission
+boundary instead, which keeps worker code deadline-free.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+
+from . import obs
+from .errors import DeadlineExceededError
+
+__all__ = ["Deadline", "scope", "current", "remaining", "expired", "check"]
+
+_current: contextvars.ContextVar["Deadline | None"] = contextvars.ContextVar(
+    "repro_deadline", default=None
+)
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    Constructed from a relative budget; all comparisons use
+    ``obs.clock().perf()`` so tests drive expiry with a
+    :class:`~repro.obs.clock.FakeClock` instead of sleeping.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(self, seconds: float, clock=None):
+        if seconds < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {seconds}")
+        self._clock = clock or obs.clock()
+        self.expires_at = self._clock.perf() + float(seconds)
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at 0.0."""
+        return max(0.0, self.expires_at - self._clock.perf())
+
+    def expired(self) -> bool:
+        return self._clock.perf() >= self.expires_at
+
+    def check(self, op: str = "op") -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent."""
+        if self.expired():
+            raise DeadlineExceededError(f"deadline expired during {op!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.4f}s)"
+
+
+@contextmanager
+def scope(seconds: float, clock=None):
+    """Bind a deadline for the duration of the ``with`` block.
+
+    Nested scopes keep whichever deadline is *tighter* — an inner
+    ``scope(10)`` under an outer ``scope(0.1)`` does not grant more time.
+    """
+    new = Deadline(seconds, clock=clock)
+    outer = _current.get()
+    if outer is not None and outer.expires_at < new.expires_at:
+        new = outer
+    token = _current.set(new)
+    try:
+        yield new
+    finally:
+        _current.reset(token)
+
+
+def current() -> Deadline | None:
+    """The ambient deadline, or ``None`` outside any scope."""
+    return _current.get()
+
+
+def remaining() -> float | None:
+    """Seconds left on the ambient deadline (``None`` = unbounded)."""
+    ambient = _current.get()
+    return None if ambient is None else ambient.remaining()
+
+
+def expired() -> bool:
+    """Whether the ambient deadline (if any) has already passed."""
+    ambient = _current.get()
+    return ambient is not None and ambient.expired()
+
+
+def check(op: str = "op") -> None:
+    """Raise :class:`DeadlineExceededError` if the ambient deadline passed."""
+    ambient = _current.get()
+    if ambient is not None:
+        ambient.check(op)

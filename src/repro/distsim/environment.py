@@ -40,12 +40,20 @@ SERVICE_CLASSES = {
 
 @dataclass
 class SharedStores:
-    """The storage backends every participant connects to."""
+    """The storage backends every participant connects to.
+
+    Clustered deployments built with ``self_heal=True`` also carry the
+    shared :class:`~repro.cluster.FailureDetector` and
+    :class:`~repro.cluster.HintLog` wired into both sharded stores;
+    :meth:`healers` constructs the matching background services.
+    """
 
     documents: DocumentStore
     files: FileStore
     scratch_dir: Path
     retry: RetryPolicy | None = None
+    detector: object | None = None
+    hints: object | None = None
 
     @classmethod
     def at(
@@ -116,6 +124,8 @@ class SharedStores:
         pipeline_depth: int = 8,
         chunk_cache_bytes: int = 0,
         layout: str | None = None,
+        self_heal: bool = False,
+        member_faults: dict[str, FaultInjector] | None = None,
     ) -> "SharedStores":
         """Create *sharded* stores under ``workdir``: ``shards`` member
         stores behind a :class:`~repro.cluster.ShardedFileStore` and a
@@ -125,37 +135,57 @@ class SharedStores:
         single-store :meth:`at` deployment — the cluster plane hides
         behind the same interfaces.  ``network``/``faults`` apply *per
         member* (each shard is its own machine with its own link);
-        ``retry`` is shared by the members, the sharded layers, and every
-        participant's service.  The hot-chunk cache sits on the sharded
-        store, so a hit never touches a member link.
+        ``member_faults`` overrides the shared injector for named members
+        (``{"shard-2": injector}``), which is how chaos runs kill one
+        machine while the rest stay up.  ``retry`` is shared by the
+        members, the sharded layers, and every participant's service.
+        The hot-chunk cache sits on the sharded store, so a hit never
+        touches a member link.
+
+        ``self_heal=True`` wires a shared
+        :class:`~repro.cluster.FailureDetector` and durable
+        :class:`~repro.cluster.HintLog` (under ``cluster-meta/hints``)
+        into both sharded stores: quorum writes then breaker-skip members
+        the detector holds down and leave hints for missed replicas.
+        Background delivery/scanning is *not* started here — call
+        :meth:`healers` and ``start()`` them, or drain in the foreground
+        via ``ModelManager.heal()``.
         """
         from ..cluster import ShardedDocumentStore, ShardedFileStore
 
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         workdir = Path(workdir)
+        member_faults = dict(member_faults or {})
         doc_members: dict[str, DocumentStore] = {}
         file_members: dict[str, FileStore] = {}
         for index in range(shards):
             name = f"shard-{index}"
+            shard_faults = member_faults.get(name, faults)
             documents = DocumentStore(workdir / name / "documents")
-            if faults is not None:
-                documents = FaultyDocumentStore(documents, faults)
+            if shard_faults is not None:
+                documents = FaultyDocumentStore(documents, shard_faults)
             doc_members[name] = documents
             if network is None:
                 file_members[name] = FileStore(
-                    workdir / name / "files", faults=faults, retry=retry,
+                    workdir / name / "files", faults=shard_faults, retry=retry,
                     layout=layout,
                 )
             else:
                 file_members[name] = SimulatedNetworkFileStore(
                     workdir / name / "files",
                     network,
-                    faults=faults,
+                    faults=shard_faults,
                     retry=retry,
                     pipeline_depth=pipeline_depth,
                     layout=layout,
                 )
+        detector = hints = None
+        if self_heal:
+            from ..cluster import FailureDetector, HintLog
+
+            detector = FailureDetector(members=sorted(file_members))
+            hints = HintLog(workdir / "cluster-meta" / "hints")
         chunk_cache = chunk_cache_bytes if chunk_cache_bytes > 0 else None
         files = ShardedFileStore(
             workdir / "cluster-meta",
@@ -165,13 +195,64 @@ class SharedStores:
             retry=retry,
             workers=workers,
             chunk_cache=chunk_cache,
+            detector=detector,
+            hint_log=hints,
         )
         documents = ShardedDocumentStore(
-            doc_members, replicas=replicas, write_quorum=write_quorum
+            doc_members, replicas=replicas, write_quorum=write_quorum,
+            detector=detector, hint_log=hints,
         )
         scratch = workdir / "scratch"
         scratch.mkdir(parents=True, exist_ok=True)
-        return cls(documents=documents, files=files, scratch_dir=scratch, retry=retry)
+        return cls(
+            documents=documents, files=files, scratch_dir=scratch,
+            retry=retry, detector=detector, hints=hints,
+        )
+
+    def healers(
+        self,
+        deliver_interval_s: float = 0.25,
+        scan_interval_s: float = 1.0,
+        scan_batch: int = 64,
+        probe_interval_s: float = 0.25,
+    ) -> tuple:
+        """Construct the self-heal services for a clustered deployment.
+
+        Returns ``(deliverer, scanner, monitor)`` — the hinted-handoff
+        :class:`~repro.cluster.HintDeliverer`, the
+        :class:`~repro.cluster.AntiEntropyScanner`, and a
+        :class:`~repro.cluster.HealthMonitor` probing each member's
+        ``ping``.  None are started; call ``start()`` on each (and
+        ``close()`` when done).  Requires ``cluster_at(...,
+        self_heal=True)`` stores.
+        """
+        if self.hints is None or self.detector is None:
+            raise ValueError(
+                "self-heal services need cluster_at(..., self_heal=True) stores"
+            )
+        from ..cluster import AntiEntropyScanner, HealthMonitor, HintDeliverer
+
+        appliers: dict = {}
+        for store in (self.files, self.documents):
+            factory = getattr(store, "hint_appliers", None)
+            if callable(factory):
+                appliers.update(factory())
+        deliverer = HintDeliverer(
+            self.hints, self.detector, appliers, interval_s=deliver_interval_s
+        )
+        scanner = AntiEntropyScanner(
+            self.files, detector=self.detector,
+            interval_s=scan_interval_s, batch_size=scan_batch,
+        )
+        probes = {
+            name: member.ping
+            for name, member in self.files.members.items()
+            if callable(getattr(member, "ping", None))
+        }
+        monitor = HealthMonitor(
+            self.detector, probes, interval_s=probe_interval_s
+        )
+        return deliverer, scanner, monitor
 
     def total_storage_bytes(self) -> int:
         return self.documents.storage_bytes() + self.files.total_bytes()

@@ -26,7 +26,7 @@ import json
 import socket
 import threading
 
-from .. import obs
+from .. import deadline as deadline_mod, obs
 from ..errors import MMLibError, TransientStoreError
 from .documents import DocumentError
 from .engine import DuplicateKeyError, NotFoundError
@@ -81,8 +81,11 @@ class DocumentStoreClient:
 
     ``timeout`` bounds reads on an established connection;
     ``connect_timeout`` (default: ``timeout``) bounds connection
-    establishment.  ``retry`` retries transient failures, ``faults``
-    injects simulated outages (chaos testing).
+    establishment.  Both are further capped by the ambient
+    :mod:`repro.deadline` when one is in scope, so an op-level budget
+    bounds even the first socket wait against a just-died server.
+    ``retry`` retries transient failures, ``faults`` injects simulated
+    outages (chaos testing).
 
     Requests no longer serialize behind one client-wide lock: up to
     ``max_connections`` TCP connections are pooled, each used by one
@@ -133,10 +136,23 @@ class DocumentStoreClient:
 
     # -- connection management --------------------------------------------
 
+    def _capped(self, timeout: float) -> float:
+        """``timeout`` shrunk to the ambient deadline budget, if any.
+
+        Floored at 1 ms so a nearly-spent deadline still yields a blocking
+        socket (``settimeout(0)`` would flip it to non-blocking mode).
+        """
+        budget = deadline_mod.remaining()
+        if budget is None:
+            return timeout
+        return max(min(timeout, budget), 0.001)
+
     def _open(self) -> _Connection:
+        deadline_mod.check("docs.connect")
         try:
             sock = socket.create_connection(
-                (self._host, self._port), timeout=self._connect_timeout
+                (self._host, self._port),
+                timeout=self._capped(self._connect_timeout),
             )
             sock.settimeout(self._timeout)
             return _Connection(sock)
@@ -214,6 +230,7 @@ class DocumentStoreClient:
         read cleanly — on transport or framing errors it is closed instead,
         since its stream state is no longer trustworthy.
         """
+        deadline_mod.check(f"docs.{op_label}")
         if self._faults is not None:
             self._faults.fail_point(f"docs.{op_label}")
         self._slots.acquire()
@@ -225,6 +242,9 @@ class DocumentStoreClient:
                     conn = self._idle.pop()
             if conn is None:
                 conn = self._open()
+            # cap this exchange's socket waits by the op deadline; the pool
+            # re-caps on every checkout, so no restore is needed on return
+            conn.sock.settimeout(self._capped(self._timeout))
             responses: list[dict] = []
             windows = -(-len(ops) // self.pipeline_depth)
             with self._obs_tracer.span(

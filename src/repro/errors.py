@@ -21,6 +21,7 @@ __all__ = [
     "TransientStoreError",
     "StoreCorruptionError",
     "QuorumWriteError",
+    "DeadlineExceededError",
 ]
 
 
@@ -43,6 +44,17 @@ class QuorumWriteError(TransientStoreError):
     Retryable: replicated chunk and blob writes are content-addressed or
     target a fixed id, so repeating the whole quorum write is idempotent —
     members that already hold the payload simply acknowledge again.
+    """
+
+
+class DeadlineExceededError(MMLibError, OSError):
+    """An operation's deadline expired before it could complete.
+
+    Deliberately *not* a :class:`TransientStoreError`: once the deadline
+    is gone there is no time left to retry in, so retry policies must
+    propagate this immediately instead of burning the remaining attempt
+    budget.  The ``__cause__`` chain carries the last underlying failure
+    (if any) for diagnosis.
     """
 
 

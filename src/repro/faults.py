@@ -67,6 +67,12 @@ class FaultInjector:
     Nth matching operation (see :meth:`arm_crash`) for crash-point
     testing: iterate ``crash_at`` over 1..N to kill a save at every step.
 
+    :meth:`set_down` flips a whole-member outage switch: while down,
+    *every* hooked operation (file, chunk, and document alike) raises
+    :class:`~repro.errors.TransientStoreError` deterministically — the
+    machine is off, not flaky.  Chaos schedules use this to kill and
+    restore cluster members at exact operation counts.
+
     ``max_consecutive_failures`` bounds how many times in a row one
     operation may fail, guaranteeing bounded retries eventually succeed
     even at high error rates.
@@ -121,10 +127,26 @@ class FaultInjector:
         self.crash_at = None
         self.crash_op = "*"
         self._crash_seen = 0
+        self.down = False
         self._obs_events = obs.events()
         self._obs_registry = obs.registry()
         if crash_at is not None:
             self.arm_crash(crash_at, op=crash_op)
+
+    def set_down(self, value: bool) -> None:
+        """Kill (``True``) or restore (``False``) the faulted member.
+
+        While down every operation boundary raises the retryable
+        :class:`~repro.errors.TransientStoreError` — deterministic, rate
+        free — so a member wearing this injector behaves like a machine
+        that lost power: writes miss it, reads fail over around it, and
+        probes see it dead until the switch flips back.
+        """
+        with self._lock:
+            was = self.down
+            self.down = bool(value)
+            if was != self.down:
+                self._record("member_down" if self.down else "member_up", "member")
 
     def _record(self, kind: str, op: str) -> None:
         """Mirror one injected fault into the registry and event log."""
@@ -176,6 +198,12 @@ class FaultInjector:
         """
         with self._lock:
             self.stats["ops"] += 1
+            if self.down:
+                self.stats["outages" if op.startswith("docs.") else "errors"] += 1
+                self._record("outage", op)
+                raise TransientStoreError(
+                    f"member is down: {op!r} is unreachable"
+                )
             if self.crash_at is not None and self._matches(op, self.crash_op):
                 self._crash_seen += 1
                 if self._crash_seen >= self.crash_at:

@@ -1296,6 +1296,17 @@ class FileStore:
 
     # -- management ---------------------------------------------------------------
 
+    def ping(self) -> bool:
+        """Cheap liveness probe through the fault plane.
+
+        Touches no payload data — the only cost is the injected-fault
+        check — so failure detectors can poll members at a high rate.
+        Returns ``True`` when the store is reachable; a down or flaky
+        member raises its typed transient error instead.
+        """
+        self._fault("store.ping")
+        return True
+
     def exists(self, file_id: str) -> bool:
         return self._path(file_id).exists()
 

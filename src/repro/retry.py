@@ -22,8 +22,9 @@ import threading
 import time
 from typing import Callable, Mapping
 
+from . import deadline as deadline_mod
 from . import obs
-from .errors import TransientStoreError
+from .errors import DeadlineExceededError, TransientStoreError
 
 __all__ = ["RetryPolicy"]
 
@@ -115,7 +116,16 @@ class RetryPolicy:
 
     def call(self, fn: Callable, op: str = "op", retry_on: tuple = (TransientStoreError,)):
         """Run ``fn`` under this policy; returns its result or raises the
-        last retryable error once attempts/budget run out."""
+        last retryable error once attempts/budget run out.
+
+        Deadline-aware: under an ambient :func:`repro.deadline.scope`,
+        retries stop the moment the deadline passes — the typed
+        :class:`~repro.errors.DeadlineExceededError` propagates (chaining
+        the last underlying failure) instead of the remaining attempt
+        budget being burned, and backoff sleeps are capped to the time
+        actually left.  :class:`DeadlineExceededError` raised by ``fn``
+        itself is likewise never retried.
+        """
         with self._lock:
             self.stats["calls"] += 1
         max_attempts = int(self._param(op, "max_attempts"))
@@ -124,7 +134,21 @@ class RetryPolicy:
             attempt += 1
             try:
                 return fn()
+            except DeadlineExceededError:
+                with self._lock:
+                    self.stats["failures"] += 1
+                raise
             except retry_on as exc:
+                ambient = deadline_mod.current()
+                if ambient is not None and ambient.expired():
+                    with self._lock:
+                        self.stats["failures"] += 1
+                    self._obs_events.emit(
+                        "retry_deadline", op=op, attempts=attempt,
+                        exception=type(exc).__name__)
+                    raise DeadlineExceededError(
+                        f"deadline expired after {attempt} attempt(s) of {op!r}"
+                    ) from exc
                 if attempt >= max_attempts or not self._budget_left():
                     with self._lock:
                         self.stats["failures"] += 1
@@ -136,6 +160,10 @@ class RetryPolicy:
                         exception=type(exc).__name__)
                     raise
                 delay = self.delay_s(attempt, op=op)
+                if ambient is not None:
+                    # never sleep past the deadline; the next attempt (or
+                    # the expiry check above) settles the outcome
+                    delay = min(delay, ambient.remaining())
                 with self._lock:
                     self.stats["retries"] += 1
                     self.stats["slept_s"] += delay

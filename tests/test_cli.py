@@ -356,6 +356,6 @@ class TestObservabilityCommands:
         steps = payload["step_seconds"]
         assert set(steps) == {
             "journals", "segments", "documents", "chunks", "orphan_files",
-            "refcounts", "replication", "orphan_documents",
+            "refcounts", "replication", "hints", "orphan_documents",
         }
         assert all(seconds >= 0.0 for seconds in steps.values())

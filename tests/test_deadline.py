@@ -1,0 +1,176 @@
+"""Ambient deadlines: scoping, retry integration, storage propagation."""
+
+import pytest
+
+from repro import deadline
+from repro.deadline import Deadline
+from repro.docstore.client import DocumentStoreClient
+from repro.errors import DeadlineExceededError, TransientStoreError
+from repro.retry import RetryPolicy
+
+
+class ManualClock:
+    def __init__(self, start: float = 0.0):
+        self.t = float(start)
+
+    def perf(self) -> float:
+        return self.t
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = ManualClock()
+        budget = Deadline(2.0, clock=clock)
+        assert budget.remaining() == pytest.approx(2.0)
+        assert not budget.expired()
+        clock.advance(1.5)
+        assert budget.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert budget.expired()
+        assert budget.remaining() == 0.0  # clamped, never negative
+        with pytest.raises(DeadlineExceededError, match="chunk.read"):
+            budget.check("chunk.read")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-0.1, clock=ManualClock())
+
+    def test_check_passes_before_expiry(self):
+        budget = Deadline(1.0, clock=ManualClock())
+        budget.check("op")  # no raise
+
+
+class TestScope:
+    def test_no_ambient_outside_scope(self):
+        assert deadline.current() is None
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.check("op")  # unbounded: never raises
+
+    def test_scope_binds_and_restores(self):
+        clock = ManualClock()
+        with deadline.scope(1.0, clock=clock) as bound:
+            assert deadline.current() is bound
+            assert deadline.remaining() == pytest.approx(1.0)
+            clock.advance(2.0)
+            assert deadline.expired()
+            with pytest.raises(DeadlineExceededError):
+                deadline.check("op")
+        assert deadline.current() is None
+
+    def test_nested_scope_keeps_tighter_inner(self):
+        clock = ManualClock()
+        with deadline.scope(10.0, clock=clock):
+            with deadline.scope(1.0, clock=clock) as inner:
+                assert deadline.remaining() == pytest.approx(1.0)
+                assert deadline.current() is inner
+
+    def test_nested_scope_cannot_extend_outer(self):
+        clock = ManualClock()
+        with deadline.scope(1.0, clock=clock) as outer:
+            with deadline.scope(10.0, clock=clock):
+                # the generous inner scope is ignored: outer stays bound
+                assert deadline.current() is outer
+                assert deadline.remaining() == pytest.approx(1.0)
+
+
+class TestRetryIntegration:
+    def policy(self, **kwargs):
+        kwargs.setdefault("max_attempts", 5)
+        kwargs.setdefault("base_delay_s", 10.0)
+        kwargs.setdefault("jitter", 0.0)
+        return RetryPolicy(sleep=None, **kwargs)
+
+    def test_deadline_error_is_never_retried(self):
+        policy = self.policy()
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            raise DeadlineExceededError("spent")
+
+        with pytest.raises(DeadlineExceededError):
+            policy.call(fn, op="probe")
+        assert calls["n"] == 1  # no attempt budget burned
+        assert policy.stats["retries"] == 0
+
+    def test_expired_ambient_converts_transient_failure(self):
+        clock = ManualClock()
+        policy = self.policy()
+
+        def fn():
+            clock.advance(5.0)  # the op itself ate the whole budget
+            raise TransientStoreError("flaky")
+
+        with deadline.scope(1.0, clock=clock):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                policy.call(fn, op="chunk.write")
+        assert isinstance(excinfo.value.__cause__, TransientStoreError)
+        assert policy.stats["retries"] == 0  # gave up instead of retrying
+
+    def test_backoff_sleep_capped_to_remaining(self):
+        clock = ManualClock()
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=10.0, jitter=0.0, sleep=slept.append
+        )
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientStoreError("first try fails")
+            return "ok"
+
+        with deadline.scope(0.5, clock=clock):
+            assert policy.call(fn, op="chunk.read") == "ok"
+        assert slept == [pytest.approx(0.5)]  # 10s schedule, 0.5s left
+
+    def test_without_ambient_schedule_is_untouched(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.25, jitter=0.0, sleep=slept.append
+        )
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientStoreError("first try fails")
+            return "ok"
+
+        assert policy.call(fn) == "ok"
+        assert slept == [pytest.approx(0.25)]
+
+
+class TestStoragePropagation:
+    def test_sharded_store_checks_deadline(self, tmp_path):
+        from tests.cluster.test_sharded_store import make_cluster
+
+        store = make_cluster(tmp_path)
+        file_id = store.save_bytes(b"payload" * 100, suffix=".bin")
+        clock = ManualClock()
+        with deadline.scope(1.0, clock=clock):
+            assert store.recover_bytes(file_id)  # plenty of budget
+            clock.advance(2.0)
+            with pytest.raises(DeadlineExceededError):
+                store.recover_bytes(file_id)
+            with pytest.raises(DeadlineExceededError):
+                store.save_bytes(b"more", suffix=".bin")
+
+    def test_docstore_client_caps_socket_timeouts(self):
+        client = DocumentStoreClient.__new__(DocumentStoreClient)  # _capped needs no state
+        assert client._capped(5.0) == 5.0  # unbounded: configured timeout
+        clock = ManualClock()
+        with deadline.scope(1.0, clock=clock):
+            assert client._capped(5.0) == pytest.approx(1.0)
+            assert client._capped(0.25) == pytest.approx(0.25)  # tighter config wins
+            clock.advance(10.0)
+            # floor: 0 would flip the socket to non-blocking mode
+            assert client._capped(5.0) == pytest.approx(0.001)
