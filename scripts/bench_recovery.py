@@ -17,9 +17,18 @@ shared-bandwidth byte time), and ``round_trips``/``round_trips_saved``
 report how many latency payments pipelining avoided.  Both an InfiniBand
 (paper §4.1) and an LTE link (the motivating fleet uplink) are measured.
 
+Two storage-efficiency sweeps ride along:
+
+* **chain depth** — PUA tip recovery at depths 1/4/8/16 with and without
+  :class:`ChainCompactor` at K=4, plus a crash injected mid-compaction
+  (fsck must finish the rewrite and recovery must still verify);
+* **dedup** — derived-model saves under content-defined chunking and the
+  zlib codec, reporting the store's dedup and compression ratios.
+
 Writes ``BENCH_recovery.json`` into ``benchmarks/results/`` (canonical;
 copied to the repo root).  Exit status is non-zero unless pipelined
-recovery is >= 2x faster than serial on the PUA chain over LTE
+recovery is >= 2x faster than serial on the PUA chain over LTE, compacted
+depth-16 recovery is <= 2x depth-1, and the dedup ratio is >= 1.5
 (``--no-check`` records without enforcing).
 
 Usage::
@@ -48,8 +57,10 @@ from repro.nn.models import MODEL_REGISTRY, create_model  # noqa: E402
 from repro.workloads import ChainConfig, PARTIALLY_UPDATED, build_chain  # noqa: E402
 
 NUM_CLASSES = 100
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 LINKS = {"infiniband": INFINIBAND_100G, "lte": CELLULAR_LTE}
+COMPACTION_DEPTHS = (1, 4, 8, 16)
+COMPACTION_K = 4
 
 
 def arch_ref(name: str, scale: float) -> ArchitectureRef:
@@ -177,6 +188,98 @@ def bench_approach(name: str, workdir: Path, args, chain=None) -> dict:
     return scenario
 
 
+def bench_chain_depth(workdir: Path, args) -> dict:
+    """PUA tip recovery versus chain depth, before and after bounded
+    compaction at K=``COMPACTION_K`` rewrote the chain in place."""
+    from repro.core import ModelManager
+
+    scenario: dict = {"max_depth": COMPACTION_K, "depths": {}}
+    for depth in COMPACTION_DEPTHS:
+        stores = make_stores(workdir / f"compaction-{depth}", "pipelined", args)
+        service = make_service(
+            "param_update", stores, prefetch_workers=args.prefetch_workers
+        )
+        tip = build_pua_chain(service, args.scale, depth + 1)
+        entry: dict = {
+            "without_compaction": measure(service, stores.files, CELLULAR_LTE, tip)
+        }
+        report = ModelManager(service).compact(max_depth=COMPACTION_K)
+        entry["materialized"] = len(report["materialized"])
+        entry["released_bytes"] = report["released_bytes"]
+        entry["with_compaction"] = measure(service, stores.files, CELLULAR_LTE, tip)
+        scenario["depths"][str(depth)] = entry
+        if service.prefetcher is not None:
+            service.prefetcher.close()
+    base = scenario["depths"]["1"]["without_compaction"]["simulated_seconds"]
+    deepest = scenario["depths"][str(COMPACTION_DEPTHS[-1])]
+    if base:
+        scenario["ttr_ratio_uncompacted"] = round(
+            deepest["without_compaction"]["simulated_seconds"] / base, 3
+        )
+        scenario["ttr_ratio_compacted"] = round(
+            deepest["with_compaction"]["simulated_seconds"] / base, 3
+        )
+    return scenario
+
+
+def bench_crash_mid_compaction(workdir: Path, args) -> dict:
+    """Kill the compactor after the commit point but before cleanup; fsck
+    must finish the rewrite and verified recovery must still succeed."""
+    from repro.core import ModelManager
+    from repro.core.compaction import ChainCompactor
+    from repro.faults import CrashPoint, FaultInjector
+
+    stores = make_stores(workdir / "compaction-crash", "serial", args)
+    service = make_service("param_update", stores, prefetch_workers=0)
+    tip = build_pua_chain(service, args.scale, COMPACTION_K + 1)
+    faults = FaultInjector(seed=0)
+    compactor = ChainCompactor(service, max_depth=COMPACTION_K)
+    compactor.fault_hook = faults.fail_point
+    faults.arm_crash(1, op="compact.cleanup")
+    crashed = False
+    try:
+        compactor.run()
+    except CrashPoint:
+        crashed = True
+    report = ModelManager(service).fsck()
+    after = service.recover_model(tip, verify=True)  # raises on any mismatch
+    return {
+        "crashed": crashed,
+        "journal_resolved": compactor.journal.pending() == [],
+        "unrepaired_issues": len(report.unrepaired),
+        "recovery_depth": after.recovery_depth,
+        "recovery_verified": True,
+    }
+
+
+def bench_dedup(workdir: Path, args) -> dict:
+    """Derived-model family under CDC + zlib: full fine-tuned classifier
+    heads plus a point edit in the largest backbone layer, so whole-layer
+    dedup, sub-layer (CDC) dedup, and at-rest compression all show up."""
+    stores = SharedStores.at(
+        workdir / "dedup", network=CELLULAR_LTE, workers=args.workers,
+        pipeline_depth=args.pipeline_depth,
+        chunk_cache_bytes=args.chunk_cache_mb * 1024 * 1024,
+        codec="zlib", cdc=True,
+    )
+    service = make_service("baseline", stores, prefetch_workers=0)
+    arch = arch_ref("mobilenetv2", args.scale)
+    model = create_model(
+        "mobilenetv2", num_classes=NUM_CLASSES, scale=args.scale, seed=3
+    )
+    service.save_model(ModelSaveInfo(model, arch))
+    derived = 4
+    for level in range(1, derived + 1):
+        perturb_classifier(model, 0.01 * level)
+        state = model.state_dict()
+        big = max(state, key=lambda key: state[key].size)
+        state[big].reshape(-1)[level] += 0.5  # point edit: CDC territory
+        model.load_state_dict(state)
+        service.save_model(ModelSaveInfo(model, arch))
+    stats = stores.files.chunks.dedup_stats()
+    return {"models_saved": derived + 1, "approach": "baseline", **stats}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--snapshots", type=int, default=6,
@@ -242,23 +345,64 @@ def main() -> int:
                     f"{piped['round_trips_saved']} saved)  "
                     f"x{scenario[f'speedup_{link}']}"
                 )
+
+        print(f"== chain depth: TTR with/without compaction (K={COMPACTION_K}) ==")
+        chain_depth = bench_chain_depth(workdir, args)
+        chain_depth["crash_mid_compaction"] = bench_crash_mid_compaction(
+            workdir, args
+        )
+        results["scenarios"]["chain_depth"] = chain_depth
+        for depth in COMPACTION_DEPTHS:
+            entry = chain_depth["depths"][str(depth)]
+            print(
+                f"  depth {depth:2d}: "
+                f"{entry['without_compaction']['simulated_seconds']:.3f}s -> "
+                f"{entry['with_compaction']['simulated_seconds']:.3f}s "
+                f"compacted ({entry['materialized']} materialized)"
+            )
+
+        print("== dedup: derived-model family under CDC + zlib ==")
+        dedup = bench_dedup(workdir, args)
+        results["scenarios"]["dedup"] = dedup
+        print(
+            f"  {dedup['models_saved']} models: dedup x{dedup['dedup_ratio']}, "
+            f"compression x{dedup['compression_ratio']}"
+        )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
     pua_lte = results["scenarios"]["PUA"]["speedup_lte"]
+    chain_depth = results["scenarios"]["chain_depth"]
+    base_s = chain_depth["depths"]["1"]["without_compaction"]["simulated_seconds"]
+    deep = chain_depth["depths"][str(COMPACTION_DEPTHS[-1])]
+    deep_s = deep["with_compaction"]["simulated_seconds"]
+    crash = chain_depth["crash_mid_compaction"]
+    dedup_ratio = results["scenarios"]["dedup"]["dedup_ratio"]
     results["acceptance"] = {
         "pua_lte_speedup": pua_lte,
         "meets_2x": bool(pua_lte and pua_lte >= 2.0),
+        "compacted_depth16_vs_depth1": round(deep_s / base_s, 3) if base_s else None,
+        "compaction_bounds_ttr": bool(base_s and deep_s <= 2.0 * base_s),
+        "crash_recovery_bitwise": bool(
+            crash["crashed"] and crash["recovery_verified"]
+            and crash["journal_resolved"] and crash["unrepaired_issues"] == 0
+        ),
+        "dedup_ratio": dedup_ratio,
+        "dedup_meets_1_5x": bool(dedup_ratio and dedup_ratio >= 1.5),
     }
 
     from _bench_results import write_results
 
     write_results("BENCH_recovery.json", results)
 
-    if not args.no_check and not results["acceptance"]["meets_2x"]:
+    gates = (
+        "meets_2x", "compaction_bounds_ttr",
+        "crash_recovery_bitwise", "dedup_meets_1_5x",
+    )
+    failed = [gate for gate in gates if not results["acceptance"][gate]]
+    if not args.no_check and failed:
         print(
-            f"FAIL: pipelined PUA recovery over LTE is only "
-            f"x{pua_lte} faster (bar: 2x)",
+            f"FAIL: acceptance gates not met: {', '.join(failed)}",
             file=sys.stderr,
         )
         return 1

@@ -17,6 +17,7 @@ file store directories).  Examples::
     mmlib --docs db --files blobs delete model-0123… --force
     mmlib --docs db --files blobs gc
     mmlib --docs db --files blobs fsck
+    mmlib --docs db --files blobs compact --max-depth 4 --dry-run
     mmlib --cluster deploy heal --json
     mmlib --cluster deploy stats --prometheus
     mmlib probe --factory repro.nn.models:resnet18 \\
@@ -74,6 +75,7 @@ def _open_manager(args):
             shards=len(shards),
             replicas=getattr(args, "replicas", 2),
             layout=getattr(args, "layout", None),
+            codec=getattr(args, "codec", None),
             self_heal=True,
         )
         return ModelManager(make_service("baseline", stores))
@@ -84,7 +86,11 @@ def _open_manager(args):
         )
     service = BaselineSaveService(
         DocumentStore(args.docs),
-        FileStore(args.files, layout=getattr(args, "layout", None)),
+        FileStore(
+            args.files,
+            layout=getattr(args, "layout", None),
+            codec=getattr(args, "codec", None),
+        ),
     )
     return ModelManager(service)
 
@@ -109,7 +115,11 @@ def _service_for(args, approach: str):
         raise CliError(f"unknown approach {approach!r}; options: {sorted(services)}")
     return services[approach](
         DocumentStore(args.docs),
-        FileStore(args.files, layout=getattr(args, "layout", None)),
+        FileStore(
+            args.files,
+            layout=getattr(args, "layout", None),
+            codec=getattr(args, "codec", None),
+        ),
     )
 
 
@@ -325,6 +335,37 @@ def cmd_heal(args) -> int:
     return 0 if report["converged"] else 1
 
 
+def cmd_compact(args) -> int:
+    """Bound delta-chain recovery depth by materializing snapshots."""
+    manager = _open_manager(args)
+    report = manager.compact(max_depth=args.max_depth, dry_run=args.dry_run)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    for action in report["resumed"]:
+        print(
+            f"resumed: {action['model_id']} "
+            f"({action['action'].replace('_', ' ')})"
+        )
+    if args.dry_run:
+        if not report["planned"]:
+            print(f"all chains within depth {report['max_depth']}; nothing to do")
+            return 0
+        for entry in report["planned"]:
+            print(f"would materialize {entry['model_id']} (depth {entry['depth']})")
+        return 0
+    for outcome in report["materialized"]:
+        print(
+            f"materialized {outcome['model_id']} "
+            f"(released {outcome['released_bytes']:,} bytes)"
+        )
+    print(
+        f"compacted {len(report['materialized'])} model(s) at max depth "
+        f"{report['max_depth']}, released {report['released_bytes']:,} bytes"
+    )
+    return 0
+
+
 def cmd_probe(args) -> int:
     """Probe a model's training reproducibility (optionally save/compare)."""
     from repro.core import ProbeSummary, probe_reproducibility, probe_training
@@ -517,6 +558,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="chunk layout when opening the file store (default: "
              "auto-detect on disk, else segments)",
     )
+    parser.add_argument(
+        "--codec", default=None,
+        help="at-rest chunk compression codec for new writes: none | zlib "
+             "| lz4 (default: $REPRO_CHUNK_CODEC, else none; reads decode "
+             "by the payload frame regardless)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     list_parser = commands.add_parser("list", help="list saved models")
@@ -604,6 +651,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="make the model self-contained but keep its ancestors",
     )
     squash_parser.set_defaults(func=cmd_squash)
+
+    compact_parser = commands.add_parser(
+        "compact",
+        help="bound delta-chain recovery depth by materializing snapshots",
+    )
+    compact_parser.add_argument(
+        "--max-depth", type=int, default=None,
+        help="materialize a recovery base every K chain levels (default 4)",
+    )
+    compact_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the plan without rewriting anything",
+    )
+    compact_parser.add_argument("--json", action="store_true",
+                                help="full report as JSON")
+    compact_parser.set_defaults(func=cmd_compact)
 
     probe_parser = commands.add_parser("probe", help="probe a model's reproducibility")
     probe_parser.add_argument("--factory", required=True)

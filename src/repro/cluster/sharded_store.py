@@ -28,6 +28,7 @@ consistent intent log.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from pathlib import Path
 from typing import Mapping
@@ -261,6 +262,39 @@ class _ShardedChunkView:
         merged["live_ratio"] = (merged["live_bytes"] / total) if total else 1.0
         return merged
 
+    def dedup_stats(self) -> dict:
+        """Cluster-wide dedup/compression accounting (summed over members)."""
+        merged = {
+            "codec": None,
+            "logical_bytes": 0,
+            "dedup_bytes": 0,
+            "stored_bytes": 0,
+            "members": {},
+        }
+        codecs_seen: set[str] = set()
+        store = self._store
+        for name in sorted(store.members):
+            stats_fn = getattr(store.members[name].chunks, "dedup_stats", None)
+            if not callable(stats_fn):
+                continue
+            stats = stats_fn()
+            merged["members"][name] = stats
+            codecs_seen.add(stats["codec"])
+            for key in ("logical_bytes", "dedup_bytes", "stored_bytes"):
+                merged[key] += stats[key]
+        merged["codec"] = (
+            codecs_seen.pop() if len(codecs_seen) == 1 else sorted(codecs_seen)
+        )
+        written = merged["logical_bytes"] - merged["dedup_bytes"]
+        merged["dedup_ratio"] = (
+            round(merged["logical_bytes"] / written, 4) if written else None
+        )
+        merged["compression_ratio"] = (
+            round(written / merged["stored_bytes"], 4)
+            if merged["stored_bytes"] else None
+        )
+        return merged
+
     def reconcile(self, expected_refs: Mapping[str, int], repair: bool = True) -> dict:
         """Per-member reconcile against the ring-owned slice of the truth.
 
@@ -349,6 +383,8 @@ class ShardedFileStore(FileStore):
         chunk_cache=None,
         detector=None,
         hint_log=None,
+        cdc: bool | None = None,
+        cdc_target_bytes: int | None = None,
     ):
         if not members:
             raise ValueError("a sharded store needs at least one member")
@@ -403,6 +439,8 @@ class ShardedFileStore(FileStore):
             verify_reads=verify_reads,
             workers=workers,
             chunk_cache=chunk_cache,
+            cdc=cdc,
+            cdc_target_bytes=cdc_target_bytes,
         )
         self._view = _ShardedChunkView(self)
 
@@ -453,18 +491,24 @@ class ShardedFileStore(FileStore):
     def _harvest_chunk_meta(self, layers) -> None:
         with self._meta_lock:
             for _, meta in layers:
-                self._chunk_meta[meta["chunk"]] = (meta["dtype"], tuple(meta["shape"]))
+                if "chunk" in meta:  # v2 entries verify by content digest
+                    self._chunk_meta[meta["chunk"]] = (
+                        meta["dtype"], tuple(meta["shape"]))
 
     def _verify_for_repair(self, digest: str, data: bytes) -> bool | None:
         """Re-hash a chunk payload against its digest before propagating it.
 
-        Chunk digests are *tensor* hashes (dtype + shape + bytes), so
-        verification needs the layer metadata harvested from manifests.
-        Returns ``None`` when this store has not seen a manifest naming
-        the digest — the caller then skips byte-level verification but may
-        still repair (the payload came from a member's content-addressed
-        object file, the same trust level fsck operates at).
+        Content-defined (v2) chunk ids are plain sha256 digests of the
+        payload, so they verify directly.  Whole-layer (v1) chunk ids are
+        *tensor* hashes (dtype + shape + bytes), so verification needs the
+        layer metadata harvested from manifests.  Returns ``None`` when
+        neither applies — the caller then skips byte-level verification
+        but may still repair (the payload came from a member's
+        content-addressed object file, the same trust level fsck operates
+        at).
         """
+        if hashlib.sha256(data).hexdigest() == digest:
+            return True
         meta = self._chunk_meta.get(digest)
         if meta is None:
             return None

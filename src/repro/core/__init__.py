@@ -9,6 +9,7 @@ from .abstract import AbstractSaveService
 from .adaptive import AdaptiveSaveService
 from .baseline import BaselineSaveService
 from .cache import RecoveryCache
+from .compaction import ChainCompactor, CompactionJournal
 from .dataset_manager import CODEC_DEFLATE, CODEC_STORED, DatasetManager
 from .environment import (
     EnvironmentInfo,
@@ -80,6 +81,8 @@ __all__ = [
     "AdaptiveSaveService",
     "DependentModelsError",
     "FsckIssue",
+    "ChainCompactor",
+    "CompactionJournal",
     "FsckReport",
     "ModelManager",
     "ModelRecord",

@@ -15,12 +15,14 @@ what the live manifests actually reference, repairing what it safely can.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import obs
+from ..filestore.store import layer_chunk_digests
 from .abstract import AbstractSaveService
 from .errors import MMLibError, ModelNotFoundError
 from .hashing import tensor_hash
@@ -61,11 +63,12 @@ class FsckIssue:
     """One consistency violation found by :meth:`ModelManager.fsck`.
 
     ``kind`` is a stable machine-readable tag (``incomplete_save``,
-    ``missing_file``, ``missing_chunk``, ``corrupt_chunk``,
-    ``corrupt_manifest``, ``refcount_mismatch``, ``orphan_file``,
-    ``orphan_chunk``, ``orphan_document``, ``missing_base``,
-    ``missing_document``, ``under_replicated``, ``torn_segment``,
-    ``segment_index``, ``segment_crc``, ``segment_compaction``).
+    ``incomplete_compaction``, ``missing_file``, ``missing_chunk``,
+    ``corrupt_chunk``, ``corrupt_manifest``, ``refcount_mismatch``,
+    ``orphan_file``, ``orphan_chunk``, ``orphan_document``,
+    ``missing_base``, ``missing_document``, ``under_replicated``,
+    ``torn_segment``, ``segment_index``, ``segment_crc``,
+    ``segment_compaction``).
     """
 
     kind: str
@@ -295,6 +298,9 @@ class ModelManager:
             snapshot = segment_stats()
             if snapshot is not None:
                 out["segments"] = snapshot
+        dedup_stats = getattr(chunk_store, "dedup_stats", None)
+        if callable(dedup_stats):
+            out["dedup"] = dedup_stats()
         documents = self.documents
         if hasattr(documents, "cluster_stats"):
             out["cluster_docs"] = dict(documents.cluster_stats)
@@ -426,6 +432,25 @@ class ModelManager:
             self.delete_model(ancestor)
             deleted += 1
         return deleted
+
+    # -- retention: bounding chain depth -----------------------------------------------------
+
+    def compact(self, max_depth: int | None = None, dry_run: bool = False) -> dict:
+        """Bound every delta chain's recovery depth at ``max_depth``.
+
+        Finishes any swap a previous run left half-done, then
+        materializes a recovery base for every model ``max_depth`` levels
+        above its nearest one (see
+        :class:`~repro.core.compaction.ChainCompactor`).  Model ids and
+        lineage are untouched — only recovery cost changes.  ``dry_run``
+        returns the plan without rewriting anything.
+        """
+        from .compaction import DEFAULT_MAX_DEPTH, ChainCompactor
+
+        compactor = ChainCompactor(
+            self.service, max_depth=max_depth or DEFAULT_MAX_DEPTH
+        )
+        return compactor.run(dry_run=dry_run)
 
     # -- deletion & garbage collection ------------------------------------------------------
 
@@ -621,6 +646,11 @@ class ModelManager:
            record framing is intact — torn tails are truncated, the
            chunk index is rebuilt from disk, and an interrupted
            compaction is rolled forward or back;
+        1c. every chain-compaction journal belongs to a finished swap —
+           a swap whose document update committed rolls forward (the
+           superseded delta payload is dropped), an uncommitted one
+           rolls back (the never-published snapshot artifacts are
+           dropped);
         2. every model document's base model, environment/train documents,
            and referenced files exist;
         3. every manifest's chunks exist and (with ``verify_chunks``)
@@ -729,6 +759,23 @@ class ModelManager:
                             repaired=repair and "pending" not in str(action),
                         )
 
+        # 1c. chain compaction: a crash between journal and cleanup leaves
+        # a half-swapped model — finish the swap in whichever direction
+        # the document (the commit point) already shows
+        steps.start("compaction")
+        if hasattr(files, "root"):
+            from .compaction import ChainCompactor
+
+            for action in ChainCompactor.resume_pending(
+                self.documents, files, repair=repair
+            ):
+                report.add(
+                    "incomplete_compaction",
+                    f"model {action['model_id']}: interrupted chain "
+                    f"compaction {action['action'].replace('_', ' ')}",
+                    repaired=repair,
+                )
+
         # 2. documents -> documents/files cross-checks
         steps.start("documents")
         model_docs = {d["_id"]: d for d in self.documents.collection(MODELS).find()}
@@ -809,36 +856,42 @@ class ModelManager:
                 report.add("corrupt_manifest", f"manifest {file_id}: {exc}")
                 continue
             for name, meta in manifest["layers"]:
-                digest = meta["chunk"]
-                expected_refs[digest] += 1
-                if not files.has_chunk(digest):
-                    report.add(
-                        "missing_chunk",
-                        f"manifest {file_id} layer {name!r} references "
-                        f"missing chunk {digest[:12]}…",
-                    )
-                    continue
-                if not verify_chunks or digest in verified:
-                    continue
-                verified.add(digest)
-                # read straight from disk: fsck audits what is stored,
-                # not what a faulty link would deliver; a segment store
-                # raises on CRC failure where file-per-chunk would hand
-                # back the rotten bytes — both count as corruption here
-                try:
-                    raw = files.chunks.get(digest)
-                    array = np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(
-                        meta["shape"]
-                    )
-                    intact = tensor_hash(array) == digest
-                except (OSError, KeyError, ValueError, TypeError):
-                    intact = False
-                if not intact:
-                    report.add(
-                        "corrupt_chunk",
-                        f"chunk {digest[:12]}… (layer {name!r} of {file_id}) "
-                        "does not hash back to its digest",
-                    )
+                for digest in layer_chunk_digests(meta):
+                    expected_refs[digest] += 1
+                    if not files.has_chunk(digest):
+                        report.add(
+                            "missing_chunk",
+                            f"manifest {file_id} layer {name!r} references "
+                            f"missing chunk {digest[:12]}…",
+                        )
+                        continue
+                    if not verify_chunks or digest in verified:
+                        continue
+                    verified.add(digest)
+                    # read straight from disk: fsck audits what is stored,
+                    # not what a faulty link would deliver; a segment store
+                    # raises on CRC failure where file-per-chunk would hand
+                    # back the rotten bytes — both count as corruption here
+                    try:
+                        raw = files.chunks.get(digest)
+                        if "chunk" in meta:
+                            # v1: the digest is the layer's tensor hash
+                            array = np.frombuffer(
+                                raw, dtype=np.dtype(meta["dtype"])
+                            ).reshape(meta["shape"])
+                            intact = tensor_hash(array) == digest
+                        else:
+                            # v2 (content-defined chunks): the digest is the
+                            # sha256 of the raw sub-layer bytes
+                            intact = hashlib.sha256(raw).hexdigest() == digest
+                    except (OSError, KeyError, ValueError, TypeError):
+                        intact = False
+                    if not intact:
+                        report.add(
+                            "corrupt_chunk",
+                            f"chunk {digest[:12]}… (layer {name!r} of {file_id}) "
+                            "does not hash back to its digest",
+                        )
         report.checked_chunks = len(set(expected_refs))
 
         # 4. orphan blobs nothing references

@@ -22,6 +22,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 
 from .. import obs
+from ..filestore.store import layer_chunk_digests
 from .schema import MODELS
 
 __all__ = ["ChainPrefetcher"]
@@ -145,7 +146,11 @@ class ChainPrefetcher:
 
     def _fetch_file(self, file_id: str) -> None:
         manifest = self.files.read_manifest(file_id)
-        digests = [meta["chunk"] for _, meta in manifest["layers"]]
+        digests = [
+            digest
+            for _, meta in manifest["layers"]
+            for digest in layer_chunk_digests(meta)
+        ]
         self.files.get_chunks(digests)
         unique = len(set(digests))
         with self._lock:
@@ -166,6 +171,11 @@ class ChainPrefetcher:
             except Exception:  # missing doc: stop walking, keep what we have
                 break
             chain_docs.append(document)
+            if document.get("parameters_file"):
+                # a recovery base (root snapshot or a compaction-
+                # materialized delta): recursion stops here, so deeper
+                # levels would be fetched for nothing
+                break
             current = document.get("base_model")
         for document in reversed(chain_docs):  # deepest (root) level first
             for key in _FILE_KEYS:

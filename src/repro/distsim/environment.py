@@ -66,6 +66,8 @@ class SharedStores:
         pipeline_depth: int = 8,
         chunk_cache_bytes: int = 0,
         layout: str | None = None,
+        codec: str | None = None,
+        cdc: bool | None = None,
     ) -> "SharedStores":
         """Create fresh stores under ``workdir``.
 
@@ -80,6 +82,10 @@ class SharedStores:
         ``pipeline_depth`` sets how many requests a simulated link keeps
         in flight per latency window, and ``chunk_cache_bytes`` (0 = off)
         sizes the in-process hot-chunk LRU.
+
+        ``codec`` picks the at-rest chunk compression codec and ``cdc``
+        enables content-defined sub-layer chunking; both default to their
+        environment variables (``REPRO_CHUNK_CODEC``, ``REPRO_CDC``).
         """
         workdir = Path(workdir)
         documents = DocumentStore(workdir / "documents")
@@ -94,6 +100,8 @@ class SharedStores:
                 workers=workers,
                 chunk_cache=chunk_cache,
                 layout=layout,
+                codec=codec,
+                cdc=cdc,
             )
         else:
             files = SimulatedNetworkFileStore(
@@ -105,6 +113,8 @@ class SharedStores:
                 pipeline_depth=pipeline_depth,
                 layout=layout,
                 chunk_cache=chunk_cache,
+                codec=codec,
+                cdc=cdc,
             )
         scratch = workdir / "scratch"
         scratch.mkdir(parents=True, exist_ok=True)
@@ -124,6 +134,8 @@ class SharedStores:
         pipeline_depth: int = 8,
         chunk_cache_bytes: int = 0,
         layout: str | None = None,
+        codec: str | None = None,
+        cdc: bool | None = None,
         self_heal: bool = False,
         member_faults: dict[str, FaultInjector] | None = None,
     ) -> "SharedStores":
@@ -140,7 +152,9 @@ class SharedStores:
         machine while the rest stay up.  ``retry`` is shared by the
         members, the sharded layers, and every participant's service.
         The hot-chunk cache sits on the sharded store, so a hit never
-        touches a member link.
+        touches a member link.  ``codec`` applies on each member (where
+        chunk payloads rest); ``cdc`` applies on the sharded store
+        itself (where state dicts are split).
 
         ``self_heal=True`` wires a shared
         :class:`~repro.cluster.FailureDetector` and durable
@@ -169,7 +183,7 @@ class SharedStores:
             if network is None:
                 file_members[name] = FileStore(
                     workdir / name / "files", faults=shard_faults, retry=retry,
-                    layout=layout,
+                    layout=layout, codec=codec,
                 )
             else:
                 file_members[name] = SimulatedNetworkFileStore(
@@ -179,6 +193,7 @@ class SharedStores:
                     retry=retry,
                     pipeline_depth=pipeline_depth,
                     layout=layout,
+                    codec=codec,
                 )
         detector = hints = None
         if self_heal:
@@ -197,6 +212,7 @@ class SharedStores:
             chunk_cache=chunk_cache,
             detector=detector,
             hint_log=hints,
+            cdc=cdc,
         )
         documents = ShardedDocumentStore(
             doc_members, replicas=replicas, write_quorum=write_quorum,

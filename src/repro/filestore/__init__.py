@@ -1,5 +1,7 @@
 """``repro.filestore`` — shared external file storage substrate."""
 
+from .cdc import gear_table, split_buffer
+from .codecs import available_codecs, resolve_codec
 from .network import (
     CELLULAR_LTE,
     INFINIBAND_100G,
@@ -32,4 +34,8 @@ __all__ = [
     "FileStore",
     "SegmentChunkStore",
     "SegmentCompactor",
+    "available_codecs",
+    "resolve_codec",
+    "gear_table",
+    "split_buffer",
 ]

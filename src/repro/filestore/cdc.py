@@ -1,0 +1,131 @@
+"""Content-defined chunking (Gear rolling hash) for sub-layer dedup.
+
+A layer's byte stream is split where the low bits of a Gear rolling
+hash are zero, so chunk boundaries depend on *content*, not position:
+a one-byte edit re-chunks only the chunk it lands in (and at most its
+successor, when the edit creates or destroys the boundary between
+them), and every other chunk keeps its digest and dedups against the
+unedited layer.
+
+The hash at position ``i`` is ``sum(gear[b[i-j]] << j)`` over the
+trailing window, with a *low-bit* boundary mask of ``bits =
+log2(target)`` bits.  Because a ``<< j`` term for ``j >= bits``
+contributes nothing to the low bits, the masked hash depends only on
+the last ``bits`` bytes — which makes the scan vectorizable as
+``bits`` shifted adds over numpy arrays instead of a per-byte Python
+loop.  Boundary candidates are then walked once to enforce min/max
+chunk bounds (defaults: 64 KiB target, 16 KiB min, 256 KiB max).
+
+The gear table is derived from SHA-256 so boundaries are stable across
+processes, platforms, and releases — a requirement for cross-model and
+cross-tenant dedup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_TARGET_BYTES",
+    "gear_table",
+    "split_buffer",
+]
+
+DEFAULT_TARGET_BYTES = 64 * 1024
+#: candidates are scanned in blocks to bound the vectorization workspace
+_SCAN_BLOCK_BYTES = 1 << 22
+
+
+def gear_table() -> np.ndarray:
+    """The 256-entry Gear byte table, derived deterministically."""
+    rows = [
+        int.from_bytes(
+            hashlib.sha256(b"repro-cdc-gear:%d" % index).digest()[:8], "little"
+        )
+        for index in range(256)
+    ]
+    return np.array(rows, dtype=np.uint64)
+
+
+_GEAR = gear_table()
+
+
+def _boundary_candidates(data: np.ndarray, bits: int) -> np.ndarray:
+    """Positions whose masked rolling hash is zero (vectorized scan).
+
+    Each block is scanned with ``bits - 1`` bytes of left context so the
+    result is identical to one pass over the whole buffer.
+    """
+    mask = np.uint64((1 << bits) - 1)
+    length = len(data)
+    found: list[np.ndarray] = []
+    for start in range(0, length, _SCAN_BLOCK_BYTES):
+        end = min(length, start + _SCAN_BLOCK_BYTES)
+        context = max(0, start - (bits - 1))
+        gears = _GEAR[data[context:end]]
+        span = end - context
+        hashes = np.zeros(span, dtype=np.uint64)
+        for shift in range(bits):
+            hashes[shift:] += gears[: span - shift] << np.uint64(shift)
+        hashes &= mask
+        local = np.flatnonzero(hashes[start - context :] == 0)
+        if len(local):
+            found.append(local + start)
+    if not found:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(found)
+
+
+def split_buffer(
+    buffer,
+    target_bytes: int = DEFAULT_TARGET_BYTES,
+    min_bytes: int | None = None,
+    max_bytes: int | None = None,
+) -> list[tuple[int, int]]:
+    """Split ``buffer`` into content-defined ``(start, end)`` spans.
+
+    Spans are contiguous and cover the buffer exactly.  Every span except
+    the last is at least ``min_bytes`` (default ``target/4``); no span
+    exceeds ``max_bytes`` (default ``target*4``).  Empty buffers yield a
+    single empty span so every layer has at least one chunk.
+    """
+    if target_bytes < 64:
+        raise ValueError(f"CDC target too small: {target_bytes}")
+    if min_bytes is None:
+        min_bytes = max(1, target_bytes // 4)
+    if max_bytes is None:
+        max_bytes = target_bytes * 4
+    if not min_bytes <= target_bytes <= max_bytes:
+        raise ValueError(
+            f"CDC bounds out of order: {min_bytes} <= {target_bytes} "
+            f"<= {max_bytes}"
+        )
+
+    data = np.frombuffer(memoryview(buffer).cast("B"), dtype=np.uint8)
+    length = len(data)
+    if length == 0:
+        return [(0, 0)]
+    if length <= min_bytes:
+        return [(0, length)]
+
+    bits = max(1, int(round(np.log2(target_bytes))))
+    candidates = _boundary_candidates(data, bits)
+
+    spans: list[tuple[int, int]] = []
+    start = 0
+    index = 0
+    total = len(candidates)
+    while start < length:
+        # a boundary at position p cuts *after* p
+        while index < total and candidates[index] + 1 - start < min_bytes:
+            index += 1
+        if index < total and candidates[index] + 1 - start <= max_bytes:
+            cut = int(candidates[index]) + 1
+            index += 1
+        else:
+            cut = min(start + max_bytes, length)
+        spans.append((start, cut))
+        start = cut
+    return spans

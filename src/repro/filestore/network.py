@@ -83,6 +83,9 @@ class SimulatedNetworkFileStore(FileStore):
         layout: str | None = None,
         durability: str | None = None,
         segment_bytes: int | None = None,
+        codec: str | None = None,
+        cdc: bool | None = None,
+        cdc_target_bytes: int | None = None,
     ):
         kwargs = {
             "faults": faults,
@@ -93,6 +96,9 @@ class SimulatedNetworkFileStore(FileStore):
             "layout": layout,
             "durability": durability,
             "segment_bytes": segment_bytes,
+            "codec": codec,
+            "cdc": cdc,
+            "cdc_target_bytes": cdc_target_bytes,
         }
         if tmp_grace_s is not None:
             kwargs["tmp_grace_s"] = tmp_grace_s

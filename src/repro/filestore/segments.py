@@ -48,7 +48,12 @@ from pathlib import Path
 
 from .. import obs
 from ..errors import StoreCorruptionError
-from .store import DEFAULT_TMP_GRACE_S, ChunkNotFoundError, ChunkStore
+from .store import (
+    DEFAULT_TMP_GRACE_S,
+    ChunkNotFoundError,
+    ChunkStore,
+    _buffer_nbytes,
+)
 
 __all__ = ["SegmentChunkStore", "SegmentCompactor", "DEFAULT_SEGMENT_BYTES"]
 
@@ -103,10 +108,13 @@ class SegmentChunkStore(ChunkStore):
         durability: str = "group",
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
+        codec: str | None = None,
     ):
         self.segment_bytes = int(segment_bytes)
         self.compact_threshold = float(compact_threshold)
-        super().__init__(root, tmp_grace_s=tmp_grace_s, durability=durability)
+        super().__init__(
+            root, tmp_grace_s=tmp_grace_s, durability=durability, codec=codec
+        )
 
     # -- open / index maintenance -------------------------------------------
 
@@ -364,6 +372,7 @@ class SegmentChunkStore(ChunkStore):
         self._check_digest(digest)
         with self._mutex:
             if digest in self._index:
+                self._account_put(_buffer_nbytes(buffer))
                 return False
             self._ensure_active_locked()
             digest_raw = digest.encode("utf-8")
@@ -371,20 +380,26 @@ class SegmentChunkStore(ChunkStore):
             if view.ndim != 1 or view.format != "B":
                 view = (view.cast("B") if view.contiguous
                         else memoryview(bytes(view)))
-            crc = zlib.crc32(view)
+            raw_nbytes = view.nbytes
+            # records hold the *at-rest* payload: CRCs, index lengths, and
+            # compaction all see framed bytes; get() decodes after the CRC
+            encoded = self._encode(view)
+            eview = encoded if isinstance(encoded, memoryview) else memoryview(encoded)
+            crc = zlib.crc32(eview)
             head = RECORD_HEADER.pack(
-                RECORD_MAGIC, len(digest_raw), 0, crc, view.nbytes)
+                RECORD_MAGIC, len(digest_raw), 0, crc, eview.nbytes)
             fileobj = self._active_file
             fileobj.seek(self._active_end)  # overwrite any earlier torn tail
             self._write_all(fileobj, head)
             self._write_all(fileobj, digest_raw)
-            self._write_all(fileobj, view)
+            self._write_all(fileobj, eview)
             payload_off = self._active_end + len(head) + len(digest_raw)
-            self._index[digest] = (self._active_name, payload_off, view.nbytes, crc)
+            self._index[digest] = (self._active_name, payload_off, eview.nbytes, crc)
             meta = self._segmeta[self._active_name]
-            meta["total"] += view.nbytes
-            self._active_end = payload_off + view.nbytes
+            meta["total"] += eview.nbytes
+            self._active_end = payload_off + eview.nbytes
             meta["scanned"] = self._active_end
+            self._account_put(raw_nbytes, stored_nbytes=eview.nbytes)
             self._dirty = True
             self._index_dirty = True
             self._obs_appends.inc()
@@ -499,7 +514,7 @@ class SegmentChunkStore(ChunkStore):
                 raise StoreCorruptionError(
                     f"chunk {digest!r} is corrupt: segment record failed its "
                     f"CRC check")
-            return data
+            return self._decode(data)
 
     def _read_entry_locked(self, entry) -> bytes | None:
         name, off, length, _crc = entry

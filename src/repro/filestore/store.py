@@ -32,6 +32,9 @@ import numpy as np
 
 from .. import obs
 from ..errors import StoreCorruptionError, TransientStoreError
+from . import codecs as chunk_codecs
+from .cdc import DEFAULT_TARGET_BYTES as DEFAULT_CDC_TARGET_BYTES
+from .cdc import split_buffer
 from .journal import JOURNAL_SUFFIX, SaveJournal
 
 try:
@@ -45,13 +48,26 @@ __all__ = [
     "ChunkCache",
     "FileNotFoundInStoreError",
     "ChunkNotFoundError",
+    "layer_chunk_digests",
+    "manifest_chunk_digests",
 ]
 
 #: File-id suffix that marks a blob as a chunked-state manifest.
 MANIFEST_SUFFIX = ".manifest"
 
-#: Format tag inside every manifest payload.
+#: Format tag inside every whole-layer (v1) manifest payload.
 MANIFEST_FORMAT = "mmlib-chunked-state-v1"
+
+#: Format tag for content-defined (v2) manifests: each layer carries a
+#: *list* of chunk digests (sha256 of the uncompressed chunk bytes) plus
+#: its tensor hash, instead of one whole-layer chunk.
+MANIFEST_FORMAT_V2 = "mmlib-chunked-state-v2"
+
+#: Every manifest format the read paths accept.
+MANIFEST_FORMATS = (MANIFEST_FORMAT, MANIFEST_FORMAT_V2)
+
+#: Environment override enabling content-defined chunking for new saves.
+CDC_ENV_VAR = "REPRO_CDC"
 
 #: Directory (under the store root) holding the content-addressed chunks.
 CHUNK_DIR_NAME = "chunks"
@@ -95,6 +111,33 @@ def _buffer_nbytes(buffer) -> int:
     if isinstance(buffer, memoryview):
         return buffer.nbytes
     return len(buffer)
+
+
+def layer_chunk_digests(meta: Mapping) -> list[str]:
+    """Chunk digests for one manifest layer entry, v1 or v2.
+
+    v1 entries hold one whole-layer chunk under ``"chunk"``; v2 entries
+    hold an ordered run of content-defined chunks under ``"chunks"``.
+    Every reader of manifest layers (recovery, deletion, sizing, fsck,
+    prefetch, cluster repair) goes through this helper, which is what
+    keeps old manifests readable next to new ones.
+    """
+    chunks = meta.get("chunks")
+    if chunks is not None:
+        return list(chunks)
+    return [meta["chunk"]]
+
+
+def manifest_chunk_digests(manifest: Mapping) -> list[str]:
+    """Every chunk digest a manifest references, with multiplicity.
+
+    Multiplicity matters: refcounts are incremented once per reference,
+    so releases must mirror the same counting.
+    """
+    digests: list[str] = []
+    for _name, meta in manifest["layers"]:
+        digests.extend(layer_chunk_digests(meta))
+    return digests
 
 
 class ChunkCache:
@@ -248,6 +291,7 @@ class ChunkStore:
         root: str | Path,
         tmp_grace_s: float = DEFAULT_TMP_GRACE_S,
         durability: str = "none",
+        codec: str | None = None,
     ):
         if durability not in DURABILITY_MODES:
             raise ValueError(
@@ -259,12 +303,84 @@ class ChunkStore:
         self._lock_path = self.root / ".lock"
         self.tmp_grace_s = float(tmp_grace_s)
         self.durability = durability
+        #: At-rest compression codec for new chunk payloads.  Digests are
+        #: always over the uncompressed bytes, and decode is driven by the
+        #: payload frame, so stores with different codecs interoperate.
+        self.codec = chunk_codecs.resolve_codec(codec)
         #: Optional chaos hook with the ``FaultInjector.fail_point``
         #: signature, consulted by long-running maintenance (compaction).
         self.fault_hook = None
-        self._obs_fsyncs = obs.registry().counter(
+        # dedup/compression accounting (in-process, like the network
+        # store's transfer accounting): logical bytes offered by callers,
+        # bytes skipped because the digest was already stored, and framed
+        # bytes physically written
+        self._acct_lock = threading.Lock()
+        self.logical_bytes = 0
+        self.dedup_bytes = 0
+        self.stored_bytes = 0
+        registry = obs.registry()
+        self._obs_fsyncs = registry.counter(
             "mmlib_chunk_fsyncs_total", "fsync calls issued for chunk durability")
+        self._obs_logical = registry.counter(
+            "mmlib_chunks_logical_bytes_total",
+            "Uncompressed bytes offered to ChunkStore.put")
+        self._obs_dedup = registry.counter(
+            "mmlib_chunks_dedup_bytes_total",
+            "Uncompressed bytes skipped because the chunk already existed")
+        self._obs_stored = registry.counter(
+            "mmlib_chunks_stored_bytes_total",
+            "Framed (possibly compressed) bytes physically written")
         self._init_physical()
+
+    # -- codec framing / dedup accounting ------------------------------------
+
+    def _encode(self, buffer):
+        """At-rest payload for one chunk (see :mod:`repro.filestore.codecs`).
+
+        With the ``none`` codec the raw bytes pass through zero-copy
+        unless they collide with the frame magic, which the codec layer
+        escape-frames so decoding stays unambiguous.
+        """
+        if self.codec == "none":
+            view = buffer if isinstance(buffer, bytes) else memoryview(buffer).cast("B")
+            if bytes(view[:4]) != chunk_codecs.FRAME_MAGIC:
+                return buffer
+        return chunk_codecs.encode(self.codec, buffer)
+
+    @staticmethod
+    def _decode(payload: bytes) -> bytes:
+        """Uncompressed chunk bytes for one at-rest payload."""
+        return chunk_codecs.decode(payload)
+
+    def _account_put(self, raw_nbytes: int, stored_nbytes: int | None = None) -> None:
+        """Record one put: deduped when ``stored_nbytes`` is ``None``."""
+        with self._acct_lock:
+            self.logical_bytes += raw_nbytes
+            if stored_nbytes is None:
+                self.dedup_bytes += raw_nbytes
+            else:
+                self.stored_bytes += stored_nbytes
+        self._obs_logical.inc(raw_nbytes)
+        if stored_nbytes is None:
+            self._obs_dedup.inc(raw_nbytes)
+        else:
+            self._obs_stored.inc(stored_nbytes)
+
+    def dedup_stats(self) -> dict:
+        """Dedup and compression accounting since this store was opened."""
+        with self._acct_lock:
+            logical = self.logical_bytes
+            dedup = self.dedup_bytes
+            stored = self.stored_bytes
+        written = logical - dedup
+        return {
+            "codec": self.codec,
+            "logical_bytes": logical,
+            "dedup_bytes": dedup,
+            "stored_bytes": stored,
+            "dedup_ratio": round(logical / written, 4) if written else None,
+            "compression_ratio": round(written / stored, 4) if stored else None,
+        }
 
     def _init_physical(self) -> None:
         """Create the physical layout (hook for alternate backends)."""
@@ -330,16 +446,20 @@ class ChunkStore:
         the write idempotent: an existing chunk is never rewritten.
         """
         path = self._chunk_path(digest)
+        raw_nbytes = _buffer_nbytes(buffer)
         if path.exists():
+            self._account_put(raw_nbytes)
             return False
+        payload = self._encode(buffer)
         tmp = path.with_name(f"{path.name}-{uuid.uuid4().hex[:8]}.tmp")
         with open(tmp, "wb") as fileobj:
-            fileobj.write(buffer)
+            fileobj.write(payload)
             if self.durability == "chunk":
                 fileobj.flush()
                 os.fsync(fileobj.fileno())
                 self._obs_fsyncs.inc()
         tmp.replace(path)
+        self._account_put(raw_nbytes, stored_nbytes=_buffer_nbytes(payload))
         self._obs_files_created.inc()
         if self.durability == "group":
             with self._pending_lock:
@@ -414,9 +534,10 @@ class ChunkStore:
     def get(self, digest: str) -> bytes:
         path = self._chunk_path(digest)
         try:
-            return path.read_bytes()
+            payload = path.read_bytes()
         except FileNotFoundError:
             raise ChunkNotFoundError(f"no stored chunk with digest {digest!r}") from None
+        return self._decode(payload)
 
     def drop(self, digest: str) -> bool:
         """Unlink one chunk file regardless of refcounts; True iff removed.
@@ -645,10 +766,18 @@ class FileStore:
         layout: str | None = None,
         durability: str | None = None,
         segment_bytes: int | None = None,
+        codec: str | None = None,
+        cdc: bool | None = None,
+        cdc_target_bytes: int | None = None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.layout = self._resolve_layout(layout)
+        self.codec = chunk_codecs.resolve_codec(codec)
+        self.cdc = self._resolve_cdc(cdc)
+        self.cdc_target_bytes = (
+            int(cdc_target_bytes) if cdc_target_bytes else DEFAULT_CDC_TARGET_BYTES
+        )
         if durability is not None and durability not in DURABILITY_MODES:
             raise ValueError(
                 f"durability must be one of {DURABILITY_MODES}, got {durability!r}"
@@ -717,6 +846,17 @@ class FileStore:
             return env
         return DEFAULT_LAYOUT
 
+    @staticmethod
+    def _resolve_cdc(cdc: bool | None) -> bool:
+        """Content-defined chunking: explicit flag > env var > off.
+
+        Off by default — v1 whole-layer manifests stay the format existing
+        deployments write; both formats are always readable.
+        """
+        if cdc is not None:
+            return bool(cdc)
+        return os.environ.get(CDC_ENV_VAR, "").strip().lower() in ("1", "true", "on")
+
     @property
     def chunks(self) -> ChunkStore:
         """The store's content-addressed chunk substore (lazily created)."""
@@ -731,6 +871,7 @@ class FileStore:
                     self.root / CHUNK_DIR_NAME,
                     tmp_grace_s=self.tmp_grace_s,
                     durability=self.durability,
+                    codec=self.codec,
                     **kwargs,
                 )
             else:
@@ -738,6 +879,7 @@ class FileStore:
                     self.root / CHUNK_DIR_NAME,
                     tmp_grace_s=self.tmp_grace_s,
                     durability=self.durability,
+                    codec=self.codec,
                 )
         return self._chunks
 
@@ -1080,22 +1222,71 @@ class FileStore:
         with self._obs_tracer.span("store.save_chunks", layers=len(state)):
             return self._save_state_chunks(state, layer_hashes, suffix, workers)
 
+    @staticmethod
+    def _layer_buffer(array: np.ndarray):
+        payload = array if array.flags.c_contiguous else np.ascontiguousarray(array)
+        if payload.ndim and payload.nbytes:
+            return memoryview(payload).cast("B")
+        # 0-d and empty arrays cannot be cast; both are tiny
+        return payload.tobytes()
+
     def _save_state_chunks(self, state, layer_hashes, suffix, workers) -> str:
+        if self.cdc:
+            return self._save_state_chunks_cdc(state, layer_hashes, suffix, workers)
         entries = []
         digests = []
         buffers = {}
         for name, array in state.items():
             digest = layer_hashes[name]
-            payload = array if array.flags.c_contiguous else np.ascontiguousarray(array)
-            if payload.ndim and payload.nbytes:
-                buffer = memoryview(payload).cast("B")
-            else:  # 0-d and empty arrays cannot be cast; both are tiny
-                buffer = payload.tobytes()
-            buffers.setdefault(digest, buffer)
+            buffers.setdefault(digest, self._layer_buffer(array))
             entries.append(
                 [name, {"chunk": digest, "dtype": array.dtype.str, "shape": list(array.shape)}]
             )
             digests.append(digest)
+        return self._publish_chunk_manifest(
+            MANIFEST_FORMAT, entries, digests, buffers, suffix, workers
+        )
+
+    def _save_state_chunks_cdc(self, state, layer_hashes, suffix, workers) -> str:
+        """v2 manifest: each layer is a run of content-defined chunks.
+
+        Chunk ids are sha256 digests of the *uncompressed* chunk bytes, so
+        identical byte runs dedup across layers, models, and tenants even
+        when the surrounding layer differs.  The layer's tensor hash is
+        kept in the entry for provenance/diff tooling.
+        """
+        entries = []
+        digests = []
+        buffers = {}
+        for name, array in state.items():
+            buffer = self._layer_buffer(array)
+            view = memoryview(buffer)
+            layer_digests = []
+            for start, end in split_buffer(buffer, target_bytes=self.cdc_target_bytes):
+                piece = view[start:end]
+                digest = hashlib.sha256(piece).hexdigest()
+                buffers.setdefault(digest, piece)
+                layer_digests.append(digest)
+            entries.append(
+                [
+                    name,
+                    {
+                        "chunks": layer_digests,
+                        "dtype": array.dtype.str,
+                        "shape": list(array.shape),
+                        "hash": layer_hashes[name],
+                    },
+                ]
+            )
+            digests.extend(layer_digests)
+        return self._publish_chunk_manifest(
+            MANIFEST_FORMAT_V2, entries, digests, buffers, suffix, workers
+        )
+
+    def _publish_chunk_manifest(
+        self, fmt, entries, digests, buffers, suffix, workers
+    ) -> str:
+        """Write the chunk batch, take refs, and publish the manifest."""
         unique = list(buffers)
         n = self._effective_workers(workers, len(unique))
         if n <= 1:
@@ -1116,7 +1307,7 @@ class FileStore:
         self.chunks.add_refs(digests)
         self.journal_record("refs", digests=digests)
         manifest = json.dumps(
-            {"format": MANIFEST_FORMAT, "layers": entries}, sort_keys=True
+            {"format": fmt, "layers": entries}, sort_keys=True
         ).encode()
         return self.save_bytes(manifest, suffix=suffix)
 
@@ -1146,21 +1337,75 @@ class FileStore:
             n = self._effective_workers(workers, len(layers))
             if n <= 1:
                 for name, meta in layers:
-                    state[name] = self._recover_chunk_array(meta, verify)
+                    state[name] = self._recover_layer(meta, verify)
                 return state
-            payloads = self.get_chunks([meta["chunk"] for _, meta in layers], workers=n)
+            payloads = self.get_chunks(
+                [d for _, meta in layers for d in layer_chunk_digests(meta)],
+                workers=n,
+            )
             with ThreadPoolExecutor(max_workers=n) as pool:
                 arrays = list(
                     pool.map(
-                        lambda pair: self._recover_chunk_array(
-                            pair[1], verify, initial=payloads.get(pair[1]["chunk"])
-                        ),
+                        lambda pair: self._recover_layer(pair[1], verify, payloads),
                         layers,
                     )
                 )
             for (name, _), array in zip(layers, arrays):
                 state[name] = array
             return state
+
+    def _recover_layer(
+        self, meta: dict, verify: bool, payloads: dict | None = None
+    ) -> np.ndarray:
+        """Rebuild one layer from a v1 or v2 manifest entry."""
+        if "chunks" in meta:
+            return self._recover_cdc_array(meta, verify, payloads)
+        initial = payloads.get(meta["chunk"]) if payloads else None
+        return self._recover_chunk_array(meta, verify, initial=initial)
+
+    def _fetch_verified_chunk(
+        self, digest: str, verify: bool, initial: bytes | None = None
+    ) -> bytes:
+        """Fetch one content-digest (v2) chunk, re-fetching on mismatch."""
+        attempts = 1
+        if verify and self.retry is not None:
+            attempts = max(1, self.retry.max_attempts)
+        raw = initial
+        for _attempt in range(attempts):
+            if raw is None:
+                raw = self.get_chunk(digest)
+            if not verify or hashlib.sha256(raw).hexdigest() == digest:
+                return raw
+            # a poisoned cache entry would make every re-fetch return the
+            # same bad payload — drop it so the retry hits the store
+            self._cache_discard(digest)
+            raw = None
+        raise StoreCorruptionError(
+            f"chunk {digest!r} is corrupt: content digest mismatch persisted "
+            f"across {attempts} fetch attempt(s)"
+        )
+
+    def _recover_cdc_array(
+        self, meta: dict, verify: bool, payloads: dict | None = None
+    ) -> np.ndarray:
+        """Reassemble one layer from its content-defined chunk run (v2)."""
+        parts = [
+            self._fetch_verified_chunk(
+                digest, verify, initial=payloads.get(digest) if payloads else None
+            )
+            for digest in meta["chunks"]
+        ]
+        data = parts[0] if len(parts) == 1 else b"".join(parts)
+        try:
+            array = np.frombuffer(data, dtype=np.dtype(meta["dtype"])).reshape(
+                meta["shape"]
+            )
+        except ValueError as exc:  # reassembled size disagrees with the manifest
+            raise StoreCorruptionError(
+                f"layer reassembly mismatch for chunk run "
+                f"{[d[:12] for d in meta['chunks']]}: {exc}"
+            ) from exc
+        return array.copy()
 
     def _recover_chunk_array(
         self, meta: dict, verify: bool, initial: bytes | None = None
@@ -1204,9 +1449,11 @@ class FileStore:
             raise StoreCorruptionError(
                 f"file {file_id!r} is corrupt: not a parsable manifest ({exc})"
             ) from exc
-        if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+        fmt = payload.get("format") if isinstance(payload, dict) else None
+        if fmt not in MANIFEST_FORMATS:
             raise StoreCorruptionError(
-                f"file {file_id!r} is not a {MANIFEST_FORMAT} manifest"
+                f"file {file_id!r} is not a chunked-state manifest "
+                f"(format {fmt!r}; accepted: {MANIFEST_FORMATS})"
             )
         return payload
 
@@ -1324,26 +1571,26 @@ class FileStore:
             except (IOError, ValueError, json.JSONDecodeError):
                 manifest = None  # corrupt manifest: drop the blob, keep chunks
             if manifest is not None:
-                self.chunks.release_refs(
-                    meta["chunk"] for _, meta in manifest["layers"]
-                )
+                self.chunks.release_refs(manifest_chunk_digests(manifest))
         return self._discard_blob(file_id)
 
     def size(self, file_id: str) -> int:
         """Logical size in bytes of one stored file.
 
-        For a manifest this is the manifest blob plus every referenced
-        chunk — the bytes a recovery transfers — independent of how much
-        of it is deduplicated on disk (see :meth:`total_bytes` for the
-        physical view).
+        For a manifest this is the manifest blob plus the raw bytes of
+        every referenced layer — the bytes a recovery materializes —
+        independent of how much of it is deduplicated or compressed on
+        disk (see :meth:`total_bytes` for the physical view).  Layer
+        sizes come from the manifest's dtype/shape metadata, so the
+        answer is the same on every layout and codec.
         """
         size = self._blob_size(file_id)
         if self.is_manifest_id(file_id):
             manifest = self.read_manifest(file_id)
-            for _, meta in manifest["layers"]:
-                chunk_size = self.chunks.size_of(meta["chunk"])
-                if chunk_size is not None:
-                    size += chunk_size
+            for _name, meta in manifest["layers"]:
+                size += int(np.dtype(meta["dtype"]).itemsize) * int(
+                    np.prod(meta["shape"], dtype=np.int64)
+                )
         return size
 
     def total_bytes(self) -> int:

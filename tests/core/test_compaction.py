@@ -1,0 +1,247 @@
+"""Chain compaction: bounded recovery depth, journaled crash safety."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureRef,
+    ChainCompactor,
+    ModelManager,
+    ModelSaveInfo,
+    ParameterUpdateSaveService,
+)
+from repro.core.compaction import CompactionJournal
+from repro.faults import CrashPoint, FaultInjector
+from tests.conftest import make_tiny_cnn
+
+
+def build_probe_model(num_classes=10):
+    """Importable factory for architecture refs."""
+    return make_tiny_cnn(num_classes=num_classes)
+
+
+def tiny_arch():
+    return ArchitectureRef.from_factory(
+        "tests.core.test_compaction", "build_probe_model", {"num_classes": 10}
+    )
+
+
+def save_chain(service, length):
+    """One root snapshot plus ``length`` PUA deltas; returns (ids, states)."""
+    model = make_tiny_cnn(seed=1)
+    ids = [service.save_model(ModelSaveInfo(model, tiny_arch(), use_case="U_1"))]
+    states = {ids[0]: {k: v.copy() for k, v in model.state_dict().items()}}
+    for _ in range(length):
+        state = {k: v.copy() for k, v in model.state_dict().items()}
+        state["5.bias"] = state["5.bias"] + 1.0
+        model = make_tiny_cnn()
+        model.load_state_dict(state)
+        model_id = service.save_model(
+            ModelSaveInfo(model, tiny_arch(), base_model_id=ids[-1])
+        )
+        ids.append(model_id)
+        states[model_id] = state
+    return ids, states
+
+
+def assert_bitwise(service, ids, states):
+    for model_id in ids:
+        recovered = service.recover_model(model_id, verify=True)
+        got = recovered.model.state_dict()
+        assert set(got) == set(states[model_id])
+        for key, want in states[model_id].items():
+            assert np.array_equal(np.asarray(got[key]), np.asarray(want)), (
+                model_id, key)
+
+
+@pytest.fixture
+def setup(mem_doc_store, file_store):
+    service = ParameterUpdateSaveService(mem_doc_store, file_store)
+    return service, ModelManager(service)
+
+
+class TestPlanAndRun:
+    def test_compact_bounds_depth_and_keeps_recovery_bitwise(self, setup):
+        service, manager = setup
+        ids, states = save_chain(service, 6)
+        assert service.recover_model(ids[-1]).recovery_depth == 6
+
+        report = manager.compact(max_depth=4)
+        assert [m["model_id"] for m in report["materialized"]] == [ids[4]]
+
+        assert_bitwise(service, ids, states)
+        assert service.recover_model(ids[-1]).recovery_depth == 2
+        assert service.recover_model(ids[4]).recovery_depth == 0
+
+    def test_lineage_and_ids_survive_compaction(self, setup):
+        service, manager = setup
+        ids, _ = save_chain(service, 5)
+        manager.compact(max_depth=4)
+        assert service.base_chain(ids[-1]) == list(reversed(ids))
+        document = service.documents.collection("models").get(ids[4])
+        assert document["base_model"] == ids[3]
+        assert document["parameters_file"]
+        assert document["compacted"]["from_depth"] == 4
+        assert "update_file" not in document
+
+    def test_dry_run_plans_without_rewriting(self, setup):
+        service, manager = setup
+        ids, _ = save_chain(service, 5)
+        report = manager.compact(max_depth=4, dry_run=True)
+        assert [p["model_id"] for p in report["planned"]] == [ids[4]]
+        assert report["materialized"] == []
+        assert service.recover_model(ids[-1]).recovery_depth == 5
+
+    def test_second_run_is_a_no_op(self, setup):
+        service, manager = setup
+        save_chain(service, 6)
+        manager.compact(max_depth=4)
+        report = manager.compact(max_depth=4)
+        assert report["planned"] == []
+        assert report["materialized"] == []
+
+    def test_long_chain_materializes_every_k_levels(self, setup):
+        service, manager = setup
+        ids, states = save_chain(service, 9)
+        report = manager.compact(max_depth=4)
+        # depth resets at each planned node: 4 and 8 get materialized
+        assert [m["model_id"] for m in report["materialized"]] == [ids[4], ids[8]]
+        assert_bitwise(service, ids, states)
+        assert service.recover_model(ids[-1]).recovery_depth == 1
+
+    def test_released_bytes_reported_and_snapshots_skipped(self, setup):
+        service, manager = setup
+        ids, _ = save_chain(service, 4)
+        report = manager.compact(max_depth=4)
+        assert report["released_bytes"] > 0
+        compactor = ChainCompactor(service)
+        outcome = compactor.compact_model(ids[0])  # already a snapshot
+        assert outcome["released_bytes"] == 0
+
+    def test_max_depth_validation(self, setup):
+        service, _ = setup
+        with pytest.raises(ValueError):
+            ChainCompactor(service, max_depth=0)
+
+    def test_fsck_stays_clean_after_compaction(self, setup):
+        service, manager = setup
+        save_chain(service, 6)
+        manager.compact(max_depth=4)
+        report = manager.fsck()
+        assert report.clean, report.summary()
+
+
+class TestCrashSafety:
+    def test_crash_at_every_journaled_op_recovers_bitwise(self, setup):
+        """Kill the compactor at each protocol step; fsck must converge.
+
+        After every crash, recovery of every model must be bitwise
+        identical both before and after repair, and the journal must be
+        fully resolved (rolled forward or back) by fsck.
+        """
+        service, manager = setup
+        ids, states = save_chain(service, 5)
+        crashes = 0
+        for at in range(1, 30):
+            faults = FaultInjector(seed=0)
+            compactor = ChainCompactor(service, max_depth=4)
+            compactor.fault_hook = faults.fail_point
+            faults.arm_crash(at, op="compact.")
+            try:
+                compactor.run()
+            except CrashPoint:
+                crashes += 1
+                assert_bitwise(service, ids, states)  # before repair
+                report = manager.fsck()
+                assert not report.unrepaired, report.summary()
+                assert compactor.journal.pending() == []
+                assert_bitwise(service, ids, states)  # after repair
+            else:
+                break
+        assert crashes >= 4  # artifacts, journal, commit, cleanup, discard
+        assert manager.compact(max_depth=4)["planned"] == []
+        assert_bitwise(service, ids, states)
+
+    def test_uncommitted_swap_rolls_back(self, setup):
+        """A crash before the document update must leave no trace."""
+        service, manager = setup
+        ids, states = save_chain(service, 4)
+        faults = FaultInjector(seed=0)
+        compactor = ChainCompactor(service, max_depth=4)
+        compactor.fault_hook = faults.fail_point
+        faults.arm_crash(1, op="compact.commit")
+        with pytest.raises(CrashPoint):
+            compactor.run()
+        assert len(compactor.journal.pending()) == 1
+        actions = ChainCompactor.resume_pending(
+            service.documents, service.files)
+        assert [a["action"] for a in actions] == ["rolled_back"]
+        document = service.documents.collection("models").get(ids[4])
+        assert "parameters_file" not in document or not document.get(
+            "parameters_file")
+        assert document.get("update_file")
+        report = manager.fsck()  # artifacts fully reclaimed
+        assert not report.unrepaired, report.summary()
+        assert_bitwise(service, ids, states)
+
+    def test_committed_swap_rolls_forward(self, setup):
+        """A crash after the document update must finish the cleanup."""
+        service, manager = setup
+        ids, states = save_chain(service, 4)
+        faults = FaultInjector(seed=0)
+        compactor = ChainCompactor(service, max_depth=4)
+        compactor.fault_hook = faults.fail_point
+        faults.arm_crash(1, op="compact.cleanup")
+        with pytest.raises(CrashPoint):
+            compactor.run()
+        old_update = compactor.journal.pending()[0]["old_update_file"]
+        assert service.files.exists(old_update)
+        actions = ChainCompactor.resume_pending(
+            service.documents, service.files)
+        assert [a["action"] for a in actions] == ["rolled_forward"]
+        assert not service.files.exists(old_update)
+        assert compactor.journal.pending() == []
+        assert_bitwise(service, ids, states)
+        assert service.recover_model(ids[4]).recovery_depth == 0
+
+    def test_fsck_reports_incomplete_compaction_without_repair(self, setup):
+        service, manager = setup
+        save_chain(service, 4)
+        faults = FaultInjector(seed=0)
+        compactor = ChainCompactor(service, max_depth=4)
+        compactor.fault_hook = faults.fail_point
+        faults.arm_crash(1, op="compact.cleanup")
+        with pytest.raises(CrashPoint):
+            compactor.run()
+        report = manager.fsck(repair=False)
+        kinds = {issue.kind for issue in report.issues}
+        assert "incomplete_compaction" in kinds
+        assert len(compactor.journal.pending()) == 1  # untouched
+        report = manager.fsck(repair=True)
+        assert compactor.journal.pending() == []
+
+    def test_resume_is_idempotent(self, setup):
+        service, _ = setup
+        save_chain(service, 4)
+        faults = FaultInjector(seed=0)
+        compactor = ChainCompactor(service, max_depth=4)
+        compactor.fault_hook = faults.fail_point
+        faults.arm_crash(1, op="compact.cleanup")
+        with pytest.raises(CrashPoint):
+            compactor.run()
+        ChainCompactor.resume_pending(service.documents, service.files)
+        # resuming again with nothing pending is a no-op
+        assert ChainCompactor.resume_pending(
+            service.documents, service.files) == []
+
+
+class TestJournal:
+    def test_torn_journal_write_is_ignored(self, tmp_path):
+        journal = CompactionJournal(tmp_path / "chain-compaction")
+        journal.write("model-a", {"manifest_file": "m1"})
+        (tmp_path / "chain-compaction" / "model-b.json").write_text("{trunc")
+        entries = journal.pending()
+        assert [e["model_id"] for e in entries] == ["model-a"]
+        journal.discard("model-a")
+        journal.discard("model-b")
+        assert journal.pending() == []

@@ -14,8 +14,8 @@ ARCH = ArchitectureRef.from_factory(
 )
 
 FSCK_STEPS = (
-    "journals", "segments", "documents", "chunks", "orphan_files",
-    "refcounts", "replication", "hints", "orphan_documents",
+    "journals", "segments", "compaction", "documents", "chunks",
+    "orphan_files", "refcounts", "replication", "hints", "orphan_documents",
 )
 
 

@@ -17,6 +17,7 @@ from repro.filestore import (
     SegmentChunkStore,
     SegmentCompactor,
 )
+from repro.filestore import codecs as chunk_codecs
 from repro.filestore.segments import SEGMENT_SUFFIX
 
 
@@ -43,13 +44,15 @@ class TestSegmentBasics:
         for digest, blob in data.items():
             assert store.has(digest)
             assert store.get(digest) == blob
-            assert store.size_of(digest) == len(blob)
+            # size_of is the at-rest size: equal to the payload without a
+            # codec, never larger with one (the sniff keeps raw otherwise)
+            assert 0 < store.size_of(digest) <= len(blob)
         assert store.put(digest_for(0), payload(0)) is False  # dedup
         path, offset, length = store.locate(digest_for(0))
         assert path.suffix == SEGMENT_SUFFIX
         with open(path, "rb") as fileobj:
             fileobj.seek(offset)
-            assert fileobj.read(length) == payload(0)
+            assert chunk_codecs.decode(fileobj.read(length)) == payload(0)
         with pytest.raises(ChunkNotFoundError):
             store.get("ffffffff" + "cd" * 12)
 

@@ -247,6 +247,88 @@ class TestVerifyAndSquash:
         assert run_cli("--docs", docs, "--files", files, "inspect", root_id) == 0
 
 
+class TestCompact:
+    @pytest.fixture
+    def deep_chain(self, stores):
+        from repro.core import ParameterUpdateSaveService
+
+        docs, files = stores
+        service = ParameterUpdateSaveService(DocumentStore(docs), FileStore(files))
+        arch = ArchitectureRef.from_factory(
+            "tests.test_cli", "build_probe_model", {"num_classes": 10}
+        )
+        model = make_tiny_cnn(seed=1)
+        ids = [service.save_model(ModelSaveInfo(model, arch, use_case="U_1"))]
+        for _ in range(5):
+            state = {k: v.copy() for k, v in model.state_dict().items()}
+            state["5.bias"] = state["5.bias"] + 1.0
+            model = make_tiny_cnn()
+            model.load_state_dict(state)
+            ids.append(
+                service.save_model(ModelSaveInfo(model, arch, base_model_id=ids[-1]))
+            )
+        return ids
+
+    def test_dry_run_prints_plan(self, stores, deep_chain, capsys):
+        docs, files = stores
+        assert run_cli(
+            "--docs", docs, "--files", files, "compact",
+            "--max-depth", "4", "--dry-run",
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"would materialize {deep_chain[4]}" in out
+
+    def test_compact_then_idempotent(self, stores, deep_chain, capsys):
+        docs, files = stores
+        assert run_cli(
+            "--docs", docs, "--files", files, "compact", "--max-depth", "4"
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"materialized {deep_chain[4]}" in out
+        assert "compacted 1 model(s)" in out
+        assert run_cli(
+            "--docs", docs, "--files", files, "compact",
+            "--max-depth", "4", "--dry-run",
+        ) == 0
+        assert "nothing to do" in capsys.readouterr().out
+        assert run_cli("--docs", docs, "--files", files, "verify") == 0
+
+    def test_json_report(self, stores, deep_chain, capsys):
+        docs, files = stores
+        assert run_cli(
+            "--docs", docs, "--files", files, "compact",
+            "--max-depth", "4", "--json",
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["max_depth"] == 4
+        assert [m["model_id"] for m in payload["materialized"]] == [deep_chain[4]]
+
+    def test_codec_flag_shapes_new_writes(self, tmp_path, capsys):
+        # zeroed parameters compress well; random conv weights would not
+        model = make_tiny_cnn(seed=2)
+        state = {k: np.zeros_like(np.asarray(v)) for k, v in model.state_dict().items()}
+        state_file = tmp_path / "zeros.state"
+        serialization.save(state, state_file)
+        plain = tmp_path / "plain"
+        packed = tmp_path / "packed"
+        for workdir, codec in ((plain, "none"), (packed, "zlib")):
+            assert run_cli(
+                "--docs", str(workdir / "docs"), "--files", str(workdir / "files"),
+                "--codec", codec,
+                "save", "--factory", FACTORY, "--state", str(state_file),
+                "--use-case", "U_1",
+            ) == 0
+        capsys.readouterr()
+        plain_bytes = FileStore(plain / "files").total_bytes()
+        packed_bytes = FileStore(packed / "files").total_bytes()
+        assert packed_bytes < plain_bytes
+        # the compressed store still verifies end to end
+        assert run_cli(
+            "--docs", str(packed / "docs"), "--files", str(packed / "files"),
+            "verify",
+        ) == 0
+
+
 class TestFsckJson:
     def test_clean_store_emits_json_and_exits_zero(self, stores, saved_model, capsys):
         docs, files = stores
@@ -355,7 +437,8 @@ class TestObservabilityCommands:
         payload = json.loads(capsys.readouterr().out)
         steps = payload["step_seconds"]
         assert set(steps) == {
-            "journals", "segments", "documents", "chunks", "orphan_files",
-            "refcounts", "replication", "hints", "orphan_documents",
+            "journals", "segments", "compaction", "documents", "chunks",
+            "orphan_files", "refcounts", "replication", "hints",
+            "orphan_documents",
         }
         assert all(seconds >= 0.0 for seconds in steps.values())
