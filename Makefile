@@ -1,6 +1,6 @@
 PY ?= python
 
-.PHONY: test lint bench-smoke bench-recovery bench-cluster chaos api-docs stats-demo
+.PHONY: test lint bench-smoke bench-recovery bench-cluster bench-serving chaos api-docs stats-demo
 
 # tier-1 suite (the repo's correctness gate)
 test:
@@ -26,6 +26,10 @@ bench-recovery:
 # sharded recover throughput + replica-down failover; writes BENCH_cluster.json
 bench-cluster:
 	$(PY) scripts/bench_cluster.py
+
+# multi-tenant gateway under heavy-tailed load; writes BENCH_serving.json
+bench-serving:
+	$(PY) scripts/bench_serving.py --smoke
 
 # fault-injection tests (fixed seeds) + chaos smoke; writes BENCH_chaos.json
 chaos:

@@ -20,6 +20,8 @@ file store directories).  Examples::
     mmlib --docs db --files blobs compact --max-depth 4 --dry-run
     mmlib --cluster deploy heal --json
     mmlib --cluster deploy stats --prometheus
+    mmlib --cluster deploy --deadline 2.5 recover model-0123… --out m.state
+    mmlib --cluster deploy serve --tenants acme,globex --port 7070
     mmlib probe --factory repro.nn.models:resnet18 \\
           --factory-kwargs '{"num_classes": 10, "scale": 0.25}'
     mmlib env
@@ -93,6 +95,45 @@ def _open_manager(args):
         ),
     )
     return ModelManager(service)
+
+
+def _open_shared_stores(args):
+    """Build a SharedStores from --cluster or --docs/--files (for serve)."""
+    import tempfile
+
+    from repro.distsim.environment import SharedStores
+    from repro.docstore import DocumentStore
+    from repro.filestore import FileStore
+
+    cluster = getattr(args, "cluster", None)
+    if cluster:
+        workdir = Path(cluster)
+        shards = sorted(p for p in workdir.glob("shard-*") if p.is_dir())
+        if not shards:
+            raise CliError(f"no shard-* member directories under {workdir}")
+        return SharedStores.cluster_at(
+            workdir,
+            shards=len(shards),
+            replicas=getattr(args, "replicas", 2),
+            layout=getattr(args, "layout", None),
+            codec=getattr(args, "codec", None),
+            self_heal=True,
+        )
+    if not args.docs or not args.files:
+        raise CliError(
+            "this command requires --docs and --files store directories "
+            "(or --cluster for a sharded deployment)"
+        )
+    scratch = Path(tempfile.mkdtemp(prefix="mmlib-serve-scratch-"))
+    return SharedStores(
+        documents=DocumentStore(args.docs),
+        files=FileStore(
+            args.files,
+            layout=getattr(args, "layout", None),
+            codec=getattr(args, "codec", None),
+        ),
+        scratch_dir=scratch,
+    )
 
 
 def _service_for(args, approach: str):
@@ -403,6 +444,63 @@ def cmd_probe(args) -> int:
     return 0 if result.reproducible else 1
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant serving gateway over a deployment."""
+    from repro.gateway import (
+        GatewayServer,
+        IdleMaintenance,
+        TenantQuota,
+        TenantRegistry,
+    )
+
+    tenants = [name.strip() for name in args.tenants.split(",") if name.strip()]
+    if not tenants:
+        raise CliError("--tenants needs at least one tenant name")
+    quota = TenantQuota(
+        requests_per_s=args.requests_per_s,
+        bytes_per_s=args.bytes_per_s,
+        burst_requests=args.burst_requests,
+        burst_bytes=args.burst_bytes,
+        max_inflight=args.max_inflight,
+        max_concurrency=args.max_concurrency,
+    )
+    stores = _open_shared_stores(args)
+    registry = TenantRegistry(
+        stores, {name: quota for name in tenants}, approach=args.approach
+    )
+    maintenance = None
+    if not args.no_maintenance:
+        maintenance = IdleMaintenance(registry, max_depth=args.compact_depth)
+    server = GatewayServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        maintenance=maintenance,
+    )
+    server.start()
+    try:
+        print(
+            f"mmlib gateway serving on {server.host}:{server.port} "
+            f"(tenants: {', '.join(tenants)}, approach: {args.approach}, "
+            f"workers: {args.workers})",
+            flush=True,
+        )
+        import time
+
+        if args.serve_seconds is not None:
+            time.sleep(args.serve_seconds)
+        else:
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 def cmd_env(args) -> int:
     """Print, lock, or check the current environment snapshot."""
     from repro.core import collect_environment
@@ -563,6 +661,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="at-rest chunk compression codec for new writes: none | zlib "
              "| lz4 (default: $REPRO_CHUNK_CODEC, else none; reads decode "
              "by the payload frame regardless)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="run the subcommand under an ambient deadline: storage "
+             "retries and quorum paths fail fast with DeadlineExceededError "
+             "instead of exhausting their backoff budgets",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -737,6 +841,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     events_parser.set_defaults(func=cmd_events)
 
+    serve_parser = commands.add_parser(
+        "serve", help="run the multi-tenant serving gateway (TCP JSON-lines)"
+    )
+    serve_parser.add_argument(
+        "--tenants", required=True,
+        help="comma-separated tenant names, e.g. 'acme,globex'",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=7070,
+        help="TCP port (0 binds an ephemeral port; default 7070)",
+    )
+    serve_parser.add_argument(
+        "--approach", default="param_update",
+        help="save service behind the gateway: baseline | param_update | "
+             "provenance | adaptive",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=4,
+        help="storage worker threads (the async front end is single-loop)",
+    )
+    serve_parser.add_argument(
+        "--requests-per-s", type=float, default=200.0,
+        help="per-tenant request-rate quota",
+    )
+    serve_parser.add_argument(
+        "--bytes-per-s", type=float, default=64 * 1024 * 1024,
+        help="per-tenant ingress byte-rate quota",
+    )
+    serve_parser.add_argument(
+        "--burst-requests", type=float, default=50.0,
+        help="request token-bucket size",
+    )
+    serve_parser.add_argument(
+        "--burst-bytes", type=float, default=16 * 1024 * 1024,
+        help="byte token-bucket size",
+    )
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="per-tenant bound on admitted-but-unfinished requests",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency", type=int, default=4,
+        help="per-tenant bound on concurrently executing requests "
+             "(keep the sum across tenants <= --workers for isolation)",
+    )
+    serve_parser.add_argument(
+        "--no-maintenance", action="store_true",
+        help="disable the idle-loop chain-compaction hook",
+    )
+    serve_parser.add_argument(
+        "--compact-depth", type=int, default=4,
+        help="recovery-depth threshold K that triggers idle compaction",
+    )
+    serve_parser.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="serve for a fixed duration then exit (default: until Ctrl-C)",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
     env_parser = commands.add_parser("env", help="print/lock/check the environment")
     env_parser.add_argument("--full", action="store_true", help="include the package list")
     env_parser.add_argument("--lock", help="write an environment lockfile to this path")
@@ -749,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.deadline is not None:
+            if args.deadline <= 0:
+                raise CliError("--deadline must be positive")
+            from repro import deadline
+
+            with deadline.scope(args.deadline):
+                return args.func(args)
         return args.func(args)
     except Exception as exc:  # CLI boundary: print, don't traceback
         print(f"error: {exc}", file=sys.stderr)

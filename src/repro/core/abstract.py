@@ -96,6 +96,11 @@ class AbstractSaveService:
             "mmlib_save_seconds", "save_model wall time", approach=self.approach)
         self._obs_recover_seconds = registry.histogram(
             "mmlib_recover_seconds", "recover_model wall time", approach=self.approach)
+        # high-water mark of replayed chain depth; the serving plane's
+        # idle maintenance compacts when this crosses K, then resets it
+        self._obs_recovery_depth = registry.gauge(
+            "mmlib_recovery_depth_max",
+            "Deepest delta chain replayed by a recover")
         # chunked saves write parameters as content-addressed per-layer
         # chunks keyed by the Merkle leaf hashes (dedup across models; no
         # whole-blob re-hash).  Falls back to the monolithic codec for
@@ -338,6 +343,8 @@ class AbstractSaveService:
 
             self._obs_recover_seconds.observe(self.clock.perf() - recover_started)
             self._obs_recovers.inc()
+            if depth > self._obs_recovery_depth.value:
+                self._obs_recovery_depth.set(depth)
             sp.set(depth=depth)
             return RecoveredModelInfo(
                 model_id=model_id,

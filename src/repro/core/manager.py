@@ -304,6 +304,10 @@ class ModelManager:
         documents = self.documents
         if hasattr(documents, "cluster_stats"):
             out["cluster_docs"] = dict(documents.cluster_stats)
+        tenant_counts = getattr(documents, "tenant_model_counts", None)
+        if callable(tenant_counts):
+            # multi-tenant admin view (gateway deployments): models per tenant
+            out["tenants"] = tenant_counts()
         detector = getattr(files, "detector", None) or getattr(
             documents, "detector", None)
         if detector is not None:

@@ -8,6 +8,12 @@ own process like the dedicated MongoDB machine in the paper's setup.
 from .client import DocumentStoreClient, RemoteCollection, RemoteStoreError
 from .documents import DocumentError, ObjectId, new_object_id, validate_document
 from .engine import Collection, DocumentStore, DuplicateKeyError, NotFoundError
+from .namespace import (
+    NamespacedDocumentStore,
+    UnionDocumentStore,
+    tenant_collection_name,
+    validate_tenant_name,
+)
 from .query import QueryError, matches
 from .server import DocumentStoreServer
 
@@ -26,4 +32,8 @@ __all__ = [
     "QueryError",
     "matches",
     "DocumentStoreServer",
+    "NamespacedDocumentStore",
+    "UnionDocumentStore",
+    "tenant_collection_name",
+    "validate_tenant_name",
 ]

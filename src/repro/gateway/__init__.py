@@ -1,0 +1,50 @@
+"""``repro.gateway`` — the async multi-tenant serving gateway.
+
+The deployment's front door: an asyncio TCP server exposing
+save/recover/find/stats over :class:`~repro.core.manager.ModelManager`,
+with per-tenant namespaces, token-bucket quotas, bounded queues with
+typed load shedding, client-propagated deadlines, and idle-time
+background maintenance.  See ``docs/ARCHITECTURE.md`` ("Serving plane")
+for the request path.
+"""
+
+from .admission import AdmissionController, AdmissionTicket, TokenBucket
+from .client import (
+    AsyncGatewayClient,
+    GatewayConnectionError,
+    GatewayRequestError,
+    GatewayRetryableError,
+    RecoveredState,
+)
+from .maintenance import RECOVERY_DEPTH_GAUGE, IdleMaintenance
+from .protocol import ERROR_KINDS, MAX_LINE_BYTES, GatewayError
+from .server import GatewayServer
+from .tenancy import (
+    Tenant,
+    TenantQuota,
+    TenantRegistry,
+    qualify_id,
+    split_qualified_id,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "TokenBucket",
+    "AsyncGatewayClient",
+    "GatewayConnectionError",
+    "GatewayRequestError",
+    "GatewayRetryableError",
+    "RecoveredState",
+    "IdleMaintenance",
+    "RECOVERY_DEPTH_GAUGE",
+    "ERROR_KINDS",
+    "MAX_LINE_BYTES",
+    "GatewayError",
+    "GatewayServer",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "qualify_id",
+    "split_qualified_id",
+]

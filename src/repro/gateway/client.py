@@ -1,0 +1,298 @@
+"""Async client for the serving gateway.
+
+One :class:`AsyncGatewayClient` holds one TCP connection and pipelines
+requests over it: each request gets a client-assigned id and an awaiting
+future; a single reader task matches responses back by id, so any number
+of coroutines can share the connection concurrently.
+
+Error handling mirrors the storage stack's retry contract:
+
+* retryable rejections (``overloaded``, ``quota``, ``deadline``,
+  ``unavailable``, ``shutting_down``) raise
+  :class:`GatewayRetryableError` — a :class:`TransientStoreError`
+  subclass, so the existing :class:`repro.retry.RetryPolicy` backs off
+  and resends without new plumbing;
+* permanent rejections raise :class:`GatewayRequestError`;
+* a torn connection fails every in-flight request with
+  :class:`GatewayConnectionError` (also retryable) — no caller is ever
+  left awaiting a response that cannot arrive.
+
+Deadlines propagate implicitly: inside a ``repro.deadline.scope`` the
+client stamps the ambient remaining budget onto each request, and the
+server re-enters that budget (minus queue wait) on its worker thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import itertools
+from dataclasses import dataclass
+
+from .. import deadline
+from ..errors import MMLibError, TransientStoreError
+from .protocol import MAX_LINE_BYTES, decode_line, encode_line
+
+__all__ = [
+    "AsyncGatewayClient",
+    "GatewayRequestError",
+    "GatewayRetryableError",
+    "GatewayConnectionError",
+    "RecoveredState",
+]
+
+
+class GatewayRequestError(MMLibError):
+    """The gateway rejected a request permanently (not retryable)."""
+
+    def __init__(self, kind: str, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = False
+        self.retry_after_s = retry_after_s
+
+
+class GatewayRetryableError(TransientStoreError):
+    """The gateway shed or failed a request in a retryable way."""
+
+    def __init__(self, kind: str, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = True
+        self.retry_after_s = retry_after_s
+
+
+class GatewayConnectionError(GatewayRetryableError):
+    """The gateway connection died with requests in flight."""
+
+    def __init__(self, message: str):
+        super().__init__("unavailable", message)
+
+
+def _raise_for_error(error: dict) -> None:
+    kind = error.get("kind", "internal")
+    message = error.get("message", "")
+    retry_after = error.get("retry_after_s")
+    if error.get("retryable", False):
+        raise GatewayRetryableError(kind, message, retry_after)
+    raise GatewayRequestError(kind, message, retry_after)
+
+
+@dataclass
+class RecoveredState:
+    """Result of :meth:`AsyncGatewayClient.recover_model`."""
+
+    model_id: str
+    state: dict
+    verified: bool | None
+    recovery_depth: int
+    base_model_id: str | None
+
+
+class AsyncGatewayClient:
+    """One tenant's pipelined connection to a :class:`GatewayServer`."""
+
+    #: Slack added to ``deadline_s`` before the client gives up waiting for
+    #: any response at all (the hung-server guard).  Class-level so tests
+    #: can shrink it without patching live requests.
+    grace_s = 5.0
+
+    def __init__(self, host: str, port: int, tenant: str):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def connect(self) -> "AsyncGatewayClient":
+        if self._writer is not None:
+            raise RuntimeError("client already connected")
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_responses())
+        return self
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+        self._fail_pending(GatewayConnectionError("client closed"))
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _read_responses(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode_line(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(
+                GatewayConnectionError(f"gateway connection failed: {exc}")
+            )
+            return
+        self._fail_pending(GatewayConnectionError("gateway closed the connection"))
+
+    # -- core request ------------------------------------------------------
+
+    async def request(self, op: str, deadline_s: float | None = None, **fields) -> dict:
+        """Send one request; return the response body or raise typed errors.
+
+        ``deadline_s`` defaults to the ambient :mod:`repro.deadline`
+        budget when one is active.  The response future is additionally
+        bounded client-side (budget + a grace period) so even a
+        misbehaving server cannot hang the caller.
+        """
+        if self._writer is None:
+            raise GatewayConnectionError("client is not connected")
+        if deadline_s is None and deadline.current() is not None:
+            deadline_s = max(deadline.remaining(), 0.001)
+        request_id = next(self._ids)
+        message: dict = {"id": request_id, "op": op, "tenant": self.tenant}
+        if deadline_s is not None:
+            message["deadline_s"] = deadline_s
+        message.update(fields)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            data = encode_line(message)
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+            if deadline_s is not None:
+                response = await asyncio.wait_for(future, deadline_s + self.grace_s)
+            else:
+                response = await future
+        except asyncio.TimeoutError:
+            # distinct from the server's typed "deadline" rejection: here NO
+            # response arrived at all — the hung-socket case the bench gates on
+            self._pending.pop(request_id, None)
+            raise GatewayRetryableError(
+                "timeout", f"no response to {op!r} within budget + grace"
+            ) from None
+        except ConnectionError as exc:
+            self._pending.pop(request_id, None)
+            raise GatewayConnectionError(str(exc)) from exc
+        finally:
+            self._pending.pop(request_id, None)
+        if not response.get("ok", False):
+            _raise_for_error(response.get("error", {}))
+        return response
+
+    # -- convenience ops ---------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def save_model(
+        self,
+        factory: str,
+        state: dict | None = None,
+        factory_kwargs: dict | None = None,
+        base: str | None = None,
+        use_case: str | None = None,
+        deadline_s: float | None = None,
+    ) -> str:
+        """Save a model built by ``factory`` (``"module:callable"``).
+
+        ``state`` is a state dict (arrays) loaded into the freshly built
+        module server-side; omit it to save the factory's initial state.
+        Returns the qualified model id (``<tenant>/<id>``).
+        """
+        from ..nn import serialization
+
+        module, _, name = factory.partition(":")
+        if not module or not name:
+            raise ValueError(f"factory must be 'module:callable', got {factory!r}")
+        fields: dict = {
+            "factory_module": module,
+            "factory_name": name,
+            "factory_kwargs": factory_kwargs or {},
+        }
+        if state is not None:
+            fields["state_b64"] = base64.b64encode(
+                serialization.dumps(state)
+            ).decode("ascii")
+        if base is not None:
+            fields["base"] = base
+        if use_case is not None:
+            fields["use_case"] = use_case
+        response = await self.request("save", deadline_s=deadline_s, **fields)
+        return response["model_id"]
+
+    async def recover_model(
+        self,
+        model_id: str,
+        verify: bool = True,
+        deadline_s: float | None = None,
+    ) -> RecoveredState:
+        from ..nn import serialization
+
+        response = await self.request(
+            "recover", deadline_s=deadline_s, model_id=model_id, verify=verify
+        )
+        state = serialization.loads(base64.b64decode(response["state_b64"]))
+        return RecoveredState(
+            model_id=response["model_id"],
+            state=state,
+            verified=response.get("verified"),
+            recovery_depth=response.get("recovery_depth", 0),
+            base_model_id=response.get("base_model_id"),
+        )
+
+    async def find(
+        self, use_case: str | None = None, deadline_s: float | None = None
+    ) -> list[dict]:
+        fields = {"use_case": use_case} if use_case is not None else {}
+        response = await self.request("find", deadline_s=deadline_s, **fields)
+        return response["models"]
+
+    async def delete_model(
+        self, model_id: str, force: bool = False, deadline_s: float | None = None
+    ) -> None:
+        await self.request(
+            "delete", deadline_s=deadline_s, model_id=model_id, force=force
+        )
+
+    async def stats(self, deadline_s: float | None = None) -> dict:
+        response = await self.request("stats", deadline_s=deadline_s)
+        return response["stats"]

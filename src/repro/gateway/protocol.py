@@ -1,0 +1,143 @@
+"""Wire protocol for the serving gateway.
+
+The gateway speaks newline-delimited JSON over TCP — the same framing as
+:mod:`repro.docstore.server`, chosen for debuggability (``nc`` works) and
+because every payload the registry moves is already JSON-friendly
+(model states travel base64-encoded).  Each request carries a client-
+assigned ``id`` so responses can be matched out of order: the server
+pipelines, handling every request on the connection concurrently.
+
+Request shape::
+
+    {"id": 7, "op": "save", "tenant": "acme", "deadline_s": 2.5, ...}
+
+Response shape::
+
+    {"id": 7, "ok": true, ...}                      # success
+    {"id": 7, "ok": false, "error": {"kind": "overloaded",
+     "message": "...", "retryable": true, "retry_after_s": 0.05}}
+
+Error *kinds* are the stable contract: clients dispatch on ``kind`` and
+``retryable``, never on message text.  Retryable kinds mean "the request
+was not applied; back off and resend" — the gateway never sheds work
+silently and never leaves a socket hanging, so a client that got no
+response knows the connection (not the request semantics) failed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import (
+    DeadlineExceededError,
+    MMLibError,
+    StoreCorruptionError,
+    TransientStoreError,
+)
+
+__all__ = [
+    "ERROR_KINDS",
+    "MAX_LINE_BYTES",
+    "GatewayError",
+    "decode_line",
+    "encode_line",
+    "error_payload",
+    "error_from_exception",
+]
+
+#: Upper bound on one framed message.  Large enough for base64 of a
+#: multi-megabyte model state, small enough to stop a runaway client
+#: from ballooning server memory.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: kind -> retryable.  The client raises retryable kinds as
+#: :class:`GatewayRetryableError` (a ``TransientStoreError``) so the
+#: existing :class:`repro.retry.RetryPolicy` handles backoff unchanged.
+ERROR_KINDS: dict[str, bool] = {
+    "overloaded": True,  # tenant queue full — shed, back off
+    "quota": True,  # token bucket empty — honor retry_after_s
+    "deadline": True,  # budget expired before/while executing
+    "unavailable": True,  # transient storage failure under the op
+    "shutting_down": True,  # server draining; reconnect elsewhere
+    "not_found": False,
+    "invalid": False,  # malformed request / unknown op
+    "forbidden": False,  # cross-tenant access attempt
+    "corrupt": False,  # integrity check failed server-side
+    "internal": False,
+}
+
+
+class GatewayError(MMLibError):
+    """Server-side typed rejection; serialized into the error payload."""
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        *,
+        retry_after_s: float | None = None,
+    ):
+        if kind not in ERROR_KINDS:
+            raise ValueError(f"unknown gateway error kind {kind!r}")
+        super().__init__(message)
+        self.kind = kind
+        self.retryable = ERROR_KINDS[kind]
+        self.retry_after_s = retry_after_s
+
+
+def error_payload(exc: GatewayError) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "kind": exc.kind,
+        "message": str(exc),
+        "retryable": exc.retryable,
+    }
+    if exc.retry_after_s is not None:
+        payload["retry_after_s"] = round(exc.retry_after_s, 4)
+    return payload
+
+
+def error_from_exception(exc: BaseException) -> GatewayError:
+    """Map an arbitrary worker-side exception onto a typed gateway error."""
+    if isinstance(exc, GatewayError):
+        return exc
+    # Local import: repro.core pulls in the whole storage stack and the
+    # protocol module must stay importable from the lightweight client.
+    from ..core.errors import ModelNotFoundError
+
+    if isinstance(exc, DeadlineExceededError):
+        return GatewayError("deadline", str(exc) or "deadline exceeded")
+    if isinstance(exc, ModelNotFoundError):
+        return GatewayError("not_found", str(exc))
+    if isinstance(exc, StoreCorruptionError):
+        return GatewayError("corrupt", str(exc))
+    if isinstance(exc, TransientStoreError):
+        return GatewayError("unavailable", str(exc))
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        return GatewayError("invalid", f"{type(exc).__name__}: {exc}")
+    return GatewayError("internal", f"{type(exc).__name__}: {exc}")
+
+
+def encode_line(message: dict[str, Any]) -> bytes:
+    """Serialize one protocol message to a newline-terminated JSON frame."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(data) + 1 > MAX_LINE_BYTES:
+        raise GatewayError(
+            "invalid", f"message of {len(data)} bytes exceeds {MAX_LINE_BYTES}"
+        )
+    return data + b"\n"
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one received frame; raises ``GatewayError('invalid')`` on junk."""
+    if len(line) > MAX_LINE_BYTES:
+        raise GatewayError(
+            "invalid", f"frame of {len(line)} bytes exceeds {MAX_LINE_BYTES}"
+        )
+    try:
+        message = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise GatewayError("invalid", f"malformed JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise GatewayError("invalid", "frame must be a JSON object")
+    return message

@@ -1,0 +1,453 @@
+"""The asyncio serving gateway: the deployment's multi-tenant front door.
+
+One :class:`GatewayServer` runs an asyncio event loop (in a background
+thread, so tests and the CLI can drive it from synchronous code) and
+accepts JSON-lines TCP connections.  The split of work is strict:
+
+* **Event loop**: framing, admission control, response writing.  Nothing
+  here blocks — a rejected request never touches the thread pool, which
+  is what keeps the gateway responsive while shedding under overload.
+* **Worker pool**: everything that talks to storage.  The synchronous
+  stack (save transactions, quorum writes, chain recovery, retries) runs
+  unchanged on pool threads; per-thread write-ahead journals make
+  concurrent saves from different workers safe.
+
+Requests pipeline per connection — each incoming frame becomes its own
+task, responses are written under a lock in completion order, and the
+client matches them back by ``id``.
+
+Deadlines: a client sends its remaining budget as ``deadline_s``.  The
+gateway stamps admission time; when a worker thread finally picks the
+request up it subtracts the queue wait and enters
+:func:`repro.deadline.scope` with what is left, so storage-layer retry
+loops and quorum paths see the *client's* budget.  A request whose
+budget died in the queue fails immediately with the typed ``deadline``
+error — never a hung socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from .. import deadline, obs
+from ..errors import DeadlineExceededError
+from .admission import AdmissionController
+from .protocol import (
+    MAX_LINE_BYTES,
+    GatewayError,
+    decode_line,
+    encode_line,
+    error_from_exception,
+    error_payload,
+)
+from .tenancy import TenantRegistry
+
+__all__ = ["GatewayServer"]
+
+#: Factory modules a save request may reference.  ``ArchitectureRef``
+#: imports the named module server-side; an open prefix list would make
+#: ``save`` an arbitrary-import primitive.
+ALLOWED_FACTORY_PREFIXES = ("repro.", "tests.")
+
+
+class GatewayServer:
+    """Serve save/recover/find/stats for every tenant in ``registry``.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).  ``maintenance`` is an optional
+    :class:`~repro.gateway.maintenance.IdleMaintenance`; when set, an
+    idle-loop task runs it whenever no request is in flight.
+    """
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        maintenance=None,
+        idle_poll_s: float = 0.05,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.admission = AdmissionController(
+            {t.name: t.quota for t in registry.tenants()}
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="gateway-worker"
+        )
+        # per-tenant execution slots: admission bounds how much a tenant may
+        # *queue*; these bound how much it may *run*, so a saturated tenant
+        # cannot occupy the whole pool and head-of-line-block the others
+        # (asyncio primitives bind to the gateway loop on first acquire)
+        self._exec_slots = {
+            t.name: asyncio.Semaphore(t.quota.max_concurrency)
+            for t in registry.tenants()
+        }
+        self._maintenance = maintenance
+        self._idle_poll_s = idle_poll_s
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._draining = False
+        metrics = obs.registry()
+        self._metrics = metrics
+        self._obs_connections = metrics.counter(
+            "mmlib_gateway_connections_total", "Accepted gateway connections"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "GatewayServer":
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._run, name="gateway-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("gateway event loop failed to start")
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            try:
+                server = loop.run_until_complete(
+                    asyncio.start_server(
+                        self._serve_connection,
+                        self.host,
+                        self.port,
+                        limit=MAX_LINE_BYTES,
+                    )
+                )
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._server = server
+            self.port = server.sockets[0].getsockname()[1]
+            idle_task = None
+            if self._maintenance is not None:
+                idle_task = loop.create_task(self._idle_loop())
+            self._started.set()
+            loop.run_forever()
+            loop.run_until_complete(self._shutdown(idle_task))
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _shutdown(self, idle_task) -> None:
+        if idle_task is not None:
+            idle_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await idle_task
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [
+            task
+            for task in asyncio.all_tasks(self._loop)
+            if task is not asyncio.current_task()
+        ]
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._draining = True
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._thread = None
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def serve_forever(self, duration_s: float | None = None) -> None:
+        """Blocking serve (for ``mmlib serve``); Ctrl-C or timeout stops."""
+        import time
+
+        self.start()
+        try:
+            if duration_s is None:
+                while True:
+                    time.sleep(1.0)
+            else:
+                time.sleep(duration_s)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # -- connection handling (event loop) ----------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self._obs_connections.inc()
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError, asyncio.LimitOverrunError):
+                    # oversized frame or torn connection — nothing sane to
+                    # answer on this socket anymore
+                    break
+                if not line:
+                    break
+                task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            # the client closed its write side; finish answering what was
+            # already submitted before tearing the socket down
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _send(self, writer, write_lock, message: dict) -> None:
+        try:
+            data = encode_line(message)
+        except GatewayError as exc:
+            data = encode_line(
+                {"id": message.get("id"), "ok": False, "error": error_payload(exc)}
+            )
+        async with write_lock:
+            writer.write(data)
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+
+    async def _handle_line(self, line: bytes, writer, write_lock) -> None:
+        request_id = None
+        try:
+            request = decode_line(line)
+            request_id = request.get("id")
+            response = await self._handle_request(request, len(line))
+        except GatewayError as exc:
+            response = {"ok": False, "error": error_payload(exc)}
+        except Exception as exc:  # never let a bug hang the socket
+            response = {"ok": False, "error": error_payload(error_from_exception(exc))}
+        response["id"] = request_id
+        await self._send(writer, write_lock, response)
+
+    async def _handle_request(self, request: dict, nbytes: int) -> dict:
+        op = request.get("op")
+        if not isinstance(op, str):
+            raise GatewayError("invalid", "request needs a string 'op'")
+        if op == "ping":  # health probe: no tenant, no admission
+            return {"ok": True, "pong": True, "draining": self._draining}
+        if self._draining:
+            raise GatewayError("shutting_down", "gateway is draining")
+        tenant_name = request.get("tenant")
+        if not isinstance(tenant_name, str):
+            raise GatewayError("invalid", f"op {op!r} needs a string 'tenant'")
+        tenant = self.registry.tenant(tenant_name)
+        ticket = self.admission.admit(tenant_name, nbytes)
+        admitted_at = obs.clock().perf()
+        deadline_s = request.get("deadline_s")
+        if deadline_s is not None and not isinstance(deadline_s, (int, float)):
+            ticket.release()
+            raise GatewayError("invalid", "'deadline_s' must be a number")
+        status = "error"
+        try:
+            assert self._loop is not None
+            async with self._exec_slots[tenant_name]:
+                result = await self._loop.run_in_executor(
+                    self._executor,
+                    self._execute,
+                    request,
+                    tenant,
+                    admitted_at,
+                    deadline_s,
+                )
+            status = "ok"
+            return {"ok": True, **result}
+        except GatewayError as exc:
+            status = exc.kind
+            raise
+        except Exception as exc:
+            mapped = error_from_exception(exc)
+            status = mapped.kind
+            raise mapped from exc
+        finally:
+            ticket.release()
+            elapsed = obs.clock().perf() - admitted_at
+            self._metrics.histogram(
+                "mmlib_gateway_request_seconds",
+                op=op, tenant=tenant_name,
+            ).observe(elapsed)
+            self._metrics.counter(
+                "mmlib_gateway_requests_total",
+                op=op, tenant=tenant_name, status=status,
+            ).inc()
+
+    # -- request execution (worker threads) --------------------------------
+
+    def _execute(self, request: dict, tenant, admitted_at: float, deadline_s):
+        """Run one admitted request on a pool thread under its deadline."""
+        if deadline_s is None:
+            return self._dispatch(request, tenant)
+        remaining = float(deadline_s) - (obs.clock().perf() - admitted_at)
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                f"deadline budget of {float(deadline_s):.3f}s spent before "
+                "execution started (queue wait)"
+            )
+        with deadline.scope(remaining):
+            return self._dispatch(request, tenant)
+
+    def _dispatch(self, request: dict, tenant) -> dict:
+        op = request["op"]
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise GatewayError("invalid", f"unknown op {op!r}")
+        return handler(request, tenant)
+
+    def _op_save(self, request: dict, tenant) -> dict:
+        import base64
+
+        from ..core.save_info import ArchitectureRef, ModelSaveInfo
+        from ..nn import serialization
+
+        module = request.get("factory_module")
+        factory = request.get("factory_name")
+        if not isinstance(module, str) or not isinstance(factory, str):
+            raise GatewayError(
+                "invalid", "save needs 'factory_module' and 'factory_name'"
+            )
+        if not module.startswith(ALLOWED_FACTORY_PREFIXES):
+            raise GatewayError(
+                "forbidden",
+                f"factory module {module!r} outside allowed prefixes "
+                f"{ALLOWED_FACTORY_PREFIXES}",
+            )
+        kwargs = request.get("factory_kwargs") or {}
+        architecture = ArchitectureRef.from_factory(module, factory, kwargs)
+        model = architecture.build()
+        state_b64 = request.get("state_b64")
+        if state_b64 is not None:
+            state = serialization.loads(base64.b64decode(state_b64))
+            model.load_state_dict(state)
+        base = request.get("base")
+        if base is not None:
+            base = tenant.resolve(base)
+        deadline.check("gateway.save")
+        model_id = tenant.service.save_model(
+            ModelSaveInfo(
+                model=model,
+                architecture=architecture,
+                base_model_id=base,
+                use_case=request.get("use_case"),
+            )
+        )
+        return {"model_id": tenant.qualify(model_id)}
+
+    def _op_recover(self, request: dict, tenant) -> dict:
+        import base64
+
+        from ..nn import serialization
+
+        model_id = request.get("model_id")
+        if not isinstance(model_id, str):
+            raise GatewayError("invalid", "recover needs a string 'model_id'")
+        internal = tenant.resolve(model_id)
+        recovered = tenant.service.recover_model(
+            internal, verify=bool(request.get("verify", True))
+        )
+        payload = serialization.dumps(recovered.model.state_dict())
+        return {
+            "model_id": tenant.qualify(recovered.model_id),
+            "state_b64": base64.b64encode(payload).decode("ascii"),
+            "verified": recovered.verified,
+            "recovery_depth": recovered.recovery_depth,
+            "base_model_id": (
+                tenant.qualify(recovered.base_model_id)
+                if recovered.base_model_id
+                else None
+            ),
+        }
+
+    def _op_find(self, request: dict, tenant) -> dict:
+        use_case = request.get("use_case")
+        if use_case is not None:
+            records = tenant.manager.find_by_use_case(use_case)
+        else:
+            records = tenant.manager.list_models()
+        return {
+            "models": [
+                {
+                    "model_id": tenant.qualify(record.model_id),
+                    "approach": record.approach,
+                    "base_model_id": (
+                        tenant.qualify(record.base_model_id)
+                        if record.base_model_id
+                        else None
+                    ),
+                    "use_case": record.use_case,
+                    "saved_at": record.saved_at,
+                }
+                for record in records
+            ]
+        }
+
+    def _op_delete(self, request: dict, tenant) -> dict:
+        model_id = request.get("model_id")
+        if not isinstance(model_id, str):
+            raise GatewayError("invalid", "delete needs a string 'model_id'")
+        tenant.manager.delete_model(
+            tenant.resolve(model_id), force=bool(request.get("force", False))
+        )
+        return {"deleted": True}
+
+    def _op_stats(self, request: dict, tenant) -> dict:
+        stats = self.registry.admin_manager().stats()
+        stats["tenant"] = {
+            "name": tenant.name,
+            "models": tenant.manager.documents.collection("models").count(),
+            "inflight": self.admission.inflight(tenant.name),
+        }
+        return {"stats": stats}
+
+    # -- idle maintenance --------------------------------------------------
+
+    async def _idle_loop(self) -> None:
+        """Run background maintenance whenever the gateway has slack."""
+        assert self._loop is not None
+        while True:
+            await asyncio.sleep(self._idle_poll_s)
+            if self.admission.total_inflight() > 0:
+                continue
+            if not self._maintenance.due():
+                continue
+            # compaction runs on the pool like any other storage work so
+            # the event loop keeps accepting (and shedding) during it
+            await self._loop.run_in_executor(
+                self._executor, self._maintenance.maybe_run
+            )

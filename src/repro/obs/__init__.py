@@ -211,3 +211,18 @@ def preregister_default_families(reg: Registry | None = None) -> None:
               "Keys known divergent and not yet healed")
     reg.counter("mmlib_antientropy_repairs_total",
                 "Replica sets healed by the anti-entropy scanner")
+    reg.counter("mmlib_gateway_connections_total", "Accepted gateway connections")
+    reg.counter("mmlib_gateway_requests_total",
+                "Gateway requests by op, tenant, and outcome status",
+                op="all", tenant="all", status="ok")
+    reg.histogram("mmlib_gateway_request_seconds",
+                  "Gateway request latency from admission to response",
+                  op="all", tenant="all")
+    reg.gauge("mmlib_gateway_queue_depth",
+              "Admitted-but-unfinished gateway requests", tenant="all")
+    reg.counter("mmlib_gateway_admission_total", "Gateway admission decisions",
+                tenant="all", outcome="admitted")
+    reg.counter("mmlib_gateway_maintenance_total",
+                "Idle-loop maintenance sweeps", kind="compaction")
+    reg.gauge("mmlib_recovery_depth_max",
+              "Deepest delta chain replayed by a recover")

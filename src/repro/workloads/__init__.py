@@ -16,6 +16,7 @@ from .pretrain import (
     standard_use_cases,
 )
 from .relations import FULLY_UPDATED, PARTIALLY_UPDATED, RELATIONS, TrainingRun
+from .serving import serving_cnn, serving_mlp
 from .text_data import SyntheticTextCorpus, generate_text_corpus
 
 __all__ = [
@@ -36,4 +37,6 @@ __all__ = [
     "TrainingRun",
     "SyntheticTextCorpus",
     "generate_text_corpus",
+    "serving_cnn",
+    "serving_mlp",
 ]

@@ -1,0 +1,41 @@
+"""Small importable model factories for the serving plane.
+
+The gateway saves models by *architecture reference* — the client sends
+``(module, factory, kwargs)`` and a serialized state dict, and the
+server rebuilds the module via :meth:`ArchitectureRef.build`, which
+re-imports the factory's module.  That means bench scripts and tests
+cannot define factories in ``__main__``; they need a stable, importable
+home.  This module is that home: deliberately tiny models so the
+serving benchmark measures the gateway and storage planes, not conv
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+
+__all__ = ["serving_cnn", "serving_mlp"]
+
+
+def serving_cnn(num_classes: int = 10, channels: int = 4, seed: int = 0) -> nn.Module:
+    """Conv-BN-ReLU-Pool-Linear, ~1k params at default width."""
+    nn.manual_seed(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, channels, kernel_size=3, padding=1, bias=False),
+        nn.BatchNorm2d(channels),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(channels * 4 * 4, num_classes),
+    )
+
+
+def serving_mlp(in_features: int = 32, hidden: int = 64, num_classes: int = 10,
+                seed: int = 0) -> nn.Module:
+    """Two-layer MLP — the cheapest distinguishable architecture."""
+    nn.manual_seed(seed)
+    return nn.Sequential(
+        nn.Linear(in_features, hidden),
+        nn.ReLU(),
+        nn.Linear(hidden, num_classes),
+    )

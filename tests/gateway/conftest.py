@@ -1,0 +1,37 @@
+"""Shared fixtures for the gateway test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Zero the global metric registry between tests.
+
+    Gateway components publish to the process-wide registry (queue depth,
+    recovery-depth high-water mark, admission outcomes); without a reset,
+    one test's traffic would leak into the next test's assertions — and a
+    stale recovery-depth mark could trigger idle maintenance spuriously.
+    """
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class FakeClock:
+    """Manual clock compatible with ``obs.clock()`` consumers."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def perf(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds

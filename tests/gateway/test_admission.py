@@ -1,0 +1,159 @@
+"""Admission control: token buckets and bounded per-tenant queues.
+
+All time comes from a manual clock — no sleeps, no flakes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway import AdmissionController, GatewayError, TenantQuota, TokenBucket
+from tests.gateway.conftest import FakeClock
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert bucket.tokens == pytest.approx(3.0)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            bucket.try_acquire()
+        clock.advance(1.0)  # 2 tokens back
+        assert bucket.tokens == pytest.approx(2.0)
+        clock.advance(100.0)  # far past capacity — clamps to burst
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_retry_after_is_honest(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        # empty; one token at 2/s takes 0.5s
+        assert bucket.retry_after(1.0) == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.retry_after(1.0) == 0.0
+        assert bucket.try_acquire()
+
+    def test_fractional_acquire_supports_byte_charges(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=10.0, clock=clock)
+        assert bucket.try_acquire(7.5)
+        assert not bucket.try_acquire(7.5)
+        assert bucket.try_acquire(2.5)
+
+    @pytest.mark.parametrize("rate, burst", [(0, 1), (1, 0), (-1, 1)])
+    def test_invalid_parameters_rejected(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def controller(clock):
+    quotas = {
+        "acme": TenantQuota(
+            requests_per_s=10.0,
+            bytes_per_s=1000.0,
+            burst_requests=5.0,
+            burst_bytes=100.0,
+            max_inflight=2,
+        ),
+        "globex": TenantQuota(),
+    }
+    return AdmissionController(quotas, clock=clock)
+
+
+class TestAdmissionController:
+    def test_admits_within_quota(self, controller):
+        ticket = controller.admit("acme", nbytes=10)
+        assert controller.inflight("acme") == 1
+        ticket.release()
+        assert controller.inflight("acme") == 0
+
+    def test_unknown_tenant_forbidden(self, controller):
+        with pytest.raises(GatewayError) as excinfo:
+            controller.admit("mallory")
+        assert excinfo.value.kind == "forbidden"
+
+    def test_queue_full_sheds_overloaded_with_backoff_hint(self, controller):
+        tickets = [controller.admit("acme") for _ in range(2)]  # max_inflight
+        with pytest.raises(GatewayError) as excinfo:
+            controller.admit("acme")
+        assert excinfo.value.kind == "overloaded"
+        assert excinfo.value.retryable
+        assert excinfo.value.retry_after_s > 0
+        # releasing one slot readmits
+        tickets[0].release()
+        controller.admit("acme").release()
+        for ticket in tickets[1:]:
+            ticket.release()
+
+    def test_request_rate_sheds_quota_with_honest_retry_after(
+        self, controller, clock
+    ):
+        for _ in range(5):  # burst_requests
+            controller.admit("acme").release()
+        with pytest.raises(GatewayError) as excinfo:
+            controller.admit("acme")
+        assert excinfo.value.kind == "quota"
+        assert excinfo.value.retryable
+        # 1 token at 10/s = 0.1s; waiting that long readmits
+        assert excinfo.value.retry_after_s == pytest.approx(0.1)
+        clock.advance(0.1)
+        controller.admit("acme").release()
+
+    def test_byte_rate_sheds_quota(self, controller):
+        controller.admit("acme", nbytes=100).release()  # drains burst_bytes
+        with pytest.raises(GatewayError) as excinfo:
+            controller.admit("acme", nbytes=50)
+        assert excinfo.value.kind == "quota"
+        assert "byte" in str(excinfo.value)
+
+    def test_oversized_payload_charge_capped_at_burst(self, controller):
+        # a single payload larger than the bucket must still be admittable —
+        # charging raw nbytes would make it permanently rejectable
+        ticket = controller.admit("acme", nbytes=10_000_000)
+        ticket.release()
+
+    def test_shed_request_never_leaks_a_queue_slot(self, controller, clock):
+        # exhaust the request bucket, then confirm inflight stayed zero
+        for _ in range(5):
+            controller.admit("acme").release()
+        for _ in range(3):
+            with pytest.raises(GatewayError):
+                controller.admit("acme")
+        assert controller.inflight("acme") == 0
+        clock.advance(10.0)
+        assert controller.inflight("acme") == 0
+
+    def test_tenant_queues_are_independent(self, controller):
+        tickets = [controller.admit("acme") for _ in range(2)]
+        with pytest.raises(GatewayError):
+            controller.admit("acme")
+        # acme's full queue does not touch globex
+        controller.admit("globex").release()
+        for ticket in tickets:
+            ticket.release()
+
+    def test_total_inflight_spans_tenants(self, controller):
+        a = controller.admit("acme")
+        b = controller.admit("globex")
+        assert controller.total_inflight() == 2
+        a.release()
+        b.release()
+        assert controller.total_inflight() == 0
+
+    def test_ticket_release_is_idempotent_and_context_managed(self, controller):
+        with controller.admit("acme") as ticket:
+            assert controller.inflight("acme") == 1
+        ticket.release()  # second release is a no-op
+        assert controller.inflight("acme") == 0

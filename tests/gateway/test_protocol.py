@@ -1,0 +1,112 @@
+"""Wire protocol: framing, typed error kinds, exception mapping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ModelNotFoundError
+from repro.errors import (
+    DeadlineExceededError,
+    StoreCorruptionError,
+    TransientStoreError,
+)
+from repro.gateway import protocol
+from repro.gateway.protocol import (
+    ERROR_KINDS,
+    GatewayError,
+    decode_line,
+    encode_line,
+    error_from_exception,
+    error_payload,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"id": 7, "op": "save", "tenant": "acme", "deadline_s": 2.5}
+        assert decode_line(encode_line(message)) == message
+
+    def test_encoded_line_is_newline_terminated_compact_json(self):
+        data = encode_line({"id": 1, "op": "ping"})
+        assert data.endswith(b"\n")
+        assert b" " not in data  # compact separators
+        assert json.loads(data) == {"id": 1, "op": "ping"}
+
+    def test_decode_rejects_malformed_json(self):
+        with pytest.raises(GatewayError) as excinfo:
+            decode_line(b"{not json}\n")
+        assert excinfo.value.kind == "invalid"
+        assert not excinfo.value.retryable
+
+    def test_decode_rejects_non_object_frames(self):
+        with pytest.raises(GatewayError) as excinfo:
+            decode_line(b"[1, 2, 3]\n")
+        assert excinfo.value.kind == "invalid"
+
+    def test_oversized_frames_rejected_both_ways(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 64)
+        big = {"id": 1, "blob": "x" * 128}
+        with pytest.raises(GatewayError) as encoded:
+            encode_line(big)
+        assert encoded.value.kind == "invalid"
+        with pytest.raises(GatewayError) as decoded:
+            decode_line(b"x" * 128)
+        assert decoded.value.kind == "invalid"
+
+
+class TestErrorKinds:
+    def test_retryable_map_is_the_stable_contract(self):
+        retryable = {k for k, v in ERROR_KINDS.items() if v}
+        assert retryable == {
+            "overloaded", "quota", "deadline", "unavailable", "shutting_down",
+        }
+        permanent = {k for k, v in ERROR_KINDS.items() if not v}
+        assert permanent == {
+            "not_found", "invalid", "forbidden", "corrupt", "internal",
+        }
+
+    def test_gateway_error_derives_retryable_from_kind(self):
+        assert GatewayError("overloaded", "shed").retryable is True
+        assert GatewayError("forbidden", "nope").retryable is False
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            GatewayError("mystery", "boom")
+
+    def test_payload_includes_rounded_retry_after(self):
+        payload = error_payload(GatewayError("quota", "slow down", retry_after_s=0.123456))
+        assert payload == {
+            "kind": "quota",
+            "message": "slow down",
+            "retryable": True,
+            "retry_after_s": 0.1235,
+        }
+
+    def test_payload_omits_retry_after_when_unset(self):
+        assert "retry_after_s" not in error_payload(GatewayError("internal", "x"))
+
+
+class TestExceptionMapping:
+    @pytest.mark.parametrize(
+        "exc, kind, retryable",
+        [
+            (DeadlineExceededError("late"), "deadline", True),
+            (ModelNotFoundError("model-x"), "not_found", False),
+            (StoreCorruptionError("bad digest"), "corrupt", False),
+            (TransientStoreError("flaky"), "unavailable", True),
+            (ValueError("bad input"), "invalid", False),
+            (TypeError("bad type"), "invalid", False),
+            (KeyError("missing"), "invalid", False),
+            (RuntimeError("bug"), "internal", False),
+        ],
+    )
+    def test_worker_exceptions_map_to_typed_kinds(self, exc, kind, retryable):
+        mapped = error_from_exception(exc)
+        assert mapped.kind == kind
+        assert mapped.retryable is retryable
+
+    def test_gateway_errors_pass_through_unchanged(self):
+        original = GatewayError("quota", "slow down", retry_after_s=0.5)
+        assert error_from_exception(original) is original

@@ -442,3 +442,67 @@ class TestObservabilityCommands:
             "orphan_documents",
         }
         assert all(seconds >= 0.0 for seconds in steps.values())
+
+
+class TestDeadlineFlag:
+    def test_rejects_non_positive_deadline(self, capsys):
+        assert run_cli("--deadline", "0", "stats") == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_subcommand_runs_under_ambient_scope(self, monkeypatch):
+        from repro import deadline as deadline_mod
+
+        seen = {}
+
+        def probe_env(args):
+            seen["remaining"] = deadline_mod.remaining()
+            return 0
+
+        monkeypatch.setattr(cli, "cmd_env", probe_env)
+        assert run_cli("--deadline", "3.5", "env") == 0
+        assert 0 < seen["remaining"] <= 3.5
+
+    def test_no_flag_means_unbounded(self, monkeypatch):
+        from repro import deadline as deadline_mod
+
+        seen = {}
+
+        def probe_env(args):
+            seen["remaining"] = deadline_mod.remaining()
+            return 0
+
+        monkeypatch.setattr(cli, "cmd_env", probe_env)
+        assert run_cli("env") == 0
+        assert seen["remaining"] is None
+
+
+class TestServe:
+    def test_serve_starts_answers_and_exits(self, stores, capsys):
+        docs, files = stores
+        code = run_cli(
+            "--docs", docs, "--files", files,
+            "serve", "--tenants", "acme,globex",
+            "--port", "0", "--serve-seconds", "0.2", "--no-maintenance",
+        )
+        assert code == 0
+        assert "mmlib gateway serving on" in capsys.readouterr().out
+
+    def test_serve_requires_a_tenant(self, stores, capsys):
+        docs, files = stores
+        code = run_cli(
+            "--docs", docs, "--files", files,
+            "serve", "--tenants", " , ", "--port", "0", "--serve-seconds", "0.1",
+        )
+        assert code == 2
+        assert "at least one tenant" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        args = cli.build_parser().parse_args(
+            ["--docs", "d", "--files", "f", "serve", "--tenants", "acme"]
+        )
+        assert args.port == 7070
+        assert args.workers == 4
+        assert args.max_inflight == 32
+        assert args.max_concurrency == 4
+        assert args.approach == "param_update"
+        assert args.compact_depth >= 1
